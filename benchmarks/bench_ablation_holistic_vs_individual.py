@@ -1,0 +1,36 @@
+"""Section V-D: holistic BO model versus tuning each index type individually."""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.ablation import holistic_vs_individual
+
+
+def test_holistic_vs_individual_index_tuning(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: holistic_vs_individual("glove-small", scale=scale), rounds=1, iterations=1
+    )
+    rows = []
+    for approach in ("holistic", "individual"):
+        entry = result[approach]
+        rows.append(
+            [
+                approach,
+                entry["best_index_type"] or "-",
+                round(entry["best_speed"], 1) if entry["best_speed"] else "-",
+                round(entry["best_recall"], 3) if entry["best_recall"] else "-",
+            ]
+        )
+    table = format_table(
+        ["approach", "selected index", "best QPS", "recall"],
+        rows,
+        title="Holistic BO model vs per-index-type tuning (same total budget)",
+    )
+    register_report("Ablation - holistic vs individual", table)
+    # The paper's observation: with the same budget the holistic model does
+    # not lose to splitting the budget per index type.
+    holistic_speed = result["holistic"]["best_speed"] or 0.0
+    individual_speed = result["individual"]["best_speed"] or 0.0
+    assert holistic_speed >= 0.6 * individual_speed

@@ -1,0 +1,44 @@
+"""Figure 10: sampling quality of the polling surrogate versus the native surrogate."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import register_report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.ablation import figure10_sampling_quality
+
+
+def test_figure10_sampled_configurations(benchmark, scale, ablation_reports):
+    surrogate_reports = ablation_reports["surrogate"].reports
+    result = benchmark.pedantic(
+        lambda: figure10_sampling_quality(
+            "glove-small",
+            scale=scale,
+            reports={
+                "polling_surrogate": surrogate_reports["polling_surrogate"],
+                "native_surrogate": surrogate_reports["native_surrogate"],
+            },
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    sections = []
+    spreads = {}
+    for variant, samples in result.samples.items():
+        rows = [
+            [s["index_type"], round(s["qps"], 1), round(s["recall"], 3), s["pareto_rank"]]
+            for s in samples
+        ]
+        sections.append(
+            format_table(
+                ["index type", "QPS", "recall", "pareto rank"],
+                rows,
+                title=f"Figure 10 ({variant}): sampled configurations",
+            )
+        )
+        recalls = np.array([s["recall"] for s in samples]) if samples else np.zeros(1)
+        spreads[variant] = float(recalls.std())
+    summary = "\n".join(f"{variant}: recall spread (std) = {value:.4f}" for variant, value in spreads.items())
+    register_report("Figure 10 - sampling quality", "\n\n".join(sections) + "\n\n" + summary)
+    assert set(result.samples) == {"polling_surrogate", "native_surrogate"}

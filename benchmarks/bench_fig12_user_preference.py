@@ -1,0 +1,41 @@
+"""Figure 12: handling user preferences on the recall rate (constraint model + bootstrapping)."""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.preference import figure12_user_preference
+
+
+def test_figure12_user_preference(benchmark, scale):
+    comparison = benchmark.pedantic(
+        lambda: figure12_user_preference("glove-small", scale=scale), rounds=1, iterations=1
+    )
+    rows = []
+    for mode in ("plain", "constraint", "bootstrap"):
+        for stage_index, constraint in enumerate(comparison.recall_constraints):
+            samples = comparison.samples_to_match_plain[mode][stage_index]
+            rows.append(
+                [
+                    mode,
+                    constraint,
+                    round(comparison.best_speeds[mode][stage_index], 1),
+                    samples if samples is not None else "-",
+                ]
+            )
+    table = format_table(
+        ["variant", "recall constraint", "best feasible QPS", "samples to match plain variant"],
+        rows,
+        title="Figure 12: user-preference handling (plain vs constraint model vs + bootstrapping)",
+    )
+    register_report("Figure 12 - user preference", table)
+
+    # Reproduction target: the constraint-model variants reach the plain
+    # variant's performance using no more samples than the plain variant's
+    # full budget, for each constraint stage where they reach it at all.
+    budget = scale.preference_iterations
+    for mode in ("constraint", "bootstrap"):
+        for samples in comparison.samples_to_match_plain[mode]:
+            if samples is not None:
+                assert samples <= budget

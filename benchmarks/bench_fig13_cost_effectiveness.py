@@ -1,0 +1,42 @@
+"""Figure 13: cost-aware optimization (QP$) versus plain search-speed optimization."""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.cost import figure13_cost_effectiveness
+
+
+def test_figure13_cost_effectiveness(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure13_cost_effectiveness("geo-radius-small", scale=scale), rounds=1, iterations=1
+    )
+    comparison = result.comparison
+    summary = format_table(
+        ["metric", "value"],
+        [
+            ["relative cost effectiveness (QP$ objective / QPS objective)", round(comparison.relative_cost_effectiveness, 3)],
+            ["relative search speed (QP$ objective / QPS objective)", round(comparison.relative_search_speed, 3)],
+            ["mean memory, QP$ objective (GiB)", round(comparison.mean_memory_qpd, 2)],
+            ["mean memory, QPS objective (GiB)", round(comparison.mean_memory_qps, 2)],
+            ["std memory, QP$ objective (GiB)", round(comparison.std_memory_qpd, 2)],
+            ["std memory, QPS objective (GiB)", round(comparison.std_memory_qps, 2)],
+        ],
+        title="Figure 13a: optimizing QP$ vs optimizing QPS",
+    )
+    attribution = format_table(
+        ["parameter", "memory contribution (GiB)", "QPS contribution"],
+        [
+            [name, round(result.memory_attribution[name], 2), round(result.speed_attribution[name], 1)]
+            for name in result.memory_attribution
+        ],
+        title="Figure 13b: Shapley contribution of parameters (best QPS config vs default)",
+    )
+    register_report("Figure 13 - cost effectiveness", summary + "\n\n" + attribution)
+
+    # Reproduction targets: the cost-aware objective does not beat the
+    # speed-only objective on raw QPS, and it keeps memory usage no higher on
+    # average.
+    assert comparison.relative_search_speed <= 1.05
+    assert comparison.mean_memory_qpd <= comparison.mean_memory_qps * 1.05

@@ -1,0 +1,42 @@
+"""Figure 1: interdependence of segment_maxSize and segment_sealProportion.
+
+Regenerates the two heat maps (search speed and recall) of the paper's
+Figure 1 as text grids.  The reproduction target is the *shape*: the best
+seal proportion depends on the segment size (and vice versa), so neither
+parameter can be tuned in isolation.
+"""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.motivation import figure1_parameter_grid
+
+
+def _grid_table(result, matrix, title):
+    headers = [f"{result.x_name} \\ {result.y_name}"] + [f"{v:.2f}" if isinstance(v, float) else str(v) for v in result.y_values]
+    rows = []
+    for i, x_value in enumerate(result.x_values):
+        rows.append([str(x_value)] + [float(matrix[i, j]) for j in range(len(result.y_values))])
+    return format_table(headers, rows, title=title, precision=1)
+
+
+def test_figure1_parameter_interdependence(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure1_parameter_grid("glove-small", scale=scale), rounds=1, iterations=1
+    )
+    qps_table = _grid_table(result, result.qps, "Figure 1 (left): search speed (QPS)")
+    recall_table = _grid_table(result, result.recall, "Figure 1 (right): recall rate")
+    # The qualitative claim of Figure 1: the best seal proportion is not the
+    # same for every segment size (parameter interdependence).
+    best_proportion_per_size = result.qps.argmax(axis=1)
+    interdependent = len(set(best_proportion_per_size.tolist())) > 1
+    register_report(
+        "Figure 1 - parameter interdependence",
+        qps_table
+        + "\n\n"
+        + recall_table
+        + f"\n\nbest sealProportion column differs across maxSize rows: {interdependent}",
+    )
+    assert result.qps.std() > 0

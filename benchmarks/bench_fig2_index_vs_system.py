@@ -1,0 +1,27 @@
+"""Figure 2: the best index type varies with the system configuration."""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.motivation import figure2_index_vs_system
+
+
+def test_figure2_best_index_varies_with_system_config(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure2_index_vs_system("glove-small", scale=scale), rounds=1, iterations=1
+    )
+    index_types = sorted(next(iter(result.values())).keys())
+    rows = []
+    for label, per_index in result.items():
+        best = max(per_index, key=per_index.get)
+        rows.append([label] + [round(per_index[name], 1) for name in index_types] + [best])
+    table = format_table(
+        ["system config"] + index_types + ["best index"],
+        rows,
+        title="Figure 2: search speed of index types under different system configs",
+        precision=1,
+    )
+    register_report("Figure 2 - best index type vs system config", table)
+    assert len(result) == 4

@@ -1,0 +1,60 @@
+"""Figure 3: conflicting objectives across index types and datasets.
+
+Panels (a)/(b): per-index-type normalized search speed and recall on two
+datasets — the best index type for speed is not the best for recall, and it
+changes across datasets.  Panel (c): best weighted performance versus number
+of uniform samples per index type — identifying the best index type needs
+many samples.
+"""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.motivation import (
+    figure3_conflicting_objectives,
+    figure3_optimization_curves,
+)
+
+
+def test_figure3ab_conflicting_objectives(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure3_conflicting_objectives(("glove-small", "geo-radius-small"), scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    sections = []
+    for dataset_name, per_index in result.items():
+        rows = [
+            [index_type, round(speed, 3), round(recall, 3)]
+            for index_type, (speed, recall) in per_index.items()
+        ]
+        sections.append(
+            format_table(
+                ["index type", "normalized speed", "recall"],
+                rows,
+                title=f"Figure 3 ({dataset_name}): per-index speed vs recall (defaults)",
+            )
+        )
+    register_report("Figure 3ab - conflicting objectives", "\n\n".join(sections))
+    assert set(result) == {"glove-small", "geo-radius-small"}
+
+
+def test_figure3c_optimization_curves(benchmark, scale):
+    num_samples = 20 if scale.name == "full" else 8
+    curves = benchmark.pedantic(
+        lambda: figure3_optimization_curves("glove-small", num_samples=num_samples, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for index_type, curve in curves.items():
+        rows.append([index_type] + [round(float(v), 3) for v in curve])
+    table = format_table(
+        ["index type"] + [f"n={i+1}" for i in range(num_samples)],
+        rows,
+        title="Figure 3c: best weighted performance vs number of uniform samples",
+    )
+    register_report("Figure 3c - per-index optimization curves", table)
+    assert all(len(curve) == num_samples for curve in curves.values())

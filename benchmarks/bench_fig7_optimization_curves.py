@@ -1,0 +1,46 @@
+"""Figure 7: optimization curves and sample/time efficiency on the GloVe stand-in."""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.comparison import figure7_optimization_curves
+
+
+def test_figure7_optimization_curves(benchmark, scale, glove_comparison):
+    result = benchmark.pedantic(
+        lambda: figure7_optimization_curves("glove-small", scale=scale, runs=glove_comparison),
+        rounds=1,
+        iterations=1,
+    )
+    sections = []
+    for floor in result.recall_floors:
+        rows = []
+        for tuner_name, curve in result.curves[floor].items():
+            iterations_needed = result.iterations_to_match_best_baseline[floor][tuner_name]
+            time_needed = result.time_to_match_best_baseline[floor][tuner_name]
+            rows.append(
+                [
+                    tuner_name,
+                    round(float(curve[-1]), 1),
+                    iterations_needed if iterations_needed is not None else "-",
+                    round(time_needed, 1) if time_needed is not None else "-",
+                ]
+            )
+        sections.append(
+            format_table(
+                ["tuner", "final best QPS", "iters to match best baseline", "sim. seconds to match"],
+                rows,
+                title=f"Figure 7: recall floor {floor}",
+            )
+        )
+    register_report("Figure 7 - optimization curves", "\n\n".join(sections))
+
+    # Sample-efficiency claim: wherever VDTuner reaches the best baseline's
+    # final performance, it needs no more samples than that baseline needed
+    # iterations in total.
+    for floor in result.recall_floors:
+        needed = result.iterations_to_match_best_baseline[floor]["vdtuner"]
+        if needed is not None:
+            assert needed <= len(result.runs["vdtuner"].report.history)

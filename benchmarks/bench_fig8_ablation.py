@@ -1,0 +1,49 @@
+"""Figure 8: ablation of VDTuner's budget allocation and surrogate model."""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.reporting import format_table
+
+
+def _section(result, title):
+    sacrifices = result.sacrifices
+    rows = []
+    for variant_name, curve in result.variant_curves.items():
+        rows.append([variant_name] + [round(curve[s], 1) for s in sacrifices])
+    return format_table(
+        ["variant"] + [f"sacrifice {s}" for s in sacrifices], rows, title=title
+    )
+
+
+def test_figure8a_successive_abandon_vs_round_robin(benchmark, ablation_reports):
+    result = benchmark.pedantic(
+        lambda: ablation_reports["budget_allocation"], rounds=1, iterations=1
+    )
+    register_report(
+        "Figure 8a - budget allocation ablation",
+        _section(result, "Figure 8a: successive abandon vs round robin (best QPS per sacrifice)"),
+    )
+    # Stable reproduction target at fast scale: the full strategy's best
+    # discovered configuration (loosest sacrifice) is at least as good as the
+    # round-robin variant's — the component does not hurt peak quality.
+    abandon = result.variant_curves["successive_abandon"]
+    robin = result.variant_curves["round_robin"]
+    loosest = result.sacrifices[0]
+    assert abandon[loosest] >= 0.95 * robin[loosest]
+
+
+def test_figure8b_polling_vs_native_surrogate(benchmark, ablation_reports):
+    result = benchmark.pedantic(lambda: ablation_reports["surrogate"], rounds=1, iterations=1)
+    register_report(
+        "Figure 8b - surrogate ablation",
+        _section(result, "Figure 8b: polling surrogate vs native surrogate (best QPS per sacrifice)"),
+    )
+    # Stable reproduction target at fast scale: the polling surrogate's best
+    # discovered configuration (loosest sacrifice) is at least as good as the
+    # native surrogate's.
+    polling = result.variant_curves["polling_surrogate"]
+    native = result.variant_curves["native_surrogate"]
+    loosest = result.sacrifices[0]
+    assert polling[loosest] >= 0.95 * native[loosest]

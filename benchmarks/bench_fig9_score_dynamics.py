@@ -1,0 +1,34 @@
+"""Figure 9: dynamic index-type scoring during the tuning process."""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.ablation import figure9_score_dynamics
+
+
+def test_figure9_index_type_score_weights(benchmark, scale, ablation_reports):
+    report = ablation_reports["budget_allocation"].reports["successive_abandon"]
+    weights = benchmark.pedantic(
+        lambda: figure9_score_dynamics("glove-small", scale=scale, report=report),
+        rounds=1,
+        iterations=1,
+    )
+    index_types = sorted(weights[0]) if weights else []
+    rows = []
+    for iteration, snapshot in enumerate(weights, start=1):
+        rows.append([iteration] + [round(snapshot.get(name, 0.0), 3) for name in index_types])
+    table = format_table(
+        ["iteration"] + index_types,
+        rows,
+        title="Figure 9: index-type score weights per iteration (0 = abandoned)",
+    )
+    abandoned = report.abandoned
+    footer = "abandoned: " + (
+        ", ".join(f"{name}@{iteration}" for name, iteration in abandoned.items()) or "none"
+    )
+    register_report("Figure 9 - score dynamics", table + "\n" + footer)
+    assert len(weights) > 0
+    for snapshot in weights:
+        assert abs(sum(snapshot.values()) - 1.0) < 1e-6

@@ -1,0 +1,31 @@
+"""Section V-E "Larger Datasets": VDTuner vs the strongest baseline on a 10x dataset."""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.scalability import scalability_larger_dataset
+
+
+def test_scalability_on_larger_dataset(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: scalability_larger_dataset(scale=scale), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["dataset", result.dataset_name],
+            ["recall floor", result.recall_floor],
+            ["VDTuner best QPS", round(result.vdtuner_best_speed, 1)],
+            ["qEHVI best QPS", round(result.qehvi_best_speed, 1)],
+            ["speed improvement", f"{result.speed_improvement * 100:.1f}%"],
+            [
+                "tuning speedup (time to reach qEHVI's best)",
+                "-" if result.tuning_speedup is None else f"{result.tuning_speedup:.2f}x",
+            ],
+        ],
+        title="Scalability: larger (deep-image-style) dataset, VDTuner vs qEHVI",
+    )
+    register_report("Scalability - larger dataset", table)
+    assert result.vdtuner_best_speed >= 0.0

@@ -1,0 +1,35 @@
+"""Table VI: tuning-time breakdown (configuration recommendation vs workload replay)."""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.comparison import table6_overhead
+
+
+def test_table6_time_breakdown(benchmark, scale, glove_comparison):
+    rows_by_method = benchmark.pedantic(
+        lambda: table6_overhead("glove-small", scale=scale, runs=glove_comparison),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            name,
+            round(row.recommendation_seconds, 1),
+            f"{row.recommendation_share * 100:.2f}%",
+            round(row.replay_seconds, 1),
+            round(row.total_seconds, 1),
+        ]
+        for name, row in rows_by_method.items()
+    ]
+    table = format_table(
+        ["method", "recommendation (s)", "share", "workload replay (sim. s)", "total (s)"],
+        rows,
+        title="Table VI: time breakdown per method",
+    )
+    register_report("Table VI - overhead breakdown", table)
+    # The paper's observation: recommendation time is a small fraction of the
+    # total tuning time for every method.
+    assert all(row.recommendation_share < 0.25 for row in rows_by_method.values())

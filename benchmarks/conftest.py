@@ -1,0 +1,79 @@
+"""Shared machinery for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The expensive
+tuning runs are shared across benchmark files through session-scoped
+fixtures, and every benchmark registers a plain-text table with
+:func:`register_report`; the tables are printed together at the end of the
+pytest session (and written to ``benchmarks/results/``), so
+``pytest benchmarks/ --benchmark-only`` produces the same rows/series the
+paper reports.
+
+Scale: the default "fast" scale keeps the whole suite in tens of minutes;
+``VDTUNER_FULL=1`` switches to paper-scale iteration counts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.comparison import PAPER_DATASETS
+from repro.experiments.runner import PAPER_TUNERS, run_tuner_comparison
+from repro.experiments.settings import current_scale
+
+_REPORTS: list[tuple[str, str]] = []
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def register_report(title: str, text: str) -> None:
+    """Record a regenerated table/figure so it is printed at session end."""
+    _REPORTS.append((title, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    slug = title.lower().replace(" ", "_").replace("/", "-")[:80]
+    (_RESULTS_DIR / f"{slug}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("VDTuner reproduction: regenerated tables and figures")
+    for title, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"==== {title} ====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale selected by VDTUNER_FULL."""
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def comparison_runs(scale):
+    """All paper tuners run on every Table III dataset (shared by several benches)."""
+    runs = {}
+    for dataset_name in PAPER_DATASETS:
+        runs[dataset_name] = run_tuner_comparison(
+            dataset_name, tuners=PAPER_TUNERS, scale=scale
+        )
+    return runs
+
+
+@pytest.fixture(scope="session")
+def glove_comparison(comparison_runs):
+    """The GloVe-stand-in comparison used by Figure 7 and Table VI."""
+    return comparison_runs["glove-small"]
+
+
+@pytest.fixture(scope="session")
+def ablation_reports(scale):
+    """VDTuner component-ablation runs shared by Figures 8, 9 and 10."""
+    from repro.experiments.ablation import figure8_ablation
+
+    budget = figure8_ablation("glove-small", component="budget_allocation", scale=scale)
+    surrogate = figure8_ablation("glove-small", component="surrogate", scale=scale)
+    return {"budget_allocation": budget, "surrogate": surrogate}

@@ -1,0 +1,60 @@
+"""Compare VDTuner against the paper's baselines on one dataset.
+
+A miniature version of the paper's Figure 6 / Figure 7 experiment: every
+tuner gets the same evaluation budget on the same workload, and the script
+prints the best search speed each one found under several recall sacrifices,
+plus the trade-off ability (lower is better).
+
+Run with::
+
+    python examples/compare_tuners.py [dataset] [iterations]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import VDMSTuningEnvironment, VDTunerSettings, make_tuner
+from repro.analysis import format_table, speed_vs_sacrifice_curve, tradeoff_ability
+from repro.analysis.tradeoff import DEFAULT_SACRIFICES
+
+TUNERS = ("vdtuner", "random", "opentuner", "ottertune", "qehvi")
+
+
+def main(dataset_name: str = "glove-small", iterations: int = 25) -> None:
+    curves = {}
+    abilities = {}
+    for name in TUNERS:
+        environment = VDMSTuningEnvironment(dataset_name, seed=7)
+        settings = VDTunerSettings(
+            num_iterations=iterations, abandon_window=max(3, iterations // 8),
+            candidate_pool_size=64, ehvi_samples=32, seed=7,
+        )
+        tuner = make_tuner(name, environment, seed=7, settings=settings)
+        report = tuner.run(iterations)
+        curves[name] = speed_vs_sacrifice_curve(report.history)
+        abilities[name] = tradeoff_ability(report.history)
+        print(f"finished {name:10s} ({iterations} evaluations, "
+              f"{environment.elapsed_replay_seconds:.0f} simulated replay seconds)")
+
+    rows = []
+    for name in TUNERS:
+        rows.append(
+            [name]
+            + [round(curves[name][s], 1) for s in DEFAULT_SACRIFICES]
+            + [round(abilities[name], 1)]
+        )
+    print()
+    print(
+        format_table(
+            ["tuner"] + [f"sacrifice {s}" for s in DEFAULT_SACRIFICES] + ["tradeoff std"],
+            rows,
+            title=f"Best QPS per recall sacrifice on {dataset_name} ({iterations} iterations each)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "glove-small"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 25
+    main(dataset, budget)

@@ -1,0 +1,65 @@
+"""Quickstart: load vectors into the simulated VDMS, search, and auto-tune it.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    VDMSTuningEnvironment,
+    VDTuner,
+    VDTunerSettings,
+    VectorDBServer,
+    load_dataset,
+)
+from repro.analysis import improvement_over_default
+
+
+def manual_usage() -> None:
+    """Use the VDMS directly, the way an application developer would."""
+    dataset = load_dataset("glove-small")
+    server = VectorDBServer()
+    server.apply_system_config({"segment_max_size": 256, "segment_seal_proportion": 0.5})
+
+    collection = server.create_collection("documents", dataset.dimension, metric=dataset.metric)
+    collection.insert(dataset.vectors)
+    collection.flush()
+    collection.create_index("HNSW", {"hnsw_m": 16, "ef_construction": 128, "ef_search": 64})
+
+    result = collection.search(dataset.queries[:5], top_k=10)
+    print("== Manual usage ==")
+    print(f"collection rows          : {collection.num_rows}")
+    print(f"sealed segments          : {collection.num_sealed_segments}")
+    print(f"neighbours of query 0    : {result.ids[0].tolist()}")
+    report = server.cost_model().evaluate(result.stats, collection.profile(), [], recall=1.0)
+    print(f"estimated QPS            : {report.qps:.1f}")
+    print(f"estimated memory (GiB)   : {report.memory_gib:.2f}")
+    print()
+
+
+def auto_tuning() -> None:
+    """Let VDTuner pick the index type and all 16 parameters."""
+    environment = VDMSTuningEnvironment("glove-small", seed=0)
+    default_result = environment.evaluate(environment.default_configuration())
+    environment.reset_history()
+
+    settings = VDTunerSettings(num_iterations=25, abandon_window=5, candidate_pool_size=64, ehvi_samples=32)
+    tuner = VDTuner(environment, settings=settings)
+    report = tuner.run()
+
+    best = report.best_observation(recall_floor=0.9)
+    improvement = improvement_over_default(report.history, default_result)
+    print("== Auto-tuning with VDTuner ==")
+    print(f"default configuration    : {default_result.qps:.1f} QPS at recall {default_result.recall:.3f}")
+    if best is not None:
+        print(f"best found (recall>=0.9) : {best.speed:.1f} QPS at recall {best.recall:.3f} using {best.index_type}")
+    print(f"speed improvement        : {improvement.speed_improvement * 100:.1f}%")
+    print(f"recall improvement       : {improvement.recall_improvement * 100:.1f}%")
+    print(f"abandoned index types    : {report.abandoned or 'none'}")
+
+
+if __name__ == "__main__":
+    manual_usage()
+    auto_tuning()

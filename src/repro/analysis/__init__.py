@@ -1,0 +1,35 @@
+"""Analysis utilities: the metrics the paper's tables and figures report.
+
+* :mod:`repro.analysis.tradeoff` — best speed under a recall sacrifice,
+  trade-off ability (Figure 6).
+* :mod:`repro.analysis.improvement` — improvement over the default
+  configuration (Table IV).
+* :mod:`repro.analysis.curves` — best-so-far optimization curves and
+  sample/time-to-target efficiency (Figure 7).
+* :mod:`repro.analysis.attribution` — Shapley-style parameter attribution
+  (Figure 13b).
+* :mod:`repro.analysis.reporting` — plain-text tables used by the benchmark
+  harness.
+"""
+
+from repro.analysis.tradeoff import (
+    best_speed_at_sacrifice,
+    speed_vs_sacrifice_curve,
+    tradeoff_ability,
+)
+from repro.analysis.improvement import improvement_over_default
+from repro.analysis.curves import best_so_far_curve, iterations_to_reach, time_to_reach
+from repro.analysis.attribution import shapley_attribution
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "best_so_far_curve",
+    "best_speed_at_sacrifice",
+    "format_table",
+    "improvement_over_default",
+    "iterations_to_reach",
+    "shapley_attribution",
+    "speed_vs_sacrifice_curve",
+    "time_to_reach",
+    "tradeoff_ability",
+]

@@ -1,0 +1,136 @@
+"""Shapley-value parameter attribution (Figure 13b).
+
+The paper uses SHAP to ask "how much does each parameter of the chosen
+configuration contribute to memory usage and to search speed, relative to an
+average configuration?".  This module computes the same quantity directly:
+the exact Shapley value of each selected parameter, where a coalition's value
+is the metric obtained by evaluating a configuration that takes the
+coalition's parameters from the *target* configuration and every other
+parameter from the *baseline* configuration.
+
+Exact Shapley values need ``2^k`` evaluations for ``k`` attributed
+parameters, so callers attribute a handful of parameters at a time (the
+figure attributes four) and may group the rest as "other parameters".  A
+permutation-sampling estimator is provided for larger ``k``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import factorial
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["shapley_attribution"]
+
+
+def _coalition_value(
+    evaluate: Callable[[Mapping[str, Any]], float],
+    target: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    coalition: Sequence[str],
+) -> float:
+    values = dict(baseline)
+    for name in coalition:
+        values[name] = target[name]
+    return float(evaluate(values))
+
+
+def shapley_attribution(
+    evaluate: Callable[[Mapping[str, Any]], float],
+    target: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    parameters: Sequence[str],
+    *,
+    max_exact: int = 10,
+    num_permutations: int = 64,
+    rng: np.random.Generator | None = None,
+) -> dict[str, float]:
+    """Shapley contribution of each parameter to ``evaluate``.
+
+    Parameters
+    ----------
+    evaluate:
+        Maps a full configuration mapping to the scalar metric being
+        attributed (memory in GiB, or QPS).
+    target:
+        The configuration whose metric is being explained.
+    baseline:
+        The reference configuration (the paper uses the average sampled
+        configuration; the default configuration is a reasonable stand-in).
+    parameters:
+        The parameter names to attribute.  Parameters not listed stay at the
+        baseline value in every coalition.
+    max_exact:
+        Up to this many parameters the exact Shapley value is computed;
+        beyond it the permutation-sampling estimator is used.
+    num_permutations:
+        Number of sampled permutations for the estimator.
+    rng:
+        Random generator for the estimator.
+
+    Returns
+    -------
+    dict
+        Parameter name → Shapley contribution.  Contributions sum to
+        ``evaluate(target restricted to parameters) - evaluate(baseline)``.
+    """
+    parameters = list(parameters)
+    if not parameters:
+        return {}
+    for name in parameters:
+        if name not in target or name not in baseline:
+            raise KeyError(f"parameter {name!r} missing from target or baseline")
+
+    if len(parameters) <= max_exact:
+        return _exact_shapley(evaluate, target, baseline, parameters)
+    return _sampled_shapley(evaluate, target, baseline, parameters, num_permutations, rng)
+
+
+def _exact_shapley(
+    evaluate: Callable[[Mapping[str, Any]], float],
+    target: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    parameters: list[str],
+) -> dict[str, float]:
+    k = len(parameters)
+    cache: dict[frozenset, float] = {}
+
+    def value(coalition: frozenset) -> float:
+        if coalition not in cache:
+            cache[coalition] = _coalition_value(evaluate, target, baseline, sorted(coalition))
+        return cache[coalition]
+
+    contributions = {name: 0.0 for name in parameters}
+    for name in parameters:
+        others = [p for p in parameters if p != name]
+        for size in range(len(others) + 1):
+            weight = factorial(size) * factorial(k - size - 1) / factorial(k)
+            for subset in combinations(others, size):
+                coalition = frozenset(subset)
+                marginal = value(coalition | {name}) - value(coalition)
+                contributions[name] += weight * marginal
+    return contributions
+
+
+def _sampled_shapley(
+    evaluate: Callable[[Mapping[str, Any]], float],
+    target: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    parameters: list[str],
+    num_permutations: int,
+    rng: np.random.Generator | None,
+) -> dict[str, float]:
+    rng = rng or np.random.default_rng(0)
+    contributions = {name: 0.0 for name in parameters}
+    for _ in range(max(1, num_permutations)):
+        order = list(rng.permutation(parameters))
+        coalition: list[str] = []
+        previous = _coalition_value(evaluate, target, baseline, coalition)
+        for name in order:
+            coalition.append(name)
+            current = _coalition_value(evaluate, target, baseline, coalition)
+            contributions[name] += current - previous
+            previous = current
+    return {name: total / num_permutations for name, total in contributions.items()}

@@ -1,0 +1,56 @@
+"""Speed-versus-recall trade-off metrics (Figure 6).
+
+The paper reports, for every tuner, the best search speed achieved under a
+given *sacrifice in recall rate*: a sacrifice of ``s`` admits configurations
+with recall at least ``1 - s``.  The "trade-off ability" of a tuner is the
+standard deviation of those best speeds across sacrifices — a tuner that
+trades off well keeps its speed high even as the recall requirement tightens,
+giving a low deviation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.history import ObservationHistory
+
+__all__ = [
+    "DEFAULT_SACRIFICES",
+    "best_speed_at_sacrifice",
+    "speed_vs_sacrifice_curve",
+    "tradeoff_ability",
+]
+
+#: The sacrifices used throughout the paper's evaluation (0.15 down to 0.01).
+DEFAULT_SACRIFICES: tuple[float, ...] = (0.15, 0.125, 0.1, 0.075, 0.05, 0.025, 0.01)
+
+
+def best_speed_at_sacrifice(history: ObservationHistory, sacrifice: float) -> float:
+    """Best observed speed among configurations with recall >= 1 - sacrifice.
+
+    Returns 0 when no configuration satisfies the recall requirement.
+    """
+    if not 0.0 <= sacrifice < 1.0:
+        raise ValueError("sacrifice must lie in [0, 1)")
+    floor = 1.0 - sacrifice
+    best = history.best(recall_floor=floor)
+    return 0.0 if best is None else float(best.speed)
+
+
+def speed_vs_sacrifice_curve(
+    history: ObservationHistory,
+    sacrifices: tuple[float, ...] = DEFAULT_SACRIFICES,
+) -> dict[float, float]:
+    """Best speed for every sacrifice level (one Figure 6 series)."""
+    return {float(s): best_speed_at_sacrifice(history, s) for s in sacrifices}
+
+
+def tradeoff_ability(
+    history: ObservationHistory,
+    sacrifices: tuple[float, ...] = DEFAULT_SACRIFICES,
+) -> float:
+    """Standard deviation of best speeds across sacrifices (lower is better)."""
+    speeds = np.array(list(speed_vs_sacrifice_curve(history, sacrifices).values()), dtype=float)
+    if speeds.size == 0:
+        return 0.0
+    return float(speeds.std())

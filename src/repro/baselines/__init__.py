@@ -1,0 +1,34 @@
+"""Baseline tuners the paper compares VDTuner against (Section V-A).
+
+* :class:`DefaultTuner` — no tuning at all; evaluates the default configuration.
+* :class:`RandomSearchTuner` — Latin-hypercube random search.
+* :class:`OpenTunerSearch` — an AUC-bandit ensemble of numerical search
+  techniques, in the spirit of OpenTuner, driven by a weighted-sum reward.
+* :class:`OtterTuneGP` — single-objective Gaussian-process optimization of the
+  weighted-sum objective, in the spirit of OtterTune.
+* :class:`QEHVITuner` — plain multi-objective BO with the qEHVI acquisition
+  and a zero reference point.
+
+All baselines treat the index type as just another search dimension (the
+paper's adaptation so they can tune multiple index types at once) and produce
+the same :class:`~repro.core.tuner.TuningReport` as VDTuner, so the analysis
+and benchmark code is tuner-agnostic.
+"""
+
+from repro.baselines.base import BaselineTuner, make_tuner, TUNER_REGISTRY
+from repro.baselines.default import DefaultTuner
+from repro.baselines.random_search import RandomSearchTuner
+from repro.baselines.opentuner import OpenTunerSearch
+from repro.baselines.ottertune import OtterTuneGP
+from repro.baselines.qehvi import QEHVITuner
+
+__all__ = [
+    "BaselineTuner",
+    "DefaultTuner",
+    "OpenTunerSearch",
+    "OtterTuneGP",
+    "QEHVITuner",
+    "RandomSearchTuner",
+    "TUNER_REGISTRY",
+    "make_tuner",
+]

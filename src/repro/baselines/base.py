@@ -1,0 +1,145 @@
+"""Shared machinery for baseline tuners.
+
+Every baseline follows the same observe/suggest loop and produces the same
+:class:`~repro.core.tuner.TuningReport` as VDTuner.  Subclasses implement a
+single method, :meth:`BaselineTuner._suggest`, returning the next
+configuration to evaluate.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.config import Configuration, ConfigurationSpace
+from repro.core.history import Observation, ObservationHistory
+from repro.core.objectives import ObjectiveSpec
+from repro.core.tuner import TuningReport, VDTuner, VDTunerSettings
+from repro.workloads.environment import VDMSTuningEnvironment
+from repro.workloads.replay import EvaluationResult
+
+__all__ = ["BaselineTuner", "TUNER_REGISTRY", "make_tuner", "weighted_sum_scores"]
+
+
+def weighted_sum_scores(history: ObservationHistory, *, speed_weight: float = 0.5) -> np.ndarray:
+    """Weighted sum of max-normalized objectives for every observation.
+
+    This is the scalar reward the paper gives to the single-objective
+    baselines (OpenTuner and OtterTune): ``w * speed/speed_max +
+    (1 - w) * recall/recall_max``, with failed evaluations replaced by the
+    worst observed values.
+    """
+    if len(history) == 0:
+        return np.empty(0, dtype=float)
+    values = history.objective_matrix()
+    maxima = values.max(axis=0)
+    maxima[maxima <= 0] = 1.0
+    normalized = values / maxima
+    return speed_weight * normalized[:, 0] + (1.0 - speed_weight) * normalized[:, 1]
+
+
+class BaselineTuner(ABC):
+    """Base class for the baseline tuners."""
+
+    #: Registry/display name; overridden by subclasses.
+    name: str = "baseline"
+
+    def __init__(
+        self,
+        environment: VDMSTuningEnvironment,
+        objective: ObjectiveSpec | None = None,
+        *,
+        space: ConfigurationSpace | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.environment = environment
+        self.objective = objective or ObjectiveSpec()
+        self.space = space or environment.space
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)
+        self.history = ObservationHistory()
+        self._recommendation_seconds = 0.0
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def _record(self, configuration: Configuration, result: EvaluationResult) -> Observation:
+        speed, recall = self.objective.objective_values(result)
+        observation = Observation(
+            iteration=len(self.history) + 1,
+            index_type=str(configuration["index_type"]).rstrip("_"),
+            configuration=configuration.to_dict(),
+            result=result,
+            speed=speed,
+            recall=recall,
+        )
+        self.history.add(observation)
+        return observation
+
+    # -- the loop ---------------------------------------------------------------------
+
+    @abstractmethod
+    def _suggest(self, iteration: int) -> Configuration:
+        """Return the next configuration to evaluate (1-based iteration index)."""
+
+    def run(self, num_iterations: int) -> TuningReport:
+        """Run the tuner for ``num_iterations`` evaluations."""
+        num_iterations = int(num_iterations)
+        while len(self.history) < num_iterations:
+            started = time.perf_counter()
+            configuration = self._suggest(len(self.history) + 1)
+            elapsed = time.perf_counter() - started
+            self._recommendation_seconds += elapsed
+            self.environment.charge_recommendation_time(elapsed)
+            result = self.environment.evaluate(configuration)
+            self._record(configuration, result)
+        return TuningReport(
+            history=self.history,
+            objective=self.objective,
+            settings=VDTunerSettings(num_iterations=num_iterations),
+            recommendation_seconds=self._recommendation_seconds,
+            replay_seconds=self.environment.elapsed_replay_seconds,
+        )
+
+
+#: Registry of tuner names to constructors (VDTuner plus every baseline).
+TUNER_REGISTRY: dict[str, type] = {}
+
+
+def _register(cls):
+    TUNER_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_tuner(
+    name: str,
+    environment: VDMSTuningEnvironment,
+    *,
+    objective: ObjectiveSpec | None = None,
+    seed: int = 0,
+    settings: VDTunerSettings | None = None,
+):
+    """Instantiate a tuner (VDTuner or a baseline) by registry name.
+
+    The registry names follow the paper: ``"vdtuner"``, ``"random"``,
+    ``"opentuner"``, ``"ottertune"``, ``"qehvi"``, ``"default"``.
+    """
+    key = name.lower()
+    if key == "vdtuner":
+        settings = settings or VDTunerSettings()
+        if settings.seed != seed:
+            settings = VDTunerSettings(
+                num_iterations=settings.num_iterations,
+                abandon_window=settings.abandon_window,
+                candidate_pool_size=settings.candidate_pool_size,
+                ehvi_samples=settings.ehvi_samples,
+                reference_scale=settings.reference_scale,
+                use_successive_abandon=settings.use_successive_abandon,
+                use_polling_surrogate=settings.use_polling_surrogate,
+                seed=seed,
+            )
+        return VDTuner(environment, settings=settings, objective=objective)
+    if key not in TUNER_REGISTRY:
+        raise KeyError(f"unknown tuner {name!r}; known: ['vdtuner'] + {sorted(TUNER_REGISTRY)}")
+    return TUNER_REGISTRY[key](environment, objective, seed=seed)

@@ -1,0 +1,22 @@
+"""The no-tuning baseline: always the default configuration."""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineTuner, _register
+from repro.config import Configuration
+
+__all__ = ["DefaultTuner"]
+
+
+@_register
+class DefaultTuner(BaselineTuner):
+    """Evaluates the system default configuration on every iteration.
+
+    Useful as the improvement baseline of Table IV: any tuner is compared
+    against the performance this tuner reports.
+    """
+
+    name = "default"
+
+    def _suggest(self, iteration: int) -> Configuration:
+        return self.space.default_configuration()

@@ -1,0 +1,57 @@
+"""OtterTune-style single-objective Gaussian-process tuning.
+
+OtterTune (Van Aken et al., 2017) tunes DBMS knobs with Gaussian-process
+regression over a scalar performance metric.  Following the paper's setup,
+the scalar here is the weighted sum of max-normalized search speed and recall
+(weight 0.5 each), the GP is initialized with 10 Latin-hypercube samples, and
+each iteration maximizes expected improvement over a random candidate pool.
+The single-objective reward is exactly why this baseline cannot trade the two
+objectives off as well as the EHVI-based tuners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineTuner, _register, weighted_sum_scores
+from repro.bo.acquisition import expected_improvement
+from repro.bo.gp import GaussianProcessRegressor
+from repro.bo.sampling import latin_hypercube, uniform_samples
+from repro.config import Configuration
+
+__all__ = ["OtterTuneGP"]
+
+
+@_register
+class OtterTuneGP(BaselineTuner):
+    """Single-objective GP optimization of the weighted-sum reward."""
+
+    name = "ottertune"
+
+    #: Number of Latin-hypercube initial samples (as in the paper's setup).
+    NUM_INITIAL_SAMPLES = 10
+    #: Candidate-pool size for acquisition maximization.
+    CANDIDATE_POOL = 256
+    #: Weight of the speed objective in the scalar reward.
+    SPEED_WEIGHT = 0.5
+
+    def __init__(self, environment, objective=None, *, space=None, seed: int = 0) -> None:
+        super().__init__(environment, objective, space=space, seed=seed)
+        self._initial_design = latin_hypercube(self.NUM_INITIAL_SAMPLES, self.space.dimension, self.rng)
+        self._gp = GaussianProcessRegressor(seed=seed)
+
+    def _suggest(self, iteration: int) -> Configuration:
+        if iteration <= self.NUM_INITIAL_SAMPLES:
+            if iteration == 1:
+                return self.space.default_configuration()
+            return self.space.decode(self._initial_design[iteration - 1])
+
+        rewards = weighted_sum_scores(self.history, speed_weight=self.SPEED_WEIGHT)
+        encoded = self.space.encode_many([o.configuration for o in self.history])
+        self._gp.fit(encoded, rewards)
+
+        candidates = uniform_samples(self.CANDIDATE_POOL, self.space.dimension, self.rng)
+        prediction = self._gp.predict(candidates)
+        acquisition = expected_improvement(prediction.mean, prediction.std, float(rewards.max()))
+        best = int(np.argmax(acquisition))
+        return self.space.decode(candidates[best])

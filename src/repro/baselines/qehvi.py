@@ -1,0 +1,67 @@
+"""Plain multi-objective Bayesian optimization with the qEHVI acquisition.
+
+This is the strongest baseline of the paper: two independent GPs over the
+raw objectives, a Monte-Carlo EHVI acquisition, and — crucially — a *zero*
+reference point (the library default the paper uses), no per-index-type
+normalization and no budget allocation.  The missing pieces are exactly what
+VDTuner adds on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineTuner, _register
+from repro.bo.ehvi import monte_carlo_ehvi
+from repro.bo.gp import GaussianProcessRegressor
+from repro.bo.sampling import latin_hypercube, uniform_samples
+from repro.config import Configuration
+
+__all__ = ["QEHVITuner"]
+
+
+@_register
+class QEHVITuner(BaselineTuner):
+    """Standard MOBO with Monte-Carlo EHVI and a zero reference point."""
+
+    name = "qehvi"
+
+    #: Number of Latin-hypercube initial samples (as in the paper's setup).
+    NUM_INITIAL_SAMPLES = 10
+    #: Candidate-pool size for acquisition maximization.
+    CANDIDATE_POOL = 192
+    #: Monte-Carlo samples for the EHVI estimator.
+    EHVI_SAMPLES = 64
+
+    def __init__(self, environment, objective=None, *, space=None, seed: int = 0) -> None:
+        super().__init__(environment, objective, space=space, seed=seed)
+        self._initial_design = latin_hypercube(self.NUM_INITIAL_SAMPLES, self.space.dimension, self.rng)
+        self._speed_gp = GaussianProcessRegressor(seed=seed)
+        self._recall_gp = GaussianProcessRegressor(seed=seed + 1)
+
+    def _suggest(self, iteration: int) -> Configuration:
+        if iteration <= self.NUM_INITIAL_SAMPLES:
+            if iteration == 1:
+                return self.space.default_configuration()
+            return self.space.decode(self._initial_design[iteration - 1])
+
+        objectives = self.history.objective_matrix()
+        encoded = self.space.encode_many([o.configuration for o in self.history])
+        self._speed_gp.fit(encoded, objectives[:, 0])
+        self._recall_gp.fit(encoded, objectives[:, 1])
+
+        candidates = uniform_samples(self.CANDIDATE_POOL, self.space.dimension, self.rng)
+        speed = self._speed_gp.predict(candidates)
+        recall = self._recall_gp.predict(candidates)
+        means = np.column_stack([speed.mean, recall.mean])
+        stds = np.column_stack([speed.std, recall.std])
+        acquisition = monte_carlo_ehvi(
+            means,
+            stds,
+            objectives,
+            reference_point=np.zeros(2),
+            num_samples=self.EHVI_SAMPLES,
+            rng=self.rng,
+        )
+        best = int(np.argmax(acquisition))
+        return self.space.decode(candidates[best])

@@ -1,0 +1,48 @@
+"""Random search via Latin-hypercube sampling.
+
+The paper's "Random" baseline: a space-filling design over the whole
+16-dimensional space (including the index type), evaluated in order.  It uses
+no feedback at all, which is exactly why it falls behind the model-based
+tuners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineTuner, _register
+from repro.bo.sampling import latin_hypercube
+from repro.config import Configuration
+
+__all__ = ["RandomSearchTuner"]
+
+
+@_register
+class RandomSearchTuner(BaselineTuner):
+    """Latin-hypercube random search over the holistic space."""
+
+    name = "random"
+
+    #: Size of each pre-generated LHS block; a new block is drawn when the
+    #: previous one is exhausted, so any number of iterations is supported.
+    BLOCK_SIZE = 64
+
+    def __init__(self, environment, objective=None, *, space=None, seed: int = 0) -> None:
+        super().__init__(environment, objective, space=space, seed=seed)
+        self._block: np.ndarray | None = None
+        self._cursor = 0
+
+    def _next_unit_vector(self) -> np.ndarray:
+        if self._block is None or self._cursor >= self._block.shape[0]:
+            self._block = latin_hypercube(self.BLOCK_SIZE, self.space.dimension, self.rng)
+            self._cursor = 0
+        vector = self._block[self._cursor]
+        self._cursor += 1
+        return vector
+
+    def _suggest(self, iteration: int) -> Configuration:
+        if iteration == 1:
+            # Start from the default so the improvement-over-default metric is
+            # always well defined for this baseline too.
+            return self.space.default_configuration()
+        return self.space.decode(self._next_unit_vector())

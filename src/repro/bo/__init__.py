@@ -1,0 +1,37 @@
+"""Bayesian-optimization substrate.
+
+A from-scratch implementation of the machinery VDTuner builds on (the paper
+uses BoTorch, which is unavailable offline): Gaussian-process regression with
+a Matern 5/2 kernel, Latin-hypercube sampling, Pareto-front and hypervolume
+utilities, and the acquisition functions used by the tuners — expected
+improvement (EI), constrained EI and Monte-Carlo expected hypervolume
+improvement (EHVI / qEHVI).
+"""
+
+from repro.bo.kernels import Matern52Kernel, RBFKernel
+from repro.bo.gp import GaussianProcessRegressor
+from repro.bo.sampling import latin_hypercube, uniform_samples
+from repro.bo.pareto import (
+    hypervolume_2d,
+    is_non_dominated,
+    pareto_front,
+    pareto_ranks,
+)
+from repro.bo.acquisition import expected_improvement, probability_of_feasibility, upper_confidence_bound
+from repro.bo.ehvi import monte_carlo_ehvi
+
+__all__ = [
+    "GaussianProcessRegressor",
+    "Matern52Kernel",
+    "RBFKernel",
+    "expected_improvement",
+    "hypervolume_2d",
+    "is_non_dominated",
+    "latin_hypercube",
+    "monte_carlo_ehvi",
+    "pareto_front",
+    "pareto_ranks",
+    "probability_of_feasibility",
+    "uniform_samples",
+    "upper_confidence_bound",
+]

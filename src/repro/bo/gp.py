@@ -1,0 +1,178 @@
+"""Exact Gaussian-process regression.
+
+A compact, dependency-light GP: Matern 5/2 kernel, observation noise, output
+standardization, and maximum-marginal-likelihood hyper-parameter fitting via
+a small multi-start grid + Nelder-Mead refinement.  At tuning scale (a few
+hundred observations, dimension 16) an exact Cholesky solve per fit is
+microscopic compared with one configuration evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import linalg, optimize
+
+from repro.bo.kernels import Matern52Kernel
+
+__all__ = ["GaussianProcessRegressor", "GPPrediction"]
+
+
+@dataclass(frozen=True)
+class GPPrediction:
+    """Posterior mean and standard deviation at the queried points."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+
+class GaussianProcessRegressor:
+    """Exact GP regression with a Matern 5/2 kernel on the unit hypercube.
+
+    Parameters
+    ----------
+    noise:
+        Initial observation-noise variance (in standardized output units).
+    optimize_hyperparameters:
+        If true (default), lengthscale, signal variance and noise are fitted
+        by maximizing the log marginal likelihood every time :meth:`fit` is
+        called.
+    seed:
+        Seed for the hyper-parameter multi-start.
+    """
+
+    def __init__(
+        self,
+        *,
+        noise: float = 1e-4,
+        optimize_hyperparameters: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.noise = float(noise)
+        self.optimize_hyperparameters = bool(optimize_hyperparameters)
+        self.seed = int(seed)
+        self.kernel = Matern52Kernel()
+        self._X: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._alpha: np.ndarray | None = None
+        self._cholesky: np.ndarray | None = None
+
+    # -- fitting ---------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called with at least one observation."""
+        return self._alpha is not None
+
+    @property
+    def num_observations(self) -> int:
+        """Number of training observations."""
+        return 0 if self._X is None else int(self._X.shape[0])
+
+    def _standardize(self, y: np.ndarray) -> np.ndarray:
+        self._y_mean = float(np.mean(y))
+        spread = float(np.std(y))
+        self._y_std = spread if spread > 1e-12 else 1.0
+        return (y - self._y_mean) / self._y_std
+
+    #: Bounds on the log hyper-parameters, keeping the optimizer in a sane region.
+    _LOG_BOUNDS = ((-4.0, 2.0), (-4.0, 3.0), (-12.0, 0.0))
+
+    def _negative_log_marginal_likelihood(self, log_params: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        log_params = np.clip(log_params, [b[0] for b in self._LOG_BOUNDS], [b[1] for b in self._LOG_BOUNDS])
+        lengthscale, variance, noise = np.exp(log_params)
+        kernel = self.kernel.with_parameters(lengthscale, variance)
+        covariance = kernel(X, X) + (noise + 1e-9) * np.eye(X.shape[0])
+        try:
+            chol = linalg.cholesky(covariance, lower=True)
+        except linalg.LinAlgError:
+            return 1e12
+        alpha = linalg.cho_solve((chol, True), y)
+        log_determinant = 2.0 * np.sum(np.log(np.diag(chol)))
+        value = 0.5 * float(y @ alpha) + 0.5 * log_determinant + 0.5 * X.shape[0] * np.log(2.0 * np.pi)
+        return float(value)
+
+    def _fit_hyperparameters(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        starts = [np.log([0.3, 1.0, max(self.noise, 1e-4)])]
+        for _ in range(2):
+            starts.append(
+                np.log(
+                    [
+                        float(rng.uniform(0.1, 1.0)),
+                        float(rng.uniform(0.5, 2.0)),
+                        float(rng.uniform(1e-4, 1e-2)),
+                    ]
+                )
+            )
+        best_value = np.inf
+        best_params = starts[0]
+        for start in starts:
+            result = optimize.minimize(
+                self._negative_log_marginal_likelihood,
+                start,
+                args=(X, y),
+                method="Nelder-Mead",
+                options={"maxiter": 120, "xatol": 1e-3, "fatol": 1e-3},
+            )
+            if result.fun < best_value:
+                best_value = float(result.fun)
+                best_params = result.x
+        best_params = np.clip(
+            best_params, [b[0] for b in self._LOG_BOUNDS], [b[1] for b in self._LOG_BOUNDS]
+        )
+        lengthscale, variance, noise = np.exp(best_params)
+        self.kernel = self.kernel.with_parameters(float(lengthscale), float(variance))
+        self.noise = float(noise)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+        """Fit the GP to observations ``(X, y)``.
+
+        ``X`` lives in the unit hypercube, ``y`` is a 1-D array of objective
+        values (any scale; standardization is handled internally).
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y must have the same number of rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a GP to zero observations")
+        self._X = X
+        standardized = self._standardize(y)
+        if self.optimize_hyperparameters and X.shape[0] >= 4:
+            self._fit_hyperparameters(X, standardized)
+        covariance = self.kernel(X, X) + (self.noise + 1e-9) * np.eye(X.shape[0])
+        self._cholesky = linalg.cholesky(covariance, lower=True)
+        self._alpha = linalg.cho_solve((self._cholesky, True), standardized)
+        return self
+
+    # -- prediction --------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> GPPrediction:
+        """Posterior mean and standard deviation at ``X`` (original output units)."""
+        if not self.is_fitted:
+            raise RuntimeError("the GP has not been fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        cross = self.kernel(X, self._X)
+        mean = cross @ self._alpha
+        solved = linalg.solve_triangular(self._cholesky, cross.T, lower=True)
+        prior_variance = np.diag(self.kernel(X, X)).copy()
+        variance = prior_variance - np.einsum("ij,ij->j", solved, solved)
+        np.maximum(variance, 1e-12, out=variance)
+        std = np.sqrt(variance)
+        return GPPrediction(
+            mean=mean * self._y_std + self._y_mean,
+            std=std * self._y_std,
+        )
+
+    def sample(self, X: np.ndarray, num_samples: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw marginal posterior samples at ``X``; shape ``(num_samples, len(X))``.
+
+        Samples are drawn independently per point (marginals only), which is
+        what the Monte-Carlo EHVI estimator uses.
+        """
+        prediction = self.predict(X)
+        draws = rng.normal(size=(int(num_samples), prediction.mean.shape[0]))
+        return prediction.mean[None, :] + draws * prediction.std[None, :]

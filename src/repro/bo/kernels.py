@@ -1,0 +1,55 @@
+"""Covariance kernels for Gaussian-process regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Matern52Kernel", "RBFKernel", "cdist_squared"]
+
+
+def cdist_squared(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between the rows of two matrices."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    a_norm = np.einsum("ij,ij->i", a, a)[:, None]
+    b_norm = np.einsum("ij,ij->i", b, b)[None, :]
+    squared = a_norm - 2.0 * (a @ b.T) + b_norm
+    np.maximum(squared, 0.0, out=squared)
+    return squared
+
+
+class Matern52Kernel:
+    """Matern 5/2 kernel, the surrogate kernel used by the paper (Section IV-B)."""
+
+    def __init__(self, lengthscale: float = 0.3, variance: float = 1.0) -> None:
+        if lengthscale <= 0 or variance <= 0:
+            raise ValueError("lengthscale and variance must be positive")
+        self.lengthscale = float(lengthscale)
+        self.variance = float(variance)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        distances = np.sqrt(cdist_squared(a, b)) / self.lengthscale
+        scaled = np.sqrt(5.0) * distances
+        return self.variance * (1.0 + scaled + scaled**2 / 3.0) * np.exp(-scaled)
+
+    def with_parameters(self, lengthscale: float, variance: float) -> "Matern52Kernel":
+        """A copy of the kernel with new hyper-parameters."""
+        return Matern52Kernel(lengthscale=lengthscale, variance=variance)
+
+
+class RBFKernel:
+    """Squared-exponential kernel (kept for comparison and tests)."""
+
+    def __init__(self, lengthscale: float = 0.3, variance: float = 1.0) -> None:
+        if lengthscale <= 0 or variance <= 0:
+            raise ValueError("lengthscale and variance must be positive")
+        self.lengthscale = float(lengthscale)
+        self.variance = float(variance)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        squared = cdist_squared(a, b) / (self.lengthscale**2)
+        return self.variance * np.exp(-0.5 * squared)
+
+    def with_parameters(self, lengthscale: float, variance: float) -> "RBFKernel":
+        """A copy of the kernel with new hyper-parameters."""
+        return RBFKernel(lengthscale=lengthscale, variance=variance)

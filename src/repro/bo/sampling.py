@@ -1,0 +1,32 @@
+"""Space-filling sampling utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["latin_hypercube", "uniform_samples"]
+
+
+def latin_hypercube(num_samples: int, dimension: int, rng: np.random.Generator) -> np.ndarray:
+    """Latin-hypercube sample of the unit hypercube.
+
+    Each dimension is divided into ``num_samples`` equal strata; every
+    stratum is hit exactly once, and strata are matched across dimensions by
+    independent random permutations.  This is the "Random (LHS)" baseline of
+    the paper and the initial design of the BO-based tuners.
+    """
+    if num_samples <= 0 or dimension <= 0:
+        raise ValueError("num_samples and dimension must be positive")
+    samples = np.empty((num_samples, dimension), dtype=float)
+    for column in range(dimension):
+        permutation = rng.permutation(num_samples)
+        offsets = rng.random(num_samples)
+        samples[:, column] = (permutation + offsets) / num_samples
+    return samples
+
+
+def uniform_samples(num_samples: int, dimension: int, rng: np.random.Generator) -> np.ndarray:
+    """Plain independent uniform samples of the unit hypercube."""
+    if num_samples <= 0 or dimension <= 0:
+        raise ValueError("num_samples and dimension must be positive")
+    return rng.random((num_samples, dimension))

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Three subcommands cover the workflows a downstream user needs most often::
+
+    python -m repro.cli evaluate --dataset glove-small --index-type HNSW
+    python -m repro.cli tune     --dataset glove-small --iterations 50 --recall-floor 0.9
+    python -m repro.cli compare  --dataset glove-small --iterations 30 --tuners vdtuner random qehvi
+
+``evaluate`` replays the workload once for a single configuration, ``tune``
+runs VDTuner and prints the recommended configuration, and ``compare`` runs
+several tuners with the same budget and prints a Figure 6-style table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.reporting import format_table
+from repro.analysis.tradeoff import DEFAULT_SACRIFICES, speed_vs_sacrifice_curve, tradeoff_ability
+from repro.baselines import make_tuner
+from repro.config import build_milvus_space, default_configuration
+from repro.config.milvus_space import INDEX_TYPES
+from repro.core import ObjectiveSpec, VDTuner, VDTunerSettings
+from repro.datasets import DATASET_NAMES
+from repro.workloads import VDMSTuningEnvironment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="VDTuner reproduction: evaluate, tune and compare VDMS configurations.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dataset", default="glove-small", choices=sorted(DATASET_NAMES))
+        sub.add_argument("--seed", type=int, default=0, help="random seed")
+
+    evaluate = subparsers.add_parser("evaluate", help="replay the workload for one configuration")
+    add_common(evaluate)
+    evaluate.add_argument("--index-type", default="AUTOINDEX", choices=list(INDEX_TYPES))
+    evaluate.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override a parameter of the default configuration (repeatable)",
+    )
+
+    tune = subparsers.add_parser("tune", help="run VDTuner and print the best configuration")
+    add_common(tune)
+    tune.add_argument("--iterations", type=int, default=50)
+    tune.add_argument("--recall-floor", type=float, default=0.0,
+                      help="report the best configuration with recall at or above this value")
+    tune.add_argument("--recall-constraint", type=float, default=None,
+                      help="optimize with a user recall-rate preference (constraint model)")
+    tune.add_argument("--cost-aware", action="store_true",
+                      help="optimize queries-per-dollar (QP$) instead of QPS")
+    tune.add_argument("--json", action="store_true", help="print the best configuration as JSON")
+
+    compare = subparsers.add_parser("compare", help="run several tuners with the same budget")
+    add_common(compare)
+    compare.add_argument("--iterations", type=int, default=30)
+    compare.add_argument(
+        "--tuners",
+        nargs="+",
+        default=["vdtuner", "random", "opentuner", "ottertune", "qehvi"],
+        help="tuner registry names",
+    )
+    return parser
+
+
+def _parse_overrides(pairs: Sequence[str], space) -> dict:
+    overrides = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"invalid override {pair!r}; expected NAME=VALUE")
+        name, raw_value = pair.split("=", 1)
+        if name not in space:
+            raise SystemExit(f"unknown parameter {name!r}")
+        parameter = space[name]
+        try:
+            value = type(parameter.default)(raw_value) if not isinstance(parameter.default, str) else raw_value
+        except ValueError as error:
+            raise SystemExit(f"cannot parse value for {name!r}: {error}") from None
+        overrides[name] = value
+    return overrides
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    space = build_milvus_space()
+    environment = VDMSTuningEnvironment(args.dataset, space=space, seed=args.seed)
+    overrides = _parse_overrides(args.overrides, space)
+    configuration = default_configuration(space, index_type=args.index_type, overrides=overrides)
+    result = environment.evaluate(configuration)
+    rows = [
+        ["index type", args.index_type],
+        ["QPS", round(result.qps, 1)],
+        ["recall", round(result.recall, 4)],
+        ["latency (ms)", round(result.latency_ms, 2)],
+        ["memory (GiB)", round(result.memory_gib, 2)],
+        ["simulated replay (s)", round(result.replay_seconds, 1)],
+        ["failed", result.failed],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"evaluate on {args.dataset}"))
+    return 0
+
+
+def _command_tune(args: argparse.Namespace) -> int:
+    environment = VDMSTuningEnvironment(args.dataset, seed=args.seed)
+    objective = ObjectiveSpec(
+        speed_metric="qp$" if args.cost_aware else "qps",
+        recall_constraint=args.recall_constraint,
+    )
+    settings = VDTunerSettings(num_iterations=args.iterations, seed=args.seed)
+    tuner = VDTuner(environment, settings=settings, objective=objective)
+    report = tuner.run()
+    best = report.best_observation(recall_floor=args.recall_floor)
+    if best is None:
+        print("no configuration satisfied the requested recall floor", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(best.configuration, indent=2, default=str))
+        return 0
+    rows = [["best index type", best.index_type],
+            ["speed objective", round(best.speed, 1)],
+            ["recall", round(best.recall, 4)],
+            ["iterations", len(report.history)],
+            ["abandoned index types", ", ".join(report.abandoned) or "none"]]
+    print(format_table(["metric", "value"], rows, title=f"VDTuner on {args.dataset}"))
+    print()
+    config_rows = [[name, value] for name, value in sorted(best.configuration.items())]
+    print(format_table(["parameter", "value"], config_rows, title="recommended configuration"))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    curves = {}
+    abilities = {}
+    for name in args.tuners:
+        environment = VDMSTuningEnvironment(args.dataset, seed=args.seed)
+        settings = VDTunerSettings(num_iterations=args.iterations, seed=args.seed)
+        tuner = make_tuner(name, environment, seed=args.seed, settings=settings)
+        report = tuner.run(args.iterations)
+        curves[name] = speed_vs_sacrifice_curve(report.history)
+        abilities[name] = tradeoff_ability(report.history)
+    rows = [
+        [name]
+        + [round(curves[name][s], 1) for s in DEFAULT_SACRIFICES]
+        + [round(abilities[name], 1)]
+        for name in args.tuners
+    ]
+    print(
+        format_table(
+            ["tuner"] + [f"sacrifice {s}" for s in DEFAULT_SACRIFICES] + ["tradeoff std"],
+            rows,
+            title=f"best QPS per recall sacrifice on {args.dataset} ({args.iterations} iterations)",
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "evaluate": _command_evaluate,
+        "tune": _command_tune,
+        "compare": _command_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    raise SystemExit(main())

@@ -1,0 +1,214 @@
+"""Configuration spaces and configurations.
+
+A :class:`ConfigurationSpace` is an ordered collection of named parameters
+(see :mod:`repro.config.parameters`).  A :class:`Configuration` is one point
+of the space: a read-only mapping from parameter name to value.
+
+The space provides the two encodings used across the repository:
+
+* the *raw* encoding (a dict of native values) consumed by the VDMS
+  substrate, and
+* the *unit-hypercube* encoding (a ``numpy`` vector in ``[0, 1]^d``) consumed
+  by the Gaussian-process surrogates and the numerical optimizers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.config.parameters import Parameter
+
+__all__ = ["Configuration", "ConfigurationSpace"]
+
+
+class Configuration(Mapping):
+    """An immutable assignment of values to every parameter of a space."""
+
+    __slots__ = ("_space", "_values")
+
+    def __init__(self, space: "ConfigurationSpace", values: Mapping[str, Any]):
+        self._space = space
+        missing = [name for name in space.names if name not in values]
+        if missing:
+            raise KeyError(f"configuration missing parameters: {missing}")
+        unknown = [name for name in values if name not in space]
+        if unknown:
+            raise KeyError(f"configuration has unknown parameters: {unknown}")
+        frozen = {}
+        for name in space.names:
+            parameter = space[name]
+            value = values[name]
+            if not parameter.validate(value):
+                raise ValueError(f"invalid value {value!r} for parameter {name!r}")
+            frozen[name] = value
+        self._values = frozen
+
+    @property
+    def space(self) -> "ConfigurationSpace":
+        """The space this configuration belongs to."""
+        return self._space
+
+    def __getitem__(self, key: str) -> Any:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k, str(v)) for k, v in self._values.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        body = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"Configuration({body})"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a plain mutable dict copy of the assignment."""
+        return dict(self._values)
+
+    def replace(self, **updates: Any) -> "Configuration":
+        """Return a new configuration with some values replaced."""
+        merged = dict(self._values)
+        merged.update(updates)
+        return Configuration(self._space, merged)
+
+    def to_unit_vector(self) -> np.ndarray:
+        """Encode this configuration into the unit hypercube."""
+        return self._space.encode(self)
+
+
+class ConfigurationSpace:
+    """An ordered set of parameters defining a search space."""
+
+    def __init__(self, parameters: Iterable[Parameter], name: str = "space"):
+        self.name = name
+        self._parameters: dict[str, Parameter] = {}
+        for parameter in parameters:
+            if parameter.name in self._parameters:
+                raise ValueError(f"duplicate parameter name {parameter.name!r}")
+            self._parameters[parameter.name] = parameter
+        if not self._parameters:
+            raise ValueError("a configuration space needs at least one parameter")
+
+    # -- container protocol -------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        """Parameter names in definition order."""
+        return list(self._parameters.keys())
+
+    @property
+    def parameters(self) -> list[Parameter]:
+        """Parameters in definition order."""
+        return list(self._parameters.values())
+
+    @property
+    def dimension(self) -> int:
+        """Number of parameters (the dimension of the unit hypercube)."""
+        return len(self._parameters)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._parameters
+
+    def __getitem__(self, name: str) -> Parameter:
+        return self._parameters[name]
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters.values())
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ConfigurationSpace(name={self.name!r}, dimension={self.dimension})"
+
+    # -- construction of configurations -------------------------------------
+
+    def default_configuration(self) -> Configuration:
+        """Return the configuration made of every parameter's default."""
+        return Configuration(self, {p.name: p.default for p in self.parameters})
+
+    def configuration(self, values: Mapping[str, Any], *, complete: bool = True) -> Configuration:
+        """Build a configuration from ``values``.
+
+        If ``complete`` is false, parameters absent from ``values`` fall back
+        to their defaults — the usual way callers specify only the parameters
+        they care about.
+        """
+        if complete:
+            return Configuration(self, values)
+        merged = {p.name: p.default for p in self.parameters}
+        for key, value in values.items():
+            if key not in self._parameters:
+                raise KeyError(f"unknown parameter {key!r}")
+            merged[key] = value
+        return Configuration(self, merged)
+
+    def sample_configuration(self, rng: np.random.Generator) -> Configuration:
+        """Draw one uniform random configuration."""
+        return Configuration(self, {p.name: p.sample(rng) for p in self.parameters})
+
+    def sample_configurations(self, count: int, rng: np.random.Generator) -> list[Configuration]:
+        """Draw ``count`` independent uniform random configurations."""
+        return [self.sample_configuration(rng) for _ in range(int(count))]
+
+    # -- encodings -----------------------------------------------------------
+
+    def encode(self, configuration: Mapping[str, Any]) -> np.ndarray:
+        """Encode a configuration (or plain mapping) into ``[0, 1]^d``."""
+        vector = np.empty(self.dimension, dtype=float)
+        for position, parameter in enumerate(self.parameters):
+            vector[position] = parameter.to_unit(configuration[parameter.name])
+        return vector
+
+    def encode_many(self, configurations: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Encode a sequence of configurations into an ``(n, d)`` array."""
+        if not configurations:
+            return np.empty((0, self.dimension), dtype=float)
+        return np.vstack([self.encode(c) for c in configurations])
+
+    def decode(self, vector: np.ndarray) -> Configuration:
+        """Decode a point of the unit hypercube into a configuration."""
+        vector = np.asarray(vector, dtype=float).reshape(-1)
+        if vector.shape[0] != self.dimension:
+            raise ValueError(
+                f"expected a vector of dimension {self.dimension}, got {vector.shape[0]}"
+            )
+        values = {
+            parameter.name: parameter.from_unit(float(vector[position]))
+            for position, parameter in enumerate(self.parameters)
+        }
+        return Configuration(self, values)
+
+    def decode_many(self, matrix: np.ndarray) -> list[Configuration]:
+        """Decode an ``(n, d)`` array into a list of configurations."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("expected a 2-D array of unit-hypercube points")
+        return [self.decode(row) for row in matrix]
+
+    # -- restricted views ----------------------------------------------------
+
+    def subspace(self, names: Sequence[str], name: str | None = None) -> "ConfigurationSpace":
+        """Return a space restricted to the given parameter names (in that order)."""
+        missing = [n for n in names if n not in self._parameters]
+        if missing:
+            raise KeyError(f"unknown parameters: {missing}")
+        return ConfigurationSpace(
+            [self._parameters[n] for n in names],
+            name=name or f"{self.name}/subspace",
+        )
+
+    def index_of(self, name: str) -> int:
+        """Return the position of a parameter within the encoding vector."""
+        return self.names.index(name)

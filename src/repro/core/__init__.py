@@ -1,0 +1,42 @@
+"""VDTuner core: the paper's primary contribution.
+
+The public entry point is :class:`VDTuner` (with :class:`VDTunerSettings` and
+:class:`~repro.core.objectives.ObjectiveSpec`); the remaining modules expose
+the individual mechanisms — NPI normalization, the polling surrogate, the
+hypervolume-influence scoring with successive abandonment, the EHVI /
+constrained-EI recommendation step, preference handling and cost-aware
+objectives — so the ablation benchmarks can exercise them separately.
+"""
+
+from repro.core.history import Observation, ObservationHistory
+from repro.core.objectives import ObjectiveSpec
+from repro.core.npi import index_type_base_points, normalize_objectives
+from repro.core.scoring import RoundRobinPolicy, SuccessiveAbandonPolicy, score_index_types
+from repro.core.surrogate import NativeSurrogate, PollingSurrogate, SurrogatePrediction
+from repro.core.acquisition import ConfigurationRecommender
+from repro.core.tuner import TuningReport, VDTuner, VDTunerSettings
+from repro.core.preference import PreferenceStageResult, run_preference_sequence
+from repro.core.cost_aware import CostComparison, compare_cost_vs_speed, cost_effectiveness_objective
+
+__all__ = [
+    "ConfigurationRecommender",
+    "CostComparison",
+    "NativeSurrogate",
+    "Observation",
+    "ObservationHistory",
+    "ObjectiveSpec",
+    "PollingSurrogate",
+    "PreferenceStageResult",
+    "RoundRobinPolicy",
+    "SuccessiveAbandonPolicy",
+    "SurrogatePrediction",
+    "TuningReport",
+    "VDTuner",
+    "VDTunerSettings",
+    "compare_cost_vs_speed",
+    "cost_effectiveness_objective",
+    "index_type_base_points",
+    "normalize_objectives",
+    "run_preference_sequence",
+    "score_index_types",
+]

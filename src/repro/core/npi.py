@@ -1,0 +1,70 @@
+"""Normalized performance improvement (NPI) — Eq. 2 and Eq. 3 of the paper.
+
+The polling surrogate does not train on raw objective values: configurations
+of different index types live on very different performance scales, and a GP
+trained on the raw values would exploit the index types that happen to look
+good early.  Instead, every observation is divided by a per-index-type *base
+point*:
+
+* in the unconstrained (two-objective) mode the base point is the most
+  balanced non-dominated observation of that index type (Eq. 3);
+* in the constrained (user-preference) mode the base point is the
+  per-objective maximum achieved by that index type, which relaxes the
+  "balance both objectives" pressure and focuses on maximizing speed inside
+  the feasible region (Section IV-F).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.history import ObservationHistory
+
+__all__ = ["index_type_base_points", "normalize_objectives"]
+
+
+def index_type_base_points(
+    history: ObservationHistory,
+    index_types: list[str],
+    *,
+    constrained: bool = False,
+) -> dict[str, np.ndarray]:
+    """Base performance point per index type (Eq. 3, or the constrained variant).
+
+    Index types with no successful observation fall back to the global
+    balanced point, and finally to ones, so normalization never divides by
+    zero.
+    """
+    global_point = history.balanced_point() if not constrained else history.max_point()
+    fallback = np.ones(2, dtype=float) if global_point is None else np.maximum(global_point, 1e-9)
+    base_points: dict[str, np.ndarray] = {}
+    for index_type in index_types:
+        if constrained:
+            point = history.max_point(index_type)
+        else:
+            point = history.balanced_point(index_type)
+        if point is None:
+            point = fallback
+        base_points[index_type] = np.maximum(np.asarray(point, dtype=float), 1e-9)
+    return base_points
+
+
+def normalize_objectives(
+    history: ObservationHistory,
+    base_points: dict[str, np.ndarray],
+) -> np.ndarray:
+    """NPI-normalized objective matrix for every observation (Eq. 2).
+
+    Failed observations receive the worst observed raw objectives before
+    normalization, matching the failure handling described in the paper's
+    evaluation setup.
+    """
+    if len(history) == 0:
+        return np.empty((0, 2), dtype=float)
+    raw = history.objective_matrix()
+    normalized = np.empty_like(raw)
+    fallback = np.ones(2, dtype=float)
+    for row, observation in enumerate(history):
+        base = base_points.get(observation.index_type, fallback)
+        normalized[row] = raw[row] / base
+    return normalized

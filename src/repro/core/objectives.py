@@ -1,0 +1,69 @@
+"""Objective specifications.
+
+VDTuner always optimizes two objectives — a speed-like objective and recall.
+The speed-like objective is either plain search speed (QPS) or cost
+effectiveness (QP$, Eq. 8 of the paper).  An optional recall constraint turns
+the problem into "maximize speed subject to recall >= limit" (Section IV-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.replay import EvaluationResult
+
+__all__ = ["ObjectiveSpec"]
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """What the tuner optimizes.
+
+    Attributes
+    ----------
+    speed_metric:
+        ``"qps"`` for search speed or ``"qp$"`` for cost effectiveness.
+    recall_constraint:
+        If set, the user preference "recall rate must exceed this value";
+        the tuner then maximizes the speed metric inside the feasible region
+        using the constrained acquisition function.
+    price_per_gib_second:
+        The ``eta`` of Eq. 8; only the product with memory matters and the
+        paper notes the value does not change the optimization, so the
+        default is 1.
+    """
+
+    speed_metric: str = "qps"
+    recall_constraint: float | None = None
+    price_per_gib_second: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed_metric not in ("qps", "qp$", "cost_effectiveness"):
+            raise ValueError(f"unknown speed metric {self.speed_metric!r}")
+        if self.recall_constraint is not None and not 0.0 < self.recall_constraint < 1.0:
+            raise ValueError("recall_constraint must lie in (0, 1)")
+        if self.price_per_gib_second <= 0:
+            raise ValueError("price_per_gib_second must be positive")
+
+    @property
+    def constrained(self) -> bool:
+        """Whether a recall constraint is active."""
+        return self.recall_constraint is not None
+
+    def speed_value(self, result: EvaluationResult) -> float:
+        """Extract the speed-like objective from an evaluation result."""
+        if self.speed_metric == "qps":
+            return float(result.qps)
+        if result.memory_gib <= 0:
+            return 0.0
+        return float(result.qps / (self.price_per_gib_second * result.memory_gib))
+
+    def objective_values(self, result: EvaluationResult) -> tuple[float, float]:
+        """The ``(speed-like, recall)`` objective pair of a result."""
+        return self.speed_value(result), float(result.recall)
+
+    def satisfies_constraint(self, recall: float) -> bool:
+        """Whether a recall value satisfies the user constraint (if any)."""
+        if self.recall_constraint is None:
+            return True
+        return recall >= self.recall_constraint

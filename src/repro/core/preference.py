@@ -1,0 +1,126 @@
+"""User-preference scenarios: recall constraints and bootstrapping.
+
+Section IV-F / Figure 12 of the paper: users may ask for "maximize search
+speed with recall above a threshold", and the threshold may change over time.
+:func:`run_preference_sequence` runs a sequence of recall constraints, with
+three modes matching the paper's comparison:
+
+``"plain"``
+    No constraint model and no bootstrapping — the constraint is ignored
+    during search (both objectives are optimized) and only enforced when the
+    best configuration is read out.
+``"constraint"``
+    The constraint model (constrained EI, Eq. 7) guides the search, but each
+    new constraint starts from scratch.
+``"bootstrap"``
+    The constraint model plus warm-starting each new constraint's surrogate
+    with the observations collected under the previous constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.history import ObservationHistory
+from repro.core.objectives import ObjectiveSpec
+from repro.core.tuner import TuningReport, VDTuner, VDTunerSettings
+from repro.workloads.environment import VDMSTuningEnvironment
+
+__all__ = ["PreferenceStageResult", "run_preference_sequence"]
+
+_MODES = ("plain", "constraint", "bootstrap")
+
+
+@dataclass
+class PreferenceStageResult:
+    """Outcome of tuning under one recall constraint.
+
+    Attributes
+    ----------
+    recall_constraint:
+        The constraint active during this stage.
+    report:
+        The tuning report of the stage.
+    iterations_to_target:
+        Iterations needed to first reach ``target_speed`` (if one was given),
+        or ``None`` if it was never reached.
+    """
+
+    recall_constraint: float
+    report: TuningReport
+    iterations_to_target: int | None = None
+
+
+def _iterations_to_reach(report: TuningReport, recall_constraint: float, target_speed: float | None) -> int | None:
+    if target_speed is None:
+        return None
+    for observation in report.history:
+        if observation.failed:
+            continue
+        if observation.recall >= recall_constraint and observation.speed >= target_speed:
+            return observation.iteration
+    return None
+
+
+def run_preference_sequence(
+    make_environment,
+    recall_constraints: list[float],
+    *,
+    mode: str = "bootstrap",
+    iterations_per_stage: int = 50,
+    settings: VDTunerSettings | None = None,
+    target_speeds: list[float] | None = None,
+) -> list[PreferenceStageResult]:
+    """Tune for a sequence of recall-rate preferences.
+
+    Parameters
+    ----------
+    make_environment:
+        Zero-argument callable returning a fresh
+        :class:`~repro.workloads.environment.VDMSTuningEnvironment`; a fresh
+        environment per stage keeps the per-stage tuning clocks separate.
+    recall_constraints:
+        The sequence of user preferences (the paper uses 0.85 then 0.9).
+    mode:
+        One of ``"plain"``, ``"constraint"``, ``"bootstrap"``.
+    iterations_per_stage:
+        Evaluation budget per constraint.
+    settings:
+        Tuner settings shared by every stage.
+    target_speeds:
+        Optional per-stage speed targets used to report "iterations needed to
+        reach the same performance" as in the paper's Figure 12 discussion.
+    """
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}")
+    settings = settings or VDTunerSettings(num_iterations=iterations_per_stage)
+    results: list[PreferenceStageResult] = []
+    carried_history: ObservationHistory | None = None
+
+    for stage, recall_constraint in enumerate(recall_constraints):
+        environment: VDMSTuningEnvironment = make_environment()
+        if mode == "plain":
+            objective = ObjectiveSpec(recall_constraint=None)
+        else:
+            objective = ObjectiveSpec(recall_constraint=recall_constraint)
+        bootstrap = carried_history if mode == "bootstrap" else None
+        tuner = VDTuner(
+            environment,
+            settings=settings,
+            objective=objective,
+            bootstrap_history=bootstrap,
+        )
+        report = tuner.run(iterations_per_stage)
+        target = target_speeds[stage] if target_speeds and stage < len(target_speeds) else None
+        results.append(
+            PreferenceStageResult(
+                recall_constraint=recall_constraint,
+                report=report,
+                iterations_to_target=_iterations_to_reach(report, recall_constraint, target),
+            )
+        )
+        if mode == "bootstrap":
+            merged = ObservationHistory(carried_history.observations if carried_history else [])
+            merged.extend(report.history.observations)
+            carried_history = merged
+    return results

@@ -1,0 +1,151 @@
+"""Index-type scoring and the successive-abandon budget allocator.
+
+Section IV-D of the paper: every index type is scored by how much the
+hypervolume of the observed Pareto front would shrink if that index type's
+observations were removed (Eq. 5 / Eq. 6).  An index type that is ranked
+worst for a full window of consecutive iterations is abandoned, concentrating
+the remaining tuning budget on the promising index types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bo.pareto import hypervolume_2d
+from repro.core.history import ObservationHistory
+
+__all__ = ["score_index_types", "SuccessiveAbandonPolicy", "RoundRobinPolicy"]
+
+
+def score_index_types(
+    history: ObservationHistory,
+    index_types: list[str],
+    *,
+    reference_scale: float = 0.5,
+) -> dict[str, float]:
+    """Hypervolume-influence score of every index type (Eq. 6).
+
+    ``Score(t) = max_t' HV(r, Y \\ Y_t') - HV(r, Y \\ Y_t)`` where ``Y`` is the
+    set of non-dominated observations, ``Y_t`` those belonging to index type
+    ``t``, and ``r = reference_scale * y`` with ``y`` the balanced point of
+    the whole front (Eq. 3 applied to ``Y``).
+
+    Higher is better: removing a high-scoring index type would shrink the
+    hypervolume a lot, so that index type contributes valuable configurations.
+    """
+    balanced = history.balanced_point()
+    if balanced is None:
+        return {index_type: 0.0 for index_type in index_types}
+    reference = reference_scale * np.asarray(balanced, dtype=float)
+
+    non_dominated = history.non_dominated()
+    all_values = np.array([o.objectives() for o in non_dominated], dtype=float)
+    reduced_volumes: dict[str, float] = {}
+    for index_type in index_types:
+        kept = np.array(
+            [o.objectives() for o in non_dominated if o.index_type != index_type], dtype=float
+        )
+        reduced_volumes[index_type] = hypervolume_2d(kept, reference) if kept.size else 0.0
+    if not reduced_volumes:
+        return {}
+    best_reduced = max(reduced_volumes.values())
+    del all_values  # only the reduced fronts matter for the score
+    return {index_type: best_reduced - volume for index_type, volume in reduced_volumes.items()}
+
+
+@dataclass
+class SuccessiveAbandonPolicy:
+    """Round-robin polling with windowed successive abandonment.
+
+    Parameters
+    ----------
+    index_types:
+        The index types to allocate budget over, in polling order.
+    window:
+        Number of consecutive iterations an index type must be ranked worst
+        before it is abandoned (the paper uses 10).
+    min_remaining:
+        Lower bound on how many index types stay in play (at least one).
+    reference_scale:
+        The scale of the hypervolume reference point used by the score.
+    """
+
+    index_types: list[str]
+    window: int = 10
+    min_remaining: int = 1
+    reference_scale: float = 0.5
+    _remaining: list[str] = field(init=False)
+    _worst_streak: dict[str, int] = field(init=False)
+    _cursor: int = field(default=0, init=False)
+    _abandoned_at: dict[str, int] = field(init=False, default_factory=dict)
+    _score_trace: list[dict[str, float]] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.index_types:
+            raise ValueError("need at least one index type")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        self.min_remaining = max(1, int(self.min_remaining))
+        self._remaining = list(self.index_types)
+        self._worst_streak = {index_type: 0 for index_type in self.index_types}
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def remaining(self) -> list[str]:
+        """Index types still receiving budget."""
+        return list(self._remaining)
+
+    @property
+    def abandoned(self) -> dict[str, int]:
+        """Map of abandoned index type to the iteration it was abandoned at."""
+        return dict(self._abandoned_at)
+
+    @property
+    def score_trace(self) -> list[dict[str, float]]:
+        """Score snapshots recorded by :meth:`update_scores` (Figure 9 data)."""
+        return list(self._score_trace)
+
+    # -- behaviour ------------------------------------------------------------------
+
+    def update_scores(self, history: ObservationHistory, iteration: int) -> dict[str, float]:
+        """Re-score the remaining index types and abandon the persistent worst.
+
+        Returns the scores of the remaining index types (also appended to the
+        score trace for later visualization).
+        """
+        scores = score_index_types(history, self._remaining, reference_scale=self.reference_scale)
+        self._score_trace.append(dict(scores))
+        if len(self._remaining) <= self.min_remaining or len(scores) <= 1:
+            return scores
+        worst = min(scores, key=scores.get)
+        for index_type in self._remaining:
+            if index_type == worst:
+                self._worst_streak[index_type] += 1
+            else:
+                self._worst_streak[index_type] = 0
+        if self._worst_streak[worst] >= self.window:
+            self._remaining.remove(worst)
+            self._abandoned_at[worst] = iteration
+            self._worst_streak[worst] = 0
+        return scores
+
+    def next_index_type(self) -> str:
+        """The next index type to poll (round robin over the remaining ones)."""
+        if not self._remaining:
+            raise RuntimeError("no index types remain")
+        index_type = self._remaining[self._cursor % len(self._remaining)]
+        self._cursor += 1
+        return index_type
+
+
+@dataclass
+class RoundRobinPolicy(SuccessiveAbandonPolicy):
+    """Plain round robin: the ablation baseline that never abandons anything."""
+
+    def update_scores(self, history: ObservationHistory, iteration: int) -> dict[str, float]:
+        scores = score_index_types(history, self._remaining, reference_scale=self.reference_scale)
+        self._score_trace.append(dict(scores))
+        return scores

@@ -1,0 +1,152 @@
+"""Surrogate models over the holistic configuration space.
+
+Two variants, matching the paper's ablation (Figure 8b):
+
+:class:`PollingSurrogate`
+    VDTuner's surrogate.  Observations are NPI-normalized per index type
+    (Eq. 2/3) before fitting one multi-output GP (two independent GPs, one
+    per objective) over the *full* 16-dimensional encoding — the holistic
+    model of Section IV-A.
+
+:class:`NativeSurrogate`
+    The ablation: the same holistic GPs fitted on raw objective values
+    (standardized only globally), which is what a stock MOBO implementation
+    would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bo.gp import GaussianProcessRegressor
+from repro.config import Configuration, ConfigurationSpace
+from repro.core.history import ObservationHistory
+from repro.core.npi import index_type_base_points, normalize_objectives
+
+__all__ = ["SurrogatePrediction", "PollingSurrogate", "NativeSurrogate"]
+
+
+@dataclass(frozen=True)
+class SurrogatePrediction:
+    """Posterior summary for a batch of candidate configurations.
+
+    ``mean``/``std`` have shape ``(n, 2)``: column 0 is the speed-like
+    objective, column 1 the recall objective, in the surrogate's own
+    (possibly normalized) objective space.
+    """
+
+    mean: np.ndarray
+    std: np.ndarray
+
+
+class PollingSurrogate:
+    """Holistic multi-output GP trained on NPI-normalized observations."""
+
+    #: Whether objectives are normalized per index type before fitting.
+    normalizes_per_index_type = True
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        *,
+        constrained: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.space = space
+        self.constrained = bool(constrained)
+        self.seed = int(seed)
+        self._speed_gp = GaussianProcessRegressor(seed=seed)
+        self._recall_gp = GaussianProcessRegressor(seed=seed + 1)
+        self._base_points: dict[str, np.ndarray] = {}
+        self._normalized_objectives = np.empty((0, 2))
+        self._fitted = False
+
+    # -- fitting -------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called with at least one observation."""
+        return self._fitted
+
+    @property
+    def base_points(self) -> dict[str, np.ndarray]:
+        """Per-index-type base points used for normalization (Eq. 3)."""
+        return dict(self._base_points)
+
+    def _training_targets(self, history: ObservationHistory, index_types: list[str]) -> np.ndarray:
+        self._base_points = index_type_base_points(history, index_types, constrained=self.constrained)
+        return normalize_objectives(history, self._base_points)
+
+    def fit(self, history: ObservationHistory, index_types: list[str] | None = None) -> "PollingSurrogate":
+        """Fit the two GPs on the (normalized) history."""
+        if len(history) == 0:
+            raise ValueError("cannot fit a surrogate on an empty history")
+        index_types = index_types or history.index_types()
+        targets = self._training_targets(history, index_types)
+        encoded = self.space.encode_many([o.configuration for o in history])
+        self._speed_gp.fit(encoded, targets[:, 0])
+        self._recall_gp.fit(encoded, targets[:, 1])
+        self._normalized_objectives = targets
+        self._fitted = True
+        return self
+
+    # -- prediction ------------------------------------------------------------------
+
+    def predict(self, configurations: list[Configuration] | np.ndarray) -> SurrogatePrediction:
+        """Posterior mean/std for candidate configurations (surrogate objective space)."""
+        if not self._fitted:
+            raise RuntimeError("surrogate has not been fitted")
+        if isinstance(configurations, np.ndarray):
+            encoded = np.atleast_2d(configurations)
+        else:
+            encoded = self.space.encode_many(configurations)
+        speed = self._speed_gp.predict(encoded)
+        recall = self._recall_gp.predict(encoded)
+        mean = np.column_stack([speed.mean, recall.mean])
+        std = np.column_stack([speed.std, recall.std])
+        return SurrogatePrediction(mean=mean, std=std)
+
+    # -- objective-space geometry -------------------------------------------------------
+
+    def observed_objectives(self) -> np.ndarray:
+        """The training observations in the surrogate's objective space."""
+        return np.array(self._normalized_objectives, copy=True)
+
+    def reference_point(self, index_type: str, *, scale: float = 0.5) -> np.ndarray:
+        """The EHVI reference point for a polled index type (Eq. 4).
+
+        In normalized space the index type's base point maps to ``(1, 1)``,
+        so the reference is simply ``scale * (1, 1)``.
+        """
+        del index_type  # every index type normalizes its base point to (1, 1)
+        return np.full(2, float(scale))
+
+    def normalize_threshold(self, index_type: str, recall_threshold: float) -> float:
+        """Map a raw recall threshold into the surrogate's objective space."""
+        base = self._base_points.get(index_type)
+        if base is None or base[1] <= 0:
+            return float(recall_threshold)
+        return float(recall_threshold / base[1])
+
+
+class NativeSurrogate(PollingSurrogate):
+    """The ablation surrogate: holistic GPs on raw (un-normalized) objectives."""
+
+    normalizes_per_index_type = False
+
+    def _training_targets(self, history: ObservationHistory, index_types: list[str]) -> np.ndarray:
+        # Keep the base points around (the reference point still needs the
+        # balanced point of the raw front), but train on raw objectives.
+        self._base_points = index_type_base_points(history, index_types, constrained=self.constrained)
+        return history.objective_matrix()
+
+    def reference_point(self, index_type: str, *, scale: float = 0.5) -> np.ndarray:
+        base = self._base_points.get(index_type)
+        if base is None:
+            return np.full(2, float(scale))
+        return float(scale) * np.asarray(base, dtype=float)
+
+    def normalize_threshold(self, index_type: str, recall_threshold: float) -> float:
+        return float(recall_threshold)

@@ -1,0 +1,260 @@
+"""VDTuner: the polling multi-objective Bayesian-optimization loop (Algorithm 1).
+
+The tuner ties together the pieces defined in this package:
+
+1. *Initial sampling*: every index type's default configuration is evaluated
+   once (Algorithm 1, lines 1–5).
+2. Each iteration, the remaining index types are re-scored by hypervolume
+   influence and the persistently worst one may be abandoned (lines 7–14,
+   :mod:`repro.core.scoring`).
+3. A holistic surrogate is fitted on NPI-normalized observations (lines
+   15–18, :mod:`repro.core.surrogate`).
+4. The next index type is polled round-robin and the acquisition function
+   recommends a configuration for it (lines 19–21,
+   :mod:`repro.core.acquisition`).
+5. The configuration is evaluated on the environment and the knowledge base
+   is updated (line 22).
+
+The same class also covers the paper's extensions: user recall-rate
+preferences (constraint model, Section IV-F), bootstrapping from a previous
+run's history, cost-aware objectives (Section V-E), and the ablation switches
+(round-robin budget allocation, native surrogate) used in Figure 8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.config import Configuration, ConfigurationSpace
+from repro.core.acquisition import ConfigurationRecommender
+from repro.core.history import Observation, ObservationHistory
+from repro.core.objectives import ObjectiveSpec
+from repro.core.scoring import RoundRobinPolicy, SuccessiveAbandonPolicy
+from repro.core.surrogate import NativeSurrogate, PollingSurrogate
+from repro.workloads.environment import VDMSTuningEnvironment
+from repro.workloads.replay import EvaluationResult
+
+__all__ = ["VDTuner", "VDTunerSettings", "TuningReport"]
+
+
+@dataclass(frozen=True)
+class VDTunerSettings:
+    """Knobs of the tuning loop itself.
+
+    Attributes
+    ----------
+    num_iterations:
+        Total number of configuration evaluations, including the initial
+        per-index-type samples (the paper runs 200).
+    abandon_window:
+        Consecutive worst-ranked iterations before an index type is abandoned
+        (the paper uses 10).
+    candidate_pool_size:
+        Candidates scored per recommendation.
+    ehvi_samples:
+        Monte-Carlo samples for the EHVI estimator.
+    reference_scale:
+        Reference-point scale of Eq. 4 (0.5 in the paper).
+    use_successive_abandon:
+        Ablation switch: ``False`` falls back to plain round robin.
+    use_polling_surrogate:
+        Ablation switch: ``False`` uses the native (raw-objective) surrogate.
+    seed:
+        Seed for candidate generation and EHVI sampling.
+    """
+
+    num_iterations: int = 200
+    abandon_window: int = 10
+    candidate_pool_size: int = 192
+    ehvi_samples: int = 64
+    reference_scale: float = 0.5
+    use_successive_abandon: bool = True
+    use_polling_surrogate: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_iterations < 1:
+            raise ValueError("num_iterations must be >= 1")
+        if self.abandon_window < 1:
+            raise ValueError("abandon_window must be >= 1")
+
+
+@dataclass
+class TuningReport:
+    """Everything a tuning run produced.
+
+    Attributes
+    ----------
+    history:
+        All observations in evaluation order.
+    score_trace:
+        Per-iteration index-type scores (Figure 9 data).
+    abandoned:
+        Index type → iteration at which it was abandoned.
+    objective:
+        The objective specification that was optimized.
+    settings:
+        The tuner settings used.
+    recommendation_seconds:
+        Wall-clock seconds spent inside the recommendation machinery
+        (Table VI's "configuration recommendation" column).
+    replay_seconds:
+        Simulated seconds spent replaying workloads (Table VI's "workload
+        replay" column).
+    """
+
+    history: ObservationHistory
+    score_trace: list[dict[str, float]] = field(default_factory=list)
+    abandoned: dict[str, int] = field(default_factory=dict)
+    objective: ObjectiveSpec = field(default_factory=ObjectiveSpec)
+    settings: VDTunerSettings = field(default_factory=VDTunerSettings)
+    recommendation_seconds: float = 0.0
+    replay_seconds: float = 0.0
+
+    def best_observation(self, *, recall_floor: float = 0.0) -> Observation | None:
+        """Best observation by the speed objective subject to a recall floor."""
+        floor = recall_floor
+        if self.objective.constrained:
+            floor = max(floor, float(self.objective.recall_constraint))
+        return self.history.best(recall_floor=floor)
+
+    def best_configuration(self, *, recall_floor: float = 0.0) -> dict[str, Any] | None:
+        """Configuration of :meth:`best_observation`."""
+        best = self.best_observation(recall_floor=recall_floor)
+        return None if best is None else dict(best.configuration)
+
+    def parameter_trace(self, names: list[str] | None = None) -> dict[str, list[Any]]:
+        """Per-iteration values of selected parameters (Figure 11 data)."""
+        if not len(self.history):
+            return {}
+        names = names or list(self.history[0].configuration.keys())
+        trace: dict[str, list[Any]] = {name: [] for name in names}
+        for observation in self.history:
+            for name in names:
+                trace[name].append(observation.configuration.get(name))
+        return trace
+
+
+class VDTuner:
+    """The VDTuner auto-configuration framework."""
+
+    def __init__(
+        self,
+        environment: VDMSTuningEnvironment,
+        settings: VDTunerSettings | None = None,
+        objective: ObjectiveSpec | None = None,
+        *,
+        space: ConfigurationSpace | None = None,
+        bootstrap_history: ObservationHistory | None = None,
+    ) -> None:
+        self.environment = environment
+        self.settings = settings or VDTunerSettings()
+        self.objective = objective or ObjectiveSpec()
+        self.space = space or environment.space
+        self.bootstrap_history = bootstrap_history
+        self._rng = np.random.default_rng(self.settings.seed)
+
+        index_parameter = self.space["index_type"]
+        self.index_types = [
+            choice for choice in index_parameter.choices if not str(choice).endswith("_")
+        ]
+        if not self.index_types:
+            raise ValueError("the configuration space exposes no index types")
+
+        policy_class = SuccessiveAbandonPolicy if self.settings.use_successive_abandon else RoundRobinPolicy
+        self._policy = policy_class(
+            index_types=list(self.index_types),
+            window=self.settings.abandon_window,
+            reference_scale=self.settings.reference_scale,
+        )
+        surrogate_class = PollingSurrogate if self.settings.use_polling_surrogate else NativeSurrogate
+        self._surrogate = surrogate_class(
+            self.space, constrained=self.objective.constrained, seed=self.settings.seed
+        )
+        self._recommender = ConfigurationRecommender(
+            space=self.space,
+            candidate_pool_size=self.settings.candidate_pool_size,
+            ehvi_samples=self.settings.ehvi_samples,
+            reference_scale=self.settings.reference_scale,
+        )
+        self._history = ObservationHistory()
+        self._recommendation_seconds = 0.0
+
+    # -- bookkeeping -------------------------------------------------------------------
+
+    @property
+    def history(self) -> ObservationHistory:
+        """Observations of the current run."""
+        return self._history
+
+    def _record(self, configuration: Configuration, result: EvaluationResult) -> Observation:
+        speed, recall = self.objective.objective_values(result)
+        observation = Observation(
+            iteration=len(self._history) + 1,
+            index_type=str(configuration["index_type"]).rstrip("_"),
+            configuration=configuration.to_dict(),
+            result=result,
+            speed=speed,
+            recall=recall,
+        )
+        self._history.add(observation)
+        return observation
+
+    def _training_history(self) -> ObservationHistory:
+        """History used to fit the surrogate (bootstrapping included)."""
+        if self.bootstrap_history is None or len(self.bootstrap_history) == 0:
+            return self._history
+        combined = ObservationHistory(self.bootstrap_history.observations)
+        combined.extend(self._history.observations)
+        return combined
+
+    # -- Algorithm 1 ----------------------------------------------------------------------
+
+    def _initial_sampling(self, budget: int) -> None:
+        """Evaluate every index type's default configuration (lines 1-5)."""
+        for index_type in self.index_types:
+            if len(self._history) >= budget:
+                break
+            defaults = {p.name: p.default for p in self.space.parameters}
+            defaults["index_type"] = index_type
+            configuration = self.space.configuration(defaults)
+            result = self.environment.evaluate(configuration)
+            self._record(configuration, result)
+
+    def _tuning_iteration(self, iteration: int) -> Observation:
+        """One pass of the while-loop body (lines 7-22)."""
+        started = time.perf_counter()
+        self._policy.update_scores(self._history, iteration)
+        training = self._training_history()
+        self._surrogate.fit(training, index_types=list(self.index_types))
+        index_type = self._policy.next_index_type()
+        configuration = self._recommender.recommend(
+            self._surrogate, training, index_type, self.objective, self._rng
+        )
+        elapsed = time.perf_counter() - started
+        self._recommendation_seconds += elapsed
+        self.environment.charge_recommendation_time(elapsed)
+
+        result = self.environment.evaluate(configuration)
+        return self._record(configuration, result)
+
+    def run(self, num_iterations: int | None = None) -> TuningReport:
+        """Run the tuning loop and return the report."""
+        budget = int(num_iterations or self.settings.num_iterations)
+        if len(self._history) == 0:
+            self._initial_sampling(budget)
+        while len(self._history) < budget:
+            self._tuning_iteration(len(self._history) + 1)
+        return TuningReport(
+            history=self._history,
+            score_trace=self._policy.score_trace,
+            abandoned=self._policy.abandoned,
+            objective=self.objective,
+            settings=self.settings,
+            recommendation_seconds=self._recommendation_seconds,
+            replay_seconds=self.environment.elapsed_replay_seconds,
+        )

@@ -1,0 +1,140 @@
+"""Dataset containers.
+
+A :class:`Dataset` bundles the stored base vectors, the query vectors and the
+exact ground-truth neighbours that recall is measured against.  A
+:class:`DatasetSpec` is the lightweight description used by the registry to
+generate a dataset lazily and deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Dataset", "DatasetSpec"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of a dataset: enough to regenerate it deterministically.
+
+    Attributes
+    ----------
+    name:
+        Registry name (for example ``"glove-small"``).
+    num_vectors:
+        Number of stored base vectors.
+    num_queries:
+        Number of query vectors.
+    dimension:
+        Vector dimensionality.
+    metric:
+        Distance metric: ``"angular"``, ``"l2"`` or ``"ip"``.
+    top_k:
+        Number of neighbours the ground truth records per query.
+    generator:
+        Name of the synthetic generator family used to produce the vectors.
+    seed:
+        Seed for the dataset's private random generator.
+    difficulty:
+        A qualitative scalar in ``[0, 1]`` describing how hard approximate
+        search is on this dataset (larger is harder); used only to pick
+        generator parameters.
+    """
+
+    name: str
+    num_vectors: int
+    num_queries: int
+    dimension: int
+    metric: str = "angular"
+    top_k: int = 100
+    generator: str = "clustered"
+    seed: int = 0
+    difficulty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("angular", "l2", "ip"):
+            raise ValueError(f"unsupported metric {self.metric!r}")
+        if self.num_vectors <= 0 or self.num_queries <= 0 or self.dimension <= 0:
+            raise ValueError("dataset sizes must be positive")
+        if self.top_k <= 0 or self.top_k > self.num_vectors:
+            raise ValueError("top_k must be in (0, num_vectors]")
+
+
+@dataclass
+class Dataset:
+    """A fully materialized dataset: base vectors, queries and ground truth."""
+
+    spec: DatasetSpec
+    vectors: np.ndarray
+    queries: np.ndarray
+    ground_truth: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        self.vectors = np.ascontiguousarray(self.vectors, dtype=np.float32)
+        self.queries = np.ascontiguousarray(self.queries, dtype=np.float32)
+        self.ground_truth = np.ascontiguousarray(self.ground_truth, dtype=np.int64)
+        if self.vectors.ndim != 2 or self.queries.ndim != 2:
+            raise ValueError("vectors and queries must be 2-D arrays")
+        if self.vectors.shape[1] != self.queries.shape[1]:
+            raise ValueError("vectors and queries must share a dimension")
+        if self.ground_truth.shape[0] != self.queries.shape[0]:
+            raise ValueError("ground truth must have one row per query")
+
+    @property
+    def name(self) -> str:
+        """Registry name of the dataset."""
+        return self.spec.name
+
+    @property
+    def num_vectors(self) -> int:
+        """Number of stored base vectors."""
+        return self.vectors.shape[0]
+
+    @property
+    def num_queries(self) -> int:
+        """Number of query vectors."""
+        return self.queries.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        """Vector dimensionality."""
+        return self.vectors.shape[1]
+
+    @property
+    def metric(self) -> str:
+        """Distance metric name."""
+        return self.spec.metric
+
+    @property
+    def top_k(self) -> int:
+        """Number of ground-truth neighbours per query."""
+        return self.ground_truth.shape[1]
+
+    def subset(self, num_vectors: int, num_queries: int | None = None) -> "Dataset":
+        """Return a smaller dataset using the first vectors/queries.
+
+        Ground truth is recomputed over the restricted base set so recall
+        stays exact.
+        """
+        from repro.datasets.ground_truth import brute_force_neighbors
+
+        num_vectors = int(min(num_vectors, self.num_vectors))
+        num_queries = int(min(num_queries or self.num_queries, self.num_queries))
+        vectors = self.vectors[:num_vectors]
+        queries = self.queries[:num_queries]
+        top_k = min(self.top_k, num_vectors)
+        ground_truth = brute_force_neighbors(vectors, queries, top_k, self.metric)
+        spec = DatasetSpec(
+            name=f"{self.spec.name}-subset",
+            num_vectors=num_vectors,
+            num_queries=num_queries,
+            dimension=self.dimension,
+            metric=self.metric,
+            top_k=top_k,
+            generator=self.spec.generator,
+            seed=self.spec.seed,
+            difficulty=self.spec.difficulty,
+        )
+        return Dataset(spec=spec, vectors=vectors, queries=queries, ground_truth=ground_truth)

@@ -1,0 +1,88 @@
+"""Exact nearest-neighbour computation and recall evaluation.
+
+Ground truth is computed by brute force with the same distance kernels the
+VDMS substrate uses, so recall numbers reported by the workload replayer are
+exact, not estimated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vdms.distance import pairwise_distances
+
+__all__ = ["brute_force_neighbors", "recall_at_k"]
+
+
+def brute_force_neighbors(
+    vectors: np.ndarray,
+    queries: np.ndarray,
+    top_k: int,
+    metric: str = "angular",
+    *,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Return the exact ``top_k`` neighbour ids for every query.
+
+    Parameters
+    ----------
+    vectors:
+        Base vectors, shape ``(n, d)``.
+    queries:
+        Query vectors, shape ``(q, d)``.
+    top_k:
+        Number of neighbours per query.
+    metric:
+        ``"angular"``, ``"l2"`` or ``"ip"``.
+    batch_size:
+        Number of queries processed per distance-matrix block, bounding peak
+        memory at ``batch_size * n`` floats.
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    queries = np.asarray(queries, dtype=np.float32)
+    if top_k > vectors.shape[0]:
+        raise ValueError("top_k cannot exceed the number of base vectors")
+    result = np.empty((queries.shape[0], top_k), dtype=np.int64)
+    for start in range(0, queries.shape[0], batch_size):
+        block = queries[start : start + batch_size]
+        distances = pairwise_distances(block, vectors, metric)
+        if top_k < vectors.shape[0]:
+            candidates = np.argpartition(distances, top_k, axis=1)[:, :top_k]
+            ordered = np.take_along_axis(distances, candidates, axis=1).argsort(axis=1)
+            result[start : start + block.shape[0]] = np.take_along_axis(candidates, ordered, axis=1)
+        else:
+            result[start : start + block.shape[0]] = distances.argsort(axis=1)[:, :top_k]
+    return result
+
+
+def recall_at_k(retrieved: np.ndarray, ground_truth: np.ndarray, k: int | None = None) -> float:
+    """Compute mean recall@k over a batch of queries.
+
+    ``retrieved`` may contain ``-1`` padding for queries that returned fewer
+    than ``k`` results; padding never matches a true neighbour.
+
+    Parameters
+    ----------
+    retrieved:
+        Retrieved ids, shape ``(q, >=k)``.
+    ground_truth:
+        Exact neighbour ids, shape ``(q, >=k)``.
+    k:
+        Cut-off; defaults to the ground-truth width.
+    """
+    retrieved = np.asarray(retrieved)
+    ground_truth = np.asarray(ground_truth)
+    if retrieved.ndim != 2 or ground_truth.ndim != 2:
+        raise ValueError("retrieved and ground_truth must be 2-D")
+    if retrieved.shape[0] != ground_truth.shape[0]:
+        raise ValueError("retrieved and ground_truth must have the same number of queries")
+    if k is None:
+        k = ground_truth.shape[1]
+    k = int(min(k, ground_truth.shape[1]))
+    if k <= 0:
+        raise ValueError("k must be positive")
+    truth = ground_truth[:, :k]
+    hits = 0
+    for row_retrieved, row_truth in zip(retrieved[:, :k], truth):
+        hits += len(set(int(i) for i in row_retrieved if i >= 0) & set(int(i) for i in row_truth))
+    return hits / (truth.shape[0] * k)

@@ -1,0 +1,181 @@
+"""Named dataset registry.
+
+Each paper dataset has a registry entry describing the synthetic stand-in.
+``load_dataset`` materializes it deterministically (base vectors, queries and
+exact ground truth) and caches the result in-process so repeated loads are
+free.
+
+Default sizes are deliberately small (a few thousand vectors) so that a full
+tuning run of 200 iterations completes in seconds.  ``scale`` lets the
+experiment harness grow a dataset — the ``deep-image`` entry, for example, is
+10x the GloVe entry exactly as in the paper's scalability study.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.datasets.dataset import Dataset, DatasetSpec
+from repro.datasets.ground_truth import brute_force_neighbors
+from repro.datasets.synthetic import (
+    make_clustered_vectors,
+    make_correlated_vectors,
+    make_heavy_tailed_vectors,
+)
+
+__all__ = ["DATASET_NAMES", "dataset_spec", "load_dataset"]
+
+#: Registry of dataset specifications keyed by name.  Sizes are scaled-down
+#: stand-ins for the paper's datasets (Table III and Section V-E).
+_REGISTRY: dict[str, DatasetSpec] = {
+    # GloVe: 1.18M x 100, angular.  Stand-in: clustered embeddings.
+    "glove-small": DatasetSpec(
+        name="glove-small",
+        num_vectors=4_000,
+        num_queries=64,
+        dimension=32,
+        metric="angular",
+        top_k=10,
+        generator="clustered",
+        seed=11,
+        difficulty=0.35,
+    ),
+    # Keyword-match: 1M x 100, angular, low inter-dimension correlation.
+    "keyword-match-small": DatasetSpec(
+        name="keyword-match-small",
+        num_vectors=4_000,
+        num_queries=64,
+        dimension=32,
+        metric="angular",
+        top_k=10,
+        generator="correlated",
+        seed=23,
+        difficulty=0.6,
+    ),
+    # Geo-radius: 100K x 2048, angular.  Stand-in: high-dimensional heavy tails.
+    "geo-radius-small": DatasetSpec(
+        name="geo-radius-small",
+        num_vectors=2_000,
+        num_queries=48,
+        dimension=96,
+        metric="angular",
+        top_k=10,
+        generator="heavy_tailed",
+        seed=37,
+        difficulty=0.85,
+    ),
+    # ArXiv-titles (Table V): clustered text embeddings.
+    "arxiv-titles-small": DatasetSpec(
+        name="arxiv-titles-small",
+        num_vectors=3_000,
+        num_queries=64,
+        dimension=48,
+        metric="angular",
+        top_k=10,
+        generator="clustered",
+        seed=41,
+        difficulty=0.5,
+    ),
+    # deep-image: 10x GloVe (scalability study, Section V-E).
+    "deep-image-small": DatasetSpec(
+        name="deep-image-small",
+        num_vectors=40_000,
+        num_queries=64,
+        dimension=32,
+        metric="angular",
+        top_k=10,
+        generator="clustered",
+        seed=53,
+        difficulty=0.45,
+    ),
+}
+
+#: Public tuple of registered dataset names.
+DATASET_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+#: Map from the paper's dataset names to registry names.
+PAPER_NAME_ALIASES: dict[str, str] = {
+    "glove": "glove-small",
+    "keyword-match": "keyword-match-small",
+    "geo-radius": "geo-radius-small",
+    "arxiv-titles": "arxiv-titles-small",
+    "deep-image": "deep-image-small",
+}
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Return the registry specification for ``name`` (aliases accepted)."""
+    key = PAPER_NAME_ALIASES.get(name.lower(), name.lower())
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]
+
+
+def _generate(spec: DatasetSpec) -> Dataset:
+    """Materialize a dataset from its specification."""
+    if spec.generator == "clustered":
+        clusters = max(8, spec.num_vectors // 120)
+        std = 0.12 + 0.2 * spec.difficulty
+        vectors, queries = make_clustered_vectors(
+            spec.num_vectors,
+            spec.num_queries,
+            spec.dimension,
+            num_clusters=clusters,
+            cluster_std=std,
+            seed=spec.seed,
+        )
+    elif spec.generator == "correlated":
+        vectors, queries = make_correlated_vectors(
+            spec.num_vectors,
+            spec.num_queries,
+            spec.dimension,
+            correlation=max(0.0, 1.0 - spec.difficulty),
+            seed=spec.seed,
+        )
+    elif spec.generator == "heavy_tailed":
+        vectors, queries = make_heavy_tailed_vectors(
+            spec.num_vectors,
+            spec.num_queries,
+            spec.dimension,
+            tail_index=2.5 + (1.0 - spec.difficulty) * 3.0,
+            seed=spec.seed,
+        )
+    else:
+        raise ValueError(f"unknown generator {spec.generator!r}")
+    ground_truth = brute_force_neighbors(vectors, queries, spec.top_k, spec.metric)
+    return Dataset(spec=spec, vectors=vectors, queries=queries, ground_truth=ground_truth)
+
+
+@lru_cache(maxsize=16)
+def _load_cached(name: str, scale: float) -> Dataset:
+    base = dataset_spec(name)
+    if scale == 1.0:
+        return _generate(base)
+    spec = DatasetSpec(
+        name=f"{base.name}-x{scale:g}",
+        num_vectors=max(base.top_k, int(base.num_vectors * scale)),
+        num_queries=max(8, int(base.num_queries * min(4.0, max(0.25, scale)))),
+        dimension=base.dimension,
+        metric=base.metric,
+        top_k=base.top_k,
+        generator=base.generator,
+        seed=base.seed,
+        difficulty=base.difficulty,
+    )
+    return _generate(spec)
+
+
+def load_dataset(name: str, *, scale: float = 1.0) -> Dataset:
+    """Load (generate) a dataset by name.
+
+    Parameters
+    ----------
+    name:
+        Registry name or paper alias (``"glove"``, ``"keyword-match"``, ...).
+    scale:
+        Multiplier on the number of base vectors; queries scale with a capped
+        factor.  Results are cached per ``(name, scale)``.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return _load_cached(name, float(scale))

@@ -1,0 +1,78 @@
+"""Cost-effectiveness experiment (Figure 13)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.attribution import shapley_attribution
+from repro.core.cost_aware import CostComparison, compare_cost_vs_speed, cost_effectiveness_objective
+from repro.core.objectives import ObjectiveSpec
+from repro.experiments.runner import run_tuner
+from repro.experiments.settings import ExperimentScale, current_scale
+from repro.workloads.environment import VDMSTuningEnvironment
+
+__all__ = ["figure13_cost_effectiveness", "CostEffectivenessResult"]
+
+#: Parameters attributed in Figure 13(b).
+ATTRIBUTED_PARAMETERS: tuple[str, ...] = ("insert_buf_size", "segment_max_size", "index_type", "nprobe")
+
+
+@dataclass
+class CostEffectivenessResult:
+    """Figure 13: cost-aware versus speed-only optimization.
+
+    Attributes
+    ----------
+    comparison:
+        The relative-performance and memory summary (Figure 13a).
+    memory_attribution:
+        Parameter → GiB contribution of the speed-optimal configuration
+        relative to the default (Figure 13b, upper panel).
+    speed_attribution:
+        Parameter → QPS contribution (Figure 13b, lower panel).
+    """
+
+    comparison: CostComparison
+    memory_attribution: dict[str, float]
+    speed_attribution: dict[str, float]
+
+
+def figure13_cost_effectiveness(
+    dataset_name: str = "geo-radius-small",
+    *,
+    recall_floor: float = 0.85,
+    scale: ExperimentScale | None = None,
+) -> CostEffectivenessResult:
+    """Run the QP$-vs-QPS comparison and the parameter attribution."""
+    scale = scale or current_scale()
+    qps_run = run_tuner("vdtuner", dataset_name, scale=scale, objective=ObjectiveSpec())
+    qpd_run = run_tuner(
+        "vdtuner", dataset_name, scale=scale, objective=cost_effectiveness_objective()
+    )
+    comparison = compare_cost_vs_speed(
+        qpd_run.report, qps_run.report, recall_floor=recall_floor
+    )
+
+    best = qps_run.report.best_observation(recall_floor=recall_floor) or qps_run.report.best_observation()
+    environment = VDMSTuningEnvironment(dataset_name, seed=scale.seed)
+    space = environment.space
+    baseline = environment.default_configuration().to_dict()
+    target = dict(best.configuration) if best is not None else dict(baseline)
+
+    def evaluate_memory(values) -> float:
+        return environment.evaluate(space.configuration(values)).memory_gib
+
+    def evaluate_speed(values) -> float:
+        return environment.evaluate(space.configuration(values)).qps
+
+    memory_attribution = shapley_attribution(
+        evaluate_memory, target, baseline, list(ATTRIBUTED_PARAMETERS)
+    )
+    speed_attribution = shapley_attribution(
+        evaluate_speed, target, baseline, list(ATTRIBUTED_PARAMETERS)
+    )
+    return CostEffectivenessResult(
+        comparison=comparison,
+        memory_attribution=memory_attribution,
+        speed_attribution=speed_attribution,
+    )

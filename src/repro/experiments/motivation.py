@@ -1,0 +1,157 @@
+"""Motivation experiments (Figures 1-3 of the paper).
+
+These are not tuning runs: they sweep configurations directly against the
+environment to reproduce the observations that motivate VDTuner — parameter
+interdependence, the index-type/system-config interaction, and the
+conflicting-objective structure of the space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import build_milvus_space, default_configuration
+from repro.config.milvus_space import INDEX_TYPES
+from repro.experiments.settings import ExperimentScale, current_scale
+from repro.workloads.environment import VDMSTuningEnvironment
+
+__all__ = [
+    "ParameterGridResult",
+    "figure1_parameter_grid",
+    "figure2_index_vs_system",
+    "figure3_conflicting_objectives",
+    "figure3_optimization_curves",
+]
+
+
+@dataclass
+class ParameterGridResult:
+    """Grid sweep of two system parameters (Figure 1).
+
+    ``qps`` and ``recall`` have shape ``(len(x_values), len(y_values))``.
+    """
+
+    x_name: str
+    y_name: str
+    x_values: list
+    y_values: list
+    qps: np.ndarray
+    recall: np.ndarray
+
+
+def figure1_parameter_grid(
+    dataset_name: str = "glove-small",
+    *,
+    x_name: str = "segment_max_size",
+    y_name: str = "segment_seal_proportion",
+    index_type: str = "IVF_FLAT",
+    scale: ExperimentScale | None = None,
+) -> ParameterGridResult:
+    """Sweep two system parameters with everything else at defaults."""
+    scale = scale or current_scale()
+    space = build_milvus_space()
+    environment = VDMSTuningEnvironment(dataset_name, space=space, seed=scale.seed)
+    x_values = space[x_name].grid(scale.grid_resolution)
+    y_values = space[y_name].grid(scale.grid_resolution)
+    qps = np.zeros((len(x_values), len(y_values)))
+    recall = np.zeros_like(qps)
+    for i, x_value in enumerate(x_values):
+        for j, y_value in enumerate(y_values):
+            configuration = default_configuration(
+                space, index_type=index_type, overrides={x_name: x_value, y_name: y_value}
+            )
+            result = environment.evaluate(configuration)
+            qps[i, j] = result.qps
+            recall[i, j] = result.recall
+    return ParameterGridResult(
+        x_name=x_name, y_name=y_name, x_values=x_values, y_values=y_values, qps=qps, recall=recall
+    )
+
+
+def figure2_index_vs_system(
+    dataset_name: str = "glove-small",
+    *,
+    index_types: tuple[str, ...] = ("FLAT", "HNSW", "IVF_FLAT"),
+    scale: ExperimentScale | None = None,
+) -> dict[str, dict[str, float]]:
+    """Search speed of several index types under four different system configs.
+
+    Returns ``{system_config_label: {index_type: qps}}``; the best index type
+    per system configuration is the argmax of the inner dict.
+    """
+    scale = scale or current_scale()
+    space = build_milvus_space()
+    environment = VDMSTuningEnvironment(dataset_name, space=space, seed=scale.seed)
+    system_configs = {
+        "system-config-1": {"segment_max_size": 1500, "segment_seal_proportion": 0.6, "graceful_time": 6000},
+        "system-config-2": {"segment_max_size": 900, "segment_seal_proportion": 0.5, "graceful_time": 5000},
+        "system-config-3": {"segment_max_size": 200, "segment_seal_proportion": 0.25, "graceful_time": 4000},
+        "system-config-4": {"segment_max_size": 80, "segment_seal_proportion": 0.1, "graceful_time": 2500},
+    }
+    results: dict[str, dict[str, float]] = {}
+    for label, overrides in system_configs.items():
+        per_index: dict[str, float] = {}
+        for index_type in index_types:
+            configuration = default_configuration(space, index_type=index_type, overrides=overrides)
+            per_index[index_type] = environment.evaluate(configuration).qps
+        results[label] = per_index
+    return results
+
+
+def figure3_conflicting_objectives(
+    dataset_names: tuple[str, ...] = ("glove-small", "geo-radius-small"),
+    *,
+    scale: ExperimentScale | None = None,
+) -> dict[str, dict[str, tuple[float, float]]]:
+    """Per-index-type (normalized speed, recall) with default parameters (Figure 3a/b)."""
+    scale = scale or current_scale()
+    results: dict[str, dict[str, tuple[float, float]]] = {}
+    for dataset_name in dataset_names:
+        space = build_milvus_space()
+        environment = VDMSTuningEnvironment(dataset_name, space=space, seed=scale.seed)
+        per_index: dict[str, tuple[float, float]] = {}
+        for index_type in INDEX_TYPES:
+            configuration = default_configuration(space, index_type=index_type)
+            result = environment.evaluate(configuration)
+            per_index[index_type] = (result.qps, result.recall)
+        max_qps = max(v[0] for v in per_index.values()) or 1.0
+        results[dataset_name] = {
+            index_type: (qps / max_qps, recall) for index_type, (qps, recall) in per_index.items()
+        }
+    return results
+
+
+def figure3_optimization_curves(
+    dataset_name: str = "glove-small",
+    *,
+    num_samples: int = 20,
+    index_types: tuple[str, ...] = ("IVF_FLAT", "HNSW", "SCANN", "IVF_SQ8"),
+    speed_weight: float = 0.5,
+    scale: ExperimentScale | None = None,
+) -> dict[str, np.ndarray]:
+    """Best weighted performance vs number of uniform samples, per index type (Figure 3c)."""
+    scale = scale or current_scale()
+    space = build_milvus_space()
+    environment = VDMSTuningEnvironment(dataset_name, space=space, seed=scale.seed)
+    rng = np.random.default_rng(scale.seed)
+    curves: dict[str, np.ndarray] = {}
+    raw: dict[str, list[tuple[float, float]]] = {}
+    for index_type in index_types:
+        observations: list[tuple[float, float]] = []
+        for _ in range(num_samples):
+            values = space.sample_configuration(rng).to_dict()
+            values["index_type"] = index_type
+            result = environment.evaluate(space.configuration(values))
+            observations.append((result.qps, result.recall))
+        raw[index_type] = observations
+    max_qps = max(max(q for q, _ in obs) for obs in raw.values()) or 1.0
+    max_recall = max(max(r for _, r in obs) for obs in raw.values()) or 1.0
+    for index_type, observations in raw.items():
+        weighted = [
+            speed_weight * q / max_qps + (1.0 - speed_weight) * r / max_recall
+            for q, r in observations
+        ]
+        curves[index_type] = np.maximum.accumulate(np.array(weighted))
+    return curves

@@ -1,0 +1,86 @@
+"""User-preference experiment (Figure 12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.curves import best_so_far_curve, iterations_to_reach
+from repro.core.preference import PreferenceStageResult, run_preference_sequence
+from repro.experiments.settings import ExperimentScale, current_scale
+from repro.workloads.environment import VDMSTuningEnvironment
+
+__all__ = ["figure12_user_preference", "PreferenceComparison"]
+
+
+@dataclass
+class PreferenceComparison:
+    """Figure 12: three VDTuner variants under a sequence of recall preferences.
+
+    Attributes
+    ----------
+    recall_constraints:
+        The sequence of preferences (the paper uses 0.85 then 0.9).
+    stage_results:
+        Mode name → list of per-stage results.
+    best_speeds:
+        Mode name → list of best feasible speeds per stage.
+    samples_to_match_plain:
+        Mode name → list of iterations needed per stage to reach the best
+        feasible speed found by the "plain" variant (the efficiency claim of
+        the paper: the constraint model and bootstrapping need fewer samples).
+    """
+
+    recall_constraints: list[float]
+    stage_results: dict[str, list[PreferenceStageResult]]
+    best_speeds: dict[str, list[float]]
+    samples_to_match_plain: dict[str, list[int | None]]
+
+
+def figure12_user_preference(
+    dataset_name: str = "glove-small",
+    *,
+    recall_constraints: tuple[float, ...] = (0.85, 0.9),
+    scale: ExperimentScale | None = None,
+) -> PreferenceComparison:
+    """Run the three preference-handling variants of Section V-E."""
+    scale = scale or current_scale()
+    iterations = scale.preference_iterations
+
+    def make_environment() -> VDMSTuningEnvironment:
+        return VDMSTuningEnvironment(dataset_name, seed=scale.seed)
+
+    stage_results: dict[str, list[PreferenceStageResult]] = {}
+    for mode in ("plain", "constraint", "bootstrap"):
+        stage_results[mode] = run_preference_sequence(
+            make_environment,
+            list(recall_constraints),
+            mode=mode,
+            iterations_per_stage=iterations,
+            settings=scale.vdtuner_settings(num_iterations=iterations),
+        )
+
+    best_speeds: dict[str, list[float]] = {}
+    for mode, stages in stage_results.items():
+        best_speeds[mode] = [
+            float(best_so_far_curve(stage.report.history, recall_floor=stage.recall_constraint)[-1])
+            for stage in stages
+        ]
+
+    samples_to_match: dict[str, list[int | None]] = {}
+    for mode, stages in stage_results.items():
+        per_stage: list[int | None] = []
+        for position, stage in enumerate(stages):
+            target = best_speeds["plain"][position]
+            per_stage.append(
+                iterations_to_reach(
+                    stage.report.history, target, recall_floor=stage.recall_constraint
+                )
+            )
+        samples_to_match[mode] = per_stage
+
+    return PreferenceComparison(
+        recall_constraints=list(recall_constraints),
+        stage_results=stage_results,
+        best_speeds=best_speeds,
+        samples_to_match_plain=samples_to_match,
+    )

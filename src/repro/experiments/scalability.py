@@ -1,0 +1,83 @@
+"""Scalability experiment: a much larger dataset (Section V-E, "Larger Datasets")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.curves import iterations_to_reach, time_to_reach
+from repro.analysis.tradeoff import best_speed_at_sacrifice
+from repro.experiments.runner import run_tuner
+from repro.experiments.settings import ExperimentScale, current_scale
+
+__all__ = ["scalability_larger_dataset", "ScalabilityResult"]
+
+
+@dataclass
+class ScalabilityResult:
+    """VDTuner versus qEHVI on the larger deep-image-style dataset.
+
+    Attributes
+    ----------
+    dataset_name:
+        The dataset the comparison ran on.
+    recall_floor:
+        The recall requirement used for the comparison (0.99 in the paper).
+    vdtuner_best_speed, qehvi_best_speed:
+        Best feasible speed of each tuner.
+    speed_improvement:
+        Relative improvement of VDTuner over qEHVI.
+    tuning_speedup:
+        Ratio of the time qEHVI needs to reach its own best performance to
+        the time VDTuner needs to reach that same performance (> 1 means
+        VDTuner is faster).
+    """
+
+    dataset_name: str
+    recall_floor: float
+    vdtuner_best_speed: float
+    qehvi_best_speed: float
+    speed_improvement: float
+    tuning_speedup: float | None
+
+
+def scalability_larger_dataset(
+    dataset_name: str = "deep-image-small",
+    *,
+    recall_floor: float = 0.99,
+    scale: ExperimentScale | None = None,
+    dataset_scale: float | None = None,
+) -> ScalabilityResult:
+    """Compare VDTuner with the strongest baseline (qEHVI) on a larger dataset."""
+    scale = scale or current_scale()
+    # ``deep-image-small`` is already 10x GloVe; an explicit dataset_scale can
+    # shrink it further for quick runs (the fast scale uses a fraction).
+    if dataset_scale is None:
+        dataset_scale = 1.0 if scale.name == "full" else scale.scalability_scale / 10.0
+    iterations = max(10, scale.ablation_iterations // 2)
+
+    vdtuner_run = run_tuner(
+        "vdtuner", dataset_name, scale=scale, iterations=iterations, dataset_scale=dataset_scale
+    )
+    qehvi_run = run_tuner(
+        "qehvi", dataset_name, scale=scale, iterations=iterations, dataset_scale=dataset_scale
+    )
+
+    sacrifice = 1.0 - recall_floor
+    vdtuner_best = best_speed_at_sacrifice(vdtuner_run.report.history, sacrifice)
+    qehvi_best = best_speed_at_sacrifice(qehvi_run.report.history, sacrifice)
+
+    speedup = None
+    if qehvi_best > 0:
+        qehvi_time = time_to_reach(qehvi_run.report, qehvi_best, recall_floor=recall_floor)
+        vdtuner_time = time_to_reach(vdtuner_run.report, qehvi_best, recall_floor=recall_floor)
+        if qehvi_time and vdtuner_time and vdtuner_time > 0:
+            speedup = qehvi_time / vdtuner_time
+    improvement = 0.0 if qehvi_best <= 0 else (vdtuner_best - qehvi_best) / qehvi_best
+    return ScalabilityResult(
+        dataset_name=dataset_name,
+        recall_floor=recall_floor,
+        vdtuner_best_speed=float(vdtuner_best),
+        qehvi_best_speed=float(qehvi_best),
+        speed_improvement=float(improvement),
+        tuning_speedup=speedup,
+    )

@@ -1,0 +1,89 @@
+"""Experiment scale settings.
+
+The paper runs 200 tuning iterations per method per dataset on a 72-core
+server.  The simulated substrate is fast, but running every benchmark at
+paper scale still takes a while, so the harness has two scales:
+
+* **fast** (default): reduced iteration counts and candidate pools; the whole
+  benchmark suite completes in minutes while preserving the qualitative
+  comparisons (who wins, roughly by how much).
+* **full**: paper-scale iteration counts; enable by setting the environment
+  variable ``VDTUNER_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.tuner import VDTunerSettings
+
+__all__ = ["ExperimentScale", "current_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Iteration budgets and pool sizes used by the experiment harness.
+
+    Attributes
+    ----------
+    name:
+        ``"fast"`` or ``"full"``.
+    tuning_iterations:
+        Evaluations per tuner per dataset (200 in the paper).
+    preference_iterations:
+        Evaluations per user-preference stage (200 in the paper).
+    ablation_iterations:
+        Evaluations per ablation variant.
+    candidate_pool_size, ehvi_samples:
+        Acquisition-optimization effort per iteration.
+    grid_resolution:
+        Grid resolution of the Figure 1 parameter sweep.
+    scalability_scale:
+        Dataset scale factor of the "larger dataset" study (the paper uses a
+        dataset 10x the size of GloVe).
+    seed:
+        Base random seed shared by the harness.
+    """
+
+    name: str = "fast"
+    tuning_iterations: int = 36
+    preference_iterations: int = 18
+    ablation_iterations: int = 30
+    candidate_pool_size: int = 96
+    ehvi_samples: int = 32
+    grid_resolution: int = 5
+    scalability_scale: float = 3.0
+    seed: int = 7
+
+    def vdtuner_settings(self, **overrides) -> VDTunerSettings:
+        """Tuner settings matching this scale (overridable per experiment)."""
+        values = {
+            "num_iterations": self.tuning_iterations,
+            "abandon_window": max(3, self.tuning_iterations // 10),
+            "candidate_pool_size": self.candidate_pool_size,
+            "ehvi_samples": self.ehvi_samples,
+            "seed": self.seed,
+        }
+        values.update(overrides)
+        return VDTunerSettings(**values)
+
+
+_FULL_SCALE = ExperimentScale(
+    name="full",
+    tuning_iterations=200,
+    preference_iterations=200,
+    ablation_iterations=100,
+    candidate_pool_size=192,
+    ehvi_samples=64,
+    grid_resolution=8,
+    scalability_scale=10.0,
+    seed=7,
+)
+
+
+def current_scale() -> ExperimentScale:
+    """The scale selected by the ``VDTUNER_FULL`` environment variable."""
+    if os.environ.get("VDTUNER_FULL", "").strip() in ("1", "true", "yes"):
+        return _FULL_SCALE
+    return ExperimentScale()

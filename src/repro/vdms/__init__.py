@@ -1,0 +1,62 @@
+"""A self-contained, Milvus-like vector data management system (VDMS).
+
+This package is the substrate the tuner optimizes.  It provides:
+
+* real approximate-nearest-neighbour index implementations (FLAT, IVF_FLAT,
+  IVF_SQ8, IVF_PQ, HNSW, SCANN, AUTOINDEX) built on NumPy, so recall is
+  measured rather than modelled;
+* a segment-based storage layer (growing/sealed segments, insert buffer)
+  whose behaviour is governed by the seven system parameters of the tuning
+  space;
+* a deterministic cost model that converts the *counted work* of a search
+  (distance evaluations, graph hops, segments touched) plus the system
+  configuration into search speed (QPS), latency and memory usage;
+* a :class:`VectorDBServer` facade exposing a Milvus-like client API
+  (``create_collection``, ``insert``, ``flush``, ``create_index``,
+  ``search``, ``drop_index``, ``apply_system_config``).
+"""
+
+from repro.vdms.collection import Collection, SearchResult
+from repro.vdms.cost_model import CostModel, PerformanceReport
+from repro.vdms.distance import normalize_rows, pairwise_distances
+from repro.vdms.errors import (
+    CollectionNotFoundError,
+    IndexBuildError,
+    IndexNotBuiltError,
+    InvalidConfigurationError,
+    VDMSError,
+)
+from repro.vdms.index import (
+    INDEX_REGISTRY,
+    BuildStats,
+    SearchStats,
+    VectorIndex,
+    create_index,
+)
+from repro.vdms.segment import Segment, SegmentManager, SegmentState
+from repro.vdms.server import VectorDBServer
+from repro.vdms.system_config import SystemConfig
+
+__all__ = [
+    "BuildStats",
+    "Collection",
+    "CollectionNotFoundError",
+    "CostModel",
+    "INDEX_REGISTRY",
+    "IndexBuildError",
+    "IndexNotBuiltError",
+    "InvalidConfigurationError",
+    "PerformanceReport",
+    "SearchResult",
+    "SearchStats",
+    "Segment",
+    "SegmentManager",
+    "SegmentState",
+    "SystemConfig",
+    "VDMSError",
+    "VectorDBServer",
+    "VectorIndex",
+    "create_index",
+    "normalize_rows",
+    "pairwise_distances",
+]

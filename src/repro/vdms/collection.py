@@ -1,0 +1,271 @@
+"""Collections: the unit of storage, indexing and search.
+
+A collection owns a :class:`~repro.vdms.segment.SegmentManager`, builds one
+index per sealed segment, answers top-K searches by merging per-segment
+results (sealed segments through their index, growing segments by brute
+force), and exposes the profile the cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, MutableMapping
+
+import numpy as np
+
+from repro.vdms.cost_model import CollectionProfile
+from repro.vdms.distance import METRICS, pairwise_distances, prepare_vectors
+from repro.vdms.errors import IndexBuildError, IndexNotBuiltError
+from repro.vdms.index import INDEX_REGISTRY, create_index
+from repro.vdms.index.base import BuildStats, SearchStats, VectorIndex
+from repro.vdms.segment import Segment, SegmentManager
+from repro.vdms.system_config import SystemConfig
+
+__all__ = ["Collection", "SearchResult", "STRUCTURAL_PARAMETERS"]
+
+#: Build-time (structural) parameters per index type: changing one of these
+#: requires rebuilding the index, while the remaining Table I parameters are
+#: search-time only.
+STRUCTURAL_PARAMETERS: dict[str, tuple[str, ...]] = {
+    "FLAT": (),
+    "IVF_FLAT": ("nlist",),
+    "IVF_SQ8": ("nlist",),
+    "IVF_PQ": ("nlist", "pq_m", "pq_nbits"),
+    "HNSW": ("hnsw_m", "ef_construction"),
+    "SCANN": ("nlist",),
+    "AUTOINDEX": (),
+}
+
+
+@dataclass
+class SearchResult:
+    """Result of a top-K search over a collection.
+
+    Attributes
+    ----------
+    ids:
+        Retrieved external ids, shape ``(q, top_k)``, padded with ``-1``.
+    distances:
+        Corresponding metric values (smaller is better).
+    stats:
+        Aggregate counted work across all segments.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    stats: SearchStats
+
+
+class Collection:
+    """A named collection of vectors with per-segment indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        dimension: int,
+        metric: str = "angular",
+        system_config: SystemConfig | None = None,
+        *,
+        index_cache: MutableMapping[tuple, VectorIndex] | None = None,
+    ) -> None:
+        if metric not in METRICS:
+            raise ValueError(f"unsupported metric {metric!r}")
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self.name = name
+        self.dimension = int(dimension)
+        self.metric = metric
+        self.system_config = system_config or SystemConfig()
+        self._segments = SegmentManager(dimension=self.dimension, system_config=self.system_config)
+        self._segment_indexes: dict[int, VectorIndex] = {}
+        self._index_type: str | None = None
+        self._index_params: dict[str, Any] = {}
+        self._index_cache = index_cache
+        self._next_auto_id = 0
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def insert(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> int:
+        """Insert vectors; returns the number of rows accepted."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if ids is None:
+            ids = np.arange(self._next_auto_id, self._next_auto_id + vectors.shape[0], dtype=np.int64)
+        ids = np.asarray(ids, dtype=np.int64)
+        self._next_auto_id = int(max(self._next_auto_id, ids.max() + 1)) if ids.size else self._next_auto_id
+        accepted = self._segments.insert(vectors, ids)
+        return accepted
+
+    def flush(self) -> int:
+        """Seal full segments; returns the number of sealed segments afterwards."""
+        self._segments.flush()
+        # Any previously built indexes no longer match the segment layout.
+        self._segment_indexes.clear()
+        return len(self._segments.sealed_segments)
+
+    # -- indexing -----------------------------------------------------------------
+
+    @property
+    def index_type(self) -> str | None:
+        """Currently built index type, or ``None``."""
+        return self._index_type
+
+    @property
+    def has_index(self) -> bool:
+        """Whether an index is currently built over the sealed segments."""
+        return self._index_type is not None
+
+    def drop_index(self) -> None:
+        """Drop the current index (the collection remains searchable by brute force only)."""
+        self._segment_indexes.clear()
+        self._index_type = None
+        self._index_params = {}
+
+    def _structural_signature(self, index_type: str, params: Mapping[str, Any]) -> tuple:
+        names = STRUCTURAL_PARAMETERS[index_type]
+        return tuple((name, int(params[name])) for name in names if name in params)
+
+    @staticmethod
+    def _segment_fingerprint(segment: Segment) -> tuple:
+        ids = segment.ids
+        return (int(ids[0]), int(ids[-1]), int(ids.shape[0]))
+
+    def create_index(self, index_type: str, params: Mapping[str, Any] | None = None) -> list[BuildStats]:
+        """Build (or rebuild) the index over every sealed segment.
+
+        Parameters
+        ----------
+        index_type:
+            One of the registered index types.
+        params:
+            The holistic parameter mapping; only the parameters relevant to
+            ``index_type`` are used.
+
+        Returns
+        -------
+        list of BuildStats
+            One entry per sealed segment (possibly served from the shared
+            build cache, in which case the stats describe the original
+            build — the real system re-does the work either way, which is
+            what the cost model charges for).
+        """
+        if index_type not in INDEX_REGISTRY:
+            raise IndexBuildError(f"unknown index type {index_type!r}")
+        params = dict(params or {})
+        sealed = self._segments.sealed_segments
+        self._segment_indexes.clear()
+        build_stats: list[BuildStats] = []
+        signature = self._structural_signature(index_type, params)
+        for segment in sealed:
+            cache_key = (self.metric, self._segment_fingerprint(segment), index_type, signature)
+            index: VectorIndex | None = None
+            if self._index_cache is not None:
+                index = self._index_cache.get(cache_key)
+            if index is None:
+                index = create_index(index_type, metric=self.metric, **params)
+                index.build(segment.vectors, segment.ids)
+                if self._index_cache is not None:
+                    self._index_cache[cache_key] = index
+            index.set_search_params(**{k: v for k, v in params.items() if k in VectorIndex.SEARCH_TIME_PARAMETERS})
+            self._segment_indexes[segment.segment_id] = index
+            build_stats.append(index.build_stats)
+        self._index_type = index_type
+        self._index_params = params
+        return build_stats
+
+    def set_search_params(self, **params: Any) -> None:
+        """Update search-time parameters on every per-segment index."""
+        for index in self._segment_indexes.values():
+            index.set_search_params(**params)
+        self._index_params.update(params)
+
+    # -- search --------------------------------------------------------------------
+
+    def search(self, queries: np.ndarray, top_k: int) -> SearchResult:
+        """Top-K search across sealed (indexed) and growing (brute-force) segments."""
+        if self._segments.num_rows == 0:
+            raise IndexNotBuiltError("collection is empty; insert and flush before searching")
+        sealed = self._segments.sealed_segments
+        if sealed and not self.has_index:
+            raise IndexNotBuiltError("no index built; call create_index first")
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        top_k = int(top_k)
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+
+        stats = SearchStats(num_queries=queries.shape[0])
+        candidate_ids: list[np.ndarray] = []
+        candidate_distances: list[np.ndarray] = []
+
+        for segment in sealed:
+            index = self._segment_indexes[segment.segment_id]
+            ids, distances, segment_stats = index.search(queries, top_k)
+            stats.merge(segment_stats)
+            candidate_ids.append(ids)
+            candidate_distances.append(distances)
+
+        prepared_queries = prepare_vectors(queries, self.metric)
+        for segment in self._segments.growing_segments:
+            prepared_rows = prepare_vectors(segment.vectors, self.metric)
+            distances = pairwise_distances(prepared_queries, prepared_rows, self.metric)
+            stats.distance_evaluations += int(queries.shape[0]) * segment.num_rows
+            stats.segments_searched += int(queries.shape[0])
+            keep = min(top_k, segment.num_rows)
+            positions, ordered = VectorIndex._top_k_from_distances(distances, keep)
+            ids = segment.ids[positions]
+            if keep < top_k:
+                ids = np.pad(ids, ((0, 0), (0, top_k - keep)), constant_values=-1)
+                ordered = np.pad(ordered, ((0, 0), (0, top_k - keep)), constant_values=np.inf)
+            candidate_ids.append(ids)
+            candidate_distances.append(ordered)
+
+        merged_ids = np.concatenate(candidate_ids, axis=1)
+        merged_distances = np.concatenate(candidate_distances, axis=1)
+        # Invalid (-1 padded) entries carry infinite distance, so a plain
+        # top-k merge pushes them to the tail automatically.
+        merged_distances = np.where(merged_ids < 0, np.inf, merged_distances)
+        positions, ordered = VectorIndex._top_k_from_distances(merged_distances, top_k)
+        final_ids = np.take_along_axis(merged_ids, positions, axis=1)
+        final_ids = np.where(np.isfinite(ordered), final_ids, -1)
+        return SearchResult(ids=final_ids.astype(np.int64), distances=ordered, stats=stats)
+
+    # -- inspection ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Total rows stored (excluding unflushed buffers)."""
+        return self._segments.num_rows
+
+    @property
+    def num_sealed_segments(self) -> int:
+        """Number of sealed segments."""
+        return len(self._segments.sealed_segments)
+
+    @property
+    def num_growing_rows(self) -> int:
+        """Rows currently in growing segments."""
+        return sum(s.num_rows for s in self._segments.growing_segments)
+
+    def index_bytes(self) -> int:
+        """Bytes occupied by the index structures of all sealed segments."""
+        return sum(index.memory_bytes() for index in self._segment_indexes.values())
+
+    def profile(self) -> CollectionProfile:
+        """Snapshot of the facts the cost model needs."""
+        return CollectionProfile(
+            dimension=self.dimension,
+            total_rows=self.num_rows,
+            sealed_segments=self.num_sealed_segments,
+            growing_rows=self.num_growing_rows,
+            raw_bytes=self._segments.raw_bytes(),
+            index_bytes=self.index_bytes(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Collection(name={self.name!r}, rows={self.num_rows}, "
+            f"sealed_segments={self.num_sealed_segments}, index={self._index_type!r})"
+        )

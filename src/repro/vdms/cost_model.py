@@ -1,0 +1,239 @@
+"""Deterministic cost model: counted work + system configuration → performance.
+
+The model converts a :class:`~repro.vdms.index.base.SearchStats` record (the
+work a search actually performed) into latency, throughput (QPS) and memory,
+taking the system configuration into account.  Nothing is timed, so repeated
+evaluations of the same configuration are bit-identical and independent of
+the host machine, while the *relative* costs — full-precision scoring versus
+quantized scoring, per-segment overheads, consistency blocking, thread and
+replica scaling — reproduce the qualitative behaviour the paper relies on.
+
+Calibration: the constants are chosen so the default configuration of the
+bundled ``glove-small`` dataset lands in the high hundreds of QPS and a few
+GiB of memory, the same order of magnitude as the paper's Milvus testbed,
+because the synthetic datasets stand in for corpora that are two to three
+orders of magnitude larger (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vdms.index.base import BuildStats, SearchStats
+from repro.vdms.system_config import SystemConfig
+
+__all__ = ["CostModel", "PerformanceReport", "CollectionProfile"]
+
+
+@dataclass(frozen=True)
+class CollectionProfile:
+    """The facts about a collection the cost model needs.
+
+    Attributes
+    ----------
+    dimension:
+        Vector dimensionality.
+    total_rows:
+        Rows stored across all segments.
+    sealed_segments:
+        Number of sealed (indexed) segments.
+    growing_rows:
+        Rows currently in growing (unindexed) segments.
+    raw_bytes:
+        Raw vector storage bytes.
+    index_bytes:
+        Bytes of index structures across all sealed segments.
+    """
+
+    dimension: int
+    total_rows: int
+    sealed_segments: int
+    growing_rows: int
+    raw_bytes: int
+    index_bytes: int
+
+
+@dataclass
+class PerformanceReport:
+    """Performance of one configuration under one workload.
+
+    Attributes
+    ----------
+    qps:
+        Search throughput in requests per second.
+    recall:
+        Measured recall@k of the replayed workload.
+    latency_ms:
+        Mean per-request latency in milliseconds.
+    memory_gib:
+        Simulated resident memory in GiB.
+    build_seconds:
+        Simulated index build (and data load) time in seconds.
+    replay_seconds:
+        Simulated total replay time in seconds (build + query phase).
+    failed:
+        Whether the evaluation is considered failed (replay exceeded the
+        timeout, mirroring the paper's 15-minute replay limit).
+    breakdown:
+        Free-form cost breakdown for analysis and attribution.
+    """
+
+    qps: float
+    recall: float
+    latency_ms: float
+    memory_gib: float
+    build_seconds: float
+    replay_seconds: float
+    failed: bool = False
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+
+class CostModel:
+    """Converts counted work into simulated time and memory."""
+
+    #: Microseconds per full-precision distance evaluation, per dimension.
+    FULL_EVAL_US_PER_DIM = 0.15
+    #: Microseconds per quantized-code evaluation, per dimension.
+    CODE_EVAL_US_PER_DIM = 0.035
+    #: Microseconds per coarse (centroid / upper-layer) evaluation, per dimension.
+    COARSE_EVAL_US_PER_DIM = 0.15
+    #: Microseconds per graph-node expansion (heap and visited-set upkeep).
+    GRAPH_HOP_US = 1.5
+    #: Fixed microseconds per request (parsing, scheduling, result assembly).
+    REQUEST_OVERHEAD_US = 250.0
+    #: Microseconds per (segment, query) pair visited.
+    SEGMENT_OVERHEAD_US = 120.0
+    #: Microseconds per chunk boundary crossed while scanning a segment.
+    CHUNK_OVERHEAD_US = 6.0
+    #: Extra microseconds per row when chunks are so large they thrash caches.
+    LARGE_CHUNK_PENALTY_US = 0.0004
+    #: Consistency blocking: microseconds of wait per millisecond of graceful-time deficit.
+    BLOCKING_US_PER_MS = 2.5
+    #: Baseline staleness (ms) a query must tolerate before blocking starts.
+    BASE_STALENESS_MS = 800.0
+    #: Additional staleness per growing row (ms).
+    STALENESS_MS_PER_GROWING_ROW = 6.0
+    #: Diminishing-returns coefficient for intra-query threading.
+    THREAD_SCALING = 0.30
+    #: Memory inflation: simulated bytes stand for this many real bytes.
+    MEMORY_SCALE = 2_000.0
+    #: Simulated seconds per unit of build work (distance evaluations x dimension).
+    BUILD_SECONDS_PER_WORK = 4.0e-7
+    #: Fixed simulated seconds per index build (data load, serialization).
+    BUILD_FIXED_SECONDS = 20.0
+    #: Simulated replayed requests per workload (the paper replays large batches).
+    SIMULATED_REQUESTS = 10_000
+    #: Simulated replay timeout in seconds (the paper uses 15 minutes).
+    REPLAY_TIMEOUT_SECONDS = 900.0
+
+    def __init__(self, system_config: SystemConfig):
+        self.system_config = system_config
+
+    # -- per-query latency -------------------------------------------------------
+
+    def query_work_microseconds(self, stats: SearchStats, profile: CollectionProfile) -> dict[str, float]:
+        """Break one *average query's* work into microsecond components."""
+        queries = max(1, stats.num_queries)
+        dimension = profile.dimension
+        per_query = {
+            "full_scoring": stats.distance_evaluations / queries * self.FULL_EVAL_US_PER_DIM * dimension,
+            "code_scoring": stats.code_evaluations / queries * self.CODE_EVAL_US_PER_DIM * dimension,
+            "coarse_scoring": stats.coarse_evaluations / queries * self.COARSE_EVAL_US_PER_DIM * dimension,
+            "reorder_scoring": stats.reorder_evaluations / queries * self.FULL_EVAL_US_PER_DIM * dimension,
+            "graph_traversal": stats.graph_hops / queries * self.GRAPH_HOP_US,
+        }
+
+        # Per-segment and per-chunk overheads.
+        segments_per_query = stats.segments_searched / queries
+        rows_per_segment = profile.total_rows / max(1, profile.sealed_segments + (1 if profile.growing_rows else 0))
+        chunks_per_segment = max(1.0, rows_per_segment / self.system_config.chunk_rows)
+        per_query["segment_overhead"] = segments_per_query * self.SEGMENT_OVERHEAD_US
+        per_query["chunk_overhead"] = segments_per_query * chunks_per_segment * self.CHUNK_OVERHEAD_US
+        per_query["large_chunk_penalty"] = (
+            segments_per_query * self.system_config.chunk_rows * self.LARGE_CHUNK_PENALTY_US
+        )
+
+        # Consistency blocking caused by a too-small graceful time.
+        staleness = self.BASE_STALENESS_MS + self.STALENESS_MS_PER_GROWING_ROW * profile.growing_rows
+        deficit = max(0.0, staleness - self.system_config.graceful_time)
+        per_query["consistency_blocking"] = deficit * self.BLOCKING_US_PER_MS
+
+        per_query["request_overhead"] = self.REQUEST_OVERHEAD_US
+        return per_query
+
+    def query_latency_microseconds(self, stats: SearchStats, profile: CollectionProfile) -> tuple[float, dict[str, float]]:
+        """Mean per-request latency in microseconds and its breakdown."""
+        breakdown = self.query_work_microseconds(stats, profile)
+        parallelizable = sum(
+            breakdown[key]
+            for key in (
+                "full_scoring",
+                "code_scoring",
+                "coarse_scoring",
+                "reorder_scoring",
+                "graph_traversal",
+                "chunk_overhead",
+                "large_chunk_penalty",
+            )
+        )
+        serial = (
+            breakdown["segment_overhead"]
+            + breakdown["consistency_blocking"]
+            + breakdown["request_overhead"]
+        )
+        threads = self.system_config.query_node_threads
+        speedup = 1.0 + self.THREAD_SCALING * (threads - 1) ** 0.85 if threads > 1 else 1.0
+        latency = serial + parallelizable / speedup
+        breakdown["effective_thread_speedup"] = speedup
+        return latency, breakdown
+
+    # -- throughput and memory ----------------------------------------------------
+
+    def throughput_qps(self, latency_us: float, concurrency: int) -> float:
+        """Requests per second at the effective concurrency level."""
+        effective = self.system_config.effective_concurrency(concurrency)
+        if latency_us <= 0:
+            return float("inf")
+        return effective / (latency_us * 1e-6)
+
+    def memory_gib(self, profile: CollectionProfile) -> float:
+        """Simulated resident memory in GiB."""
+        replicas = self.system_config.replica_number
+        data_bytes = (profile.raw_bytes + profile.index_bytes) * self.MEMORY_SCALE * replicas
+        buffer_bytes = self.system_config.insert_buf_size * 1024.0 * 1024.0
+        segment_overhead_bytes = (profile.sealed_segments + 1) * 16.0 * 1024.0 * 1024.0
+        total = data_bytes + buffer_bytes + segment_overhead_bytes
+        return float(total / (1024.0 ** 3))
+
+    def build_seconds(self, build_stats: list[BuildStats], profile: CollectionProfile) -> float:
+        """Simulated index build (plus data load) time."""
+        work = sum(stats.distance_evaluations for stats in build_stats) * profile.dimension
+        return self.BUILD_FIXED_SECONDS + work * self.BUILD_SECONDS_PER_WORK
+
+    # -- the headline entry point ---------------------------------------------------
+
+    def evaluate(
+        self,
+        stats: SearchStats,
+        profile: CollectionProfile,
+        build_stats: list[BuildStats],
+        recall: float,
+        concurrency: int = 10,
+    ) -> PerformanceReport:
+        """Produce the full performance report for one replayed workload."""
+        latency_us, breakdown = self.query_latency_microseconds(stats, profile)
+        qps = self.throughput_qps(latency_us, concurrency)
+        memory = self.memory_gib(profile)
+        build = self.build_seconds(build_stats, profile)
+        replay = build + self.SIMULATED_REQUESTS / max(qps, 1e-9)
+        failed = replay > self.REPLAY_TIMEOUT_SECONDS
+        return PerformanceReport(
+            qps=float(qps),
+            recall=float(recall),
+            latency_ms=float(latency_us / 1000.0),
+            memory_gib=float(memory),
+            build_seconds=float(build),
+            replay_seconds=float(replay),
+            failed=bool(failed),
+            breakdown={key: float(value) for key, value in breakdown.items()},
+        )

@@ -1,0 +1,66 @@
+"""Distance kernels shared by every index implementation.
+
+Three metrics are supported, mirroring the options of the real system:
+
+``"l2"``
+    Squared Euclidean distance (monotone with Euclidean, cheaper to compute).
+``"ip"``
+    Negative inner product, so that *smaller is better* like the others.
+``"angular"``
+    Cosine distance, computed as squared Euclidean distance between
+    L2-normalized vectors (a strictly monotone transform of the angle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalize_rows", "pairwise_distances", "prepare_vectors", "METRICS"]
+
+#: Supported metric names.
+METRICS: tuple[str, ...] = ("l2", "ip", "angular")
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Return a copy of ``matrix`` with every row scaled to unit L2 norm.
+
+    Zero rows are left untouched (they would otherwise produce NaNs).
+    """
+    matrix = np.asarray(matrix, dtype=np.float32)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return matrix / norms
+
+
+def prepare_vectors(matrix: np.ndarray, metric: str) -> np.ndarray:
+    """Pre-process vectors for a metric (normalization for ``angular``)."""
+    if metric not in METRICS:
+        raise ValueError(f"unsupported metric {metric!r}")
+    matrix = np.asarray(matrix, dtype=np.float32)
+    if metric == "angular":
+        return normalize_rows(matrix)
+    return np.ascontiguousarray(matrix)
+
+
+def pairwise_distances(queries: np.ndarray, vectors: np.ndarray, metric: str) -> np.ndarray:
+    """Compute the full ``(q, n)`` distance matrix between queries and vectors.
+
+    Smaller values always mean "more similar", regardless of metric.
+    """
+    if metric not in METRICS:
+        raise ValueError(f"unsupported metric {metric!r}")
+    queries = np.asarray(queries, dtype=np.float32)
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    if metric == "ip":
+        return -(queries @ vectors.T)
+    if metric == "angular":
+        queries = normalize_rows(queries)
+        vectors = normalize_rows(vectors)
+    # Squared Euclidean distance via the expansion ||a-b||^2 = ||a||^2 - 2ab + ||b||^2.
+    query_norms = np.einsum("ij,ij->i", queries, queries)[:, None]
+    vector_norms = np.einsum("ij,ij->i", vectors, vectors)[None, :]
+    distances = query_norms - 2.0 * (queries @ vectors.T) + vector_norms
+    np.maximum(distances, 0.0, out=distances)
+    return distances

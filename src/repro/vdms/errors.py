@@ -1,0 +1,31 @@
+"""Exception hierarchy of the simulated VDMS."""
+
+from __future__ import annotations
+
+__all__ = [
+    "VDMSError",
+    "CollectionNotFoundError",
+    "IndexNotBuiltError",
+    "IndexBuildError",
+    "InvalidConfigurationError",
+]
+
+
+class VDMSError(Exception):
+    """Base class for every error raised by the simulated VDMS."""
+
+
+class CollectionNotFoundError(VDMSError):
+    """Raised when an operation references a collection that does not exist."""
+
+
+class IndexNotBuiltError(VDMSError):
+    """Raised when a search is issued against a collection without an index."""
+
+
+class IndexBuildError(VDMSError):
+    """Raised when an index cannot be built with the given parameters."""
+
+
+class InvalidConfigurationError(VDMSError):
+    """Raised when a system or index configuration value is out of range."""

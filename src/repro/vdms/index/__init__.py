@@ -1,0 +1,79 @@
+"""Approximate-nearest-neighbour index implementations.
+
+Every index type of the paper's Table I is implemented from scratch on
+NumPy:
+
+================  ====================================================
+Index type        Algorithm
+================  ====================================================
+``FLAT``          Exhaustive brute-force scan.
+``IVF_FLAT``      k-means coarse quantizer + exact scan of probed lists.
+``IVF_SQ8``       IVF with per-dimension 8-bit scalar quantization.
+``IVF_PQ``        IVF with product quantization (ADC scoring).
+``HNSW``          Hierarchical navigable-small-world graph.
+``SCANN``         IVF with quantized scoring plus exact re-ranking of the
+                  ``reorder_k`` best candidates.
+``AUTOINDEX``     The system's own fixed "reasonable default" (HNSW-based).
+================  ====================================================
+
+Each index reports :class:`SearchStats` — the counted work a search
+performed — which the cost model converts into latency and throughput.
+"""
+
+from repro.vdms.index.base import BuildStats, SearchStats, VectorIndex
+from repro.vdms.index.flat import FlatIndex
+from repro.vdms.index.ivf_flat import IVFFlatIndex
+from repro.vdms.index.ivf_sq8 import IVFSQ8Index
+from repro.vdms.index.ivf_pq import IVFPQIndex
+from repro.vdms.index.hnsw import HNSWIndex
+from repro.vdms.index.scann import ScannIndex
+from repro.vdms.index.autoindex import AutoIndex
+from repro.vdms.index.kmeans import KMeansResult, kmeans
+
+__all__ = [
+    "AutoIndex",
+    "BuildStats",
+    "FlatIndex",
+    "HNSWIndex",
+    "INDEX_REGISTRY",
+    "IVFFlatIndex",
+    "IVFPQIndex",
+    "IVFSQ8Index",
+    "KMeansResult",
+    "ScannIndex",
+    "SearchStats",
+    "VectorIndex",
+    "create_index",
+    "kmeans",
+]
+
+#: Map from index-type name to implementation class.
+INDEX_REGISTRY: dict[str, type[VectorIndex]] = {
+    "FLAT": FlatIndex,
+    "IVF_FLAT": IVFFlatIndex,
+    "IVF_SQ8": IVFSQ8Index,
+    "IVF_PQ": IVFPQIndex,
+    "HNSW": HNSWIndex,
+    "SCANN": ScannIndex,
+    "AUTOINDEX": AutoIndex,
+}
+
+
+def create_index(index_type: str, metric: str = "angular", **params) -> VectorIndex:
+    """Instantiate an index by type name.
+
+    Parameters
+    ----------
+    index_type:
+        One of the keys of :data:`INDEX_REGISTRY`.
+    metric:
+        Distance metric the index will be built for.
+    params:
+        Index-specific build/search parameters (``nlist``, ``hnsw_m``, ...).
+        Parameters not understood by the index type are ignored, matching the
+        holistic-space semantics where every configuration carries every
+        parameter.
+    """
+    if index_type not in INDEX_REGISTRY:
+        raise KeyError(f"unknown index type {index_type!r}; known: {sorted(INDEX_REGISTRY)}")
+    return INDEX_REGISTRY[index_type](metric=metric, **params)

@@ -1,0 +1,253 @@
+"""Index base class and the work-accounting records.
+
+The cost model never times anything: it converts the *counted work* an index
+reports (how many full-precision distances, how many quantized-code scores,
+how many graph hops, ...) into time.  This keeps every evaluation
+deterministic and independent of the host machine while preserving the
+relative costs that drive the paper's trade-offs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.vdms.distance import METRICS, prepare_vectors
+from repro.vdms.errors import IndexNotBuiltError
+
+__all__ = ["SearchStats", "BuildStats", "VectorIndex"]
+
+
+@dataclass
+class SearchStats:
+    """Counted work performed while answering a batch of queries.
+
+    Attributes
+    ----------
+    num_queries:
+        Number of queries in the batch.
+    distance_evaluations:
+        Full-precision distance computations (cost ~ vector dimension).
+    coarse_evaluations:
+        Distances to coarse-quantizer centroids or upper-layer graph nodes.
+    code_evaluations:
+        Distances evaluated on compressed codes (SQ8 / PQ lookup), cheaper
+        than full-precision evaluations.
+    reorder_evaluations:
+        Full-precision distances spent re-ranking quantized candidates.
+    graph_hops:
+        Node expansions performed while traversing a proximity graph.
+    segments_searched:
+        Number of (segment, query) pairs visited.
+    """
+
+    num_queries: int = 0
+    distance_evaluations: int = 0
+    coarse_evaluations: int = 0
+    code_evaluations: int = 0
+    reorder_evaluations: int = 0
+    graph_hops: int = 0
+    segments_searched: int = 0
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Accumulate another stats record into this one (in place)."""
+        self.num_queries = max(self.num_queries, other.num_queries)
+        self.distance_evaluations += other.distance_evaluations
+        self.coarse_evaluations += other.coarse_evaluations
+        self.code_evaluations += other.code_evaluations
+        self.reorder_evaluations += other.reorder_evaluations
+        self.graph_hops += other.graph_hops
+        self.segments_searched += other.segments_searched
+        return self
+
+    def total_work(self) -> int:
+        """Total number of elementary scoring operations (all kinds)."""
+        return (
+            self.distance_evaluations
+            + self.coarse_evaluations
+            + self.code_evaluations
+            + self.reorder_evaluations
+        )
+
+
+@dataclass
+class BuildStats:
+    """Counted work performed while building an index.
+
+    Attributes
+    ----------
+    num_vectors:
+        Number of vectors indexed.
+    distance_evaluations:
+        Full-precision distance computations spent during construction
+        (k-means assignment steps, graph neighbour selection, ...).
+    training_iterations:
+        Number of optimization passes (k-means iterations, PQ codebook
+        passes).
+    extra:
+        Free-form per-index diagnostics (number of levels, codebook sizes, ...).
+    """
+
+    num_vectors: int = 0
+    distance_evaluations: int = 0
+    training_iterations: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class VectorIndex(ABC):
+    """Abstract base class for all ANN indexes.
+
+    Subclasses implement :meth:`_build` and :meth:`_search`; this base class
+    handles metric-specific pre-processing, id bookkeeping and the
+    built/not-built lifecycle.
+    """
+
+    #: Registry name of the index type; overridden by subclasses.
+    index_type: str = "BASE"
+
+    def __init__(self, metric: str = "angular", **params: Any) -> None:
+        if metric not in METRICS:
+            raise ValueError(f"unsupported metric {metric!r}")
+        self.metric = metric
+        self.params = dict(params)
+        self._ids: np.ndarray | None = None
+        self._vectors: np.ndarray | None = None
+        self._build_stats: BuildStats | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._build_stats is not None
+
+    @property
+    def build_stats(self) -> BuildStats:
+        """Work accounting of the last build."""
+        if self._build_stats is None:
+            raise IndexNotBuiltError(f"{self.index_type} index has not been built")
+        return self._build_stats
+
+    @property
+    def size(self) -> int:
+        """Number of indexed vectors."""
+        return 0 if self._vectors is None else int(self._vectors.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the indexed vectors."""
+        if self._vectors is None:
+            raise IndexNotBuiltError(f"{self.index_type} index has not been built")
+        return int(self._vectors.shape[1])
+
+    def build(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> BuildStats:
+        """Build the index over ``vectors``.
+
+        Parameters
+        ----------
+        vectors:
+            Base vectors, shape ``(n, d)``.
+        ids:
+            External ids, shape ``(n,)``; defaults to ``0..n-1``.
+        """
+        vectors = prepare_vectors(vectors, self.metric)
+        if vectors.ndim != 2 or vectors.shape[0] == 0:
+            raise ValueError("vectors must be a non-empty 2-D array")
+        if ids is None:
+            ids = np.arange(vectors.shape[0], dtype=np.int64)
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.shape[0] != vectors.shape[0]:
+            raise ValueError("ids must have one entry per vector")
+        self._vectors = vectors
+        self._ids = ids
+        self._build_stats = self._build(vectors)
+        self._build_stats.num_vectors = vectors.shape[0]
+        return self._build_stats
+
+    def search(self, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        """Search the index.
+
+        Returns ``(ids, distances, stats)`` where ``ids`` has shape
+        ``(q, top_k)`` (padded with ``-1`` when fewer results exist) and
+        ``distances`` the corresponding metric values.
+        """
+        if not self.is_built:
+            raise IndexNotBuiltError(f"{self.index_type} index has not been built")
+        queries = prepare_vectors(queries, self.metric)
+        if queries.ndim != 2:
+            raise ValueError("queries must be a 2-D array")
+        if queries.shape[1] != self.dimension:
+            raise ValueError("query dimension does not match the index")
+        top_k = int(top_k)
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        positions, distances, stats = self._search(queries, min(top_k, self.size))
+        stats.num_queries = queries.shape[0]
+        ids = np.where(positions >= 0, self._ids[np.clip(positions, 0, self.size - 1)], -1)
+        if ids.shape[1] < top_k:
+            pad_width = top_k - ids.shape[1]
+            ids = np.pad(ids, ((0, 0), (0, pad_width)), constant_values=-1)
+            distances = np.pad(distances, ((0, 0), (0, pad_width)), constant_values=np.inf)
+        return ids.astype(np.int64), distances, stats
+
+    # -- search-time parameters -------------------------------------------------
+
+    #: Parameters that can change between searches without rebuilding.
+    SEARCH_TIME_PARAMETERS: tuple[str, ...] = ("nprobe", "ef_search", "reorder_k")
+
+    def set_search_params(self, **params: Any) -> None:
+        """Update search-time parameters (``nprobe``, ``ef_search``, ``reorder_k``).
+
+        Only parameters the concrete index type actually exposes are applied;
+        the rest are ignored, matching the holistic-configuration semantics.
+        Build-time (structural) parameters cannot be changed this way.
+        """
+        for name, value in params.items():
+            if name in self.SEARCH_TIME_PARAMETERS and hasattr(self, name):
+                setattr(self, name, int(value))
+                self.params[name] = int(value)
+
+    # -- memory accounting ----------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Bytes of memory the index structure occupies (excluding raw vectors)."""
+        return 0
+
+    # -- hooks for subclasses -------------------------------------------------
+
+    @abstractmethod
+    def _build(self, vectors: np.ndarray) -> BuildStats:
+        """Build the internal structure over pre-processed ``vectors``."""
+
+    @abstractmethod
+    def _search(
+        self, queries: np.ndarray, top_k: int
+    ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        """Search pre-processed ``queries``; return positions, distances, stats."""
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _top_k_from_distances(
+        distances: np.ndarray, top_k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Select the smallest ``top_k`` entries per row of a distance matrix."""
+        n = distances.shape[1]
+        top_k = min(top_k, n)
+        if top_k < n:
+            part = np.argpartition(distances, top_k - 1, axis=1)[:, :top_k]
+            part_distances = np.take_along_axis(distances, part, axis=1)
+            order = np.argsort(part_distances, axis=1)
+            positions = np.take_along_axis(part, order, axis=1)
+            ordered = np.take_along_axis(part_distances, order, axis=1)
+        else:
+            positions = np.argsort(distances, axis=1)
+            ordered = np.take_along_axis(distances, positions, axis=1)
+        return positions, ordered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "built" if self.is_built else "empty"
+        return f"{type(self).__name__}(metric={self.metric!r}, {state}, size={self.size})"

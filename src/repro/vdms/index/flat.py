@@ -1,0 +1,37 @@
+"""FLAT: exhaustive brute-force index.
+
+The exact baseline: every query is compared against every stored vector.
+Recall is always 1.0; search cost grows linearly with the collection size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vdms.distance import pairwise_distances
+from repro.vdms.index.base import BuildStats, SearchStats, VectorIndex
+
+__all__ = ["FlatIndex"]
+
+
+class FlatIndex(VectorIndex):
+    """Exhaustive scan over the raw vectors."""
+
+    index_type = "FLAT"
+
+    def _build(self, vectors: np.ndarray) -> BuildStats:
+        # Nothing to train: the raw vectors kept by the base class are the index.
+        return BuildStats(distance_evaluations=0, training_iterations=0)
+
+    def _search(self, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        distances = pairwise_distances(queries, self._vectors, self.metric)
+        positions, ordered = self._top_k_from_distances(distances, top_k)
+        stats = SearchStats(
+            distance_evaluations=int(queries.shape[0]) * self.size,
+            segments_searched=int(queries.shape[0]),
+        )
+        return positions, ordered, stats
+
+    def memory_bytes(self) -> int:
+        # The flat index stores nothing beyond the raw vectors.
+        return 0

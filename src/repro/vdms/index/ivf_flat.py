@@ -1,0 +1,93 @@
+"""IVF_FLAT: inverted-file index with exact in-list scoring.
+
+Build time: a k-means coarse quantizer with ``nlist`` centroids partitions
+the vectors into inverted lists.  Query time: the ``nprobe`` nearest lists
+are scanned exhaustively with full-precision distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vdms.distance import pairwise_distances
+from repro.vdms.index.base import BuildStats, SearchStats, VectorIndex
+from repro.vdms.index.kmeans import kmeans
+
+__all__ = ["IVFFlatIndex"]
+
+
+class IVFFlatIndex(VectorIndex):
+    """Inverted-file index scanning probed lists at full precision."""
+
+    index_type = "IVF_FLAT"
+
+    def __init__(self, metric: str = "angular", *, nlist: int = 128, nprobe: int = 16, seed: int = 0, **params) -> None:
+        super().__init__(metric=metric, nlist=nlist, nprobe=nprobe, **params)
+        self.nlist = int(nlist)
+        self.nprobe = int(nprobe)
+        self.seed = int(seed)
+        if self.nlist < 1:
+            raise ValueError("nlist must be >= 1")
+        if self.nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        self._centroids: np.ndarray | None = None
+        self._lists: list[np.ndarray] = []
+
+    # -- build ----------------------------------------------------------------
+
+    def _build(self, vectors: np.ndarray) -> BuildStats:
+        effective_nlist = max(1, min(self.nlist, vectors.shape[0]))
+        clustering = kmeans(vectors, effective_nlist, seed=self.seed)
+        self._centroids = clustering.centroids
+        self._lists = [
+            np.flatnonzero(clustering.assignments == list_id).astype(np.int64)
+            for list_id in range(clustering.centroids.shape[0])
+        ]
+        return BuildStats(
+            distance_evaluations=clustering.distance_evaluations,
+            training_iterations=clustering.iterations,
+            extra={"nlist": clustering.centroids.shape[0], "inertia": clustering.inertia},
+        )
+
+    # -- search ---------------------------------------------------------------
+
+    def _probed_candidates(self, queries: np.ndarray, nprobe: int) -> tuple[list[np.ndarray], SearchStats]:
+        """Return, per query, the candidate positions from the probed lists."""
+        coarse = pairwise_distances(queries, self._centroids, self.metric)
+        nprobe = max(1, min(nprobe, self._centroids.shape[0]))
+        probed = np.argpartition(coarse, nprobe - 1, axis=1)[:, :nprobe]
+        stats = SearchStats(coarse_evaluations=int(queries.shape[0]) * self._centroids.shape[0])
+        candidates = []
+        for row in probed:
+            lists = [self._lists[list_id] for list_id in row if self._lists[list_id].size]
+            if lists:
+                candidates.append(np.concatenate(lists))
+            else:
+                candidates.append(np.empty(0, dtype=np.int64))
+        return candidates, stats
+
+    def _search(self, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        candidates, stats = self._probed_candidates(queries, self.nprobe)
+        num_queries = queries.shape[0]
+        positions = np.full((num_queries, top_k), -1, dtype=np.int64)
+        distances = np.full((num_queries, top_k), np.inf, dtype=np.float32)
+        for query_index, candidate_positions in enumerate(candidates):
+            if candidate_positions.size == 0:
+                continue
+            query = queries[query_index : query_index + 1]
+            scores = pairwise_distances(query, self._vectors[candidate_positions], self.metric)[0]
+            stats.distance_evaluations += int(candidate_positions.size)
+            keep = min(top_k, candidate_positions.size)
+            order = np.argpartition(scores, keep - 1)[:keep] if keep < scores.size else np.arange(scores.size)
+            order = order[np.argsort(scores[order])]
+            positions[query_index, :keep] = candidate_positions[order]
+            distances[query_index, :keep] = scores[order]
+        stats.segments_searched = num_queries
+        return positions, distances, stats
+
+    def memory_bytes(self) -> int:
+        if self._centroids is None:
+            return 0
+        centroid_bytes = self._centroids.size * 4
+        list_bytes = sum(lst.size for lst in self._lists) * 8
+        return int(centroid_bytes + list_bytes)

@@ -1,0 +1,126 @@
+"""IVF_PQ: inverted-file index with product quantization.
+
+Vectors are split into ``pq_m`` sub-vectors; each sub-vector is quantized to
+one of ``2**pq_nbits`` codewords learned by k-means.  Probed lists are scored
+with asymmetric distance computation (ADC): the query builds one lookup
+table per sub-space and candidate distances are sums of table entries, which
+is much cheaper than full-precision scoring but loses accuracy — the classic
+PQ speed/recall trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vdms.index.base import BuildStats, SearchStats
+from repro.vdms.index.ivf_flat import IVFFlatIndex
+from repro.vdms.index.kmeans import kmeans
+
+__all__ = ["IVFPQIndex"]
+
+
+class IVFPQIndex(IVFFlatIndex):
+    """Inverted-file index with product-quantized residual-free codes."""
+
+    index_type = "IVF_PQ"
+
+    def __init__(
+        self,
+        metric: str = "angular",
+        *,
+        nlist: int = 128,
+        nprobe: int = 16,
+        pq_m: int = 8,
+        pq_nbits: int = 8,
+        seed: int = 0,
+        **params,
+    ) -> None:
+        super().__init__(metric=metric, nlist=nlist, nprobe=nprobe, seed=seed, **params)
+        self.pq_m = int(pq_m)
+        self.pq_nbits = int(pq_nbits)
+        if self.pq_m < 1:
+            raise ValueError("pq_m must be >= 1")
+        if not 1 <= self.pq_nbits <= 12:
+            raise ValueError("pq_nbits must be within [1, 12]")
+        self._codebooks: np.ndarray | None = None
+        self._codes: np.ndarray | None = None
+        self._sub_dimension = 0
+
+    # -- build ----------------------------------------------------------------
+
+    def _effective_m(self, dimension: int) -> int:
+        """Largest divisor of ``dimension`` not exceeding the requested ``pq_m``."""
+        for m in range(min(self.pq_m, dimension), 0, -1):
+            if dimension % m == 0:
+                return m
+        return 1
+
+    def _build(self, vectors: np.ndarray) -> BuildStats:
+        stats = super()._build(vectors)
+        dimension = vectors.shape[1]
+        m = self._effective_m(dimension)
+        self._sub_dimension = dimension // m
+        codewords = min(2 ** self.pq_nbits, vectors.shape[0])
+        codebooks = np.zeros((m, codewords, self._sub_dimension), dtype=np.float32)
+        codes = np.zeros((vectors.shape[0], m), dtype=np.int32)
+        training_evaluations = 0
+        iterations = 0
+        for sub in range(m):
+            block = vectors[:, sub * self._sub_dimension : (sub + 1) * self._sub_dimension]
+            clustering = kmeans(block, codewords, seed=self.seed + 101 + sub, max_iterations=8)
+            actual = clustering.centroids.shape[0]
+            codebooks[sub, :actual] = clustering.centroids
+            if actual < codewords:
+                codebooks[sub, actual:] = clustering.centroids[-1]
+            codes[:, sub] = clustering.assignments
+            training_evaluations += clustering.distance_evaluations
+            iterations = max(iterations, clustering.iterations)
+        self._codebooks = codebooks
+        self._codes = codes
+        stats.distance_evaluations += training_evaluations
+        stats.training_iterations += iterations
+        stats.extra.update({"pq_m": m, "pq_codewords": codewords})
+        return stats
+
+    # -- search ---------------------------------------------------------------
+
+    def _adc_tables(self, query: np.ndarray) -> np.ndarray:
+        """Build the per-sub-space lookup tables for one query."""
+        m, codewords, sub_dimension = self._codebooks.shape
+        tables = np.empty((m, codewords), dtype=np.float32)
+        for sub in range(m):
+            block = query[sub * sub_dimension : (sub + 1) * sub_dimension]
+            diff = self._codebooks[sub] - block[None, :]
+            tables[sub] = np.einsum("ij,ij->i", diff, diff)
+        return tables
+
+    def _search(self, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        candidates, stats = self._probed_candidates(queries, self.nprobe)
+        num_queries = queries.shape[0]
+        positions = np.full((num_queries, top_k), -1, dtype=np.int64)
+        distances = np.full((num_queries, top_k), np.inf, dtype=np.float32)
+        m, codewords, _ = self._codebooks.shape
+        subspace_index = np.arange(m)
+        for query_index, candidate_positions in enumerate(candidates):
+            if candidate_positions.size == 0:
+                continue
+            tables = self._adc_tables(queries[query_index])
+            stats.coarse_evaluations += m * codewords
+            candidate_codes = self._codes[candidate_positions]
+            scores = tables[subspace_index[None, :], candidate_codes].sum(axis=1)
+            stats.code_evaluations += int(candidate_positions.size)
+            keep = min(top_k, candidate_positions.size)
+            order = np.argpartition(scores, keep - 1)[:keep] if keep < scores.size else np.arange(scores.size)
+            order = order[np.argsort(scores[order])]
+            positions[query_index, :keep] = candidate_positions[order]
+            distances[query_index, :keep] = scores[order]
+        stats.segments_searched = num_queries
+        return positions, distances, stats
+
+    def memory_bytes(self) -> int:
+        base = super().memory_bytes()
+        if self._codes is None or self._codebooks is None:
+            return base
+        code_bytes = self._codes.shape[0] * self._codes.shape[1] * max(1, self.pq_nbits // 8)
+        codebook_bytes = self._codebooks.size * 4
+        return int(base + code_bytes + codebook_bytes)

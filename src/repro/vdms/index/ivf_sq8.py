@@ -1,0 +1,73 @@
+"""IVF_SQ8: inverted-file index with 8-bit scalar quantization.
+
+Vectors inside the inverted lists are stored as per-dimension 8-bit codes.
+Probed lists are scored on the *decoded* codes, which is cheaper per vector
+than full precision and introduces a small, real quantization error — the
+source of IVF_SQ8's recall gap relative to IVF_FLAT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vdms.distance import pairwise_distances
+from repro.vdms.index.base import BuildStats, SearchStats, VectorIndex
+from repro.vdms.index.ivf_flat import IVFFlatIndex
+
+__all__ = ["IVFSQ8Index"]
+
+
+class IVFSQ8Index(IVFFlatIndex):
+    """Inverted-file index scoring probed lists on 8-bit scalar-quantized codes."""
+
+    index_type = "IVF_SQ8"
+
+    def __init__(self, metric: str = "angular", *, nlist: int = 128, nprobe: int = 16, seed: int = 0, **params) -> None:
+        super().__init__(metric=metric, nlist=nlist, nprobe=nprobe, seed=seed, **params)
+        self._codes: np.ndarray | None = None
+        self._minimums: np.ndarray | None = None
+        self._scales: np.ndarray | None = None
+
+    def _build(self, vectors: np.ndarray) -> BuildStats:
+        stats = super()._build(vectors)
+        minimums = vectors.min(axis=0)
+        maximums = vectors.max(axis=0)
+        scales = (maximums - minimums).astype(np.float32)
+        scales[scales == 0.0] = 1.0
+        codes = np.clip(np.round((vectors - minimums) / scales * 255.0), 0, 255).astype(np.uint8)
+        self._codes = codes
+        self._minimums = minimums.astype(np.float32)
+        self._scales = scales
+        stats.extra["quantizer"] = "sq8"
+        return stats
+
+    def _decode(self, positions: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate vectors for the given positions."""
+        return self._codes[positions].astype(np.float32) / 255.0 * self._scales + self._minimums
+
+    def _search(self, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        candidates, stats = self._probed_candidates(queries, self.nprobe)
+        num_queries = queries.shape[0]
+        positions = np.full((num_queries, top_k), -1, dtype=np.int64)
+        distances = np.full((num_queries, top_k), np.inf, dtype=np.float32)
+        for query_index, candidate_positions in enumerate(candidates):
+            if candidate_positions.size == 0:
+                continue
+            query = queries[query_index : query_index + 1]
+            decoded = self._decode(candidate_positions)
+            scores = pairwise_distances(query, decoded, self.metric)[0]
+            stats.code_evaluations += int(candidate_positions.size)
+            keep = min(top_k, candidate_positions.size)
+            order = np.argpartition(scores, keep - 1)[:keep] if keep < scores.size else np.arange(scores.size)
+            order = order[np.argsort(scores[order])]
+            positions[query_index, :keep] = candidate_positions[order]
+            distances[query_index, :keep] = scores[order]
+        stats.segments_searched = num_queries
+        return positions, distances, stats
+
+    def memory_bytes(self) -> int:
+        base = super().memory_bytes()
+        if self._codes is None:
+            return base
+        # SQ8 keeps one byte per dimension plus the per-dimension affine parameters.
+        return int(base + self._codes.size + 2 * self._codes.shape[1] * 4)

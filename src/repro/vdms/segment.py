@@ -1,0 +1,176 @@
+"""Segment-based storage layer.
+
+The simulated VDMS stores vectors in segments, mirroring the coordinator /
+data-node behaviour of the real system:
+
+* inserts land in a *growing* segment (backed by the insert buffer);
+* when a growing segment reaches the seal threshold derived from
+  ``segment_max_size`` and ``segment_seal_proportion`` (or when the insert
+  buffer fills up), it is *sealed*;
+* indexes are built per sealed segment; the growing segment is searched by
+  brute force, so its size affects both latency and consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.vdms.system_config import SystemConfig
+
+__all__ = ["SegmentState", "Segment", "SegmentManager"]
+
+
+class SegmentState(str, Enum):
+    """Lifecycle state of a segment."""
+
+    GROWING = "growing"
+    SEALED = "sealed"
+
+
+@dataclass
+class Segment:
+    """A contiguous slice of the collection's rows.
+
+    Attributes
+    ----------
+    segment_id:
+        Monotonically increasing id within the collection.
+    vectors:
+        Row data, shape ``(rows, dimension)``.
+    ids:
+        External row ids, shape ``(rows,)``.
+    state:
+        Growing (still accepting rows, unindexed) or sealed (immutable,
+        indexable).
+    """
+
+    segment_id: int
+    vectors: np.ndarray
+    ids: np.ndarray
+    state: SegmentState = SegmentState.GROWING
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows stored in the segment."""
+        return int(self.vectors.shape[0])
+
+    def raw_bytes(self) -> int:
+        """Bytes of raw vector data held by the segment."""
+        return int(self.vectors.nbytes + self.ids.nbytes)
+
+
+@dataclass
+class SegmentManager:
+    """Owns the segments of one collection and applies the sealing policy."""
+
+    dimension: int
+    system_config: SystemConfig
+    _segments: list[Segment] = field(default_factory=list)
+    _next_segment_id: int = 0
+    _pending_vectors: list[np.ndarray] = field(default_factory=list)
+    _pending_ids: list[np.ndarray] = field(default_factory=list)
+
+    # -- ingestion -------------------------------------------------------------
+
+    def insert(self, vectors: np.ndarray, ids: np.ndarray) -> int:
+        """Buffer rows for insertion; returns the number of rows accepted."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        ids = np.asarray(ids, dtype=np.int64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dimension:
+            raise ValueError(f"expected vectors of dimension {self.dimension}")
+        if ids.shape[0] != vectors.shape[0]:
+            raise ValueError("ids must match the number of vectors")
+        self._pending_vectors.append(vectors)
+        self._pending_ids.append(ids)
+        return int(vectors.shape[0])
+
+    def flush(self) -> list[Segment]:
+        """Apply the sealing policy to all buffered rows.
+
+        Rows are packed into sealed segments of ``sealed_segment_rows`` rows
+        each; the final partial segment stays growing (and is capped by the
+        insert buffer).  Returns the list of segments created by this flush.
+        """
+        if not self._pending_vectors:
+            return []
+        vectors = np.concatenate(self._pending_vectors, axis=0)
+        ids = np.concatenate(self._pending_ids, axis=0)
+        self._pending_vectors.clear()
+        self._pending_ids.clear()
+
+        # Merge any existing growing segment back into the stream so the
+        # sealing policy is applied to the complete tail of the data.
+        existing_growing = [s for s in self._segments if s.state is SegmentState.GROWING]
+        if existing_growing:
+            vectors = np.concatenate([s.vectors for s in existing_growing] + [vectors], axis=0)
+            ids = np.concatenate([s.ids for s in existing_growing] + [ids], axis=0)
+            self._segments = [s for s in self._segments if s.state is SegmentState.SEALED]
+
+        capacity = self.system_config.sealed_segment_rows(self.dimension)
+        created: list[Segment] = []
+        offset = 0
+        total = vectors.shape[0]
+        while total - offset >= capacity:
+            created.append(self._new_segment(vectors[offset : offset + capacity], ids[offset : offset + capacity], SegmentState.SEALED))
+            offset += capacity
+        remainder = total - offset
+        if remainder > 0:
+            buffer_rows = self.system_config.growing_buffer_rows(self.dimension)
+            if remainder > buffer_rows:
+                # The insert buffer cannot hold the whole remainder: seal the
+                # overflow early even though it is below the nominal threshold.
+                created.append(
+                    self._new_segment(
+                        vectors[offset : total - buffer_rows],
+                        ids[offset : total - buffer_rows],
+                        SegmentState.SEALED,
+                    )
+                )
+                offset = total - buffer_rows
+            created.append(self._new_segment(vectors[offset:], ids[offset:], SegmentState.GROWING))
+        self._segments.extend(created)
+        return created
+
+    def _new_segment(self, vectors: np.ndarray, ids: np.ndarray, state: SegmentState) -> Segment:
+        segment = Segment(
+            segment_id=self._next_segment_id,
+            vectors=np.ascontiguousarray(vectors),
+            ids=np.ascontiguousarray(ids),
+            state=state,
+        )
+        self._next_segment_id += 1
+        return segment
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def segments(self) -> list[Segment]:
+        """All segments, sealed and growing."""
+        return list(self._segments)
+
+    @property
+    def sealed_segments(self) -> list[Segment]:
+        """Sealed (indexable) segments."""
+        return [s for s in self._segments if s.state is SegmentState.SEALED]
+
+    @property
+    def growing_segments(self) -> list[Segment]:
+        """Growing (unindexed) segments."""
+        return [s for s in self._segments if s.state is SegmentState.GROWING]
+
+    @property
+    def num_rows(self) -> int:
+        """Total rows across all segments (excluding unflushed buffers)."""
+        return sum(s.num_rows for s in self._segments)
+
+    @property
+    def pending_rows(self) -> int:
+        """Rows inserted but not yet flushed."""
+        return int(sum(v.shape[0] for v in self._pending_vectors))
+
+    def raw_bytes(self) -> int:
+        """Raw storage bytes across all segments."""
+        return sum(s.raw_bytes() for s in self._segments)

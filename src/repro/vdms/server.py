@@ -1,0 +1,117 @@
+"""Milvus-like server facade.
+
+:class:`VectorDBServer` is the entry point applications use: it manages named
+collections, applies system configurations (which, as in the real system,
+requires reloading collections because segment layout depends on them), and
+maintains a process-wide index build cache so that re-evaluating a
+configuration whose structural parameters were seen before does not redo the
+expensive build — the tuner still gets charged the simulated build time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.vdms.collection import Collection
+from repro.vdms.cost_model import CostModel
+from repro.vdms.errors import CollectionNotFoundError
+from repro.vdms.index.base import VectorIndex
+from repro.vdms.system_config import SystemConfig
+
+__all__ = ["VectorDBServer"]
+
+
+class VectorDBServer:
+    """An in-process, Milvus-like vector database server."""
+
+    def __init__(self, system_config: SystemConfig | None = None) -> None:
+        self._system_config = system_config or SystemConfig()
+        self._collections: dict[str, Collection] = {}
+        self._index_cache: dict[tuple, VectorIndex] = {}
+
+    # -- system configuration ---------------------------------------------------
+
+    @property
+    def system_config(self) -> SystemConfig:
+        """The currently applied system configuration."""
+        return self._system_config
+
+    def apply_system_config(self, config: SystemConfig | Mapping[str, Any]) -> SystemConfig:
+        """Apply a new system configuration.
+
+        Existing collections are dropped (their segment layout depends on the
+        system parameters); callers re-create and re-load them, which is what
+        the workload replayer does for every evaluated configuration.
+        """
+        if not isinstance(config, SystemConfig):
+            config = SystemConfig.from_mapping(config)
+        self._system_config = config
+        self._collections.clear()
+        return config
+
+    def cost_model(self) -> CostModel:
+        """A cost model bound to the current system configuration."""
+        return CostModel(self._system_config)
+
+    # -- collection management -----------------------------------------------------
+
+    def create_collection(self, name: str, dimension: int, metric: str = "angular") -> Collection:
+        """Create (or replace) a collection."""
+        collection = Collection(
+            name,
+            dimension,
+            metric=metric,
+            system_config=self._system_config,
+            index_cache=self._index_cache,
+        )
+        self._collections[name] = collection
+        return collection
+
+    def drop_collection(self, name: str) -> None:
+        """Drop a collection if it exists."""
+        self._collections.pop(name, None)
+
+    def has_collection(self, name: str) -> bool:
+        """Whether a collection with this name exists."""
+        return name in self._collections
+
+    def list_collections(self) -> list[str]:
+        """Names of all collections."""
+        return sorted(self._collections)
+
+    def get_collection(self, name: str) -> Collection:
+        """Fetch a collection, raising if it does not exist."""
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise CollectionNotFoundError(f"collection {name!r} does not exist") from None
+
+    # -- convenience passthroughs -----------------------------------------------------
+
+    def insert(self, name: str, vectors: np.ndarray, ids: np.ndarray | None = None) -> int:
+        """Insert vectors into a collection."""
+        return self.get_collection(name).insert(vectors, ids)
+
+    def flush(self, name: str) -> int:
+        """Flush a collection's insert buffer."""
+        return self.get_collection(name).flush()
+
+    def create_index(self, name: str, index_type: str, params: Mapping[str, Any] | None = None):
+        """Build an index over a collection."""
+        return self.get_collection(name).create_index(index_type, params)
+
+    def search(self, name: str, queries: np.ndarray, top_k: int):
+        """Search a collection."""
+        return self.get_collection(name).search(queries, top_k)
+
+    # -- cache management ----------------------------------------------------------------
+
+    def clear_index_cache(self) -> None:
+        """Drop the shared index build cache (frees memory between experiments)."""
+        self._index_cache.clear()
+
+    def index_cache_size(self) -> int:
+        """Number of cached per-segment index builds."""
+        return len(self._index_cache)

@@ -1,0 +1,154 @@
+"""System-level configuration of the simulated VDMS.
+
+These are the seven tunable system parameters shared by every index type
+(see :mod:`repro.config.milvus_space`).  The dataclass validates ranges and
+provides the derived quantities the storage layer and the cost model need,
+most importantly the *row capacity* implied by segment sizes.
+
+Scaling note: the synthetic datasets are hundreds of times smaller than the
+paper's, so a megabyte of simulated segment space is interpreted as holding
+far fewer rows than a real megabyte would (see :meth:`rows_per_megabyte`).
+This keeps segment counts — and therefore the interdependence between
+``segment_max_size`` and ``segment_seal_proportion`` shown in Figure 1 — in a
+realistic range without gigabyte-scale data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.vdms.errors import InvalidConfigurationError
+
+__all__ = ["SystemConfig"]
+
+#: Simulated rows per (megabyte * dimension); chosen so the default segment
+#: size yields a handful of segments on the bundled datasets.
+_ROW_DENSITY = 256.0
+
+#: CPU cores of the simulated query node.  Intra-query threads and concurrent
+#: requests compete for this budget, which is what makes ``query_node_threads``
+#: a genuine trade-off (more threads shorten one query but admit fewer
+#: queries in flight) instead of a free throughput multiplier.
+SIMULATED_CORES = 16
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The seven shared system parameters.
+
+    Attributes
+    ----------
+    segment_max_size:
+        Maximum segment size in MB.  Together with ``segment_seal_proportion``
+        it determines how many rows a sealed segment holds.
+    segment_seal_proportion:
+        Growing segments are sealed once they reach this fraction of
+        ``segment_max_size``.
+    graceful_time:
+        Bounded-consistency tolerance in milliseconds.  Small values force
+        queries to wait for recent inserts to become visible, blocking
+        requests (the behaviour called out in Section IV-A of the paper).
+    insert_buf_size:
+        Insert buffer size in MB; it caps how many rows can remain in the
+        growing (unindexed) state and can force early sealing.
+    chunk_rows:
+        Rows per chunk inside a sealed segment; affects per-segment scan
+        overhead (too small: many chunk boundaries, too large: poor cache
+        locality).
+    query_node_threads:
+        Intra-query thread parallelism of a query node.
+    replica_number:
+        Number of in-memory replicas of the collection; adds throughput
+        headroom at a proportional memory cost.
+    """
+
+    segment_max_size: int = 512
+    segment_seal_proportion: float = 0.25
+    graceful_time: int = 5_000
+    insert_buf_size: int = 512
+    chunk_rows: int = 8_192
+    query_node_threads: int = 4
+    replica_number: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.segment_max_size <= 1_000_000:
+            raise InvalidConfigurationError("segment_max_size out of range")
+        if not 0.01 <= self.segment_seal_proportion <= 1.0:
+            raise InvalidConfigurationError("segment_seal_proportion out of range")
+        if not 0 <= self.graceful_time <= 3_600_000:
+            raise InvalidConfigurationError("graceful_time out of range")
+        if not 1 <= self.insert_buf_size <= 1_000_000:
+            raise InvalidConfigurationError("insert_buf_size out of range")
+        if not 1 <= self.chunk_rows <= 10_000_000:
+            raise InvalidConfigurationError("chunk_rows out of range")
+        if not 1 <= self.query_node_threads <= 256:
+            raise InvalidConfigurationError("query_node_threads out of range")
+        if not 1 <= self.replica_number <= 64:
+            raise InvalidConfigurationError("replica_number out of range")
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, values: Mapping[str, Any]) -> "SystemConfig":
+        """Build a system configuration from any mapping (extra keys ignored)."""
+        kwargs = {}
+        for field_name in (
+            "segment_max_size",
+            "segment_seal_proportion",
+            "graceful_time",
+            "insert_buf_size",
+            "chunk_rows",
+            "query_node_threads",
+            "replica_number",
+        ):
+            if field_name in values:
+                kwargs[field_name] = values[field_name]
+        if "segment_seal_proportion" in kwargs:
+            kwargs["segment_seal_proportion"] = float(kwargs["segment_seal_proportion"])
+        for integer_field in (
+            "segment_max_size",
+            "graceful_time",
+            "insert_buf_size",
+            "chunk_rows",
+            "query_node_threads",
+            "replica_number",
+        ):
+            if integer_field in kwargs:
+                kwargs[integer_field] = int(kwargs[integer_field])
+        return cls(**kwargs)
+
+    # -- derived quantities ------------------------------------------------------
+
+    @staticmethod
+    def rows_per_megabyte(dimension: int) -> float:
+        """Simulated rows one megabyte of segment space can hold."""
+        return _ROW_DENSITY / max(1, dimension)
+
+    def sealed_segment_rows(self, dimension: int) -> int:
+        """Row capacity at which a growing segment is sealed.
+
+        This is the interaction the paper's Figure 1 studies: the capacity is
+        ``segment_max_size * segment_seal_proportion`` converted to rows, but
+        the insert buffer can force earlier sealing when it is smaller than
+        the nominal seal threshold.
+        """
+        nominal = self.segment_max_size * self.segment_seal_proportion
+        effective_mb = min(nominal, float(self.insert_buf_size))
+        return max(8, int(effective_mb * self.rows_per_megabyte(dimension)))
+
+    def growing_buffer_rows(self, dimension: int) -> int:
+        """Maximum rows the growing (unindexed) buffer may hold."""
+        return max(4, int(self.insert_buf_size * self.rows_per_megabyte(dimension) * 0.5))
+
+    def effective_concurrency(self, requested_concurrency: int) -> int:
+        """Number of requests the system can actually serve in parallel.
+
+        The simulated query node has :data:`SIMULATED_CORES` cores; each
+        in-flight request pins ``query_node_threads`` of them, so raising the
+        intra-query parallelism reduces how many of the client's concurrent
+        requests can run at once.  Replicas add memory, not cores (they model
+        in-memory copies on the same machine), so they do not enter here.
+        """
+        capacity = max(1, SIMULATED_CORES // max(1, self.query_node_threads))
+        return max(1, min(int(requested_concurrency), capacity))

@@ -1,0 +1,20 @@
+"""Workloads and the tuning environment.
+
+This package is the bridge between the VDMS substrate and the tuners: a
+:class:`SearchWorkload` describes a batch of similarity-search requests, the
+replayer executes it against a configured server and measures recall, and
+:class:`VDMSTuningEnvironment` packages the whole thing as the expensive
+black-box function ``configuration -> EvaluationResult`` that every tuner
+optimizes.
+"""
+
+from repro.workloads.workload import SearchWorkload
+from repro.workloads.replay import EvaluationResult, WorkloadReplayer
+from repro.workloads.environment import VDMSTuningEnvironment
+
+__all__ = [
+    "EvaluationResult",
+    "SearchWorkload",
+    "VDMSTuningEnvironment",
+    "WorkloadReplayer",
+]

@@ -1,0 +1,167 @@
+"""The tuning environment: the expensive black box every tuner optimizes.
+
+:class:`VDMSTuningEnvironment` wraps a dataset, a workload and a replayer
+behind a single ``evaluate(configuration)`` call, adds optional observation
+noise, counts evaluations and accumulates the simulated tuning clock (replay
+time plus recommendation time), which is what the efficiency comparisons of
+the paper (Figure 7 and Table VI) are measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.config import Configuration, ConfigurationSpace, build_milvus_space
+from repro.datasets.dataset import Dataset
+from repro.datasets.registry import load_dataset
+from repro.workloads.replay import EvaluationResult, WorkloadReplayer
+from repro.workloads.workload import SearchWorkload
+
+__all__ = ["VDMSTuningEnvironment", "EvaluationRecord"]
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One completed evaluation with the clock values at completion time.
+
+    Attributes
+    ----------
+    iteration:
+        1-based index of the evaluation.
+    result:
+        The evaluation result.
+    elapsed_replay_seconds:
+        Cumulative simulated workload-replay seconds after this evaluation.
+    elapsed_recommendation_seconds:
+        Cumulative (real) seconds tuners spent choosing configurations.
+    """
+
+    iteration: int
+    result: EvaluationResult
+    elapsed_replay_seconds: float
+    elapsed_recommendation_seconds: float
+
+
+class VDMSTuningEnvironment:
+    """Black-box evaluation environment for VDMS configuration tuning."""
+
+    def __init__(
+        self,
+        dataset: Dataset | str,
+        *,
+        workload: SearchWorkload | None = None,
+        space: ConfigurationSpace | None = None,
+        concurrency: int = 10,
+        noise: float = 0.0,
+        seed: int = 0,
+        dataset_scale: float = 1.0,
+    ) -> None:
+        if isinstance(dataset, str):
+            dataset = load_dataset(dataset, scale=dataset_scale)
+        self.dataset = dataset
+        self.workload = workload or SearchWorkload.from_dataset(dataset, concurrency=concurrency)
+        self.space = space or build_milvus_space()
+        self.noise = float(noise)
+        self._rng = np.random.default_rng(seed)
+        self._replayer = WorkloadReplayer(self.dataset, self.workload)
+        self._history: list[EvaluationRecord] = []
+        self._replay_seconds = 0.0
+        self._recommendation_seconds = 0.0
+        self._result_cache: dict[tuple, EvaluationResult] = {}
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def default_configuration(self) -> Configuration:
+        """The system's default configuration in this environment's space."""
+        return self.space.default_configuration()
+
+    def evaluate(self, configuration: Configuration | Mapping[str, Any]) -> EvaluationResult:
+        """Evaluate a configuration and record it in the history."""
+        values = dict(configuration)
+        cache_key = tuple(sorted((k, str(v)) for k, v in values.items()))
+        cached = self._result_cache.get(cache_key)
+        if cached is None:
+            result = self._replayer.replay(values)
+            if self.noise > 0.0:
+                result = self._with_noise(result)
+            self._result_cache[cache_key] = result
+        else:
+            result = cached
+        self._replay_seconds += result.replay_seconds
+        self._history.append(
+            EvaluationRecord(
+                iteration=len(self._history) + 1,
+                result=result,
+                elapsed_replay_seconds=self._replay_seconds,
+                elapsed_recommendation_seconds=self._recommendation_seconds,
+            )
+        )
+        return result
+
+    def _with_noise(self, result: EvaluationResult) -> EvaluationResult:
+        """Perturb throughput multiplicatively to emulate measurement noise."""
+        factor = float(max(0.1, 1.0 + self._rng.normal(scale=self.noise)))
+        return EvaluationResult(
+            qps=result.qps * factor,
+            recall=result.recall,
+            memory_gib=result.memory_gib,
+            latency_ms=result.latency_ms / factor,
+            build_seconds=result.build_seconds,
+            replay_seconds=result.replay_seconds,
+            failed=result.failed,
+            configuration=result.configuration,
+            breakdown=result.breakdown,
+        )
+
+    # -- tuning clock -----------------------------------------------------------------
+
+    def charge_recommendation_time(self, seconds: float) -> None:
+        """Add tuner 'thinking' time to the tuning clock (Table VI accounting)."""
+        self._recommendation_seconds += max(0.0, float(seconds))
+
+    @property
+    def elapsed_replay_seconds(self) -> float:
+        """Cumulative simulated workload-replay seconds."""
+        return self._replay_seconds
+
+    @property
+    def elapsed_recommendation_seconds(self) -> float:
+        """Cumulative real seconds tuners spent recommending configurations."""
+        return self._recommendation_seconds
+
+    @property
+    def elapsed_tuning_seconds(self) -> float:
+        """Total tuning clock (replay + recommendation)."""
+        return self._replay_seconds + self._recommendation_seconds
+
+    # -- history -----------------------------------------------------------------------
+
+    @property
+    def history(self) -> list[EvaluationRecord]:
+        """All completed evaluations in order."""
+        return list(self._history)
+
+    @property
+    def num_evaluations(self) -> int:
+        """Number of completed evaluations."""
+        return len(self._history)
+
+    def reset_history(self) -> None:
+        """Clear the history and the tuning clock (the result cache is kept)."""
+        self._history.clear()
+        self._replay_seconds = 0.0
+        self._recommendation_seconds = 0.0
+
+    def best_result(self, *, recall_floor: float = 0.0, speed_metric: str = "qps") -> EvaluationResult | None:
+        """The best successful result with recall at or above ``recall_floor``."""
+        eligible = [
+            record.result
+            for record in self._history
+            if not record.result.failed and record.result.recall >= recall_floor
+        ]
+        if not eligible:
+            return None
+        return max(eligible, key=lambda r: r.objective_values(speed_metric)[0])

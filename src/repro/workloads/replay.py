@@ -1,0 +1,126 @@
+"""Workload replay: run one configuration end to end and measure it.
+
+The replayer performs the same steps the paper's harness performs for every
+sampled configuration: apply the system parameters, reload the collection,
+build the requested index, replay the search workload, and report search
+speed, recall and memory.  All times are simulated by the cost model, so the
+result is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.ground_truth import recall_at_k
+from repro.vdms.server import VectorDBServer
+from repro.vdms.system_config import SystemConfig
+from repro.workloads.workload import SearchWorkload
+
+__all__ = ["EvaluationResult", "WorkloadReplayer"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Performance of one configuration under one workload.
+
+    Attributes
+    ----------
+    qps:
+        Search speed in requests per second (the paper's "search speed").
+    recall:
+        Measured recall@k.
+    memory_gib:
+        Simulated resident memory in GiB.
+    latency_ms:
+        Mean per-request latency in milliseconds.
+    build_seconds:
+        Simulated index build plus data load time.
+    replay_seconds:
+        Simulated total replay time (build + query phase); this is the value
+        the tuning-time accounting in Table VI aggregates.
+    failed:
+        Whether the evaluation failed (replay exceeded the timeout or the
+        configuration was rejected by the system).
+    configuration:
+        The raw configuration values that were evaluated.
+    breakdown:
+        Cost-model breakdown, used by the attribution analysis.
+    """
+
+    qps: float
+    recall: float
+    memory_gib: float
+    latency_ms: float
+    build_seconds: float
+    replay_seconds: float
+    failed: bool = False
+    configuration: dict[str, Any] = field(default_factory=dict)
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cost_effectiveness(self) -> float:
+        """Queries per dollar (Eq. 8 of the paper with eta = 1 $ per second*GiB)."""
+        if self.memory_gib <= 0:
+            return 0.0
+        return self.qps / self.memory_gib
+
+    def objective_values(self, speed_metric: str = "qps") -> tuple[float, float]:
+        """Return ``(speed-like objective, recall)`` for the tuners.
+
+        ``speed_metric`` selects between plain search speed (``"qps"``) and
+        cost effectiveness (``"qp$"``) per Section V-E of the paper.
+        """
+        if speed_metric == "qps":
+            return self.qps, self.recall
+        if speed_metric in ("qp$", "cost_effectiveness"):
+            return self.cost_effectiveness, self.recall
+        raise ValueError(f"unknown speed metric {speed_metric!r}")
+
+
+class WorkloadReplayer:
+    """Replays a workload against a server for one configuration at a time."""
+
+    def __init__(self, dataset: Dataset, workload: SearchWorkload | None = None, *, collection_name: str = "tuning") -> None:
+        self.dataset = dataset
+        self.workload = workload or SearchWorkload.from_dataset(dataset)
+        self.collection_name = collection_name
+        self.server = VectorDBServer()
+
+    def replay(self, configuration: Mapping[str, Any]) -> EvaluationResult:
+        """Apply ``configuration`` end to end and measure the workload."""
+        system_config = SystemConfig.from_mapping(configuration)
+        self.server.apply_system_config(system_config)
+        collection = self.server.create_collection(
+            self.collection_name, self.dataset.dimension, metric=self.dataset.metric
+        )
+        collection.insert(self.dataset.vectors)
+        collection.flush()
+
+        index_type = str(configuration.get("index_type", "AUTOINDEX")).rstrip("_")
+        params = {k: v for k, v in configuration.items() if k != "index_type"}
+        build_stats = collection.create_index(index_type, params)
+
+        result = collection.search(self.workload.queries, self.workload.top_k)
+        recall = recall_at_k(result.ids, self.workload.ground_truth, self.workload.top_k)
+
+        cost_model = self.server.cost_model()
+        report = cost_model.evaluate(
+            result.stats,
+            collection.profile(),
+            build_stats,
+            recall,
+            concurrency=self.workload.concurrency,
+        )
+        return EvaluationResult(
+            qps=report.qps,
+            recall=report.recall,
+            memory_gib=report.memory_gib,
+            latency_ms=report.latency_ms,
+            build_seconds=report.build_seconds,
+            replay_seconds=report.replay_seconds,
+            failed=report.failed,
+            configuration=dict(configuration),
+            breakdown=dict(report.breakdown),
+        )

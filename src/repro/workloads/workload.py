@@ -1,0 +1,69 @@
+"""Search workload description.
+
+A workload mirrors the way the paper replays ``vector-db-benchmark``: a batch
+of top-K similarity-search requests issued at a fixed client concurrency,
+with recall computed against exact ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+
+__all__ = ["SearchWorkload"]
+
+
+@dataclass(frozen=True)
+class SearchWorkload:
+    """A batch similarity-search workload.
+
+    Attributes
+    ----------
+    queries:
+        Query vectors, shape ``(q, d)``.
+    ground_truth:
+        Exact neighbour ids per query, shape ``(q, >=top_k)``.
+    top_k:
+        Number of neighbours requested per query (the paper uses 100 on
+        million-scale data; the scaled-down datasets default to 10).
+    concurrency:
+        Number of concurrent client requests (the paper's default is 10).
+    """
+
+    queries: np.ndarray
+    ground_truth: np.ndarray
+    top_k: int = 10
+    concurrency: int = 10
+
+    def __post_init__(self) -> None:
+        queries = np.asarray(self.queries, dtype=np.float32)
+        truth = np.asarray(self.ground_truth, dtype=np.int64)
+        object.__setattr__(self, "queries", queries)
+        object.__setattr__(self, "ground_truth", truth)
+        if queries.ndim != 2:
+            raise ValueError("queries must be a 2-D array")
+        if truth.ndim != 2 or truth.shape[0] != queries.shape[0]:
+            raise ValueError("ground_truth must have one row per query")
+        if not 0 < self.top_k <= truth.shape[1]:
+            raise ValueError("top_k must be within (0, ground_truth width]")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries in the batch."""
+        return int(self.queries.shape[0])
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset, *, top_k: int | None = None, concurrency: int = 10) -> "SearchWorkload":
+        """Build the standard workload for a dataset."""
+        top_k = int(top_k or dataset.top_k)
+        return cls(
+            queries=dataset.queries,
+            ground_truth=dataset.ground_truth,
+            top_k=min(top_k, dataset.top_k),
+            concurrency=concurrency,
+        )

@@ -1,0 +1,76 @@
+"""Unit tests for Shapley-value parameter attribution."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.attribution import shapley_attribution
+
+
+class TestExactShapley:
+    def test_additive_function_gives_per_parameter_deltas(self):
+        baseline = {"a": 0.0, "b": 0.0, "c": 0.0}
+        target = {"a": 1.0, "b": 2.0, "c": 3.0}
+
+        def evaluate(values):
+            return values["a"] + 10 * values["b"] + 100 * values["c"]
+
+        contributions = shapley_attribution(evaluate, target, baseline, ["a", "b", "c"])
+        assert contributions["a"] == pytest.approx(1.0)
+        assert contributions["b"] == pytest.approx(20.0)
+        assert contributions["c"] == pytest.approx(300.0)
+
+    def test_contributions_sum_to_total_difference(self):
+        baseline = {"a": 0.0, "b": 0.0}
+        target = {"a": 2.0, "b": 3.0}
+
+        def evaluate(values):
+            return values["a"] * values["b"] + values["a"]
+
+        contributions = shapley_attribution(evaluate, target, baseline, ["a", "b"])
+        total = evaluate(target) - evaluate(baseline)
+        assert sum(contributions.values()) == pytest.approx(total)
+
+    def test_interaction_split_evenly_for_symmetric_function(self):
+        baseline = {"a": 0.0, "b": 0.0}
+        target = {"a": 1.0, "b": 1.0}
+
+        def evaluate(values):
+            return values["a"] * values["b"]
+
+        contributions = shapley_attribution(evaluate, target, baseline, ["a", "b"])
+        assert contributions["a"] == pytest.approx(contributions["b"])
+
+    def test_unattributed_parameters_stay_at_baseline(self):
+        baseline = {"a": 0.0, "b": 5.0}
+        target = {"a": 1.0, "b": 100.0}
+
+        def evaluate(values):
+            return values["a"] + values["b"]
+
+        contributions = shapley_attribution(evaluate, target, baseline, ["a"])
+        assert set(contributions) == {"a"}
+        assert contributions["a"] == pytest.approx(1.0)
+
+    def test_missing_parameter_raises(self):
+        with pytest.raises(KeyError):
+            shapley_attribution(lambda v: 0.0, {"a": 1}, {"b": 2}, ["a"])
+
+    def test_empty_parameter_list(self):
+        assert shapley_attribution(lambda v: 0.0, {}, {}, []) == {}
+
+
+class TestSampledShapley:
+    def test_sampled_estimator_close_to_exact_for_additive_function(self):
+        names = [f"p{i}" for i in range(12)]
+        baseline = {name: 0.0 for name in names}
+        target = {name: float(i) for i, name in enumerate(names)}
+
+        def evaluate(values):
+            return sum(values[name] for name in names)
+
+        contributions = shapley_attribution(
+            evaluate, target, baseline, names, max_exact=5,
+            num_permutations=32, rng=np.random.default_rng(0),
+        )
+        for i, name in enumerate(names):
+            assert contributions[name] == pytest.approx(float(i), abs=1e-9)

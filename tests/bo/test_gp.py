@@ -1,0 +1,92 @@
+"""Unit tests for Gaussian-process regression."""
+
+import numpy as np
+import pytest
+
+from repro.bo.gp import GaussianProcessRegressor
+
+
+def toy_function(X):
+    return np.sin(3.0 * X[:, 0]) + 0.5 * X[:, 1] ** 2
+
+
+@pytest.fixture(scope="module")
+def fitted_gp():
+    rng = np.random.default_rng(0)
+    X = rng.random((60, 2))
+    y = toy_function(X)
+    return GaussianProcessRegressor(seed=0).fit(X, y), X, y
+
+
+class TestFit:
+    def test_requires_data(self):
+        gp = GaussianProcessRegressor()
+        with pytest.raises(ValueError):
+            gp.fit(np.empty((0, 2)), np.empty(0))
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.zeros((1, 2)))
+
+    def test_is_fitted_flag(self, fitted_gp):
+        gp, X, _ = fitted_gp
+        assert gp.is_fitted
+        assert gp.num_observations == X.shape[0]
+
+    def test_interpolates_training_data(self, fitted_gp):
+        gp, X, y = fitted_gp
+        prediction = gp.predict(X[:10])
+        assert np.allclose(prediction.mean, y[:10], atol=0.05)
+
+    def test_generalizes_to_unseen_points(self, fitted_gp):
+        gp, _, _ = fitted_gp
+        rng = np.random.default_rng(99)
+        X_test = rng.random((30, 2))
+        prediction = gp.predict(X_test)
+        rmse = np.sqrt(np.mean((prediction.mean - toy_function(X_test)) ** 2))
+        assert rmse < 0.25
+
+    def test_uncertainty_higher_away_from_data(self):
+        X = np.array([[0.5, 0.5]] * 10)
+        y = np.ones(10)
+        gp = GaussianProcessRegressor(optimize_hyperparameters=False).fit(X, y)
+        near = gp.predict(np.array([[0.5, 0.5]]))
+        far = gp.predict(np.array([[0.0, 0.0]]))
+        assert far.std[0] > near.std[0]
+
+    def test_output_scale_is_restored(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((30, 2))
+        y = 1000.0 + 500.0 * toy_function(X)
+        gp = GaussianProcessRegressor(seed=1).fit(X, y)
+        prediction = gp.predict(X[:5])
+        assert np.allclose(prediction.mean, y[:5], rtol=0.05)
+
+    def test_constant_targets_handled(self):
+        X = np.random.default_rng(2).random((10, 3))
+        y = np.full(10, 7.0)
+        gp = GaussianProcessRegressor().fit(X, y)
+        prediction = gp.predict(X)
+        assert np.allclose(prediction.mean, 7.0, atol=1e-6)
+
+    def test_single_observation(self):
+        gp = GaussianProcessRegressor().fit(np.array([[0.3, 0.3]]), np.array([2.0]))
+        prediction = gp.predict(np.array([[0.3, 0.3]]))
+        assert prediction.mean[0] == pytest.approx(2.0, abs=1e-3)
+
+
+class TestSampling:
+    def test_sample_shape(self, fitted_gp):
+        gp, X, _ = fitted_gp
+        rng = np.random.default_rng(3)
+        samples = gp.sample(X[:7], num_samples=5, rng=rng)
+        assert samples.shape == (5, 7)
+
+    def test_samples_centred_on_mean(self, fitted_gp):
+        gp, X, _ = fitted_gp
+        rng = np.random.default_rng(4)
+        samples = gp.sample(X[:3], num_samples=2000, rng=rng)
+        prediction = gp.predict(X[:3])
+        assert np.allclose(samples.mean(axis=0), prediction.mean, atol=0.05)

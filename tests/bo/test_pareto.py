@@ -1,0 +1,113 @@
+"""Unit tests for Pareto-front and hypervolume utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bo.pareto import (
+    hypervolume_2d,
+    hypervolume_improvement_2d,
+    is_non_dominated,
+    pareto_front,
+    pareto_ranks,
+)
+
+
+class TestNonDomination:
+    def test_single_point_is_non_dominated(self):
+        assert is_non_dominated(np.array([[1.0, 2.0]])).tolist() == [True]
+
+    def test_dominated_point_detected(self):
+        points = np.array([[1.0, 1.0], [2.0, 2.0]])
+        assert is_non_dominated(points).tolist() == [False, True]
+
+    def test_incomparable_points_both_kept(self):
+        points = np.array([[1.0, 3.0], [3.0, 1.0]])
+        assert is_non_dominated(points).tolist() == [True, True]
+
+    def test_duplicates_are_kept(self):
+        points = np.array([[2.0, 2.0], [2.0, 2.0]])
+        assert is_non_dominated(points).tolist() == [True, True]
+
+    def test_pareto_front_subset(self):
+        points = np.array([[1.0, 5.0], [2.0, 4.0], [1.5, 3.0], [0.5, 0.5]])
+        front = pareto_front(points)
+        assert front.shape[0] == 2
+        assert [1.5, 3.0] not in front.tolist()
+
+    def test_pareto_ranks_are_shells(self):
+        points = np.array([[3.0, 3.0], [2.0, 2.0], [1.0, 1.0]])
+        assert pareto_ranks(points).tolist() == [1, 2, 3]
+
+    def test_empty_front(self):
+        assert pareto_front(np.empty((0, 2))).shape[0] == 0
+
+
+class TestHypervolume:
+    def test_single_point_rectangle(self):
+        value = hypervolume_2d(np.array([[2.0, 3.0]]), np.array([0.0, 0.0]))
+        assert value == pytest.approx(6.0)
+
+    def test_point_below_reference_contributes_nothing(self):
+        value = hypervolume_2d(np.array([[-1.0, 5.0]]), np.array([0.0, 0.0]))
+        assert value == 0.0
+
+    def test_two_point_staircase(self):
+        points = np.array([[3.0, 1.0], [1.0, 3.0]])
+        # Union of [0,3]x[0,1] and [0,1]x[0,3] = 3 + 3 - 1 = 5.
+        assert hypervolume_2d(points, np.array([0.0, 0.0])) == pytest.approx(5.0)
+
+    def test_dominated_points_do_not_change_volume(self):
+        front = np.array([[3.0, 1.0], [1.0, 3.0]])
+        with_dominated = np.vstack([front, [[0.5, 0.5]]])
+        reference = np.array([0.0, 0.0])
+        assert hypervolume_2d(with_dominated, reference) == hypervolume_2d(front, reference)
+
+    def test_monotone_in_points(self):
+        reference = np.array([0.0, 0.0])
+        small = hypervolume_2d(np.array([[1.0, 1.0]]), reference)
+        large = hypervolume_2d(np.array([[1.0, 1.0], [2.0, 0.5]]), reference)
+        assert large >= small
+
+    def test_reference_point_shifts_volume(self):
+        points = np.array([[2.0, 2.0]])
+        assert hypervolume_2d(points, np.array([1.0, 1.0])) == pytest.approx(1.0)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d(np.array([[1.0, 2.0, 3.0]]), np.zeros(3))
+        with pytest.raises(ValueError):
+            hypervolume_2d(np.array([[1.0, 2.0]]), np.zeros(3))
+
+    def test_empty_set_has_zero_volume(self):
+        assert hypervolume_2d(np.empty((0, 2)), np.zeros(2)) == 0.0
+
+
+class TestHypervolumeImprovement:
+    def test_matches_direct_difference(self):
+        rng = np.random.default_rng(7)
+        front = np.array([[4.0, 1.0], [3.0, 2.0], [1.0, 4.0]])
+        reference = np.array([0.5, 0.5])
+        base = hypervolume_2d(front, reference)
+        points = rng.uniform(0.0, 5.0, size=(200, 2))
+        fast = hypervolume_improvement_2d(points, front, reference)
+        direct = np.array(
+            [hypervolume_2d(np.vstack([front, p]), reference) - base for p in points]
+        )
+        assert np.allclose(fast, direct, atol=1e-9)
+
+    def test_empty_front_gives_full_rectangle(self):
+        points = np.array([[2.0, 3.0]])
+        value = hypervolume_improvement_2d(points, np.empty((0, 2)), np.array([0.0, 0.0]))
+        assert value[0] == pytest.approx(6.0)
+
+    def test_dominated_point_has_zero_improvement(self):
+        front = np.array([[5.0, 5.0]])
+        value = hypervolume_improvement_2d(np.array([[1.0, 1.0]]), front, np.zeros(2))
+        assert value[0] == pytest.approx(0.0)
+
+    def test_improvements_are_non_negative(self):
+        rng = np.random.default_rng(8)
+        front = rng.uniform(0, 3, size=(5, 2))
+        points = rng.uniform(-1, 4, size=(50, 2))
+        values = hypervolume_improvement_2d(points, front, np.zeros(2))
+        assert np.all(values >= -1e-12)

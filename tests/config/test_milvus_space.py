@@ -1,0 +1,102 @@
+"""Unit tests for the Milvus-like 16-dimensional tuning space."""
+
+import pytest
+
+from repro.config.milvus_space import (
+    INDEX_PARAMETERS,
+    INDEX_TYPES,
+    SYSTEM_PARAMETERS,
+    build_milvus_space,
+    default_configuration,
+    parameters_for_index,
+)
+
+
+class TestSpaceStructure:
+    def test_space_has_16_dimensions(self, milvus_space):
+        # Paper: index type + 8 index parameters + 7 system parameters.
+        assert milvus_space.dimension == 16
+
+    def test_index_type_choices_match_table1(self, milvus_space):
+        assert tuple(milvus_space["index_type"].choices) == INDEX_TYPES
+        assert len(INDEX_TYPES) == 7
+
+    def test_eight_index_parameters(self, milvus_space):
+        index_parameters = {
+            name for names in INDEX_PARAMETERS.values() for name in names
+        }
+        assert len(index_parameters) == 8
+        for name in index_parameters:
+            assert name in milvus_space
+
+    def test_seven_system_parameters(self, milvus_space):
+        assert len(SYSTEM_PARAMETERS) == 7
+        for name in SYSTEM_PARAMETERS:
+            assert name in milvus_space
+
+    def test_flat_and_autoindex_have_no_index_parameters(self):
+        assert INDEX_PARAMETERS["FLAT"] == ()
+        assert INDEX_PARAMETERS["AUTOINDEX"] == ()
+
+    def test_ivf_pq_has_unique_parameters(self):
+        assert "pq_m" in INDEX_PARAMETERS["IVF_PQ"]
+        assert "pq_nbits" in INDEX_PARAMETERS["IVF_PQ"]
+        assert "pq_m" not in INDEX_PARAMETERS["IVF_FLAT"]
+
+    def test_scann_has_reorder_k(self):
+        assert "reorder_k" in INDEX_PARAMETERS["SCANN"]
+
+
+class TestSpaceConstruction:
+    def test_unknown_index_type_rejected(self):
+        with pytest.raises(ValueError):
+            build_milvus_space(index_types=("NOT_AN_INDEX",))
+
+    def test_restricted_space_keeps_dimension(self):
+        space = build_milvus_space(index_types=("HNSW", "IVF_FLAT"))
+        assert space.dimension == 16
+        assert set(space["index_type"].choices) == {"HNSW", "IVF_FLAT"}
+
+    def test_single_index_space_is_buildable(self):
+        space = build_milvus_space(index_types=("HNSW",))
+        assert space["index_type"].default == "HNSW"
+
+    def test_default_index_type_is_autoindex(self, milvus_space):
+        assert milvus_space["index_type"].default == "AUTOINDEX"
+
+
+class TestParametersForIndex:
+    @pytest.mark.parametrize("index_type", INDEX_TYPES)
+    def test_includes_system_parameters(self, index_type):
+        names = parameters_for_index(index_type)
+        for system_parameter in SYSTEM_PARAMETERS:
+            assert system_parameter in names
+
+    def test_hnsw_parameters(self):
+        names = parameters_for_index("HNSW")
+        assert "hnsw_m" in names and "ef_construction" in names and "ef_search" in names
+        assert "nlist" not in names
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(KeyError):
+            parameters_for_index("BOGUS")
+
+
+class TestDefaultConfiguration:
+    def test_default_without_space(self):
+        configuration = default_configuration()
+        assert configuration["index_type"] == "AUTOINDEX"
+
+    def test_pinned_index_type(self, milvus_space):
+        configuration = default_configuration(milvus_space, index_type="HNSW")
+        assert configuration["index_type"] == "HNSW"
+
+    def test_overrides_apply(self, milvus_space):
+        configuration = default_configuration(
+            milvus_space, index_type="IVF_FLAT", overrides={"nlist": 256}
+        )
+        assert configuration["nlist"] == 256
+
+    def test_invalid_index_type_rejected(self, milvus_space):
+        with pytest.raises(ValueError):
+            default_configuration(milvus_space, index_type="NOT_REAL")

@@ -1,0 +1,124 @@
+"""Unit tests for ConfigurationSpace and Configuration."""
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import CategoricalParameter, FloatParameter, IntParameter
+from repro.config.space import Configuration, ConfigurationSpace
+
+
+@pytest.fixture()
+def small_space() -> ConfigurationSpace:
+    return ConfigurationSpace(
+        [
+            CategoricalParameter("kind", choices=["a", "b", "c"], default="b"),
+            IntParameter("count", low=1, high=100, default=10),
+            FloatParameter("ratio", low=0.0, high=1.0, default=0.5),
+        ],
+        name="small",
+    )
+
+
+class TestConfigurationSpace:
+    def test_dimension_and_names(self, small_space):
+        assert small_space.dimension == 3
+        assert small_space.names == ["kind", "count", "ratio"]
+
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigurationSpace(
+                [IntParameter("x", 1, 5, 2), IntParameter("x", 1, 9, 3)],
+            )
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigurationSpace([])
+
+    def test_default_configuration_uses_defaults(self, small_space):
+        configuration = small_space.default_configuration()
+        assert configuration["kind"] == "b"
+        assert configuration["count"] == 10
+        assert configuration["ratio"] == 0.5
+
+    def test_partial_configuration_fills_defaults(self, small_space):
+        configuration = small_space.configuration({"count": 42}, complete=False)
+        assert configuration["count"] == 42
+        assert configuration["kind"] == "b"
+
+    def test_complete_configuration_requires_all_values(self, small_space):
+        with pytest.raises(KeyError):
+            small_space.configuration({"count": 42})
+
+    def test_unknown_parameter_rejected(self, small_space):
+        with pytest.raises(KeyError):
+            small_space.configuration({"bogus": 1}, complete=False)
+
+    def test_invalid_value_rejected(self, small_space):
+        with pytest.raises(ValueError):
+            small_space.configuration({"count": 1000}, complete=False)
+
+    def test_encode_decode_round_trip(self, small_space, rng):
+        for _ in range(20):
+            configuration = small_space.sample_configuration(rng)
+            decoded = small_space.decode(small_space.encode(configuration))
+            assert decoded == configuration
+
+    def test_encode_many_shape(self, small_space, rng):
+        configurations = small_space.sample_configurations(7, rng)
+        matrix = small_space.encode_many(configurations)
+        assert matrix.shape == (7, 3)
+        assert np.all((matrix >= 0.0) & (matrix <= 1.0))
+
+    def test_encode_many_empty(self, small_space):
+        assert small_space.encode_many([]).shape == (0, 3)
+
+    def test_decode_rejects_wrong_dimension(self, small_space):
+        with pytest.raises(ValueError):
+            small_space.decode(np.zeros(5))
+
+    def test_decode_many_requires_2d(self, small_space):
+        with pytest.raises(ValueError):
+            small_space.decode_many(np.zeros(3))
+
+    def test_subspace_preserves_order_and_validates(self, small_space):
+        sub = small_space.subspace(["ratio", "count"])
+        assert sub.names == ["ratio", "count"]
+        with pytest.raises(KeyError):
+            small_space.subspace(["missing"])
+
+    def test_index_of(self, small_space):
+        assert small_space.index_of("count") == 1
+
+
+class TestConfiguration:
+    def test_mapping_protocol(self, small_space):
+        configuration = small_space.default_configuration()
+        assert len(configuration) == 3
+        assert set(configuration) == {"kind", "count", "ratio"}
+        assert dict(configuration) == configuration.to_dict()
+
+    def test_replace_creates_new_configuration(self, small_space):
+        configuration = small_space.default_configuration()
+        updated = configuration.replace(count=77)
+        assert updated["count"] == 77
+        assert configuration["count"] == 10
+
+    def test_replace_validates(self, small_space):
+        configuration = small_space.default_configuration()
+        with pytest.raises(ValueError):
+            configuration.replace(count=-1)
+
+    def test_equality_and_hash(self, small_space):
+        first = small_space.default_configuration()
+        second = small_space.configuration(first.to_dict())
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != small_space.default_configuration().replace(count=2)
+
+    def test_unit_vector_matches_space_encoding(self, small_space):
+        configuration = small_space.default_configuration()
+        assert np.allclose(configuration.to_unit_vector(), small_space.encode(configuration))
+
+    def test_missing_parameter_raises(self, small_space):
+        with pytest.raises(KeyError):
+            Configuration(small_space, {"kind": "a", "count": 3})

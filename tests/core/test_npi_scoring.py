@@ -1,0 +1,119 @@
+"""Unit tests for NPI normalization (Eq. 2-3) and index scoring (Eq. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import ObservationHistory
+from repro.core.npi import index_type_base_points, normalize_objectives
+from repro.core.scoring import RoundRobinPolicy, SuccessiveAbandonPolicy, score_index_types
+from tests.core.test_history import make_observation
+
+
+@pytest.fixture()
+def history():
+    h = ObservationHistory()
+    # A strong index type (SCANN) and a weak one (IVF_PQ).
+    h.add(make_observation(1, "SCANN", qps=1000, recall=0.95))
+    h.add(make_observation(2, "SCANN", qps=1500, recall=0.85))
+    h.add(make_observation(3, "IVF_PQ", qps=200, recall=0.40))
+    h.add(make_observation(4, "IVF_PQ", qps=300, recall=0.30))
+    h.add(make_observation(5, "HNSW", qps=900, recall=0.90))
+    return h
+
+
+class TestBasePoints:
+    def test_base_point_per_index_type(self, history):
+        base = index_type_base_points(history, ["SCANN", "IVF_PQ", "HNSW"])
+        assert set(base) == {"SCANN", "IVF_PQ", "HNSW"}
+        # SCANN's balanced point is one of its own non-dominated observations.
+        assert base["SCANN"][0] in (1000.0, 1500.0)
+
+    def test_unknown_type_falls_back_to_global(self, history):
+        base = index_type_base_points(history, ["SCANN", "FLAT"])
+        assert np.all(base["FLAT"] > 0)
+
+    def test_constrained_mode_uses_maxima(self, history):
+        base = index_type_base_points(history, ["SCANN"], constrained=True)
+        assert base["SCANN"][0] == pytest.approx(1500.0)
+        assert base["SCANN"][1] == pytest.approx(0.95)
+
+    def test_empty_history_gives_ones(self):
+        base = index_type_base_points(ObservationHistory(), ["HNSW"])
+        assert np.allclose(base["HNSW"], 1.0)
+
+
+class TestNormalization:
+    def test_normalized_shape_and_scale(self, history):
+        base = index_type_base_points(history, history.index_types())
+        normalized = normalize_objectives(history, base)
+        assert normalized.shape == (5, 2)
+        # Values are expressed relative to the per-type base point, so the
+        # strong and weak index types land on comparable scales.
+        scann_rows = normalized[:2]
+        ivfpq_rows = normalized[2:4]
+        assert scann_rows.max() < 5.0
+        assert ivfpq_rows.max() < 5.0
+        assert ivfpq_rows.min() > 0.0
+
+    def test_empty_history(self):
+        assert normalize_objectives(ObservationHistory(), {}).shape == (0, 2)
+
+
+class TestScoring:
+    def test_strong_index_type_scores_highest(self, history):
+        scores = score_index_types(history, ["SCANN", "IVF_PQ", "HNSW"])
+        assert scores["SCANN"] == max(scores.values())
+        assert scores["IVF_PQ"] == min(scores.values())
+
+    def test_scores_non_negative(self, history):
+        scores = score_index_types(history, ["SCANN", "IVF_PQ", "HNSW"])
+        assert all(value >= 0 for value in scores.values())
+
+    def test_empty_history_gives_zero_scores(self):
+        scores = score_index_types(ObservationHistory(), ["A", "B"])
+        assert scores == {"A": 0.0, "B": 0.0}
+
+
+class TestSuccessiveAbandon:
+    def test_round_robin_polling_order(self):
+        policy = SuccessiveAbandonPolicy(index_types=["A", "B", "C"], window=3)
+        assert [policy.next_index_type() for _ in range(6)] == ["A", "B", "C", "A", "B", "C"]
+
+    def test_worst_type_abandoned_after_window(self, history):
+        policy = SuccessiveAbandonPolicy(
+            index_types=["SCANN", "IVF_PQ", "HNSW"], window=3
+        )
+        for iteration in range(1, 5):
+            policy.update_scores(history, iteration)
+        assert "IVF_PQ" not in policy.remaining
+        assert policy.abandoned["IVF_PQ"] <= 4
+
+    def test_never_abandons_below_min_remaining(self, history):
+        policy = SuccessiveAbandonPolicy(index_types=["SCANN", "IVF_PQ"], window=1, min_remaining=2)
+        for iteration in range(1, 6):
+            policy.update_scores(history, iteration)
+        assert len(policy.remaining) == 2
+
+    def test_streak_resets_when_not_worst(self, history):
+        policy = SuccessiveAbandonPolicy(index_types=["SCANN", "IVF_PQ", "HNSW"], window=10)
+        policy.update_scores(history, 1)
+        assert "IVF_PQ" in policy.remaining
+
+    def test_score_trace_recorded(self, history):
+        policy = SuccessiveAbandonPolicy(index_types=["SCANN", "IVF_PQ", "HNSW"], window=5)
+        policy.update_scores(history, 1)
+        policy.update_scores(history, 2)
+        assert len(policy.score_trace) == 2
+
+    def test_round_robin_policy_never_abandons(self, history):
+        policy = RoundRobinPolicy(index_types=["SCANN", "IVF_PQ", "HNSW"], window=1)
+        for iteration in range(1, 10):
+            policy.update_scores(history, iteration)
+        assert len(policy.remaining) == 3
+        assert policy.abandoned == {}
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SuccessiveAbandonPolicy(index_types=[], window=3)
+        with pytest.raises(ValueError):
+            SuccessiveAbandonPolicy(index_types=["A", "B"], window=0)

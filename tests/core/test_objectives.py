@@ -1,0 +1,59 @@
+"""Unit tests for the objective specifications."""
+
+import pytest
+
+from repro.core.cost_aware import cost_effectiveness_objective
+from repro.core.objectives import ObjectiveSpec
+from repro.workloads.replay import EvaluationResult
+
+
+def make_result(qps=800.0, recall=0.92, memory=4.0):
+    return EvaluationResult(
+        qps=qps, recall=recall, memory_gib=memory, latency_ms=1.0,
+        build_seconds=5.0, replay_seconds=15.0,
+    )
+
+
+class TestObjectiveSpec:
+    def test_default_is_unconstrained_qps(self):
+        objective = ObjectiveSpec()
+        assert not objective.constrained
+        assert objective.objective_values(make_result()) == (800.0, 0.92)
+
+    def test_cost_effectiveness_metric(self):
+        objective = ObjectiveSpec(speed_metric="qp$")
+        speed, recall = objective.objective_values(make_result())
+        assert speed == pytest.approx(200.0)
+        assert recall == pytest.approx(0.92)
+
+    def test_price_scales_cost_effectiveness(self):
+        objective = ObjectiveSpec(speed_metric="qp$", price_per_gib_second=2.0)
+        assert objective.speed_value(make_result()) == pytest.approx(100.0)
+
+    def test_zero_memory_cost_effectiveness(self):
+        objective = ObjectiveSpec(speed_metric="qp$")
+        assert objective.speed_value(make_result(memory=0.0)) == 0.0
+
+    def test_constraint_checks(self):
+        objective = ObjectiveSpec(recall_constraint=0.9)
+        assert objective.constrained
+        assert objective.satisfies_constraint(0.95)
+        assert not objective.satisfies_constraint(0.85)
+
+    def test_no_constraint_always_satisfied(self):
+        assert ObjectiveSpec().satisfies_constraint(0.0)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveSpec(speed_metric="latency")
+        with pytest.raises(ValueError):
+            ObjectiveSpec(recall_constraint=1.5)
+        with pytest.raises(ValueError):
+            ObjectiveSpec(recall_constraint=0.0)
+        with pytest.raises(ValueError):
+            ObjectiveSpec(price_per_gib_second=0.0)
+
+    def test_cost_effectiveness_objective_helper(self):
+        objective = cost_effectiveness_objective(recall_constraint=0.9)
+        assert objective.speed_metric == "qp$"
+        assert objective.recall_constraint == 0.9

@@ -1,0 +1,94 @@
+"""Tests for preference sequences (Figure 12 machinery) and cost-aware helpers."""
+
+import pytest
+
+from repro.core.cost_aware import CostComparison, compare_cost_vs_speed
+from repro.core.history import ObservationHistory
+from repro.core.preference import run_preference_sequence
+from repro.core.tuner import TuningReport, VDTunerSettings
+from tests.core.test_history import make_observation
+
+
+def tiny_settings(iterations):
+    return VDTunerSettings(
+        num_iterations=iterations, abandon_window=3, candidate_pool_size=16, ehvi_samples=8, seed=0
+    )
+
+
+class TestPreferenceSequence:
+    @pytest.fixture(scope="class")
+    def make_environment(self):
+        from repro.workloads.environment import VDMSTuningEnvironment
+        from tests.conftest import make_tiny_dataset
+
+        dataset = make_tiny_dataset()
+
+        def factory():
+            return VDMSTuningEnvironment(dataset, seed=0)
+
+        return factory
+
+    def test_invalid_mode_rejected(self, make_environment):
+        with pytest.raises(ValueError):
+            run_preference_sequence(make_environment, [0.9], mode="magic")
+
+    @pytest.mark.parametrize("mode", ["plain", "constraint", "bootstrap"])
+    def test_each_mode_runs_all_stages(self, make_environment, mode):
+        stages = run_preference_sequence(
+            make_environment,
+            [0.85, 0.9],
+            mode=mode,
+            iterations_per_stage=9,
+            settings=tiny_settings(9),
+        )
+        assert len(stages) == 2
+        assert [s.recall_constraint for s in stages] == [0.85, 0.9]
+        for stage in stages:
+            assert len(stage.report.history) == 9
+
+    def test_constraint_mode_sets_objective(self, make_environment):
+        stages = run_preference_sequence(
+            make_environment, [0.9], mode="constraint", iterations_per_stage=8, settings=tiny_settings(8)
+        )
+        assert stages[0].report.objective.recall_constraint == 0.9
+
+    def test_plain_mode_ignores_constraint_in_objective(self, make_environment):
+        stages = run_preference_sequence(
+            make_environment, [0.9], mode="plain", iterations_per_stage=8, settings=tiny_settings(8)
+        )
+        assert stages[0].report.objective.recall_constraint is None
+
+    def test_target_speeds_report_iterations(self, make_environment):
+        stages = run_preference_sequence(
+            make_environment,
+            [0.85],
+            mode="constraint",
+            iterations_per_stage=8,
+            settings=tiny_settings(8),
+            target_speeds=[1.0],
+        )
+        assert stages[0].iterations_to_target is not None
+
+
+class TestCostComparison:
+    def _report(self, rows):
+        history = ObservationHistory()
+        for iteration, (qps, recall, memory) in enumerate(rows, start=1):
+            history.add(
+                make_observation(iteration, "SCANN", qps=qps, recall=recall, memory=memory)
+            )
+        return TuningReport(history=history)
+
+    def test_compare_cost_vs_speed_fields(self):
+        qps_report = self._report([(1000, 0.9, 4.0), (1200, 0.85, 6.0)])
+        qpd_report = self._report([(900, 0.9, 2.0), (950, 0.88, 2.5)])
+        comparison = compare_cost_vs_speed(qpd_report, qps_report)
+        assert isinstance(comparison, CostComparison)
+        assert comparison.relative_search_speed <= 1.0
+        assert comparison.mean_memory_qpd >= 0.0
+
+    def test_empty_reports_give_zeros(self):
+        empty = TuningReport(history=ObservationHistory())
+        comparison = compare_cost_vs_speed(empty, empty)
+        assert comparison.relative_cost_effectiveness == 0.0
+        assert comparison.relative_search_speed == 0.0

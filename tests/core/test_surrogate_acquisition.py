@@ -1,0 +1,137 @@
+"""Unit tests for the polling/native surrogates and the configuration recommender."""
+
+import numpy as np
+import pytest
+
+from repro.config import build_milvus_space, default_configuration
+from repro.config.milvus_space import SYSTEM_PARAMETERS, parameters_for_index
+from repro.core.acquisition import ConfigurationRecommender
+from repro.core.history import ObservationHistory
+from repro.core.objectives import ObjectiveSpec
+from repro.core.surrogate import NativeSurrogate, PollingSurrogate
+from tests.core.test_history import make_observation
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_milvus_space()
+
+
+@pytest.fixture()
+def history(space):
+    h = ObservationHistory()
+    rng = np.random.default_rng(0)
+    index_types = ["SCANN", "HNSW", "IVF_FLAT", "IVF_PQ"]
+    for iteration in range(1, 13):
+        index_type = index_types[iteration % len(index_types)]
+        config = space.sample_configuration(rng).to_dict()
+        config["index_type"] = index_type
+        qps = float(rng.uniform(100, 1500))
+        recall = float(rng.uniform(0.4, 1.0))
+        h.add(make_observation(iteration, index_type, qps=qps, recall=recall, config=config))
+    return h
+
+
+class TestPollingSurrogate:
+    def test_fit_and_predict_shapes(self, space, history):
+        surrogate = PollingSurrogate(space).fit(history)
+        defaults = [default_configuration(space), default_configuration(space, index_type="HNSW")]
+        prediction = surrogate.predict(defaults)
+        assert prediction.mean.shape == (2, 2)
+        assert prediction.std.shape == (2, 2)
+        assert np.all(prediction.std > 0)
+
+    def test_fit_empty_history_raises(self, space):
+        with pytest.raises(ValueError):
+            PollingSurrogate(space).fit(ObservationHistory())
+
+    def test_predict_before_fit_raises(self, space):
+        with pytest.raises(RuntimeError):
+            PollingSurrogate(space).predict(np.zeros((1, space.dimension)))
+
+    def test_reference_point_is_half_unit(self, space, history):
+        surrogate = PollingSurrogate(space).fit(history)
+        assert np.allclose(surrogate.reference_point("HNSW"), 0.5)
+
+    def test_observed_objectives_are_normalized(self, space, history):
+        surrogate = PollingSurrogate(space).fit(history)
+        observed = surrogate.observed_objectives()
+        assert observed.shape == (len(history), 2)
+        # NPI normalization keeps values near 1 for every index type.
+        assert observed.max() < 10.0
+
+    def test_base_points_per_index_type(self, space, history):
+        surrogate = PollingSurrogate(space).fit(history)
+        assert set(surrogate.base_points) >= set(history.index_types())
+
+    def test_normalize_threshold_divides_by_base(self, space, history):
+        surrogate = PollingSurrogate(space).fit(history)
+        base = surrogate.base_points["HNSW"][1]
+        assert surrogate.normalize_threshold("HNSW", 0.9) == pytest.approx(0.9 / base)
+
+
+class TestNativeSurrogate:
+    def test_observed_objectives_are_raw(self, space, history):
+        surrogate = NativeSurrogate(space).fit(history)
+        observed = surrogate.observed_objectives()
+        assert observed[:, 0].max() > 10.0  # raw QPS values, not normalized
+
+    def test_reference_point_scales_balanced_point(self, space, history):
+        surrogate = NativeSurrogate(space).fit(history)
+        reference = surrogate.reference_point("HNSW")
+        balanced = history.balanced_point()
+        assert np.allclose(reference, 0.5 * balanced)
+
+    def test_threshold_passthrough(self, space, history):
+        surrogate = NativeSurrogate(space).fit(history)
+        assert surrogate.normalize_threshold("HNSW", 0.9) == pytest.approx(0.9)
+
+
+class TestRecommender:
+    def test_candidates_fix_index_type_and_defaults(self, space, history):
+        recommender = ConfigurationRecommender(space, candidate_pool_size=32)
+        rng = np.random.default_rng(1)
+        candidates = recommender.generate_candidates("HNSW", history, rng)
+        assert len(candidates) >= 16
+        free = set(parameters_for_index("HNSW"))
+        for candidate in candidates:
+            assert candidate["index_type"] == "HNSW"
+            for name in space.names:
+                if name not in free and name != "index_type":
+                    assert candidate[name] == space[name].default
+
+    def test_candidates_vary_free_parameters(self, space, history):
+        recommender = ConfigurationRecommender(space, candidate_pool_size=32)
+        rng = np.random.default_rng(2)
+        candidates = recommender.generate_candidates("IVF_FLAT", history, rng)
+        nlists = {c["nlist"] for c in candidates}
+        seal_proportions = {c["segment_seal_proportion"] for c in candidates}
+        assert len(nlists) > 3
+        assert len(seal_proportions) > 3
+
+    def test_recommend_returns_configuration_of_polled_type(self, space, history):
+        recommender = ConfigurationRecommender(space, candidate_pool_size=32, ehvi_samples=16)
+        surrogate = PollingSurrogate(space).fit(history)
+        rng = np.random.default_rng(3)
+        configuration = recommender.recommend(surrogate, history, "SCANN", ObjectiveSpec(), rng)
+        assert configuration["index_type"] == "SCANN"
+
+    def test_recommend_avoids_duplicates(self, space, history):
+        recommender = ConfigurationRecommender(space, candidate_pool_size=16, ehvi_samples=8)
+        surrogate = PollingSurrogate(space).fit(history)
+        rng = np.random.default_rng(4)
+        configuration = recommender.recommend(surrogate, history, "HNSW", ObjectiveSpec(), rng)
+        assert not history.contains_configuration(configuration.to_dict())
+
+    def test_constrained_recommendation(self, space, history):
+        recommender = ConfigurationRecommender(space, candidate_pool_size=32, ehvi_samples=16)
+        surrogate = PollingSurrogate(space, constrained=True).fit(history)
+        rng = np.random.default_rng(5)
+        objective = ObjectiveSpec(recall_constraint=0.9)
+        configuration = recommender.recommend(surrogate, history, "SCANN", objective, rng)
+        assert configuration["index_type"] == "SCANN"
+
+    def test_system_parameters_are_always_free(self, space, history):
+        recommender = ConfigurationRecommender(space, candidate_pool_size=16)
+        free = recommender._free_parameter_names("FLAT")
+        assert set(SYSTEM_PARAMETERS) <= set(free)

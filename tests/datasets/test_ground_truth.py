@@ -1,0 +1,82 @@
+"""Unit tests for exact neighbour computation and recall."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ground_truth import brute_force_neighbors, recall_at_k
+
+
+class TestBruteForceNeighbors:
+    def test_self_is_nearest_neighbour(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(50, 8)).astype(np.float32)
+        neighbours = brute_force_neighbors(vectors, vectors, top_k=1, metric="l2")
+        assert np.array_equal(neighbours[:, 0], np.arange(50))
+
+    def test_results_sorted_by_distance(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.normal(size=(40, 4)).astype(np.float32)
+        queries = rng.normal(size=(5, 4)).astype(np.float32)
+        neighbours = brute_force_neighbors(vectors, queries, top_k=10, metric="l2")
+        for q in range(5):
+            distances = np.linalg.norm(vectors[neighbours[q]] - queries[q], axis=1)
+            assert np.all(np.diff(distances) >= -1e-5)
+
+    def test_angular_ignores_vector_scale(self):
+        rng = np.random.default_rng(2)
+        vectors = rng.normal(size=(30, 6)).astype(np.float32)
+        queries = rng.normal(size=(4, 6)).astype(np.float32)
+        scaled = vectors * rng.uniform(0.5, 5.0, size=(30, 1)).astype(np.float32)
+        original = brute_force_neighbors(vectors, queries, top_k=5, metric="angular")
+        rescaled = brute_force_neighbors(scaled, queries, top_k=5, metric="angular")
+        assert np.array_equal(original, rescaled)
+
+    def test_top_k_larger_than_corpus_rejected(self):
+        vectors = np.zeros((3, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            brute_force_neighbors(vectors, vectors, top_k=4)
+
+    def test_batched_matches_unbatched(self):
+        rng = np.random.default_rng(3)
+        vectors = rng.normal(size=(60, 5)).astype(np.float32)
+        queries = rng.normal(size=(17, 5)).astype(np.float32)
+        small_batches = brute_force_neighbors(vectors, queries, top_k=3, metric="l2", batch_size=4)
+        one_batch = brute_force_neighbors(vectors, queries, top_k=3, metric="l2", batch_size=1000)
+        assert np.array_equal(small_batches, one_batch)
+
+
+class TestRecallAtK:
+    def test_perfect_recall(self):
+        truth = np.array([[0, 1, 2], [3, 4, 5]])
+        assert recall_at_k(truth, truth) == 1.0
+
+    def test_zero_recall(self):
+        truth = np.array([[0, 1], [2, 3]])
+        retrieved = np.array([[7, 8], [9, 10]])
+        assert recall_at_k(retrieved, truth) == 0.0
+
+    def test_partial_recall(self):
+        truth = np.array([[0, 1, 2, 3]])
+        retrieved = np.array([[0, 1, 9, 9]])
+        assert recall_at_k(retrieved, truth) == pytest.approx(0.5)
+
+    def test_order_does_not_matter_within_top_k(self):
+        truth = np.array([[0, 1, 2]])
+        retrieved = np.array([[2, 0, 1]])
+        assert recall_at_k(retrieved, truth) == 1.0
+
+    def test_padding_with_minus_one_counts_as_miss(self):
+        truth = np.array([[0, 1]])
+        retrieved = np.array([[0, -1]])
+        assert recall_at_k(retrieved, truth) == pytest.approx(0.5)
+
+    def test_k_cutoff(self):
+        truth = np.array([[0, 1, 2, 3]])
+        retrieved = np.array([[0, 9, 9, 9]])
+        assert recall_at_k(retrieved, truth, k=1) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros((2, 3)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros(3), np.zeros((1, 3)))

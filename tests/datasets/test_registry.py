@@ -1,0 +1,66 @@
+"""Unit tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import DATASET_NAMES, dataset_spec, load_dataset
+
+
+class TestRegistry:
+    def test_registry_contains_the_paper_datasets(self):
+        assert "glove-small" in DATASET_NAMES
+        assert "keyword-match-small" in DATASET_NAMES
+        assert "geo-radius-small" in DATASET_NAMES
+        assert "arxiv-titles-small" in DATASET_NAMES
+        assert "deep-image-small" in DATASET_NAMES
+
+    def test_paper_aliases_resolve(self):
+        assert dataset_spec("glove").name == "glove-small"
+        assert dataset_spec("geo-radius").name == "geo-radius-small"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            dataset_spec("imaginary-dataset")
+
+    def test_deep_image_is_ten_times_glove(self):
+        glove = dataset_spec("glove-small")
+        deep = dataset_spec("deep-image-small")
+        assert deep.num_vectors == 10 * glove.num_vectors
+
+    def test_geo_radius_has_highest_dimension(self):
+        dims = {name: dataset_spec(name).dimension for name in DATASET_NAMES}
+        assert max(dims, key=dims.get) == "geo-radius-small"
+
+
+class TestLoadDataset:
+    def test_load_is_deterministic_and_cached(self):
+        first = load_dataset("glove-small")
+        second = load_dataset("glove-small")
+        assert first is second  # lru_cache
+        assert np.array_equal(first.vectors, second.vectors)
+
+    def test_ground_truth_matches_spec_top_k(self):
+        dataset = load_dataset("keyword-match-small")
+        assert dataset.ground_truth.shape == (dataset.num_queries, dataset.spec.top_k)
+
+    def test_scaling_changes_size(self):
+        small = load_dataset("glove-small", scale=0.25)
+        full = load_dataset("glove-small")
+        assert small.num_vectors == pytest.approx(full.num_vectors * 0.25, rel=0.05)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("glove-small", scale=0.0)
+
+    def test_subset_recomputes_ground_truth(self):
+        dataset = load_dataset("glove-small")
+        subset = dataset.subset(200, 10)
+        assert subset.num_vectors == 200
+        assert subset.num_queries == 10
+        assert subset.ground_truth.max() < 200
+
+    def test_vectors_are_float32_and_finite(self):
+        for name in ("glove-small", "geo-radius-small"):
+            dataset = load_dataset(name)
+            assert dataset.vectors.dtype == np.float32
+            assert np.all(np.isfinite(dataset.vectors))

@@ -1,0 +1,80 @@
+"""Unit tests for the synthetic vector generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    make_clustered_vectors,
+    make_correlated_vectors,
+    make_heavy_tailed_vectors,
+)
+
+
+class TestClusteredVectors:
+    def test_shapes(self):
+        vectors, queries = make_clustered_vectors(200, 10, 8, seed=1)
+        assert vectors.shape == (200, 8)
+        assert queries.shape == (10, 8)
+        assert vectors.dtype == np.float32
+
+    def test_deterministic_given_seed(self):
+        first = make_clustered_vectors(100, 5, 8, seed=7)
+        second = make_clustered_vectors(100, 5, 8, seed=7)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+
+    def test_different_seeds_differ(self):
+        first, _ = make_clustered_vectors(100, 5, 8, seed=7)
+        second, _ = make_clustered_vectors(100, 5, 8, seed=8)
+        assert not np.array_equal(first, second)
+
+    def test_tighter_clusters_have_lower_within_cluster_spread(self):
+        tight, _ = make_clustered_vectors(300, 5, 8, cluster_std=0.05, num_clusters=4, seed=3)
+        loose, _ = make_clustered_vectors(300, 5, 8, cluster_std=0.6, num_clusters=4, seed=3)
+        # Total variance grows with the within-cluster spread.
+        assert tight.var() < loose.var()
+
+    def test_num_clusters_capped_at_num_vectors(self):
+        vectors, _ = make_clustered_vectors(10, 2, 4, num_clusters=100, seed=0)
+        assert vectors.shape == (10, 4)
+
+
+class TestCorrelatedVectors:
+    def test_shapes_and_dtype(self):
+        vectors, queries = make_correlated_vectors(150, 6, 12, seed=2)
+        assert vectors.shape == (150, 12)
+        assert queries.shape == (6, 12)
+
+    def test_correlation_parameter_bounds(self):
+        with pytest.raises(ValueError):
+            make_correlated_vectors(10, 2, 4, correlation=1.5)
+        with pytest.raises(ValueError):
+            make_correlated_vectors(10, 2, 4, correlation=-0.1)
+
+    def test_high_correlation_is_lower_rank(self):
+        low_corr, _ = make_correlated_vectors(400, 4, 16, correlation=0.0, seed=5)
+        high_corr, _ = make_correlated_vectors(400, 4, 16, correlation=0.95, seed=5)
+
+        def effective_rank(matrix):
+            singular_values = np.linalg.svd(matrix - matrix.mean(axis=0), compute_uv=False)
+            normalized = singular_values / singular_values.sum()
+            return float(np.exp(-(normalized * np.log(normalized + 1e-12)).sum()))
+
+        assert effective_rank(high_corr) < effective_rank(low_corr)
+
+
+class TestHeavyTailedVectors:
+    def test_shapes(self):
+        vectors, queries = make_heavy_tailed_vectors(120, 8, 32, seed=4)
+        assert vectors.shape == (120, 32)
+        assert queries.shape == (8, 32)
+
+    def test_tail_index_must_exceed_two(self):
+        with pytest.raises(ValueError):
+            make_heavy_tailed_vectors(10, 2, 4, tail_index=2.0)
+
+    def test_norms_are_heavy_tailed(self):
+        vectors, _ = make_heavy_tailed_vectors(500, 4, 16, tail_index=2.5, seed=9)
+        norms = np.linalg.norm(vectors, axis=1)
+        # Heavy-tailed norms: the max should dwarf the median.
+        assert norms.max() > 4 * np.median(norms)

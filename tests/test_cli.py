@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.dataset == "glove-small"
+        assert args.index_type == "AUTOINDEX"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--dataset", "not-a-dataset"])
+
+    def test_tune_flags(self):
+        args = build_parser().parse_args(
+            ["tune", "--iterations", "7", "--recall-constraint", "0.9", "--cost-aware", "--json"]
+        )
+        assert args.iterations == 7
+        assert args.recall_constraint == 0.9
+        assert args.cost_aware and args.json
+
+
+class TestEvaluateCommand:
+    def test_evaluate_prints_metrics(self, capsys):
+        exit_code = main(["evaluate", "--dataset", "glove-small", "--index-type", "IVF_FLAT"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "QPS" in output
+        assert "recall" in output
+
+    def test_evaluate_with_overrides(self, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--dataset",
+                "glove-small",
+                "--index-type",
+                "IVF_FLAT",
+                "--set",
+                "nprobe=64",
+                "--set",
+                "segment_max_size=256",
+            ]
+        )
+        assert exit_code == 0
+        assert "IVF_FLAT" in capsys.readouterr().out
+
+    def test_invalid_override_format_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--set", "nprobe"])
+
+    def test_unknown_override_parameter_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--set", "bogus=3"])
+
+
+class TestTuneCommand:
+    def test_tune_json_output_is_a_valid_configuration(self, capsys):
+        exit_code = main(
+            ["tune", "--dataset", "glove-small", "--iterations", "9", "--seed", "1", "--json"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        configuration = json.loads(output)
+        assert configuration["index_type"] in {
+            "FLAT", "IVF_FLAT", "IVF_SQ8", "IVF_PQ", "HNSW", "SCANN", "AUTOINDEX",
+        }
+
+    def test_tune_unreachable_recall_floor_fails(self, capsys):
+        exit_code = main(
+            ["tune", "--dataset", "glove-small", "--iterations", "8", "--recall-floor", "1.1"]
+        )
+        assert exit_code == 1
+
+
+class TestCompareCommand:
+    def test_compare_prints_one_row_per_tuner(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--dataset",
+                "glove-small",
+                "--iterations",
+                "8",
+                "--tuners",
+                "random",
+                "default",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "random" in output
+        assert "default" in output

@@ -1,0 +1,125 @@
+"""End-to-end integration tests: the public API as a downstream user would use it."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    ObjectiveSpec,
+    VDMSTuningEnvironment,
+    VDTuner,
+    VDTunerSettings,
+    build_milvus_space,
+    load_dataset,
+    make_tuner,
+)
+from repro.analysis import improvement_over_default, speed_vs_sacrifice_curve
+from repro.vdms import VectorDBServer
+from tests.conftest import make_tiny_dataset
+
+
+class TestPublicAPI:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in ("VDTuner", "VectorDBServer", "build_milvus_space", "load_dataset"):
+            assert hasattr(repro, name)
+
+
+class TestServerWorkflow:
+    """The quickstart path: load data into the server and search it."""
+
+    def test_full_search_workflow(self):
+        dataset = load_dataset("glove-small")
+        server = VectorDBServer()
+        server.apply_system_config({"segment_max_size": 256, "segment_seal_proportion": 0.5})
+        collection = server.create_collection("docs", dataset.dimension, metric=dataset.metric)
+        collection.insert(dataset.vectors)
+        collection.flush()
+        collection.create_index("HNSW", {"hnsw_m": 16, "ef_construction": 96, "ef_search": 64})
+        result = collection.search(dataset.queries, 10)
+        assert result.ids.shape == (dataset.num_queries, 10)
+        report = server.cost_model().evaluate(
+            result.stats, collection.profile(), [], recall=1.0
+        )
+        assert report.qps > 0
+
+
+class TestEndToEndTuning:
+    """A miniature version of the paper's main experiment."""
+
+    @pytest.fixture(scope="class")
+    def tuned(self):
+        dataset = make_tiny_dataset()
+        environment = VDMSTuningEnvironment(dataset, seed=0)
+        default_result = environment.evaluate(environment.default_configuration())
+        environment.reset_history()
+        settings = VDTunerSettings(
+            num_iterations=16, abandon_window=3, candidate_pool_size=32, ehvi_samples=8, seed=0
+        )
+        tuner = VDTuner(environment, settings=settings)
+        report = tuner.run()
+        return default_result, report
+
+    def test_tuning_improves_over_default(self, tuned):
+        default_result, report = tuned
+        improvement = improvement_over_default(report.history, default_result)
+        # On the tiny clustered dataset the default is far from optimal, so a
+        # handful of iterations should already find something at least as good
+        # in both objectives and strictly better in one.
+        assert improvement.speed_improvement >= 0.0
+        assert improvement.recall_improvement >= 0.0
+        assert improvement.speed_improvement + improvement.recall_improvement > 0.0
+
+    def test_speed_vs_sacrifice_curve_is_usable(self, tuned):
+        _, report = tuned
+        curve = speed_vs_sacrifice_curve(report.history)
+        assert len(curve) == 7
+
+    def test_successive_abandon_happened_or_all_types_remain(self, tuned):
+        _, report = tuned
+        # With a window of 3 and 9 tuning iterations at least the abandonment
+        # machinery must have produced a score trace.
+        assert len(report.score_trace) > 0
+
+    def test_best_configuration_is_replayable(self, tuned):
+        _, report = tuned
+        best = report.best_configuration()
+        assert best is not None
+        environment = VDMSTuningEnvironment(make_tiny_dataset(), seed=1)
+        result = environment.evaluate(environment.space.configuration(best))
+        assert result.qps > 0
+
+
+class TestBaselineParity:
+    def test_all_tuners_run_on_the_same_environment_interface(self):
+        dataset = make_tiny_dataset()
+        for name in ("random", "ottertune"):
+            environment = VDMSTuningEnvironment(dataset, seed=2)
+            tuner = make_tuner(name, environment, seed=2)
+            report = tuner.run(8)
+            assert len(report.history) == 8
+
+    def test_constrained_vdtuner_prefers_feasible_region(self):
+        dataset = make_tiny_dataset()
+        environment = VDMSTuningEnvironment(dataset, seed=3)
+        settings = VDTunerSettings(
+            num_iterations=14, abandon_window=3, candidate_pool_size=24, ehvi_samples=8, seed=3
+        )
+        tuner = VDTuner(environment, settings=settings, objective=ObjectiveSpec(recall_constraint=0.9))
+        report = tuner.run()
+        feasible = [o for o in report.history.successful() if o.recall >= 0.9]
+        assert len(feasible) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_the_run(self):
+        dataset = make_tiny_dataset()
+        histories = []
+        for _ in range(2):
+            environment = VDMSTuningEnvironment(dataset, seed=5)
+            settings = VDTunerSettings(
+                num_iterations=10, abandon_window=3, candidate_pool_size=16, ehvi_samples=8, seed=5
+            )
+            report = VDTuner(environment, settings=settings).run()
+            histories.append([(o.index_type, round(o.speed, 6)) for o in report.history])
+        assert histories[0] == histories[1]

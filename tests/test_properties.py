@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bo.pareto import (
+    hypervolume_2d,
+    hypervolume_improvement_2d,
+    is_non_dominated,
+    pareto_front,
+    pareto_ranks,
+)
+from repro.bo.sampling import latin_hypercube
+from repro.config import build_milvus_space
+from repro.config.parameters import CategoricalParameter, FloatParameter, IntParameter
+from repro.datasets.ground_truth import recall_at_k
+from repro.vdms.distance import pairwise_distances
+from repro.vdms.index.kmeans import kmeans
+
+SPACE = build_milvus_space()
+
+objective_sets = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 12), st.just(2)),
+    elements=st.floats(0.0, 100.0, allow_nan=False),
+)
+
+
+class TestParetoProperties:
+    @given(points=objective_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_pareto_front_members_are_mutually_non_dominated(self, points):
+        front = pareto_front(points)
+        assert np.all(is_non_dominated(front))
+
+    @given(points=objective_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_every_point_is_dominated_by_or_on_the_front(self, points):
+        front = pareto_front(points)
+        for point in points:
+            dominated_or_equal = np.any(np.all(front >= point, axis=1))
+            assert dominated_or_equal
+
+    @given(points=objective_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_ranks_start_at_one_and_cover_all_points(self, points):
+        ranks = pareto_ranks(points)
+        assert ranks.min() == 1
+        assert ranks.shape[0] == points.shape[0]
+
+    @given(points=objective_sets, extra=st.floats(0.0, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_hypervolume_monotone_under_adding_points(self, points, extra):
+        reference = np.zeros(2)
+        base = hypervolume_2d(points, reference)
+        augmented = hypervolume_2d(np.vstack([points, [extra, extra]]), reference)
+        assert augmented >= base - 1e-9
+
+    @given(points=objective_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_hypervolume_improvement_matches_definition(self, points):
+        reference = np.zeros(2)
+        front = points[: max(1, points.shape[0] // 2)]
+        candidates = points[points.shape[0] // 2 :]
+        assume(candidates.shape[0] > 0)
+        base = hypervolume_2d(front, reference)
+        fast = hypervolume_improvement_2d(candidates, front, reference)
+        direct = np.array(
+            [hypervolume_2d(np.vstack([front, c]), reference) - base for c in candidates]
+        )
+        assert np.allclose(fast, direct, atol=1e-7)
+
+
+class TestParameterProperties:
+    @given(unit=st.floats(0.0, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_float_from_unit_always_within_bounds(self, unit):
+        parameter = FloatParameter("x", low=0.3, high=7.5, default=1.0)
+        assert 0.3 <= parameter.from_unit(unit) <= 7.5
+
+    @given(unit=st.floats(0.0, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_int_from_unit_always_within_bounds(self, unit):
+        parameter = IntParameter("n", low=3, high=977, default=10, log_scale=True)
+        value = parameter.from_unit(unit)
+        assert 3 <= value <= 977
+
+    @given(value=st.integers(3, 977))
+    @settings(max_examples=80, deadline=None)
+    def test_int_round_trip_is_identity(self, value):
+        parameter = IntParameter("n", low=3, high=977, default=10)
+        assert parameter.from_unit(parameter.to_unit(value)) == value
+
+    @given(index=st.integers(0, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_categorical_round_trip(self, index):
+        parameter = SPACE["index_type"]
+        choice = parameter.choices[index]
+        assert parameter.from_unit(parameter.to_unit(choice)) == choice
+
+    @given(
+        vector=hnp.arrays(
+            dtype=np.float64, shape=(16,), elements=st.floats(0.0, 1.0, allow_nan=False)
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_space_decode_encode_decode_is_stable(self, vector):
+        configuration = SPACE.decode(vector)
+        round_tripped = SPACE.decode(SPACE.encode(configuration))
+        # Integer and categorical parameters must round-trip exactly; float
+        # parameters are only stable up to floating-point error, so compare
+        # the encoded coordinates with a tolerance.
+        assert np.allclose(
+            SPACE.encode(round_tripped), SPACE.encode(configuration), atol=1e-9
+        )
+        for name in SPACE.names:
+            if not isinstance(configuration[name], float):
+                assert round_tripped[name] == configuration[name]
+
+
+def unique_id_rows(num_rows: int, width: int, universe: int, seed: int) -> np.ndarray:
+    """Ground-truth-like id matrix: every row holds distinct ids."""
+    generator = np.random.default_rng(seed)
+    return np.array(
+        [generator.choice(universe, size=width, replace=False) for _ in range(num_rows)],
+        dtype=np.int64,
+    )
+
+
+class TestRecallProperties:
+    @given(
+        retrieved=hnp.arrays(dtype=np.int64, shape=(4, 6), elements=st.integers(-1, 30)),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recall_bounded_between_zero_and_one(self, retrieved, seed):
+        truth = unique_id_rows(4, 6, universe=31, seed=seed)
+        value = recall_at_k(retrieved, truth)
+        assert 0.0 <= value <= 1.0
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_recall_of_ground_truth_is_one(self, seed):
+        truth = unique_id_rows(3, 5, universe=101, seed=seed)
+        assert recall_at_k(truth, truth) == 1.0
+
+
+class TestDistanceProperties:
+    @given(
+        data=hnp.arrays(
+            dtype=np.float32,
+            shape=st.tuples(st.integers(2, 12), st.integers(2, 8)),
+            elements=st.floats(-5, 5, allow_nan=False, width=32),
+        )
+    )
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_l2_distances_symmetric_and_non_negative(self, data):
+        distances = pairwise_distances(data, data, "l2")
+        assert np.all(distances >= 0)
+        assert np.allclose(distances, distances.T, atol=1e-3)
+
+    @given(
+        data=hnp.arrays(
+            dtype=np.float32,
+            shape=st.tuples(st.integers(5, 30), st.just(4)),
+            elements=st.floats(-3, 3, allow_nan=False, width=32),
+        ),
+        k=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_kmeans_assignments_always_valid(self, data, k):
+        result = kmeans(data, k, seed=0, max_iterations=4)
+        assert result.assignments.shape[0] == data.shape[0]
+        assert result.assignments.min() >= 0
+        assert result.assignments.max() < result.centroids.shape[0]
+        assert np.all(np.isfinite(result.centroids))
+
+
+class TestSamplingProperties:
+    @given(n=st.integers(2, 40), d=st.integers(1, 10), seed=st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_latin_hypercube_is_stratified_in_every_dimension(self, n, d, seed):
+        samples = latin_hypercube(n, d, np.random.default_rng(seed))
+        assert samples.shape == (n, d)
+        for column in range(d):
+            strata = np.floor(samples[:, column] * n).astype(int)
+            strata = np.clip(strata, 0, n - 1)
+            assert sorted(strata.tolist()) == list(range(n))

@@ -1,0 +1,156 @@
+"""Unit tests for Collection: ingestion, indexing, search, profiling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ground_truth import brute_force_neighbors, recall_at_k
+from repro.vdms.collection import Collection, STRUCTURAL_PARAMETERS
+from repro.vdms.errors import IndexBuildError, IndexNotBuiltError
+from repro.vdms.system_config import SystemConfig
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(31)
+    centers = rng.normal(size=(8, 16)).astype(np.float32)
+    vectors = centers[rng.integers(0, 8, size=500)] + rng.normal(scale=0.15, size=(500, 16)).astype(np.float32)
+    queries = vectors[rng.integers(0, 500, size=15)] + rng.normal(scale=0.05, size=(15, 16)).astype(np.float32)
+    truth = brute_force_neighbors(vectors, queries, 5, "angular")
+    return vectors.astype(np.float32), queries.astype(np.float32), truth
+
+
+def loaded_collection(corpus, system_config=None, **kwargs):
+    vectors, _, _ = corpus
+    # A small sealed-segment capacity so the 500-row corpus produces at least
+    # one sealed (indexable) segment plus a growing tail.
+    if system_config is None:
+        system_config = SystemConfig(segment_max_size=64, segment_seal_proportion=0.25)
+    collection = Collection("test", dimension=16, system_config=system_config, **kwargs)
+    collection.insert(vectors)
+    collection.flush()
+    return collection
+
+
+class TestLifecycle:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Collection("bad", dimension=0)
+        with pytest.raises(ValueError):
+            Collection("bad", dimension=4, metric="hamming")
+
+    def test_insert_assigns_sequential_ids(self, corpus):
+        vectors, _, _ = corpus
+        collection = Collection("c", dimension=16)
+        collection.insert(vectors[:10])
+        collection.insert(vectors[10:20])
+        collection.flush()
+        assert collection.num_rows == 20
+
+    def test_search_empty_collection_raises(self):
+        collection = Collection("empty", dimension=8)
+        with pytest.raises(IndexNotBuiltError):
+            collection.search(np.zeros((1, 8), dtype=np.float32), 3)
+
+    def test_search_without_index_raises_when_sealed_segments_exist(self, corpus):
+        collection = loaded_collection(corpus)
+        if collection.num_sealed_segments:
+            with pytest.raises(IndexNotBuiltError):
+                collection.search(np.zeros((1, 16), dtype=np.float32), 3)
+
+    def test_unknown_index_type_rejected(self, corpus):
+        collection = loaded_collection(corpus)
+        with pytest.raises(IndexBuildError):
+            collection.create_index("BOGUS", {})
+
+    def test_drop_index(self, corpus):
+        collection = loaded_collection(corpus)
+        collection.create_index("IVF_FLAT", {"nlist": 16, "nprobe": 8})
+        assert collection.has_index
+        collection.drop_index()
+        assert not collection.has_index
+
+
+class TestSearch:
+    @pytest.mark.parametrize("index_type", ["FLAT", "IVF_FLAT", "HNSW", "SCANN"])
+    def test_search_returns_reasonable_recall(self, corpus, index_type):
+        _, queries, truth = corpus
+        collection = loaded_collection(corpus)
+        collection.create_index(index_type, {"nlist": 32, "nprobe": 16, "hnsw_m": 8,
+                                              "ef_construction": 64, "ef_search": 64,
+                                              "reorder_k": 100, "seed": 0})
+        result = collection.search(queries, 5)
+        assert recall_at_k(result.ids, truth, 5) >= 0.5
+        assert result.stats.segments_searched > 0
+
+    def test_growing_segment_is_searched(self, corpus):
+        vectors, queries, truth = corpus
+        # A huge segment size keeps everything growing (one growing segment).
+        config = SystemConfig(segment_max_size=1_000_000, segment_seal_proportion=1.0, insert_buf_size=1_000_000)
+        collection = Collection("grow", dimension=16, system_config=config)
+        collection.insert(vectors)
+        collection.flush()
+        if collection.num_sealed_segments == 0:
+            result = collection.search(queries, 5)
+            assert recall_at_k(result.ids, truth, 5) == 1.0
+
+    def test_results_merged_across_segments(self, corpus):
+        vectors, queries, truth = corpus
+        config = SystemConfig(segment_max_size=64, segment_seal_proportion=0.1)
+        collection = Collection("many", dimension=16, system_config=config)
+        collection.insert(vectors)
+        collection.flush()
+        assert collection.num_sealed_segments > 1
+        collection.create_index("FLAT", {})
+        result = collection.search(queries, 5)
+        assert recall_at_k(result.ids, truth, 5) == 1.0
+
+    def test_invalid_top_k(self, corpus):
+        collection = loaded_collection(corpus)
+        collection.create_index("FLAT", {})
+        with pytest.raises(ValueError):
+            collection.search(np.zeros((1, 16), dtype=np.float32), 0)
+
+    def test_set_search_params_propagates(self, corpus):
+        _, queries, _ = corpus
+        collection = loaded_collection(corpus)
+        collection.create_index("IVF_FLAT", {"nlist": 32, "nprobe": 1})
+        narrow = collection.search(queries, 5).stats.total_work()
+        collection.set_search_params(nprobe=32)
+        wide = collection.search(queries, 5).stats.total_work()
+        assert wide > narrow
+
+
+class TestIndexCache:
+    def test_cache_reused_for_same_structural_params(self, corpus):
+        cache = {}
+        first = loaded_collection(corpus, index_cache=cache)
+        first.create_index("IVF_FLAT", {"nlist": 32, "nprobe": 4})
+        size_after_first = len(cache)
+        second = loaded_collection(corpus, index_cache=cache)
+        second.create_index("IVF_FLAT", {"nlist": 32, "nprobe": 16})
+        assert len(cache) == size_after_first  # nprobe is search-time only
+
+    def test_cache_grows_for_new_structural_params(self, corpus):
+        cache = {}
+        collection = loaded_collection(corpus, index_cache=cache)
+        collection.create_index("IVF_FLAT", {"nlist": 32, "nprobe": 4})
+        first_size = len(cache)
+        collection.create_index("IVF_FLAT", {"nlist": 64, "nprobe": 4})
+        assert len(cache) > first_size
+
+
+class TestProfile:
+    def test_profile_reflects_collection_state(self, corpus):
+        collection = loaded_collection(corpus)
+        collection.create_index("IVF_FLAT", {"nlist": 32, "nprobe": 4})
+        profile = collection.profile()
+        assert profile.total_rows == 500
+        assert profile.dimension == 16
+        assert profile.sealed_segments == collection.num_sealed_segments
+        assert profile.index_bytes == collection.index_bytes()
+        assert profile.raw_bytes > 0
+
+    def test_structural_parameters_cover_all_index_types(self):
+        assert set(STRUCTURAL_PARAMETERS) == {
+            "FLAT", "IVF_FLAT", "IVF_SQ8", "IVF_PQ", "HNSW", "SCANN", "AUTOINDEX",
+        }

@@ -1,0 +1,91 @@
+"""Unit tests for the distance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.vdms.distance import METRICS, normalize_rows, pairwise_distances, prepare_vectors
+
+
+class TestNormalizeRows:
+    def test_unit_norms(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(20, 6)).astype(np.float32)
+        normalized = normalize_rows(matrix)
+        assert np.allclose(np.linalg.norm(normalized, axis=1), 1.0, atol=1e-5)
+
+    def test_zero_rows_stay_zero(self):
+        matrix = np.zeros((3, 4), dtype=np.float32)
+        normalized = normalize_rows(matrix)
+        assert np.allclose(normalized, 0.0)
+
+    def test_original_not_modified(self):
+        matrix = np.ones((2, 2), dtype=np.float32) * 3
+        normalize_rows(matrix)
+        assert np.all(matrix == 3)
+
+
+class TestPairwiseDistances:
+    def test_l2_matches_direct_computation(self):
+        rng = np.random.default_rng(1)
+        queries = rng.normal(size=(5, 7)).astype(np.float32)
+        vectors = rng.normal(size=(9, 7)).astype(np.float32)
+        distances = pairwise_distances(queries, vectors, "l2")
+        direct = ((queries[:, None, :] - vectors[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(distances, direct, atol=1e-4)
+
+    def test_l2_self_distance_zero(self):
+        rng = np.random.default_rng(2)
+        vectors = rng.normal(size=(6, 3)).astype(np.float32)
+        distances = pairwise_distances(vectors, vectors, "l2")
+        assert np.allclose(np.diag(distances), 0.0, atol=1e-5)
+
+    def test_ip_is_negative_inner_product(self):
+        queries = np.array([[1.0, 0.0]], dtype=np.float32)
+        vectors = np.array([[2.0, 0.0], [0.0, 3.0]], dtype=np.float32)
+        distances = pairwise_distances(queries, vectors, "ip")
+        assert distances[0, 0] == pytest.approx(-2.0)
+        assert distances[0, 1] == pytest.approx(0.0)
+
+    def test_angular_invariant_to_scaling(self):
+        rng = np.random.default_rng(3)
+        queries = rng.normal(size=(4, 5)).astype(np.float32)
+        vectors = rng.normal(size=(8, 5)).astype(np.float32)
+        base = pairwise_distances(queries, vectors, "angular")
+        scaled = pairwise_distances(queries * 7.0, vectors * 0.1, "angular")
+        assert np.allclose(base, scaled, atol=1e-4)
+
+    def test_angular_parallel_vectors_have_zero_distance(self):
+        vectors = np.array([[1.0, 1.0]], dtype=np.float32)
+        queries = np.array([[2.0, 2.0]], dtype=np.float32)
+        assert pairwise_distances(queries, vectors, "angular")[0, 0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_one_dimensional_query_promoted(self):
+        vectors = np.eye(3, dtype=np.float32)
+        distances = pairwise_distances(np.array([1.0, 0.0, 0.0], dtype=np.float32), vectors, "l2")
+        assert distances.shape == (1, 3)
+
+    def test_distances_are_non_negative_for_l2_and_angular(self):
+        rng = np.random.default_rng(4)
+        queries = rng.normal(size=(3, 4)).astype(np.float32)
+        vectors = rng.normal(size=(5, 4)).astype(np.float32)
+        for metric in ("l2", "angular"):
+            assert np.all(pairwise_distances(queries, vectors, metric) >= 0)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((1, 2)), np.zeros((1, 2)), "cosine")
+
+
+class TestPrepareVectors:
+    def test_angular_normalizes(self):
+        matrix = np.array([[3.0, 4.0]], dtype=np.float32)
+        prepared = prepare_vectors(matrix, "angular")
+        assert np.allclose(np.linalg.norm(prepared, axis=1), 1.0)
+
+    def test_l2_returns_contiguous_copy(self):
+        matrix = np.asfortranarray(np.ones((4, 3), dtype=np.float32))
+        prepared = prepare_vectors(matrix, "l2")
+        assert prepared.flags["C_CONTIGUOUS"]
+
+    def test_metrics_constant(self):
+        assert set(METRICS) == {"l2", "ip", "angular"}

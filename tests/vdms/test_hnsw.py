@@ -1,0 +1,119 @@
+"""HNSW-specific tests (graph structure and parameter behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ground_truth import brute_force_neighbors, recall_at_k
+from repro.vdms.index.autoindex import AutoIndex
+from repro.vdms.index.hnsw import HNSWIndex
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    generator = np.random.default_rng(23)
+    centers = generator.normal(size=(8, 12)).astype(np.float32)
+    assignment = generator.integers(0, 8, size=400)
+    vectors = centers[assignment] + generator.normal(scale=0.12, size=(400, 12)).astype(np.float32)
+    queries = vectors[generator.integers(0, 400, size=16)] + generator.normal(
+        scale=0.04, size=(16, 12)
+    ).astype(np.float32)
+    truth = brute_force_neighbors(vectors, queries, top_k=5, metric="angular")
+    return vectors.astype(np.float32), queries.astype(np.float32), truth
+
+
+class TestGraphStructure:
+    def test_every_node_present_in_bottom_layer(self, corpus):
+        vectors, _, _ = corpus
+        index = HNSWIndex(metric="angular", hnsw_m=8, ef_construction=64, ef_search=32, seed=0)
+        index.build(vectors)
+        assert len(index._layers[0]) == vectors.shape[0]
+
+    def test_degree_bounded_by_twice_m_on_bottom_layer(self, corpus):
+        vectors, _, _ = corpus
+        m = 6
+        index = HNSWIndex(metric="angular", hnsw_m=m, ef_construction=64, ef_search=32, seed=0)
+        index.build(vectors)
+        degrees = [len(neighbours) for neighbours in index._layers[0].values()]
+        assert max(degrees) <= 2 * m
+        assert min(degrees) >= 1
+
+    def test_upper_layers_are_subsets(self, corpus):
+        vectors, _, _ = corpus
+        index = HNSWIndex(metric="angular", hnsw_m=8, ef_construction=64, ef_search=32, seed=0)
+        index.build(vectors)
+        bottom = set(index._layers[0])
+        for layer in index._layers[1:]:
+            assert set(layer) <= bottom
+
+    def test_entry_point_in_top_layer(self, corpus):
+        vectors, _, _ = corpus
+        index = HNSWIndex(metric="angular", hnsw_m=8, ef_construction=64, ef_search=32, seed=0)
+        index.build(vectors)
+        assert index._entry_point in index._layers[-1]
+
+    def test_build_counts_distance_evaluations(self, corpus):
+        vectors, _, _ = corpus
+        index = HNSWIndex(metric="angular", hnsw_m=8, ef_construction=64, ef_search=32, seed=0)
+        stats = index.build(vectors)
+        assert stats.distance_evaluations > 0
+        assert stats.extra["levels"] >= 1
+
+
+class TestSearchBehaviour:
+    def test_higher_ef_search_improves_recall(self, corpus):
+        vectors, queries, truth = corpus
+        low = HNSWIndex(metric="angular", hnsw_m=8, ef_construction=64, ef_search=5, seed=0)
+        high = HNSWIndex(metric="angular", hnsw_m=8, ef_construction=64, ef_search=128, seed=0)
+        low.build(vectors)
+        high.build(vectors)
+        low_recall = recall_at_k(low.search(queries, 5)[0], truth, 5)
+        high_recall = recall_at_k(high.search(queries, 5)[0], truth, 5)
+        assert high_recall >= low_recall
+
+    def test_higher_ef_search_costs_more_work(self, corpus):
+        vectors, queries, _ = corpus
+        low = HNSWIndex(metric="angular", hnsw_m=8, ef_construction=64, ef_search=5, seed=0)
+        high = HNSWIndex(metric="angular", hnsw_m=8, ef_construction=64, ef_search=128, seed=0)
+        low.build(vectors)
+        high.build(vectors)
+        assert high.search(queries, 5)[2].total_work() > low.search(queries, 5)[2].total_work()
+
+    def test_graph_hops_counted(self, corpus):
+        vectors, queries, _ = corpus
+        index = HNSWIndex(metric="angular", hnsw_m=8, ef_construction=64, ef_search=32, seed=0)
+        index.build(vectors)
+        stats = index.search(queries, 5)[2]
+        assert stats.graph_hops >= queries.shape[0]
+
+    def test_ef_search_below_top_k_is_raised_internally(self, corpus):
+        vectors, queries, _ = corpus
+        index = HNSWIndex(metric="angular", hnsw_m=8, ef_construction=64, ef_search=1, seed=0)
+        index.build(vectors)
+        ids, _, _ = index.search(queries, 5)
+        assert np.all((ids[:, 0] >= 0))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HNSWIndex(hnsw_m=1)
+        with pytest.raises(ValueError):
+            HNSWIndex(ef_construction=0)
+        with pytest.raises(ValueError):
+            HNSWIndex(ef_search=0)
+
+
+class TestAutoIndex:
+    def test_autoindex_delegates_to_hnsw(self, corpus):
+        vectors, queries, truth = corpus
+        index = AutoIndex(metric="angular", seed=0)
+        stats = index.build(vectors)
+        assert stats.extra["delegate"] == "HNSW"
+        ids, _, _ = index.search(queries, 5)
+        assert recall_at_k(ids, truth, 5) > 0.5
+
+    def test_autoindex_has_no_tunable_search_params(self, corpus):
+        vectors, _, _ = corpus
+        index = AutoIndex(metric="angular", seed=0)
+        index.build(vectors)
+        index.set_search_params(ef_search=500, nprobe=500)
+        # The delegate keeps its fixed internal configuration.
+        assert index._inner.ef_search == 72

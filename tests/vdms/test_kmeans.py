@@ -1,0 +1,67 @@
+"""Unit tests for the shared k-means implementation."""
+
+import numpy as np
+import pytest
+
+from repro.vdms.index.kmeans import kmeans
+
+
+def make_blobs(num_per_cluster=50, separation=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [separation, 0.0], [0.0, separation]], dtype=np.float32)
+    points = []
+    for center in centers:
+        points.append(center + rng.normal(scale=0.3, size=(num_per_cluster, 2)))
+    return np.vstack(points).astype(np.float32)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_clusters(self):
+        points = make_blobs()
+        result = kmeans(points, 3, seed=1)
+        # Every true cluster should map to exactly one learned centroid.
+        labels = [set(result.assignments[i * 50 : (i + 1) * 50].tolist()) for i in range(3)]
+        assert all(len(group) == 1 for group in labels)
+        assert len(set.union(*labels)) == 3
+
+    def test_centroid_count_capped_at_num_points(self):
+        points = np.random.default_rng(0).normal(size=(5, 3)).astype(np.float32)
+        result = kmeans(points, 20, seed=0)
+        assert result.centroids.shape[0] == 5
+
+    def test_assignments_within_range(self):
+        points = make_blobs()
+        result = kmeans(points, 4, seed=2)
+        assert result.assignments.min() >= 0
+        assert result.assignments.max() < result.centroids.shape[0]
+
+    def test_deterministic_for_fixed_seed(self):
+        points = make_blobs(seed=3)
+        first = kmeans(points, 3, seed=5)
+        second = kmeans(points, 3, seed=5)
+        assert np.array_equal(first.assignments, second.assignments)
+        assert np.allclose(first.centroids, second.centroids)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points = make_blobs(seed=4)
+        few = kmeans(points, 2, seed=1)
+        many = kmeans(points, 8, seed=1)
+        assert many.inertia < few.inertia
+
+    def test_distance_evaluations_counted(self):
+        points = make_blobs()
+        result = kmeans(points, 3, seed=0, max_iterations=5)
+        # At least one assignment pass over all points and clusters.
+        assert result.distance_evaluations >= points.shape[0] * 3
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 3), dtype=np.float32), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5, dtype=np.float32), 2)
+
+    def test_single_cluster(self):
+        points = make_blobs()
+        result = kmeans(points, 1, seed=0)
+        assert result.centroids.shape == (1, 2)
+        assert np.all(result.assignments == 0)

@@ -1,0 +1,121 @@
+"""Unit tests for the segment manager and its sealing policy."""
+
+import numpy as np
+import pytest
+
+from repro.vdms.segment import SegmentManager, SegmentState
+from repro.vdms.system_config import SystemConfig
+
+
+def make_manager(**config_overrides):
+    config = SystemConfig(**config_overrides)
+    return SegmentManager(dimension=16, system_config=config), config
+
+
+def insert_rows(manager, count, offset=0):
+    rng = np.random.default_rng(offset)
+    vectors = rng.normal(size=(count, 16)).astype(np.float32)
+    ids = np.arange(offset, offset + count, dtype=np.int64)
+    manager.insert(vectors, ids)
+    return vectors, ids
+
+
+class TestInsertAndFlush:
+    def test_insert_validates_dimension(self):
+        manager, _ = make_manager()
+        with pytest.raises(ValueError):
+            manager.insert(np.zeros((3, 8), dtype=np.float32), np.arange(3))
+
+    def test_insert_validates_id_count(self):
+        manager, _ = make_manager()
+        with pytest.raises(ValueError):
+            manager.insert(np.zeros((3, 16), dtype=np.float32), np.arange(2))
+
+    def test_pending_rows_until_flush(self):
+        manager, _ = make_manager()
+        insert_rows(manager, 50)
+        assert manager.pending_rows == 50
+        assert manager.num_rows == 0
+        manager.flush()
+        assert manager.pending_rows == 0
+        assert manager.num_rows == 50
+
+    def test_flush_without_inserts_is_noop(self):
+        manager, _ = make_manager()
+        assert manager.flush() == []
+
+    def test_all_rows_preserved_across_flush(self):
+        manager, _ = make_manager()
+        _, ids = insert_rows(manager, 300)
+        manager.flush()
+        stored = np.concatenate([s.ids for s in manager.segments])
+        assert set(stored.tolist()) == set(ids.tolist())
+
+    def test_segments_respect_capacity(self):
+        manager, config = make_manager(segment_max_size=128, segment_seal_proportion=0.5)
+        insert_rows(manager, 500)
+        manager.flush()
+        capacity = config.sealed_segment_rows(16)
+        for segment in manager.sealed_segments:
+            assert segment.num_rows <= capacity
+
+    def test_smaller_segments_give_more_sealed_segments(self):
+        small_manager, _ = make_manager(segment_max_size=64, segment_seal_proportion=0.25)
+        large_manager, _ = make_manager(segment_max_size=2048, segment_seal_proportion=1.0)
+        insert_rows(small_manager, 800)
+        insert_rows(large_manager, 800)
+        small_manager.flush()
+        large_manager.flush()
+        assert len(small_manager.sealed_segments) > len(large_manager.sealed_segments)
+
+    def test_at_most_one_growing_segment(self):
+        manager, _ = make_manager(segment_max_size=64, segment_seal_proportion=0.3)
+        insert_rows(manager, 777)
+        manager.flush()
+        assert len(manager.growing_segments) <= 1
+
+    def test_incremental_flushes_accumulate(self):
+        manager, _ = make_manager()
+        insert_rows(manager, 100, offset=0)
+        manager.flush()
+        insert_rows(manager, 100, offset=100)
+        manager.flush()
+        assert manager.num_rows == 200
+
+    def test_growing_rows_bounded_by_insert_buffer(self):
+        manager, config = make_manager(insert_buf_size=64)
+        insert_rows(manager, 1000)
+        manager.flush()
+        buffer_rows = config.growing_buffer_rows(16)
+        for segment in manager.growing_segments:
+            assert segment.num_rows <= buffer_rows
+
+    def test_segment_ids_are_unique_and_increasing(self):
+        manager, _ = make_manager(segment_max_size=64, segment_seal_proportion=0.2)
+        insert_rows(manager, 600)
+        manager.flush()
+        segment_ids = [s.segment_id for s in manager.segments]
+        assert segment_ids == sorted(segment_ids)
+        assert len(set(segment_ids)) == len(segment_ids)
+
+    def test_raw_bytes_accounts_vectors_and_ids(self):
+        manager, _ = make_manager()
+        insert_rows(manager, 100)
+        manager.flush()
+        expected = 100 * 16 * 4 + 100 * 8
+        assert manager.raw_bytes() == expected
+
+
+class TestSegmentStates:
+    def test_states_are_growing_or_sealed(self):
+        manager, _ = make_manager(segment_max_size=64, segment_seal_proportion=0.3)
+        insert_rows(manager, 500)
+        manager.flush()
+        for segment in manager.segments:
+            assert segment.state in (SegmentState.GROWING, SegmentState.SEALED)
+
+    def test_sealed_plus_growing_equals_all(self):
+        manager, _ = make_manager()
+        insert_rows(manager, 300)
+        manager.flush()
+        assert len(manager.sealed_segments) + len(manager.growing_segments) == len(manager.segments)

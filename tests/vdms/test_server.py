@@ -1,0 +1,80 @@
+"""Unit tests for the Milvus-like server facade."""
+
+import numpy as np
+import pytest
+
+from repro.vdms.errors import CollectionNotFoundError
+from repro.vdms.server import VectorDBServer
+from repro.vdms.system_config import SystemConfig
+
+
+@pytest.fixture()
+def vectors():
+    return np.random.default_rng(0).normal(size=(300, 8)).astype(np.float32)
+
+
+class TestCollections:
+    def test_create_list_drop(self, vectors):
+        server = VectorDBServer()
+        server.create_collection("a", 8)
+        server.create_collection("b", 8)
+        assert server.list_collections() == ["a", "b"]
+        assert server.has_collection("a")
+        server.drop_collection("a")
+        assert not server.has_collection("a")
+
+    def test_get_missing_collection_raises(self):
+        server = VectorDBServer()
+        with pytest.raises(CollectionNotFoundError):
+            server.get_collection("nope")
+
+    def test_insert_flush_index_search_passthrough(self, vectors):
+        server = VectorDBServer()
+        server.create_collection("c", 8)
+        assert server.insert("c", vectors) == 300
+        server.flush("c")
+        server.create_index("c", "IVF_FLAT", {"nlist": 16, "nprobe": 8})
+        result = server.search("c", vectors[:5], 3)
+        assert result.ids.shape == (5, 3)
+
+
+class TestSystemConfig:
+    def test_apply_system_config_drops_collections(self, vectors):
+        server = VectorDBServer()
+        server.create_collection("c", 8)
+        server.apply_system_config({"segment_max_size": 128})
+        assert not server.has_collection("c")
+        assert server.system_config.segment_max_size == 128
+
+    def test_apply_accepts_systemconfig_instance(self):
+        server = VectorDBServer()
+        config = SystemConfig(graceful_time=100)
+        assert server.apply_system_config(config).graceful_time == 100
+
+    def test_cost_model_uses_current_config(self):
+        server = VectorDBServer()
+        server.apply_system_config({"query_node_threads": 8})
+        assert server.cost_model().system_config.query_node_threads == 8
+
+    def test_index_cache_shared_and_clearable(self, vectors):
+        server = VectorDBServer()
+        server.create_collection("c", 8)
+        server.insert("c", vectors)
+        server.flush("c")
+        server.create_index("c", "IVF_FLAT", {"nlist": 16, "nprobe": 8})
+        assert server.index_cache_size() >= 0
+        server.clear_index_cache()
+        assert server.index_cache_size() == 0
+
+    def test_new_collections_after_config_change_use_new_config(self, vectors):
+        server = VectorDBServer()
+        server.apply_system_config({"segment_max_size": 64, "segment_seal_proportion": 0.2})
+        collection = server.create_collection("c", 8)
+        collection.insert(vectors)
+        collection.flush()
+        many_segments = collection.num_sealed_segments
+        server.apply_system_config({"segment_max_size": 2048, "segment_seal_proportion": 1.0})
+        collection = server.create_collection("c", 8)
+        collection.insert(vectors)
+        collection.flush()
+        assert collection.num_sealed_segments <= many_segments

@@ -1,0 +1,70 @@
+"""Unit tests for the workload replayer and EvaluationResult."""
+
+import pytest
+
+from repro.config import default_configuration
+from repro.workloads.replay import EvaluationResult, WorkloadReplayer
+
+
+@pytest.fixture()
+def replayer(tiny_dataset):
+    return WorkloadReplayer(tiny_dataset)
+
+
+class TestWorkloadReplayer:
+    def test_replay_default_configuration(self, replayer, milvus_space):
+        configuration = default_configuration(milvus_space)
+        result = replayer.replay(configuration)
+        assert result.qps > 0
+        assert 0.0 <= result.recall <= 1.0
+        assert result.memory_gib > 0
+        assert result.replay_seconds >= result.build_seconds
+        assert result.configuration["index_type"] == "AUTOINDEX"
+
+    def test_replay_is_deterministic(self, replayer, milvus_space):
+        configuration = default_configuration(milvus_space, index_type="IVF_FLAT")
+        first = replayer.replay(configuration)
+        second = replayer.replay(configuration)
+        assert first.qps == second.qps
+        assert first.recall == second.recall
+
+    @pytest.mark.parametrize("index_type", ["FLAT", "IVF_SQ8", "SCANN"])
+    def test_replay_every_index_type(self, replayer, milvus_space, index_type):
+        result = replayer.replay(default_configuration(milvus_space, index_type=index_type))
+        assert result.qps > 0
+
+    def test_flat_has_perfect_recall(self, replayer, milvus_space):
+        result = replayer.replay(default_configuration(milvus_space, index_type="FLAT"))
+        assert result.recall == pytest.approx(1.0)
+
+    def test_index_type_with_trailing_underscore_is_normalized(self, replayer, milvus_space):
+        values = default_configuration(milvus_space, index_type="FLAT").to_dict()
+        values["index_type"] = "FLAT"
+        result = replayer.replay({**values, "index_type": "FLAT"})
+        assert result.configuration["index_type"] == "FLAT"
+
+
+class TestEvaluationResult:
+    def test_cost_effectiveness(self):
+        result = EvaluationResult(
+            qps=1000.0, recall=0.9, memory_gib=4.0, latency_ms=1.0,
+            build_seconds=10.0, replay_seconds=20.0,
+        )
+        assert result.cost_effectiveness == pytest.approx(250.0)
+
+    def test_cost_effectiveness_with_zero_memory(self):
+        result = EvaluationResult(
+            qps=1000.0, recall=0.9, memory_gib=0.0, latency_ms=1.0,
+            build_seconds=10.0, replay_seconds=20.0,
+        )
+        assert result.cost_effectiveness == 0.0
+
+    def test_objective_values_selects_metric(self):
+        result = EvaluationResult(
+            qps=1000.0, recall=0.9, memory_gib=2.0, latency_ms=1.0,
+            build_seconds=10.0, replay_seconds=20.0,
+        )
+        assert result.objective_values("qps") == (1000.0, 0.9)
+        assert result.objective_values("qp$") == (500.0, 0.9)
+        with pytest.raises(ValueError):
+            result.objective_values("latency")

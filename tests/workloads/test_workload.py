@@ -1,0 +1,45 @@
+"""Unit tests for SearchWorkload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.workload import SearchWorkload
+
+
+class TestSearchWorkload:
+    def test_from_dataset_defaults(self, tiny_dataset):
+        workload = SearchWorkload.from_dataset(tiny_dataset)
+        assert workload.num_queries == tiny_dataset.num_queries
+        assert workload.top_k == tiny_dataset.top_k
+        assert workload.concurrency == 10
+
+    def test_from_dataset_caps_top_k(self, tiny_dataset):
+        workload = SearchWorkload.from_dataset(tiny_dataset, top_k=1000)
+        assert workload.top_k == tiny_dataset.top_k
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            SearchWorkload(queries=np.zeros(4), ground_truth=np.zeros((1, 4), dtype=int))
+        with pytest.raises(ValueError):
+            SearchWorkload(
+                queries=np.zeros((2, 4)), ground_truth=np.zeros((3, 5), dtype=int)
+            )
+
+    def test_invalid_top_k_rejected(self):
+        queries = np.zeros((2, 4), dtype=np.float32)
+        truth = np.zeros((2, 5), dtype=int)
+        with pytest.raises(ValueError):
+            SearchWorkload(queries=queries, ground_truth=truth, top_k=6)
+        with pytest.raises(ValueError):
+            SearchWorkload(queries=queries, ground_truth=truth, top_k=0)
+
+    def test_invalid_concurrency_rejected(self):
+        queries = np.zeros((2, 4), dtype=np.float32)
+        truth = np.zeros((2, 5), dtype=int)
+        with pytest.raises(ValueError):
+            SearchWorkload(queries=queries, ground_truth=truth, top_k=5, concurrency=0)
+
+    def test_arrays_coerced_to_canonical_dtypes(self, tiny_dataset):
+        workload = SearchWorkload.from_dataset(tiny_dataset)
+        assert workload.queries.dtype == np.float32
+        assert workload.ground_truth.dtype == np.int64
