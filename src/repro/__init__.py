@@ -30,6 +30,12 @@ contains:
 ``repro.baselines``
     Re-implementations of the baseline tuners the paper compares against.
 
+``repro.parallel``
+    The batch-parallel evaluation engine: a worker pool
+    (:class:`~repro.parallel.BatchEvaluator`) that replays joint q-EHVI
+    suggestion batches concurrently, with deterministic results and per-task
+    failure isolation.
+
 ``repro.analysis`` and ``repro.experiments``
     Metrics, attribution and the experiment harness that regenerates every
     table and figure of the paper's evaluation section.
@@ -46,12 +52,14 @@ from repro.config import (
 from repro.core import ObjectiveSpec, VDTuner, VDTunerSettings
 from repro.baselines import make_tuner
 from repro.datasets import DatasetSpec, load_dataset
+from repro.parallel import BatchEvaluator
 from repro.vdms import VectorDBServer
 from repro.workloads import EvaluationResult, SearchWorkload, VDMSTuningEnvironment
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchEvaluator",
     "CategoricalParameter",
     "Configuration",
     "ConfigurationSpace",

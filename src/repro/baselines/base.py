@@ -83,17 +83,58 @@ class BaselineTuner(ABC):
     def _suggest(self, iteration: int) -> Configuration:
         """Return the next configuration to evaluate (1-based iteration index)."""
 
-    def run(self, num_iterations: int) -> TuningReport:
-        """Run the tuner for ``num_iterations`` evaluations."""
+    def suggest_batch(self, q: int = 1) -> list[Configuration]:
+        """Suggest ``q`` configurations to evaluate concurrently.
+
+        The generic implementation calls :meth:`_suggest` ``q`` times with
+        consecutive virtual iteration indices and replaces within-batch
+        duplicates by uniform random configurations (model-based baselines
+        are deterministic given the history, so repeated calls can collide).
+        Baselines with a natural batch notion override this — see
+        :meth:`repro.baselines.qehvi.QEHVITuner.suggest_batch` for the
+        fantasy-conditioned greedy q-EHVI version.
+        """
+        q = int(q)
+        if q < 1:
+            raise ValueError("q must be >= 1")
+        batch: list[Configuration] = []
+        for offset in range(q):
+            configuration = self._suggest(len(self.history) + offset + 1)
+            attempts = 0
+            while configuration in batch and attempts < 16:
+                configuration = self.space.sample_configuration(self.rng)
+                attempts += 1
+            batch.append(configuration)
+        return batch
+
+    def run(self, num_iterations: int, *, batch_size: int = 1, evaluator=None) -> TuningReport:
+        """Run the tuner for ``num_iterations`` evaluations.
+
+        ``batch_size`` and ``evaluator`` mirror
+        :meth:`repro.core.tuner.VDTuner.run`: with ``batch_size=q > 1`` the
+        loop calls :meth:`suggest_batch` and evaluates each batch through
+        :meth:`~repro.workloads.environment.VDMSTuningEnvironment.evaluate_batch`
+        (concurrently when a :class:`repro.parallel.BatchEvaluator` is given),
+        keeping the total evaluation budget identical.
+        """
         num_iterations = int(num_iterations)
+        batch_size = max(1, int(batch_size))
         while len(self.history) < num_iterations:
+            q = min(batch_size, num_iterations - len(self.history))
             started = time.perf_counter()
-            configuration = self._suggest(len(self.history) + 1)
+            if q == 1 and evaluator is None:
+                batch = [self._suggest(len(self.history) + 1)]
+            else:
+                batch = self.suggest_batch(q)
             elapsed = time.perf_counter() - started
             self._recommendation_seconds += elapsed
             self.environment.charge_recommendation_time(elapsed)
-            result = self.environment.evaluate(configuration)
-            self._record(configuration, result)
+            if q == 1 and evaluator is None:
+                results = [self.environment.evaluate(batch[0])]
+            else:
+                results = self.environment.evaluate_batch(batch, evaluator=evaluator)
+            for configuration, result in zip(batch, results):
+                self._record(configuration, result)
         return TuningReport(
             history=self.history,
             objective=self.objective,
@@ -124,6 +165,19 @@ def make_tuner(
 
     The registry names follow the paper: ``"vdtuner"``, ``"random"``,
     ``"opentuner"``, ``"ottertune"``, ``"qehvi"``, ``"default"``.
+
+    Examples
+    --------
+    >>> from repro import VDMSTuningEnvironment, make_tuner
+    >>> environment = VDMSTuningEnvironment("glove-small", seed=0)
+    >>> tuner = make_tuner("random", environment, seed=0)
+    >>> report = tuner.run(5)
+    >>> len(report.history)
+    5
+    >>> make_tuner("nope", environment)
+    Traceback (most recent call last):
+        ...
+    KeyError: ...
     """
     key = name.lower()
     if key == "vdtuner":

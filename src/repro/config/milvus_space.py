@@ -118,6 +118,18 @@ def build_milvus_space(
         "per-index-type tuning" ablation builds its smaller spaces.
     name:
         Space name, used only for display.
+
+    Examples
+    --------
+    >>> from repro import build_milvus_space
+    >>> space = build_milvus_space()
+    >>> space.dimension
+    16
+    >>> space.default_configuration()["index_type"]
+    'AUTOINDEX'
+    >>> smaller = build_milvus_space(index_types=("HNSW", "IVF_FLAT"))
+    >>> smaller["index_type"].choices
+    ['HNSW', 'IVF_FLAT']
     """
     unknown = [t for t in index_types if t not in INDEX_TYPES]
     if unknown:

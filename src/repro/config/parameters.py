@@ -82,6 +82,14 @@ class FloatParameter(Parameter):
         If true, the unit-interval mapping is logarithmic, which is the
         appropriate encoding for parameters whose effect is multiplicative
         (for example buffer sizes).
+
+    Examples
+    --------
+    >>> p = FloatParameter("segment_seal_proportion", low=0.1, high=1.0, default=0.25)
+    >>> p.validate(0.5), p.clip(2.0)
+    (True, 1.0)
+    >>> round(p.to_unit(0.55), 2)
+    0.5
     """
 
     name: str
@@ -124,7 +132,16 @@ class FloatParameter(Parameter):
 
 @dataclass(repr=False)
 class IntParameter(Parameter):
-    """An integer parameter on a closed interval."""
+    """An integer parameter on a closed interval.
+
+    Examples
+    --------
+    >>> p = IntParameter("nlist", low=16, high=4096, default=128, log_scale=True)
+    >>> p.validate(1024), p.validate(5000)
+    (True, False)
+    >>> p.from_unit(0.0), p.from_unit(1.0)
+    (16, 4096)
+    """
 
     name: str
     low: int
@@ -176,6 +193,14 @@ class CategoricalParameter(Parameter):
 
     The unit-interval encoding places each choice at the centre of an equal
     sub-interval, which keeps encode/decode round trips exact.
+
+    Examples
+    --------
+    >>> p = CategoricalParameter("index_type", choices=["FLAT", "HNSW"], default="HNSW")
+    >>> p.validate("HNSW"), p.clip("IVF_PQ")
+    (True, 'HNSW')
+    >>> p.from_unit(p.to_unit("FLAT"))
+    'FLAT'
     """
 
     name: str

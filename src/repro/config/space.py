@@ -25,7 +25,20 @@ __all__ = ["Configuration", "ConfigurationSpace"]
 
 
 class Configuration(Mapping):
-    """An immutable assignment of values to every parameter of a space."""
+    """An immutable assignment of values to every parameter of a space.
+
+    Examples
+    --------
+    >>> from repro import build_milvus_space
+    >>> space = build_milvus_space()
+    >>> configuration = space.configuration({"index_type": "HNSW"}, complete=False)
+    >>> configuration["index_type"]
+    'HNSW'
+    >>> configuration.replace(hnsw_m=32)["hnsw_m"]
+    32
+    >>> configuration.to_unit_vector().shape
+    (16,)
+    """
 
     __slots__ = ("_space", "_values")
 
@@ -88,7 +101,24 @@ class Configuration(Mapping):
 
 
 class ConfigurationSpace:
-    """An ordered set of parameters defining a search space."""
+    """An ordered set of parameters defining a search space.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import ConfigurationSpace, IntParameter, FloatParameter
+    >>> space = ConfigurationSpace([
+    ...     IntParameter("ef_search", low=8, high=512, default=64, log_scale=True),
+    ...     FloatParameter("seal_proportion", low=0.1, high=1.0, default=0.25),
+    ... ])
+    >>> space.dimension
+    2
+    >>> vector = space.encode(space.default_configuration())
+    >>> space.decode(vector)["ef_search"]
+    64
+    >>> space.sample_configuration(np.random.default_rng(0))["seal_proportion"] <= 1.0
+    True
+    """
 
     def __init__(self, parameters: Iterable[Parameter], name: str = "space"):
         self.name = name

@@ -122,8 +122,14 @@ class ConfigurationRecommender:
         index_type: str,
         objective: ObjectiveSpec,
         rng: np.random.Generator,
+        *,
+        exclude: list[Configuration] | None = None,
     ) -> Configuration:
-        """Pick the candidate with the highest acquisition value."""
+        """Pick the candidate with the highest acquisition value.
+
+        ``exclude`` lists configurations that must not be suggested again —
+        the batch built so far during sequential-greedy q-EHVI selection.
+        """
         candidates = self.generate_candidates(index_type, history, rng)
         prediction = surrogate.predict(candidates)
         if objective.constrained:
@@ -131,10 +137,17 @@ class ConfigurationRecommender:
         else:
             scores = self._ehvi_scores(surrogate, index_type, prediction, rng)
 
+        excluded = set(exclude or [])
         order = np.argsort(-scores)
         for position in order:
             candidate = candidates[int(position)]
+            if candidate in excluded:
+                continue
             if not history.contains_configuration(candidate.to_dict()):
+                return candidate
+        for position in order:
+            candidate = candidates[int(position)]
+            if candidate not in excluded:
                 return candidate
         return candidates[int(order[0])]
 

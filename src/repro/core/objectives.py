@@ -31,6 +31,17 @@ class ObjectiveSpec:
         The ``eta`` of Eq. 8; only the product with memory matters and the
         paper notes the value does not change the optimization, so the
         default is 1.
+
+    Examples
+    --------
+    >>> from repro import ObjectiveSpec
+    >>> ObjectiveSpec().constrained
+    False
+    >>> constrained = ObjectiveSpec(recall_constraint=0.9)
+    >>> constrained.satisfies_constraint(0.95), constrained.satisfies_constraint(0.85)
+    (True, False)
+    >>> ObjectiveSpec(speed_metric="qp$").speed_metric
+    'qp$'
     """
 
     speed_metric: str = "qps"

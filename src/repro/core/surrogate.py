@@ -108,6 +108,46 @@ class PollingSurrogate:
         std = np.column_stack([speed.std, recall.std])
         return SurrogatePrediction(mean=mean, std=std)
 
+    # -- fantasy conditioning -----------------------------------------------------------
+
+    def fantasized(
+        self,
+        configurations: list[Configuration] | np.ndarray,
+        outcomes: np.ndarray | None = None,
+    ) -> "PollingSurrogate":
+        """A copy of the surrogate conditioned on fantasy outcomes.
+
+        Used by the sequential-greedy q-EHVI batch construction: after a
+        candidate is selected, the surrogate is conditioned on the *predicted*
+        outcome at that candidate (the "Kriging believer" fantasy, the default
+        when ``outcomes`` is ``None``) so the next selection sees reduced
+        uncertainty there and is pushed toward a diverse batch.  The fantasy
+        outcomes are also appended to :meth:`observed_objectives`, shrinking
+        the expected improvement of nearby candidates.  The conditioning is a
+        cheap rank-one Cholesky update per objective GP
+        (:meth:`repro.bo.gp.GaussianProcessRegressor.fantasized`); the
+        original surrogate is left untouched.
+        """
+        if not self._fitted:
+            raise RuntimeError("surrogate has not been fitted")
+        if isinstance(configurations, np.ndarray):
+            encoded = np.atleast_2d(configurations)
+        else:
+            encoded = self.space.encode_many(configurations)
+        if outcomes is None:
+            outcomes = self.predict(encoded).mean
+        outcomes = np.atleast_2d(np.asarray(outcomes, dtype=float))
+        if outcomes.shape != (encoded.shape[0], 2):
+            raise ValueError("outcomes must have shape (len(configurations), 2)")
+
+        clone = type(self)(self.space, constrained=self.constrained, seed=self.seed)
+        clone._speed_gp = self._speed_gp.fantasized(encoded, outcomes[:, 0])
+        clone._recall_gp = self._recall_gp.fantasized(encoded, outcomes[:, 1])
+        clone._base_points = dict(self._base_points)
+        clone._normalized_objectives = np.vstack([self._normalized_objectives, outcomes])
+        clone._fitted = True
+        return clone
+
     # -- objective-space geometry -------------------------------------------------------
 
     def observed_objectives(self) -> np.ndarray:

@@ -65,6 +65,17 @@ class VDTunerSettings:
         Ablation switch: ``False`` uses the native (raw-objective) surrogate.
     seed:
         Seed for candidate generation and EHVI sampling.
+
+    Examples
+    --------
+    >>> from repro import VDTunerSettings
+    >>> settings = VDTunerSettings(num_iterations=25, ehvi_samples=32, seed=1)
+    >>> settings.num_iterations
+    25
+    >>> VDTunerSettings(num_iterations=0)
+    Traceback (most recent call last):
+        ...
+    ValueError: num_iterations must be >= 1
     """
 
     num_iterations: int = 200
@@ -140,7 +151,29 @@ class TuningReport:
 
 
 class VDTuner:
-    """The VDTuner auto-configuration framework."""
+    """The VDTuner auto-configuration framework.
+
+    Examples
+    --------
+    >>> from repro import VDMSTuningEnvironment, VDTuner, VDTunerSettings
+    >>> environment = VDMSTuningEnvironment("glove-small", seed=0)
+    >>> settings = VDTunerSettings(num_iterations=10, candidate_pool_size=32, ehvi_samples=8)
+    >>> report = VDTuner(environment, settings=settings).run()
+    >>> len(report.history)
+    10
+    >>> best = report.best_observation()
+    >>> best.speed > 0
+    True
+
+    Batch-parallel mode suggests joint q-EHVI batches and evaluates them on a
+    worker pool (see :mod:`repro.parallel`)::
+
+        from repro import BatchEvaluator
+        evaluator = BatchEvaluator.from_environment(environment, num_workers=4)
+        report = VDTuner(environment, settings=settings).run(
+            batch_size=4, evaluator=evaluator
+        )
+    """
 
     def __init__(
         self,
@@ -214,27 +247,72 @@ class VDTuner:
 
     # -- Algorithm 1 ----------------------------------------------------------------------
 
+    def _default_configuration_for(self, index_type: str) -> Configuration:
+        defaults = {p.name: p.default for p in self.space.parameters}
+        defaults["index_type"] = index_type
+        return self.space.configuration(defaults)
+
     def _initial_sampling(self, budget: int) -> None:
         """Evaluate every index type's default configuration (lines 1-5)."""
         for index_type in self.index_types:
             if len(self._history) >= budget:
                 break
-            defaults = {p.name: p.default for p in self.space.parameters}
-            defaults["index_type"] = index_type
-            configuration = self.space.configuration(defaults)
+            configuration = self._default_configuration_for(index_type)
             result = self.environment.evaluate(configuration)
             self._record(configuration, result)
 
-    def _tuning_iteration(self, iteration: int) -> Observation:
-        """One pass of the while-loop body (lines 7-22)."""
-        started = time.perf_counter()
-        self._policy.update_scores(self._history, iteration)
+    def suggest_batch(self, q: int = 1) -> list[Configuration]:
+        """Suggest ``q`` configurations to evaluate concurrently (q-EHVI batch).
+
+        The batch is built sequential-greedily (Daulton et al.'s qEHVI with
+        the "Kriging believer" fantasy): the first point is the regular EHVI
+        recommendation of Algorithm 1; each subsequent point is recommended by
+        a surrogate conditioned on the *predicted* outcomes of the points
+        already in the batch (a cheap rank-one posterior update, see
+        :meth:`repro.core.surrogate.PollingSurrogate.fantasized`), which both
+        shrinks uncertainty near chosen points and grows the fantasy front —
+        jointly steering the batch toward diverse, complementary
+        configurations.  Index types are polled round-robin across the batch,
+        so a batch spans several index types.
+
+        With ``q == 1`` this is exactly one pass of the sequential tuning
+        loop's recommendation step (lines 7-21 of Algorithm 1).  Before any
+        observation exists, the suggestions are the index types' default
+        configurations, mirroring the initial sampling phase.
+
+        Returns a list of ``q`` distinct configurations (the suggested batch
+        is not evaluated or recorded; pair with
+        :meth:`repro.workloads.environment.VDMSTuningEnvironment.evaluate_batch`).
+        """
+        q = int(q)
+        if q < 1:
+            raise ValueError("q must be >= 1")
+        if len(self._history) == 0:
+            return [
+                self._default_configuration_for(self.index_types[j % len(self.index_types)])
+                for j in range(q)
+            ]
+
+        self._policy.update_scores(self._history, len(self._history) + 1)
         training = self._training_history()
         self._surrogate.fit(training, index_types=list(self.index_types))
-        index_type = self._policy.next_index_type()
-        configuration = self._recommender.recommend(
-            self._surrogate, training, index_type, self.objective, self._rng
-        )
+        surrogate = self._surrogate
+        batch: list[Configuration] = []
+        for j in range(q):
+            index_type = self._policy.next_index_type()
+            configuration = self._recommender.recommend(
+                surrogate, training, index_type, self.objective, self._rng, exclude=batch
+            )
+            batch.append(configuration)
+            if j + 1 < q:
+                surrogate = surrogate.fantasized([configuration])
+        return batch
+
+    def _tuning_iteration(self, iteration: int) -> Observation:
+        """One pass of the while-loop body (lines 7-22)."""
+        del iteration  # the history length drives the bookkeeping
+        started = time.perf_counter()
+        [configuration] = self.suggest_batch(1)
         elapsed = time.perf_counter() - started
         self._recommendation_seconds += elapsed
         self.environment.charge_recommendation_time(elapsed)
@@ -242,13 +320,54 @@ class VDTuner:
         result = self.environment.evaluate(configuration)
         return self._record(configuration, result)
 
-    def run(self, num_iterations: int | None = None) -> TuningReport:
-        """Run the tuning loop and return the report."""
-        budget = int(num_iterations or self.settings.num_iterations)
+    def _run_batched(self, budget: int, batch_size: int, evaluator) -> None:
+        """Batched tuning loop: suggest q points, evaluate them concurrently."""
         if len(self._history) == 0:
-            self._initial_sampling(budget)
+            # The initial per-index-type defaults have no sequential dependency
+            # at all, so the whole phase is one pooled batch: the worker pool
+            # packs the heterogeneous replays far better than fixed-size
+            # chunks would.
+            pending = [self._default_configuration_for(t) for t in self.index_types][:budget]
+            results = self.environment.evaluate_batch(pending, evaluator=evaluator)
+            for configuration, result in zip(pending, results):
+                self._record(configuration, result)
         while len(self._history) < budget:
-            self._tuning_iteration(len(self._history) + 1)
+            q = min(batch_size, budget - len(self._history))
+            started = time.perf_counter()
+            batch = self.suggest_batch(q)
+            elapsed = time.perf_counter() - started
+            self._recommendation_seconds += elapsed
+            self.environment.charge_recommendation_time(elapsed)
+            results = self.environment.evaluate_batch(batch, evaluator=evaluator)
+            for configuration, result in zip(batch, results):
+                self._record(configuration, result)
+
+    def run(
+        self,
+        num_iterations: int | None = None,
+        *,
+        batch_size: int = 1,
+        evaluator=None,
+    ) -> TuningReport:
+        """Run the tuning loop and return the report.
+
+        With the default ``batch_size=1`` and no ``evaluator`` this is the
+        paper's strictly sequential Algorithm 1.  With ``batch_size=q > 1``
+        the loop suggests joint q-EHVI batches (:meth:`suggest_batch`) and
+        evaluates each batch concurrently through
+        :meth:`~repro.workloads.environment.VDMSTuningEnvironment.evaluate_batch`,
+        optionally on a :class:`repro.parallel.BatchEvaluator` worker pool —
+        the total evaluation budget is unchanged, only the wall-clock shrinks.
+        """
+        budget = int(num_iterations or self.settings.num_iterations)
+        batch_size = max(1, int(batch_size))
+        if batch_size == 1 and evaluator is None:
+            if len(self._history) == 0:
+                self._initial_sampling(budget)
+            while len(self._history) < budget:
+                self._tuning_iteration(len(self._history) + 1)
+        else:
+            self._run_batched(budget, batch_size, evaluator)
         return TuningReport(
             history=self._history,
             score_trace=self._policy.score_trace,

@@ -41,6 +41,15 @@ class DatasetSpec:
         A qualitative scalar in ``[0, 1]`` describing how hard approximate
         search is on this dataset (larger is harder); used only to pick
         generator parameters.
+
+    Examples
+    --------
+    >>> from repro import load_dataset
+    >>> dataset = load_dataset("glove-small")
+    >>> dataset.spec.name, dataset.spec.metric
+    ('glove-small', 'angular')
+    >>> dataset.vectors.shape[1] == dataset.spec.dimension
+    True
     """
 
     name: str

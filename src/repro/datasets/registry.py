@@ -175,6 +175,15 @@ def load_dataset(name: str, *, scale: float = 1.0) -> Dataset:
     scale:
         Multiplier on the number of base vectors; queries scale with a capped
         factor.  Results are cached per ``(name, scale)``.
+
+    Examples
+    --------
+    >>> from repro import load_dataset
+    >>> dataset = load_dataset("glove-small")
+    >>> dataset.queries.shape[0] > 0
+    True
+    >>> load_dataset("glove-small", scale=2.0).vectors.shape[0] > dataset.vectors.shape[0]
+    True
     """
     if scale <= 0:
         raise ValueError("scale must be positive")

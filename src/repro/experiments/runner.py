@@ -53,8 +53,18 @@ def run_tuner(
     seed: int | None = None,
     settings: VDTunerSettings | None = None,
     dataset_scale: float = 1.0,
+    batch_size: int = 1,
+    workers: int = 1,
+    parallel_backend: str = "process",
 ) -> TunerRun:
-    """Run one tuner on one dataset and collect the standard artefacts."""
+    """Run one tuner on one dataset and collect the standard artefacts.
+
+    ``batch_size`` switches the tuner to joint q-EHVI batch suggestions and
+    ``workers`` evaluates each batch on a :class:`repro.parallel.BatchEvaluator`
+    worker pool (``parallel_backend`` selects process/thread/serial workers).
+    The evaluation budget is the same in all modes; only the wall-clock and
+    the replay-clock accounting change.
+    """
     scale = scale or current_scale()
     iterations = int(iterations or scale.tuning_iterations)
     seed = scale.seed if seed is None else int(seed)
@@ -65,7 +75,22 @@ def run_tuner(
     if tuner_name.lower() == "vdtuner" and settings is None:
         settings = scale.vdtuner_settings(num_iterations=iterations, seed=seed)
     tuner = make_tuner(tuner_name, environment, objective=objective, seed=seed, settings=settings)
-    report = tuner.run(iterations)
+    batch_size = max(1, int(batch_size))
+    evaluator = None
+    if workers > 1:
+        from repro.parallel import BatchEvaluator
+
+        evaluator = BatchEvaluator.from_environment(
+            environment, num_workers=workers, backend=parallel_backend
+        )
+    try:
+        if batch_size > 1 or evaluator is not None:
+            report = tuner.run(iterations, batch_size=batch_size, evaluator=evaluator)
+        else:
+            report = tuner.run(iterations)
+    finally:
+        if evaluator is not None:
+            evaluator.close()
     return TunerRun(
         tuner_name=tuner_name.lower(),
         dataset_name=dataset_name,

@@ -1,0 +1,253 @@
+"""Concurrent evaluation of configuration batches on a worker pool.
+
+:class:`BatchEvaluator` is the evaluation half of the batch-parallel tuning
+engine: the tuner suggests a joint q-EHVI batch
+(:meth:`repro.core.tuner.VDTuner.suggest_batch`) and the evaluator replays
+the q configurations concurrently, one per worker.  Design points:
+
+* **Per-worker server.**  Every worker owns a private
+  :class:`~repro.vdms.server.VectorDBServer` (inside its
+  :class:`~repro.workloads.replay.WorkloadReplayer`), so concurrent replays
+  never share mutable index state.  The dataset and workload are shipped to
+  each worker exactly once (pool initializer) and treated as read-only.
+
+* **Deterministic results.**  Results are returned in submission order and
+  every task carries a seed derived from ``(base seed, task index)``, never
+  from worker identity or scheduling — so a batch evaluated on 1 worker is
+  bit-identical to the same batch on N workers.  (The simulated replayer is
+  itself deterministic; the per-task seed future-proofs stochastic
+  replayers.)
+
+* **Failure isolation.**  A worker exception is converted into a failed
+  :class:`~repro.workloads.replay.EvaluationResult` for that configuration
+  only; the rest of the batch and the pool survive.  A broken process pool
+  degrades to in-process evaluation for the affected batch.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from typing import Any, Mapping, Sequence
+
+from repro.datasets.dataset import Dataset
+from repro.workloads.replay import EvaluationResult, WorkloadReplayer
+from repro.workloads.workload import SearchWorkload
+
+__all__ = ["BatchEvaluator", "WorkerFailure"]
+
+#: Supported pool backends.
+_BACKENDS = ("serial", "thread", "process")
+
+
+class WorkerFailure(Exception):
+    """Raised internally when a worker cannot produce a result.
+
+    Stored (not raised) by :meth:`BatchEvaluator.evaluate_many`, which turns
+    it into a failed :class:`~repro.workloads.replay.EvaluationResult` so one
+    bad configuration never kills a batch.
+    """
+
+
+def _failed_result(configuration: Mapping[str, Any], message: str) -> EvaluationResult:
+    return EvaluationResult(
+        qps=0.0,
+        recall=0.0,
+        memory_gib=0.0,
+        latency_ms=float("inf"),
+        build_seconds=0.0,
+        replay_seconds=0.0,
+        failed=True,
+        configuration={**dict(configuration), "worker_error": message},
+        breakdown={"worker_error": 1.0},
+    )
+
+
+# -- process-pool worker protocol -------------------------------------------------------
+#
+# The replayer is built once per worker process by the initializer and reused
+# for every task, so the dataset crosses the process boundary exactly once.
+
+_WORKER_REPLAYER: WorkloadReplayer | None = None
+
+
+def _process_worker_init(dataset: Dataset, workload: SearchWorkload) -> None:
+    global _WORKER_REPLAYER
+    _WORKER_REPLAYER = WorkloadReplayer(dataset, workload)
+
+
+def _process_worker_replay(task: tuple[int, dict[str, Any], int]):
+    index, values, _task_seed = task
+    try:
+        return index, _WORKER_REPLAYER.replay(values)
+    except Exception as error:  # noqa: BLE001 - isolation boundary
+        return index, WorkerFailure(f"{type(error).__name__}: {error}")
+
+
+class BatchEvaluator:
+    """Evaluates batches of configurations concurrently on a worker pool.
+
+    Parameters
+    ----------
+    dataset:
+        The (read-only) dataset every worker replays against.
+    workload:
+        The search workload; defaults to the dataset's standard workload.
+    num_workers:
+        Pool size.  ``1`` short-circuits to in-process evaluation.
+    backend:
+        ``"process"`` (default; real CPU parallelism), ``"thread"`` (lower
+        startup cost, shares the interpreter) or ``"serial"`` (no pool at
+        all — the reference backend the tests compare against).
+    seed:
+        Base seed for the per-task seed derivation.
+
+    Examples
+    --------
+    >>> from repro import BatchEvaluator, load_dataset
+    >>> evaluator = BatchEvaluator(load_dataset("glove-small"), num_workers=4)
+    >>> # results arrive in submission order, failures isolated per task:
+    >>> # results = evaluator.evaluate_many([cfg_a, cfg_b, cfg_c, cfg_d])
+    >>> evaluator.close()
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        workload: SearchWorkload | None = None,
+        num_workers: int = 1,
+        backend: str = "process",
+        seed: int = 0,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+        self.dataset = dataset
+        self.workload = workload or SearchWorkload.from_dataset(dataset)
+        # The serial backend runs one replay at a time, so it is also a
+        # single worker as far as the makespan clock accounting goes.
+        self.num_workers = 1 if backend == "serial" else max(1, int(num_workers))
+        self.backend = backend if self.num_workers > 1 else "serial"
+        self.seed = int(seed)
+        self._pool: concurrent.futures.Executor | None = None
+        self._serial_replayer: WorkloadReplayer | None = None
+        self._thread_local = threading.local()
+        self._tasks_dispatched = 0
+
+    @classmethod
+    def from_environment(
+        cls,
+        environment,
+        *,
+        num_workers: int = 1,
+        backend: str = "process",
+    ) -> "BatchEvaluator":
+        """Build an evaluator sharing an environment's dataset and workload."""
+        return cls(
+            environment.dataset,
+            workload=environment.workload,
+            num_workers=num_workers,
+            backend=backend,
+        )
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def _ensure_pool(self) -> concurrent.futures.Executor | None:
+        if self.backend == "serial":
+            return None
+        if self._pool is None:
+            if self.backend == "process":
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.num_workers,
+                    initializer=_process_worker_init,
+                    initargs=(self.dataset, self.workload),
+                )
+            else:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.num_workers,
+                    thread_name_prefix="repro-eval",
+                )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- evaluation ---------------------------------------------------------------------
+
+    def _in_process_replay(self, values: dict[str, Any]) -> EvaluationResult:
+        if self._serial_replayer is None:
+            self._serial_replayer = WorkloadReplayer(self.dataset, self.workload)
+        return self._serial_replayer.replay(values)
+
+    def _thread_replay(self, task: tuple[int, dict[str, Any], int]):
+        index, values, _task_seed = task
+        replayer = getattr(self._thread_local, "replayer", None)
+        if replayer is None:
+            replayer = WorkloadReplayer(self.dataset, self.workload)
+            self._thread_local.replayer = replayer
+        try:
+            return index, replayer.replay(values)
+        except Exception as error:  # noqa: BLE001 - isolation boundary
+            return index, WorkerFailure(f"{type(error).__name__}: {error}")
+
+    def evaluate_many(
+        self, configurations: Sequence[Mapping[str, Any]]
+    ) -> list[EvaluationResult]:
+        """Replay every configuration and return results in submission order.
+
+        Workers run concurrently (per the backend); ordering, seeding and
+        failure handling follow the determinism guarantees in the module
+        docstring.  Each worker exception yields a failed result for that
+        slot instead of propagating.
+        """
+        tasks = []
+        for offset, configuration in enumerate(configurations):
+            task_seed = self.seed + self._tasks_dispatched + offset
+            tasks.append((offset, dict(configuration), task_seed))
+        self._tasks_dispatched += len(tasks)
+        if not tasks:
+            return []
+
+        outcomes: list[EvaluationResult | WorkerFailure | None] = [None] * len(tasks)
+        pool = None
+        if len(tasks) > 1:
+            pool = self._ensure_pool()
+        if pool is None:
+            for index, values, _task_seed in tasks:
+                try:
+                    outcomes[index] = self._in_process_replay(values)
+                except Exception as error:  # noqa: BLE001 - isolation boundary
+                    outcomes[index] = WorkerFailure(f"{type(error).__name__}: {error}")
+        else:
+            worker = (
+                _process_worker_replay if self.backend == "process" else self._thread_replay
+            )
+            try:
+                for index, outcome in pool.map(worker, tasks):
+                    outcomes[index] = outcome
+            except concurrent.futures.process.BrokenProcessPool:
+                # The pool died (e.g. a worker was OOM-killed): recover by
+                # evaluating the batch in-process and rebuild the pool lazily.
+                self._pool = None
+                for index, values, _task_seed in tasks:
+                    try:
+                        outcomes[index] = self._in_process_replay(values)
+                    except Exception as error:  # noqa: BLE001 - isolation boundary
+                        outcomes[index] = WorkerFailure(f"{type(error).__name__}: {error}")
+
+        results: list[EvaluationResult] = []
+        for (index, values, _task_seed), outcome in zip(tasks, outcomes):
+            if isinstance(outcome, WorkerFailure):
+                results.append(_failed_result(values, str(outcome)))
+            else:
+                results.append(outcome)
+        return results

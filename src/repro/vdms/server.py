@@ -24,7 +24,21 @@ __all__ = ["VectorDBServer"]
 
 
 class VectorDBServer:
-    """An in-process, Milvus-like vector database server."""
+    """An in-process, Milvus-like vector database server.
+
+    Examples
+    --------
+    >>> from repro import VectorDBServer, load_dataset
+    >>> dataset = load_dataset("glove-small")
+    >>> server = VectorDBServer()
+    >>> collection = server.create_collection("docs", dataset.dimension, metric=dataset.metric)
+    >>> _ = collection.insert(dataset.vectors)
+    >>> _ = collection.flush()
+    >>> _ = collection.create_index("HNSW", {"hnsw_m": 16, "ef_search": 64})
+    >>> result = collection.search(dataset.queries[:3], top_k=5)
+    >>> result.ids.shape
+    (3, 5)
+    """
 
     def __init__(self, system_config: SystemConfig | None = None) -> None:
         self._system_config = system_config or SystemConfig()

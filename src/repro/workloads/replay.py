@@ -47,6 +47,16 @@ class EvaluationResult:
         The raw configuration values that were evaluated.
     breakdown:
         Cost-model breakdown, used by the attribution analysis.
+
+    Examples
+    --------
+    >>> from repro import VDMSTuningEnvironment
+    >>> environment = VDMSTuningEnvironment("glove-small")
+    >>> result = environment.evaluate(environment.default_configuration())
+    >>> result.qps > 0 and 0.0 <= result.recall <= 1.0
+    True
+    >>> result.objective_values("qps") == (result.qps, result.recall)
+    True
     """
 
     qps: float

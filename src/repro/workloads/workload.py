@@ -31,6 +31,15 @@ class SearchWorkload:
         million-scale data; the scaled-down datasets default to 10).
     concurrency:
         Number of concurrent client requests (the paper's default is 10).
+
+    Examples
+    --------
+    >>> from repro import SearchWorkload, load_dataset
+    >>> workload = SearchWorkload.from_dataset(load_dataset("glove-small"), concurrency=10)
+    >>> workload.queries.shape[0] == workload.ground_truth.shape[0]
+    True
+    >>> workload.top_k >= 1
+    True
     """
 
     queries: np.ndarray

@@ -1,0 +1,146 @@
+"""Tests for the batch-parallel evaluation subsystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import BatchEvaluator
+from repro.workloads.environment import VDMSTuningEnvironment
+from repro.workloads.workload import SearchWorkload
+from tests.conftest import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_tiny_dataset()
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return SearchWorkload.from_dataset(dataset, concurrency=10)
+
+
+def sample_batch(space, count=4, seed=5):
+    rng = np.random.default_rng(seed)
+    return space.sample_configurations(count, rng)
+
+
+def results_signature(results):
+    return [
+        (round(r.qps, 6), round(r.recall, 6), round(r.memory_gib, 6), r.failed)
+        for r in results
+    ]
+
+
+class TestBatchEvaluator:
+    def test_serial_matches_direct_replay(self, dataset, workload):
+        from repro.workloads.replay import WorkloadReplayer
+
+        space = VDMSTuningEnvironment(dataset, workload=workload).space
+        batch = sample_batch(space, count=3)
+        with BatchEvaluator(dataset, workload=workload, num_workers=1) as evaluator:
+            results = evaluator.evaluate_many([c.to_dict() for c in batch])
+        replayer = WorkloadReplayer(dataset, workload)
+        expected = [replayer.replay(c.to_dict()) for c in batch]
+        assert results_signature(results) == results_signature(expected)
+
+    def test_one_worker_vs_many_workers_identical(self, dataset, workload):
+        space = VDMSTuningEnvironment(dataset, workload=workload).space
+        batch = [c.to_dict() for c in sample_batch(space, count=5)]
+        with BatchEvaluator(dataset, workload=workload, num_workers=1, seed=3) as serial:
+            serial_results = serial.evaluate_many(batch)
+        with BatchEvaluator(
+            dataset, workload=workload, num_workers=4, backend="thread", seed=3
+        ) as pooled:
+            pooled_results = pooled.evaluate_many(batch)
+        assert results_signature(serial_results) == results_signature(pooled_results)
+
+    def test_process_backend_matches_serial(self, dataset, workload):
+        space = VDMSTuningEnvironment(dataset, workload=workload).space
+        batch = [c.to_dict() for c in sample_batch(space, count=4)]
+        with BatchEvaluator(dataset, workload=workload, num_workers=1) as serial:
+            serial_results = serial.evaluate_many(batch)
+        with BatchEvaluator(
+            dataset, workload=workload, num_workers=2, backend="process"
+        ) as pooled:
+            pooled_results = pooled.evaluate_many(batch)
+        assert results_signature(serial_results) == results_signature(pooled_results)
+
+    def test_results_preserve_submission_order(self, dataset, workload):
+        space = VDMSTuningEnvironment(dataset, workload=workload).space
+        batch = [c.to_dict() for c in sample_batch(space, count=6, seed=9)]
+        with BatchEvaluator(
+            dataset, workload=workload, num_workers=3, backend="thread"
+        ) as evaluator:
+            results = evaluator.evaluate_many(batch)
+        for values, result in zip(batch, results):
+            assert result.configuration["index_type"] == values["index_type"]
+
+    def test_worker_failure_is_isolated(self, dataset, workload):
+        space = VDMSTuningEnvironment(dataset, workload=workload).space
+        batch = [c.to_dict() for c in sample_batch(space, count=3)]
+        batch[1] = dict(batch[1], index_type="NO_SUCH_INDEX")
+        with BatchEvaluator(
+            dataset, workload=workload, num_workers=3, backend="thread"
+        ) as evaluator:
+            results = evaluator.evaluate_many(batch)
+        assert len(results) == 3
+        assert results[1].failed
+        assert not results[0].failed
+        assert not results[2].failed
+
+    def test_unknown_backend_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            BatchEvaluator(dataset, backend="gpu")
+
+    def test_empty_batch(self, dataset, workload):
+        with BatchEvaluator(dataset, workload=workload, num_workers=2) as evaluator:
+            assert evaluator.evaluate_many([]) == []
+
+
+class TestEnvironmentBatchEvaluation:
+    def test_evaluate_batch_matches_sequential_evaluate(self, dataset, workload):
+        space_env = VDMSTuningEnvironment(dataset, workload=workload, seed=0)
+        batch = sample_batch(space_env.space, count=4)
+
+        sequential = VDMSTuningEnvironment(dataset, workload=workload, seed=0)
+        seq_results = [sequential.evaluate(c) for c in batch]
+
+        batched = VDMSTuningEnvironment(dataset, workload=workload, seed=0)
+        batch_results = batched.evaluate_batch(batch)
+
+        assert results_signature(seq_results) == results_signature(batch_results)
+        assert batched.num_evaluations == 4
+        # Serial accounting: without an evaluator the batch costs the plain sum.
+        assert batched.elapsed_replay_seconds == pytest.approx(
+            sequential.elapsed_replay_seconds
+        )
+
+    def test_evaluate_batch_with_pool_charges_makespan(self, dataset, workload):
+        batch_env = VDMSTuningEnvironment(dataset, workload=workload, seed=0)
+        batch = sample_batch(batch_env.space, count=4)
+        serial_env = VDMSTuningEnvironment(dataset, workload=workload, seed=0)
+        serial_env.evaluate_batch(batch)
+        with BatchEvaluator(
+            dataset, workload=workload, num_workers=4, backend="thread"
+        ) as evaluator:
+            results = batch_env.evaluate_batch(batch, evaluator=evaluator)
+        # Concurrent replay: the batch costs at most the serial sum and at
+        # least the slowest single replay.
+        slowest = max(r.replay_seconds for r in results)
+        assert batch_env.elapsed_replay_seconds <= serial_env.elapsed_replay_seconds
+        assert batch_env.elapsed_replay_seconds >= slowest
+
+    def test_evaluate_batch_noise_deterministic_across_worker_counts(
+        self, dataset, workload
+    ):
+        env_a = VDMSTuningEnvironment(dataset, workload=workload, seed=11, noise=0.1)
+        env_b = VDMSTuningEnvironment(dataset, workload=workload, seed=11, noise=0.1)
+        batch = sample_batch(env_a.space, count=4)
+        with BatchEvaluator(
+            dataset, workload=workload, num_workers=4, backend="thread"
+        ) as evaluator:
+            results_pooled = env_a.evaluate_batch(batch, evaluator=evaluator)
+        results_serial = env_b.evaluate_batch(batch)
+        assert results_signature(results_pooled) == results_signature(results_serial)
