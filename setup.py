@@ -21,11 +21,12 @@ def _readme() -> str:
 
 setup(
     name="vdtuner-repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of VDTuner (ICDE 2024): multi-objective Bayesian "
         "optimization for vector data management systems, with a "
-        "batch-parallel tuning engine"
+        "batch-parallel tuning engine and online continuous tuning under "
+        "workload drift"
     ),
     long_description=_readme(),
     long_description_content_type="text/markdown",

@@ -49,30 +49,52 @@ from repro.config import (
     IntParameter,
     build_milvus_space,
 )
-from repro.core import ObjectiveSpec, VDTuner, VDTunerSettings
+from repro.core import (
+    CusumDriftDetector,
+    ObjectiveSpec,
+    OnlineTuner,
+    OnlineTunerSettings,
+    VDTuner,
+    VDTunerSettings,
+)
 from repro.baselines import make_tuner
 from repro.datasets import DatasetSpec, load_dataset
 from repro.parallel import BatchEvaluator
 from repro.vdms import VectorDBServer
-from repro.workloads import EvaluationResult, SearchWorkload, VDMSTuningEnvironment
+from repro.workloads import (
+    DriftEvent,
+    DynamicTuningEnvironment,
+    DynamicWorkload,
+    EvaluationResult,
+    SearchWorkload,
+    VDMSTuningEnvironment,
+    make_drift_event,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchEvaluator",
     "CategoricalParameter",
     "Configuration",
     "ConfigurationSpace",
+    "CusumDriftDetector",
     "DatasetSpec",
+    "DriftEvent",
+    "DynamicTuningEnvironment",
+    "DynamicWorkload",
     "EvaluationResult",
     "FloatParameter",
     "IntParameter",
     "ObjectiveSpec",
+    "OnlineTuner",
+    "OnlineTunerSettings",
     "SearchWorkload",
     "VDMSTuningEnvironment",
     "VDTuner",
     "VDTunerSettings",
     "VectorDBServer",
+    "make_drift_event",
     "make_tuner",
     "build_milvus_space",
     "load_dataset",

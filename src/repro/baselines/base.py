@@ -65,14 +65,8 @@ class BaselineTuner(ABC):
     # -- bookkeeping ---------------------------------------------------------------
 
     def _record(self, configuration: Configuration, result: EvaluationResult) -> Observation:
-        speed, recall = self.objective.objective_values(result)
-        observation = Observation(
-            iteration=len(self.history) + 1,
-            index_type=str(configuration["index_type"]).rstrip("_"),
-            configuration=configuration.to_dict(),
-            result=result,
-            speed=speed,
-            recall=recall,
+        observation = Observation.from_result(
+            len(self.history) + 1, configuration.to_dict(), result, self.objective
         )
         self.history.add(observation)
         return observation

@@ -81,11 +81,18 @@ class GaussianProcessRegressor:
     #: Bounds on the log hyper-parameters, keeping the optimizer in a sane region.
     _LOG_BOUNDS = ((-4.0, 2.0), (-4.0, 3.0), (-12.0, 0.0))
 
-    def _negative_log_marginal_likelihood(self, log_params: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+    def _negative_log_marginal_likelihood(
+        self,
+        log_params: np.ndarray,
+        X: np.ndarray,
+        y: np.ndarray,
+        noise_scale: np.ndarray | None = None,
+    ) -> float:
         log_params = np.clip(log_params, [b[0] for b in self._LOG_BOUNDS], [b[1] for b in self._LOG_BOUNDS])
         lengthscale, variance, noise = np.exp(log_params)
         kernel = self.kernel.with_parameters(lengthscale, variance)
-        covariance = kernel(X, X) + (noise + 1e-9) * np.eye(X.shape[0])
+        scale = np.ones(X.shape[0]) if noise_scale is None else noise_scale
+        covariance = kernel(X, X) + np.diag(noise * scale + 1e-9)
         try:
             chol = linalg.cholesky(covariance, lower=True)
         except linalg.LinAlgError:
@@ -95,7 +102,9 @@ class GaussianProcessRegressor:
         value = 0.5 * float(y @ alpha) + 0.5 * log_determinant + 0.5 * X.shape[0] * np.log(2.0 * np.pi)
         return float(value)
 
-    def _fit_hyperparameters(self, X: np.ndarray, y: np.ndarray) -> None:
+    def _fit_hyperparameters(
+        self, X: np.ndarray, y: np.ndarray, noise_scale: np.ndarray | None = None
+    ) -> None:
         rng = np.random.default_rng(self.seed)
         starts = [np.log([0.3, 1.0, max(self.noise, 1e-4)])]
         for _ in range(2):
@@ -114,7 +123,7 @@ class GaussianProcessRegressor:
             result = optimize.minimize(
                 self._negative_log_marginal_likelihood,
                 start,
-                args=(X, y),
+                args=(X, y, noise_scale),
                 method="Nelder-Mead",
                 options={"maxiter": 120, "xatol": 1e-3, "fatol": 1e-3},
             )
@@ -128,11 +137,24 @@ class GaussianProcessRegressor:
         self.kernel = self.kernel.with_parameters(float(lengthscale), float(variance))
         self.noise = float(noise)
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        noise_scale: np.ndarray | None = None,
+    ) -> "GaussianProcessRegressor":
         """Fit the GP to observations ``(X, y)``.
 
         ``X`` lives in the unit hypercube, ``y`` is a 1-D array of objective
         values (any scale; standardization is handled internally).
+
+        ``noise_scale`` optionally re-weights observations: a per-point
+        multiplier on the observation-noise variance (1 = trust normally,
+        larger = trust less).  Down-weighted points act as soft priors — the
+        posterior mean follows them only where no trusted observation
+        disagrees — which is how warm-started re-tuning keeps stale pre-drift
+        observations without letting them overrule fresh measurements.
         """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).reshape(-1)
@@ -140,11 +162,18 @@ class GaussianProcessRegressor:
             raise ValueError("X and y must have the same number of rows")
         if X.shape[0] == 0:
             raise ValueError("cannot fit a GP to zero observations")
+        if noise_scale is not None:
+            noise_scale = np.asarray(noise_scale, dtype=float).reshape(-1)
+            if noise_scale.shape[0] != X.shape[0]:
+                raise ValueError("noise_scale must have one entry per observation")
+            if np.any(noise_scale <= 0):
+                raise ValueError("noise_scale entries must be positive")
         self._X = X
         standardized = self._standardize(y)
         if self.optimize_hyperparameters and X.shape[0] >= 4:
-            self._fit_hyperparameters(X, standardized)
-        covariance = self.kernel(X, X) + (self.noise + 1e-9) * np.eye(X.shape[0])
+            self._fit_hyperparameters(X, standardized, noise_scale)
+        scale = np.ones(X.shape[0]) if noise_scale is None else noise_scale
+        covariance = self.kernel(X, X) + np.diag(self.noise * scale + 1e-9)
         self._cholesky = linalg.cholesky(covariance, lower=True)
         self._y_standardized = standardized
         self._alpha = linalg.cho_solve((self._cholesky, True), standardized)

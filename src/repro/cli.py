@@ -1,18 +1,27 @@
 """Command-line interface.
 
-Three subcommands cover the workflows a downstream user needs most often::
+Five subcommands cover the workflows a downstream user needs most often::
 
-    python -m repro.cli evaluate --dataset glove-small --index-type HNSW
-    python -m repro.cli tune     --dataset glove-small --iterations 50 --recall-floor 0.9
-    python -m repro.cli compare  --dataset glove-small --iterations 30 --tuners vdtuner random qehvi
+    python -m repro.cli evaluate    --dataset glove-small --index-type HNSW
+    python -m repro.cli tune        --dataset glove-small --iterations 50 --recall-floor 0.9
+    python -m repro.cli compare     --dataset glove-small --iterations 30 --tuners vdtuner random qehvi
+    python -m repro.cli tune-online --dataset glove-small --drift shift --seed 0
+    python -m repro.cli scenario-matrix --output matrix.json
 
 ``evaluate`` replays the workload once for a single configuration, ``tune``
 runs VDTuner and prints the recommended configuration, and ``compare`` runs
 several tuners with the same budget and prints a Figure 6-style table.
 
-``tune`` and ``compare`` accept ``--batch-size Q --workers N`` to switch the
-tuners to the batch-parallel engine: joint q-EHVI suggestion batches evaluated
-concurrently on a worker pool (see :mod:`repro.parallel`), e.g.::
+``tune-online`` runs the continuous tune/serve loop on a drifting workload
+(:mod:`repro.workloads.dynamic`): it tunes, deploys the incumbent, detects
+the drift via CUSUM on the served metrics and re-tunes warm-started
+(``--cold-restart`` disables the warm start).  ``scenario-matrix`` sweeps
+{drift x severity x tuner} and persists per-phase Pareto metrics to JSON.
+
+``tune``, ``compare`` and ``tune-online`` accept ``--batch-size Q --workers N``
+to switch the tuners to the batch-parallel engine: joint q-EHVI suggestion
+batches evaluated concurrently on a worker pool (see :mod:`repro.parallel`),
+e.g.::
 
     python -m repro.cli tune --dataset glove-small --iterations 48 --batch-size 4 --workers 4
 """
@@ -108,6 +117,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=["vdtuner", "random", "opentuner", "ottertune", "qehvi"],
         help="tuner registry names",
     )
+
+    def add_drift_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--steps", type=int, default=36,
+                         help="total online evaluation budget (tuning + serving)")
+        sub.add_argument("--retune-budget", type=int, default=8,
+                         help="evaluations per (re-)tuning episode")
+        sub.add_argument("--severity", type=float, default=0.7,
+                         help="drift severity in (0, 1]")
+        sub.add_argument("--cold-restart", action="store_true",
+                         help="re-tune from scratch instead of warm-starting "
+                         "from the decayed knowledge base")
+
+    tune_online = subparsers.add_parser(
+        "tune-online",
+        help="run the continuous tune/serve loop on a drifting workload",
+    )
+    add_common(tune_online)
+    tune_online.add_argument(
+        "--drift",
+        default="shift",
+        help="drift scenario: query_shift/shift, data_churn/churn, "
+        "qps_burst/burst, filter_shift/filter, or none",
+    )
+    tune_online.add_argument("--drift-step", type=int, default=None,
+                             help="evaluation step the drift fires at (default: 60%% of --steps)")
+    tune_online.add_argument("--tuner", default="vdtuner", help="tuner registry name")
+    tune_online.add_argument("--json", action="store_true",
+                             help="print the full online report summary as JSON")
+    add_drift_options(tune_online)
+    add_batch_options(tune_online)
+
+    matrix = subparsers.add_parser(
+        "scenario-matrix",
+        help="sweep {drift x severity x tuner} and persist per-phase Pareto metrics",
+    )
+    add_common(matrix)
+    matrix.add_argument("--drifts", nargs="+",
+                        default=["query_shift", "data_churn", "qps_burst", "filter_shift"],
+                        help="drift scenarios to sweep")
+    matrix.add_argument("--severities", nargs="+", type=float, default=[0.35, 0.7],
+                        help="severities to sweep")
+    matrix.add_argument("--tuners", nargs="+", default=["vdtuner", "random"],
+                        help="tuners to sweep")
+    matrix.add_argument("--steps", type=int, default=None,
+                        help="total online evaluation budget per cell")
+    matrix.add_argument("--retune-budget", type=int, default=None,
+                        help="evaluations per (re-)tuning episode")
+    matrix.add_argument("--output", default=None, metavar="PATH",
+                        help="write the matrix to this JSON file")
     return parser
 
 
@@ -229,6 +287,119 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_tune_online(args: argparse.Namespace) -> int:
+    from repro.core.online import OnlineTuner, OnlineTunerSettings
+    from repro.workloads.dynamic import (
+        DynamicTuningEnvironment,
+        DynamicWorkload,
+        make_drift_event,
+    )
+    from repro.datasets.registry import load_dataset
+
+    steps = max(1, args.steps)
+    drift_step = args.drift_step or max(args.retune_budget + 5, round(0.6 * steps))
+    events = []
+    if args.drift.lower() not in ("none", "static"):
+        try:
+            events.append(make_drift_event(args.drift, at_step=drift_step, severity=args.severity))
+        except KeyError as error:
+            raise SystemExit(str(error)) from None
+    dynamic = DynamicWorkload(load_dataset(args.dataset), events, seed=args.seed)
+    environment = DynamicTuningEnvironment(dynamic, seed=args.seed)
+    settings = OnlineTunerSettings(
+        total_steps=steps,
+        retune_budget=min(args.retune_budget, steps),
+        warm_start=not args.cold_restart,
+        detector_threshold=4.0,
+        detector_warmup=2,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    evaluator = _make_evaluator(args, environment)
+    online = OnlineTuner(environment, tuner=args.tuner, settings=settings, evaluator=evaluator)
+    try:
+        report = online.run()
+    finally:
+        if evaluator is not None:
+            evaluator.close()
+    summary = report.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for phase in summary["phases"]:
+        rows.append(
+            [
+                phase["phase"],
+                phase["start_step"],
+                phase["evaluations"],
+                round(phase["hypervolume"], 1),
+                phase["best_index_type"] or "-",
+                round(phase["best_score"], 1) if phase["best_score"] else "-",
+                phase["time_to_recover"] if phase["time_to_recover"] is not None else "-",
+                phase["detection_delay"] if phase["detection_delay"] is not None else "-",
+            ]
+        )
+    title = (
+        f"online tuning on {args.dataset} "
+        f"({args.drift} severity {args.severity} at step {drift_step}, "
+        f"{'warm' if settings.warm_start else 'cold'} re-tuning)"
+    )
+    print(
+        format_table(
+            ["phase", "start", "evals", "pareto HV", "best index", "best score",
+             "recover (evals)", "detect (evals)"],
+            rows,
+            title=title,
+        )
+    )
+    if summary["detections"]:
+        print(f"\ndrift detected at step(s): {', '.join(map(str, summary['detections']))}")
+    else:
+        print("\nno drift detected (workload static or shift below the detector threshold)")
+    return 0
+
+
+def _command_scenario_matrix(args: argparse.Namespace) -> int:
+    from repro.experiments.scenario_matrix import run_scenario_matrix, save_matrix
+
+    matrix = run_scenario_matrix(
+        args.dataset,
+        drifts=args.drifts,
+        severities=args.severities,
+        tuners=args.tuners,
+        total_steps=args.steps,
+        retune_budget=args.retune_budget,
+        seed=args.seed,
+    )
+    rows = []
+    for cell in matrix["cells"]:
+        recoveries = [p["time_to_recover"] for p in cell["phases"][1:]]
+        recovery = next((r for r in recoveries if r is not None), None)
+        rows.append(
+            [
+                cell["drift"],
+                cell["severity"],
+                cell["tuner"],
+                len(cell["phases"]),
+                round(cell["phases"][-1]["hypervolume"], 1),
+                recovery if recovery is not None else "-",
+                "yes" if cell["detections"] else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["drift", "severity", "tuner", "phases", "final HV", "recover (evals)", "detected"],
+            rows,
+            title=f"scenario matrix on {args.dataset} (seed {args.seed})",
+        )
+    )
+    if args.output:
+        path = save_matrix(matrix, args.output)
+        print(f"\nmatrix written to {path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -237,6 +408,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "evaluate": _command_evaluate,
         "tune": _command_tune,
         "compare": _command_compare,
+        "tune-online": _command_tune_online,
+        "scenario-matrix": _command_scenario_matrix,
     }
     return handlers[args.command](args)
 

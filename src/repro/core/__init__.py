@@ -15,12 +15,26 @@ from repro.core.scoring import RoundRobinPolicy, SuccessiveAbandonPolicy, score_
 from repro.core.surrogate import NativeSurrogate, PollingSurrogate, SurrogatePrediction
 from repro.core.acquisition import ConfigurationRecommender
 from repro.core.tuner import TuningReport, VDTuner, VDTunerSettings
+from repro.core.drift import CusumDriftDetector
+from repro.core.online import (
+    OnlineReport,
+    OnlineTuner,
+    OnlineTunerSettings,
+    StepRecord,
+    decay_history,
+)
 from repro.core.preference import PreferenceStageResult, run_preference_sequence
 from repro.core.cost_aware import CostComparison, compare_cost_vs_speed, cost_effectiveness_objective
 
 __all__ = [
     "ConfigurationRecommender",
     "CostComparison",
+    "CusumDriftDetector",
+    "OnlineReport",
+    "OnlineTuner",
+    "OnlineTunerSettings",
+    "StepRecord",
+    "decay_history",
     "NativeSurrogate",
     "Observation",
     "ObservationHistory",

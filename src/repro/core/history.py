@@ -46,6 +46,31 @@ class Observation:
     speed: float
     recall: float
 
+    @classmethod
+    def from_result(
+        cls,
+        iteration: int,
+        configuration: Any,
+        result: EvaluationResult,
+        objective,
+    ) -> "Observation":
+        """Build an observation from an evaluation under an objective spec.
+
+        The single place the tuners, baselines and the online loop share for
+        extracting the objective pair and normalizing the index-type name
+        (placeholder choices carry a trailing underscore in the space).
+        """
+        values = dict(configuration)
+        speed, recall = objective.objective_values(result)
+        return cls(
+            iteration=iteration,
+            index_type=str(values.get("index_type", "AUTOINDEX")).rstrip("_"),
+            configuration=values,
+            result=result,
+            speed=speed,
+            recall=recall,
+        )
+
     @property
     def failed(self) -> bool:
         """Whether the underlying evaluation failed."""

@@ -79,16 +79,42 @@ class PollingSurrogate:
         self._base_points = index_type_base_points(history, index_types, constrained=self.constrained)
         return normalize_objectives(history, self._base_points)
 
-    def fit(self, history: ObservationHistory, index_types: list[str] | None = None) -> "PollingSurrogate":
-        """Fit the two GPs on the (normalized) history."""
+    def fit(
+        self,
+        history: ObservationHistory,
+        index_types: list[str] | None = None,
+        *,
+        noise_scale: np.ndarray | None = None,
+        front_mask: np.ndarray | None = None,
+    ) -> "PollingSurrogate":
+        """Fit the two GPs on the (normalized) history.
+
+        ``noise_scale`` optionally re-weights observations (one positive
+        multiplier per observation, larger = trusted less); warm-started
+        re-tuning uses it to keep stale pre-drift observations as soft priors
+        (see :meth:`repro.bo.gp.GaussianProcessRegressor.fit`).
+
+        ``front_mask`` optionally restricts which observations count as
+        *achieved outcomes* (:meth:`observed_objectives`, the front EHVI
+        improves upon).  Warm re-tuning masks the stale observations out:
+        they still shape the GP posterior, but a pre-drift front that the
+        drifted workload can no longer reach must not zero the acquisition
+        signal for every reachable candidate.
+        """
         if len(history) == 0:
             raise ValueError("cannot fit a surrogate on an empty history")
         index_types = index_types or history.index_types()
         targets = self._training_targets(history, index_types)
         encoded = self.space.encode_many([o.configuration for o in history])
-        self._speed_gp.fit(encoded, targets[:, 0])
-        self._recall_gp.fit(encoded, targets[:, 1])
-        self._normalized_objectives = targets
+        self._speed_gp.fit(encoded, targets[:, 0], noise_scale=noise_scale)
+        self._recall_gp.fit(encoded, targets[:, 1], noise_scale=noise_scale)
+        if front_mask is not None:
+            front_mask = np.asarray(front_mask, dtype=bool).reshape(-1)
+            if front_mask.shape[0] != targets.shape[0]:
+                raise ValueError("front_mask must have one entry per observation")
+            self._normalized_objectives = targets[front_mask]
+        else:
+            self._normalized_objectives = targets
         self._fitted = True
         return self
 

@@ -63,6 +63,12 @@ class VDTunerSettings:
         Ablation switch: ``False`` falls back to plain round robin.
     use_polling_surrogate:
         Ablation switch: ``False`` uses the native (raw-objective) surrogate.
+    stale_noise_inflation:
+        Observation-noise multiplier applied to ``bootstrap_history``
+        observations when fitting the surrogate (1 = trust them like fresh
+        observations).  Warm-started re-tuning after workload drift inflates
+        this so stale knowledge acts as a soft prior that fresh measurements
+        override wherever they disagree.
     seed:
         Seed for candidate generation and EHVI sampling.
 
@@ -85,6 +91,7 @@ class VDTunerSettings:
     reference_scale: float = 0.5
     use_successive_abandon: bool = True
     use_polling_surrogate: bool = True
+    stale_noise_inflation: float = 1.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -92,6 +99,8 @@ class VDTunerSettings:
             raise ValueError("num_iterations must be >= 1")
         if self.abandon_window < 1:
             raise ValueError("abandon_window must be >= 1")
+        if self.stale_noise_inflation < 1.0:
+            raise ValueError("stale_noise_inflation must be >= 1")
 
 
 @dataclass
@@ -225,14 +234,8 @@ class VDTuner:
         return self._history
 
     def _record(self, configuration: Configuration, result: EvaluationResult) -> Observation:
-        speed, recall = self.objective.objective_values(result)
-        observation = Observation(
-            iteration=len(self._history) + 1,
-            index_type=str(configuration["index_type"]).rstrip("_"),
-            configuration=configuration.to_dict(),
-            result=result,
-            speed=speed,
-            recall=recall,
+        observation = Observation.from_result(
+            len(self._history) + 1, configuration.to_dict(), result, self.objective
         )
         self._history.add(observation)
         return observation
@@ -245,12 +248,44 @@ class VDTuner:
         combined.extend(self._history.observations)
         return combined
 
+    def _training_noise_scale(self, training: ObservationHistory) -> np.ndarray | None:
+        """Per-observation noise multipliers for the surrogate fit.
+
+        Bootstrap observations (which lead the combined training history) get
+        ``stale_noise_inflation``; the current run's observations get 1.
+        """
+        inflation = float(self.settings.stale_noise_inflation)
+        if (
+            inflation == 1.0
+            or self.bootstrap_history is None
+            or len(self.bootstrap_history) == 0
+            or len(training) == len(self._history)
+        ):
+            return None
+        num_stale = len(training) - len(self._history)
+        scale = np.ones(len(training))
+        scale[:num_stale] = inflation
+        return scale
+
     # -- Algorithm 1 ----------------------------------------------------------------------
 
     def _default_configuration_for(self, index_type: str) -> Configuration:
         defaults = {p.name: p.default for p in self.space.parameters}
         defaults["index_type"] = index_type
         return self.space.configuration(defaults)
+
+    def _needs_initial_sampling(self) -> bool:
+        """Whether the per-index-type default sweep still has to run.
+
+        A tuner warm-started from a previous run's history (``bootstrap_history``)
+        already knows how every index type behaves, so it skips straight to
+        model-based suggestions instead of re-spending budget on the defaults —
+        this is what makes warm re-tuning after workload drift recover faster
+        than a cold restart.
+        """
+        if len(self._history) > 0:
+            return False
+        return self.bootstrap_history is None or len(self.bootstrap_history) == 0
 
     def _initial_sampling(self, budget: int) -> None:
         """Evaluate every index type's default configuration (lines 1-5)."""
@@ -287,21 +322,60 @@ class VDTuner:
         q = int(q)
         if q < 1:
             raise ValueError("q must be >= 1")
-        if len(self._history) == 0:
+        training = self._training_history()
+        if len(training) == 0:
             return [
                 self._default_configuration_for(self.index_types[j % len(self.index_types)])
                 for j in range(q)
             ]
 
-        self._policy.update_scores(self._history, len(self._history) + 1)
-        training = self._training_history()
-        self._surrogate.fit(training, index_types=list(self.index_types))
-        surrogate = self._surrogate
-        batch: list[Configuration] = []
-        for j in range(q):
+        # Index types the knowledge base has never observed are sampled at
+        # their defaults first — the incremental continuation of the initial
+        # sampling phase (lines 1-5), so driving the tuner one suggest_batch
+        # call at a time (as the online loop does) still sweeps every index
+        # type before going model-based.  A bootstrapped (warm-started) tuner
+        # already knows every index type and skips straight past this.
+        observed = {observation.index_type for observation in training}
+        missing = [t for t in self.index_types if t not in observed]
+        batch: list[Configuration] = [
+            self._default_configuration_for(index_type) for index_type in missing[:q]
+        ]
+        if len(batch) == q:
+            return batch
+
+        self._policy.update_scores(training, len(self._history) + 1)
+        noise_scale = self._training_noise_scale(training)
+        front_mask = None
+        recommend_history = training
+        if noise_scale is not None:
+            # Down-weighted (stale) observations shape the GP but do not count
+            # as achieved outcomes: a stale front the drifted workload cannot
+            # reach would otherwise zero the acquisition signal (EHVI against
+            # an unreachable front; constrained EI against an unreachable
+            # best feasible speed) for every reachable candidate.  The
+            # recommender sees the matching fresh-only history, so its
+            # feasibility bookkeeping stays row-aligned with the front and
+            # stale configurations remain re-suggestible after drift.
+            front_mask = noise_scale == 1.0
+            recommend_history = ObservationHistory(
+                [o for o, keep in zip(training, front_mask) if keep]
+            )
+        self._surrogate.fit(
+            training,
+            index_types=list(self.index_types),
+            noise_scale=noise_scale,
+            front_mask=front_mask,
+        )
+        surrogate = self._surrogate.fantasized(batch) if batch else self._surrogate
+        for j in range(len(batch), q):
             index_type = self._policy.next_index_type()
             configuration = self._recommender.recommend(
-                surrogate, training, index_type, self.objective, self._rng, exclude=batch
+                surrogate,
+                recommend_history,
+                index_type,
+                self.objective,
+                self._rng,
+                exclude=batch,
             )
             batch.append(configuration)
             if j + 1 < q:
@@ -322,7 +396,7 @@ class VDTuner:
 
     def _run_batched(self, budget: int, batch_size: int, evaluator) -> None:
         """Batched tuning loop: suggest q points, evaluate them concurrently."""
-        if len(self._history) == 0:
+        if self._needs_initial_sampling():
             # The initial per-index-type defaults have no sequential dependency
             # at all, so the whole phase is one pooled batch: the worker pool
             # packs the heterogeneous replays far better than fixed-size
@@ -362,7 +436,7 @@ class VDTuner:
         budget = int(num_iterations or self.settings.num_iterations)
         batch_size = max(1, int(batch_size))
         if batch_size == 1 and evaluator is None:
-            if len(self._history) == 0:
+            if self._needs_initial_sampling():
                 self._initial_sampling(budget)
             while len(self._history) < budget:
                 self._tuning_iteration(len(self._history) + 1)

@@ -33,11 +33,21 @@ from repro.experiments.preference import figure12_user_preference
 from repro.experiments.cost import figure13_cost_effectiveness
 from repro.experiments.best_configs import table5_best_configurations
 from repro.experiments.scalability import scalability_larger_dataset
+from repro.experiments.scenario_matrix import (
+    DRIFT_SCENARIOS,
+    run_scenario,
+    run_scenario_matrix,
+    save_matrix,
+)
 
 __all__ = [
+    "DRIFT_SCENARIOS",
     "ExperimentScale",
     "TunerRun",
     "current_scale",
+    "run_scenario",
+    "run_scenario_matrix",
+    "save_matrix",
     "figure10_sampling_quality",
     "figure11_parameter_convergence",
     "figure12_user_preference",

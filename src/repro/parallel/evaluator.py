@@ -175,6 +175,32 @@ class BatchEvaluator:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
+    def update_workload(self, dataset: Dataset, workload: SearchWorkload | None = None) -> None:
+        """Point the pool at a new dataset/workload (online drift support).
+
+        Workers hold per-worker replayers initialized with the dataset they
+        were spawned with, so a workload switch shuts the pool down; the next
+        batch lazily re-initializes workers against the new state.  No-op if
+        the dataset and workload are already current.
+        """
+        workload = workload or SearchWorkload.from_dataset(dataset)
+        if dataset is self.dataset and workload is self.workload:
+            return
+        self.close()
+        self.dataset = dataset
+        self.workload = workload
+        self._serial_replayer = None
+        self._thread_local = threading.local()
+
+    def sync_with(self, environment) -> None:
+        """Adopt an environment's current dataset/workload if they changed.
+
+        Called by :class:`repro.workloads.dynamic.DynamicTuningEnvironment`
+        before every pooled batch, so one evaluator can serve a whole online
+        tuning run across drift events.
+        """
+        self.update_workload(environment.dataset, environment.workload)
+
     def __enter__(self) -> "BatchEvaluator":
         return self
 

@@ -104,6 +104,23 @@ class Collection:
         self._segment_indexes.clear()
         return len(self._segments.sealed_segments)
 
+    def delete(self, ids: np.ndarray) -> int:
+        """Delete rows by id; returns the number of rows removed.
+
+        Deleting from a sealed segment invalidates that segment's index (the
+        index still references the removed rows): the stale index is dropped
+        and the segment is searched by brute force until ``create_index`` is
+        called again — deletions degrade both latency and recall consistency
+        until the collection is re-indexed, exactly the churn effect online
+        tuning has to react to.
+        """
+        deleted, touched_sealed = self._segments.delete(ids)
+        # Emptied-out sealed segments lost rows too, so they are always in
+        # touched_sealed and their index entries go away here as well.
+        for segment_id in touched_sealed:
+            self._segment_indexes.pop(segment_id, None)
+        return deleted
+
     # -- indexing -----------------------------------------------------------------
 
     @property
@@ -200,15 +217,21 @@ class Collection:
         candidate_ids: list[np.ndarray] = []
         candidate_distances: list[np.ndarray] = []
 
+        # Sealed segments whose index was invalidated (rows deleted since the
+        # last create_index) fall back to brute force below, like growing ones.
+        unindexed_sealed: list[Segment] = []
         for segment in sealed:
-            index = self._segment_indexes[segment.segment_id]
+            index = self._segment_indexes.get(segment.segment_id)
+            if index is None:
+                unindexed_sealed.append(segment)
+                continue
             ids, distances, segment_stats = index.search(queries, top_k)
             stats.merge(segment_stats)
             candidate_ids.append(ids)
             candidate_distances.append(distances)
 
         prepared_queries = prepare_vectors(queries, self.metric)
-        for segment in self._segments.growing_segments:
+        for segment in unindexed_sealed + self._segments.growing_segments:
             prepared_rows = prepare_vectors(segment.vectors, self.metric)
             distances = pairwise_distances(prepared_queries, prepared_rows, self.metric)
             stats.distance_evaluations += int(queries.shape[0]) * segment.num_rows

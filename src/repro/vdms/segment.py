@@ -134,6 +134,48 @@ class SegmentManager:
         self._segments.extend(created)
         return created
 
+    def delete(self, ids: np.ndarray) -> tuple[int, list[int]]:
+        """Delete rows by external id from buffers and segments.
+
+        Returns ``(rows_deleted, touched_sealed_segment_ids)``.  Deletions
+        compact the affected segments in place (the simulated system applies
+        delete bitmaps eagerly); sealed segments that lose rows keep their
+        sealed state but their indexes no longer match the data, so the
+        caller (the collection) must invalidate them.  Segments left empty
+        are dropped entirely.
+        """
+        doomed = np.unique(np.asarray(ids, dtype=np.int64))
+        if doomed.size == 0:
+            return 0, []
+        deleted = 0
+
+        # Unflushed buffers first.
+        for position in range(len(self._pending_vectors)):
+            keep = ~np.isin(self._pending_ids[position], doomed)
+            removed = int((~keep).sum())
+            if removed:
+                deleted += removed
+                self._pending_vectors[position] = self._pending_vectors[position][keep]
+                self._pending_ids[position] = self._pending_ids[position][keep]
+        self._pending_vectors = [v for v in self._pending_vectors if v.shape[0]]
+        self._pending_ids = [i for i in self._pending_ids if i.shape[0]]
+
+        touched_sealed: list[int] = []
+        survivors: list[Segment] = []
+        for segment in self._segments:
+            keep = ~np.isin(segment.ids, doomed)
+            removed = int((~keep).sum())
+            if removed:
+                deleted += removed
+                segment.vectors = np.ascontiguousarray(segment.vectors[keep])
+                segment.ids = np.ascontiguousarray(segment.ids[keep])
+                if segment.state is SegmentState.SEALED:
+                    touched_sealed.append(segment.segment_id)
+            if segment.num_rows:
+                survivors.append(segment)
+        self._segments = survivors
+        return deleted, touched_sealed
+
     def _new_segment(self, vectors: np.ndarray, ids: np.ndarray, state: SegmentState) -> Segment:
         segment = Segment(
             segment_id=self._next_segment_id,

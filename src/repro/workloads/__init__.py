@@ -11,10 +11,32 @@ optimizes.
 from repro.workloads.workload import SearchWorkload
 from repro.workloads.replay import EvaluationResult, WorkloadReplayer
 from repro.workloads.environment import VDMSTuningEnvironment
+from repro.workloads.dynamic import (
+    DRIFT_EVENT_TYPES,
+    DataChurnEvent,
+    DriftEvent,
+    DynamicTuningEnvironment,
+    DynamicWorkload,
+    FilterSelectivityEvent,
+    QPSBurstEvent,
+    QueryShiftEvent,
+    WorkloadPhase,
+    make_drift_event,
+)
 
 __all__ = [
+    "DRIFT_EVENT_TYPES",
+    "DataChurnEvent",
+    "DriftEvent",
+    "DynamicTuningEnvironment",
+    "DynamicWorkload",
     "EvaluationResult",
+    "FilterSelectivityEvent",
+    "QPSBurstEvent",
+    "QueryShiftEvent",
     "SearchWorkload",
     "VDMSTuningEnvironment",
+    "WorkloadPhase",
     "WorkloadReplayer",
+    "make_drift_event",
 ]

@@ -1,0 +1,521 @@
+"""Dynamic workloads: drift events, phase timelines and the online environment.
+
+The base reproduction replays one *static* workload per tuning run.  Real
+VDMS traffic is not static: query distributions drift, data is inserted and
+deleted (churning the collection and invalidating index recall), client
+concurrency bursts, and filter selectivity changes — all of which move the
+speed/recall Pareto front and can strand a previously optimal configuration.
+
+This module makes drift a first-class object:
+
+* :class:`DriftEvent` subclasses are composable transformations of a
+  ``(dataset, workload)`` pair, each firing at a fixed evaluation step:
+
+  - :class:`QueryShiftEvent` — a fraction of the query population is re-drawn
+    from a different region of the corpus (query-distribution shift);
+  - :class:`DataChurnEvent` — a fraction of the stored vectors is deleted and
+    replaced by freshly inserted ones (collection churn; recall ground truth
+    is recomputed, mirroring :meth:`repro.vdms.collection.Collection.delete`
+    invalidating per-segment indexes in the storage layer);
+  - :class:`QPSBurstEvent` — client concurrency bursts up or down;
+  - :class:`FilterSelectivityEvent` — queries gain a metadata filter matched
+    by only a fraction of the corpus; recall is measured post-filter, so
+    unfiltered top-K search loses result slots to non-matching vectors.
+
+* :class:`DynamicWorkload` lays events on a timeline and materializes the
+  *phases* between them (phase 0 is the undrifted base workload; each event
+  starts a new phase by transforming the previous phase's state).
+
+* :class:`DynamicTuningEnvironment` extends
+  :class:`~repro.workloads.environment.VDMSTuningEnvironment` to advance
+  through the timeline as evaluations are spent, swapping the replayer's
+  dataset/workload (and flushing the result cache) at every phase boundary —
+  the same configuration can, and usually does, measure differently after a
+  drift event.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import Any, ClassVar, Mapping, Sequence
+
+import numpy as np
+
+from repro.config import Configuration, ConfigurationSpace
+from repro.datasets.dataset import Dataset, DatasetSpec
+from repro.datasets.ground_truth import brute_force_neighbors
+from repro.workloads.environment import VDMSTuningEnvironment
+from repro.workloads.replay import EvaluationResult
+from repro.workloads.workload import SearchWorkload
+
+__all__ = [
+    "DriftEvent",
+    "QueryShiftEvent",
+    "DataChurnEvent",
+    "QPSBurstEvent",
+    "FilterSelectivityEvent",
+    "WorkloadPhase",
+    "DynamicWorkload",
+    "DynamicTuningEnvironment",
+    "DRIFT_EVENT_TYPES",
+    "make_drift_event",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One materialized segment of a dynamic workload's timeline.
+
+    Attributes
+    ----------
+    index:
+        0-based phase index (0 is the undrifted base phase).
+    name:
+        ``"baseline"`` for phase 0, else the name of the event that started
+        the phase.
+    start_step:
+        1-based evaluation step at which the phase becomes active.
+    dataset:
+        The dataset active during the phase (vectors, queries, ground truth).
+    workload:
+        The search workload active during the phase.
+    """
+
+    index: int
+    name: str
+    start_step: int
+    dataset: Dataset
+    workload: SearchWorkload
+
+
+@dataclass(frozen=True)
+class DriftEvent(ABC):
+    """A workload transformation firing at a fixed evaluation step.
+
+    Attributes
+    ----------
+    at_step:
+        1-based evaluation step at which the drift takes effect (evaluations
+        ``>= at_step`` observe the drifted workload).
+    severity:
+        Drift magnitude in ``(0, 1]``; each event documents how it maps the
+        severity onto its own knobs.
+    """
+
+    at_step: int
+    severity: float = 0.5
+
+    #: Registry name of the event family, overridden by subclasses.
+    name: ClassVar[str] = "drift"
+
+    def __post_init__(self) -> None:
+        if self.at_step < 1:
+            raise ValueError("at_step must be >= 1")
+        if not 0.0 < self.severity <= 1.0:
+            raise ValueError("severity must lie in (0, 1]")
+
+    @abstractmethod
+    def apply(
+        self, dataset: Dataset, workload: SearchWorkload, rng: np.random.Generator
+    ) -> tuple[Dataset, SearchWorkload]:
+        """Transform the active ``(dataset, workload)`` pair."""
+
+
+def _derived_dataset(
+    base: Dataset,
+    *,
+    suffix: str,
+    vectors: np.ndarray | None = None,
+    queries: np.ndarray | None = None,
+    ground_truth: np.ndarray | None = None,
+) -> Dataset:
+    """A copy of ``base`` with some arrays replaced and a renamed spec."""
+    vectors = base.vectors if vectors is None else vectors
+    queries = base.queries if queries is None else queries
+    if ground_truth is None:
+        ground_truth = brute_force_neighbors(vectors, queries, base.top_k, base.metric)
+    spec = DatasetSpec(
+        name=f"{base.spec.name}+{suffix}",
+        num_vectors=int(vectors.shape[0]),
+        num_queries=int(queries.shape[0]),
+        dimension=base.dimension,
+        metric=base.metric,
+        top_k=int(ground_truth.shape[1]),
+        generator=base.spec.generator,
+        seed=base.spec.seed,
+        difficulty=base.spec.difficulty,
+    )
+    return Dataset(spec=spec, vectors=vectors, queries=queries, ground_truth=ground_truth)
+
+
+def _workload_for(dataset: Dataset, template: SearchWorkload) -> SearchWorkload:
+    """A workload over ``dataset`` keeping the template's top-k/concurrency."""
+    return SearchWorkload(
+        queries=dataset.queries,
+        ground_truth=dataset.ground_truth,
+        top_k=min(template.top_k, dataset.top_k),
+        concurrency=template.concurrency,
+    )
+
+
+@dataclass(frozen=True)
+class QueryShiftEvent(DriftEvent):
+    """Query-distribution shift: part of the query population is replaced.
+
+    A ``severity`` fraction of the queries is replaced by out-of-distribution
+    ones: each new query blends a randomly chosen base vector with a random
+    direction of the same norm (``severity`` controls the blend), emulating a
+    new user population asking about regions the corpus clusters do not
+    cover.  Such queries land *between* clusters, which is exactly what
+    degrades cluster- and graph-based ANN recall; ground truth is recomputed,
+    so the measured recall stays exact.
+    """
+
+    name: ClassVar[str] = "query_shift"
+
+    def apply(
+        self, dataset: Dataset, workload: SearchWorkload, rng: np.random.Generator
+    ) -> tuple[Dataset, SearchWorkload]:
+        queries = dataset.queries.copy()
+        num_queries = queries.shape[0]
+        num_shifted = max(1, int(round(self.severity * num_queries)))
+        shifted_rows = rng.choice(num_queries, size=num_shifted, replace=False)
+        anchors = dataset.vectors[rng.integers(0, dataset.num_vectors, size=num_shifted)]
+        norms = np.linalg.norm(anchors, axis=1, keepdims=True) + 1e-12
+        directions = rng.normal(size=anchors.shape)
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True) + 1e-12
+        blended = (1.0 - self.severity) * anchors + self.severity * directions * norms
+        jitter = rng.normal(scale=0.05 * float(norms.mean()), size=anchors.shape)
+        queries[shifted_rows] = (blended + jitter).astype(np.float32)
+        drifted = _derived_dataset(dataset, suffix=self.name, queries=queries)
+        return drifted, _workload_for(drifted, workload)
+
+
+@dataclass(frozen=True)
+class DataChurnEvent(DriftEvent):
+    """Insert/delete churn: stored vectors are deleted and replaced.
+
+    A ``severity / 2`` fraction of the base vectors is deleted and the same
+    number of fresh vectors is inserted into a handful of *new* clusters the
+    old corpus did not contain (trending content), and a ``severity / 2``
+    fraction of the queries starts asking about the fresh vectors — arrivals
+    come with queries about them.  This is the dataset-level mirror of
+    deleting from and re-inserting into a live collection
+    (:meth:`repro.vdms.collection.Collection.delete` followed by
+    ``insert``/``flush``), which invalidates the per-segment indexes; ground
+    truth is recomputed against the churned corpus, so both the corpus
+    geometry (cluster layout the index parameters were tuned for) and the
+    query mix move at once.
+    """
+
+    name: ClassVar[str] = "data_churn"
+
+    def apply(
+        self, dataset: Dataset, workload: SearchWorkload, rng: np.random.Generator
+    ) -> tuple[Dataset, SearchWorkload]:
+        num_vectors = dataset.num_vectors
+        churned_rows = max(1, int(round(0.5 * self.severity * num_vectors)))
+        victims = rng.choice(num_vectors, size=churned_rows, replace=False)
+        keep_mask = np.ones(num_vectors, dtype=bool)
+        keep_mask[victims] = False
+        survivors = dataset.vectors[keep_mask]
+
+        # Fresh vectors form a few new, tight clusters at the typical norm.
+        scale = float(np.linalg.norm(dataset.vectors, axis=1).mean())
+        num_centers = max(1, int(round(4 * self.severity)))
+        centers = rng.normal(size=(num_centers, dataset.dimension))
+        centers /= np.linalg.norm(centers, axis=1, keepdims=True) + 1e-12
+        centers *= scale
+        assignment = rng.integers(0, num_centers, size=churned_rows)
+        fresh = centers[assignment] + rng.normal(
+            scale=0.1 * scale, size=(churned_rows, dataset.dimension)
+        )
+        vectors = np.concatenate([survivors, fresh.astype(np.float32)], axis=0)
+
+        # Part of the query population follows the fresh content.
+        queries = dataset.queries.copy()
+        num_following = max(1, int(round(0.5 * self.severity * queries.shape[0])))
+        following_rows = rng.choice(queries.shape[0], size=num_following, replace=False)
+        picks = rng.integers(0, churned_rows, size=num_following)
+        jitter = rng.normal(scale=0.05 * scale, size=(num_following, dataset.dimension))
+        queries[following_rows] = (fresh[picks] + jitter).astype(np.float32)
+
+        drifted = _derived_dataset(dataset, suffix=self.name, vectors=vectors, queries=queries)
+        return drifted, _workload_for(drifted, workload)
+
+
+@dataclass(frozen=True)
+class QPSBurstEvent(DriftEvent):
+    """QPS burst: client concurrency swings by a factor of ``1 + 3 * severity``.
+
+    ``direction="drop"`` (default) divides the concurrency — a traffic
+    trough, which lowers the throughput every configuration can deliver and
+    is always observable on the served incumbent.  ``direction="surge"``
+    multiplies it instead; note that a surge past the incumbent's effective
+    capacity (``SIMULATED_CORES // query_node_threads``) changes nothing
+    server-side in this cost model, exactly like a saturated real deployment,
+    so surges against an already-saturated incumbent may be undetectable from
+    its observations alone.  The dataset and recall ground truth are
+    unchanged either way.
+    """
+
+    name: ClassVar[str] = "qps_burst"
+
+    direction: str = "drop"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.direction not in ("drop", "surge"):
+            raise ValueError("direction must be 'drop' or 'surge'")
+
+    def apply(
+        self, dataset: Dataset, workload: SearchWorkload, rng: np.random.Generator
+    ) -> tuple[Dataset, SearchWorkload]:
+        del rng  # deterministic: the burst is a pure concurrency change
+        factor = 1.0 + 3.0 * self.severity
+        if self.direction == "surge":
+            concurrency = max(1, int(round(workload.concurrency * factor)))
+        else:
+            concurrency = max(1, int(round(workload.concurrency / factor)))
+        return dataset, replace(workload, concurrency=concurrency)
+
+
+@dataclass(frozen=True)
+class FilterSelectivityEvent(DriftEvent):
+    """Filter-selectivity change: only part of the corpus matches the queries.
+
+    Queries gain a metadata filter satisfied by a ``1 - 0.9 * severity``
+    fraction of the base vectors.  The replayed search remains unfiltered
+    (the simulated VDMS, like early Milvus, post-filters), so retrieved
+    non-matching vectors waste top-K slots: ground truth is recomputed over
+    the matching subset only and recall drops until the tuner compensates
+    (deeper searches, different index types).
+    """
+
+    name: ClassVar[str] = "filter_shift"
+
+    def apply(
+        self, dataset: Dataset, workload: SearchWorkload, rng: np.random.Generator
+    ) -> tuple[Dataset, SearchWorkload]:
+        selectivity = max(0.05, 1.0 - 0.9 * self.severity)
+        num_matching = max(dataset.top_k, int(round(selectivity * dataset.num_vectors)))
+        matching = np.sort(rng.choice(dataset.num_vectors, size=num_matching, replace=False))
+        neighbors = brute_force_neighbors(
+            dataset.vectors[matching], dataset.queries, dataset.top_k, dataset.metric
+        )
+        # Map subset positions back to collection-level ids (insertion order).
+        ground_truth = matching[neighbors]
+        drifted = _derived_dataset(dataset, suffix=self.name, ground_truth=ground_truth)
+        return drifted, _workload_for(drifted, workload)
+
+
+#: Registry of drift-event families by name (CLI / scenario-matrix entry point).
+DRIFT_EVENT_TYPES: dict[str, type[DriftEvent]] = {
+    cls.name: cls
+    for cls in (QueryShiftEvent, DataChurnEvent, QPSBurstEvent, FilterSelectivityEvent)
+}
+
+#: Short aliases accepted by :func:`make_drift_event` (and the CLI).
+_EVENT_ALIASES: dict[str, str] = {
+    "shift": "query_shift",
+    "queries": "query_shift",
+    "churn": "data_churn",
+    "insert_delete": "data_churn",
+    "burst": "qps_burst",
+    "qps": "qps_burst",
+    "filter": "filter_shift",
+    "selectivity": "filter_shift",
+}
+
+
+def make_drift_event(kind: str, at_step: int, severity: float = 0.5) -> DriftEvent:
+    """Build a drift event by registry name or alias.
+
+    Examples
+    --------
+    >>> from repro.workloads.dynamic import make_drift_event
+    >>> make_drift_event("shift", at_step=20, severity=0.7).name
+    'query_shift'
+    >>> make_drift_event("churn", at_step=5).at_step
+    5
+    """
+    key = _EVENT_ALIASES.get(kind.lower(), kind.lower())
+    if key not in DRIFT_EVENT_TYPES:
+        known = sorted(set(DRIFT_EVENT_TYPES) | set(_EVENT_ALIASES))
+        raise KeyError(f"unknown drift event {kind!r}; known: {known}")
+    return DRIFT_EVENT_TYPES[key](at_step=int(at_step), severity=float(severity))
+
+
+class DynamicWorkload:
+    """A base workload plus a timeline of drift events.
+
+    Phases are materialized lazily and cached: phase 0 is the base
+    ``(dataset, workload)``, and phase ``i`` applies event ``i - 1`` to phase
+    ``i - 1``'s state, so events compose.  Materialization is deterministic
+    for a given ``seed`` (each event gets its own child generator).
+
+    Examples
+    --------
+    >>> from repro import load_dataset
+    >>> from repro.workloads.dynamic import DynamicWorkload, QueryShiftEvent
+    >>> dynamic = DynamicWorkload(
+    ...     load_dataset("glove-small"),
+    ...     events=[QueryShiftEvent(at_step=10, severity=0.5)],
+    ...     seed=0,
+    ... )
+    >>> dynamic.num_phases
+    2
+    >>> dynamic.phase_index_at(9), dynamic.phase_index_at(10)
+    (0, 1)
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        events: Sequence[DriftEvent] = (),
+        *,
+        workload: SearchWorkload | None = None,
+        concurrency: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self.events = sorted(events, key=lambda e: e.at_step)
+        steps = [event.at_step for event in self.events]
+        if len(set(steps)) != len(steps):
+            raise ValueError("drift events must fire at distinct steps")
+        self.seed = int(seed)
+        base_workload = workload or SearchWorkload.from_dataset(dataset, concurrency=concurrency)
+        self._phases: list[WorkloadPhase] = [
+            WorkloadPhase(
+                index=0, name="baseline", start_step=1, dataset=dataset, workload=base_workload
+            )
+        ]
+
+    @property
+    def num_phases(self) -> int:
+        """Number of phases on the timeline (events + 1)."""
+        return len(self.events) + 1
+
+    @property
+    def phase_boundaries(self) -> list[int]:
+        """1-based start step of every phase."""
+        return [1] + [event.at_step for event in self.events]
+
+    def phase(self, index: int) -> WorkloadPhase:
+        """Materialize (and cache) the phase with the given index."""
+        if not 0 <= index < self.num_phases:
+            raise IndexError(f"phase index {index} out of range [0, {self.num_phases})")
+        while len(self._phases) <= index:
+            previous = self._phases[-1]
+            event = self.events[len(self._phases) - 1]
+            rng = np.random.default_rng((self.seed, len(self._phases)))
+            dataset, workload = event.apply(previous.dataset, previous.workload, rng)
+            self._phases.append(
+                WorkloadPhase(
+                    index=len(self._phases),
+                    name=event.name,
+                    start_step=event.at_step,
+                    dataset=dataset,
+                    workload=workload,
+                )
+            )
+        return self._phases[index]
+
+    def phase_index_at(self, step: int) -> int:
+        """Phase index active at a 1-based evaluation step."""
+        index = 0
+        for position, event in enumerate(self.events, start=1):
+            if step >= event.at_step:
+                index = position
+        return index
+
+    def phase_at(self, step: int) -> WorkloadPhase:
+        """The phase active at a 1-based evaluation step."""
+        return self.phase(self.phase_index_at(step))
+
+
+class DynamicTuningEnvironment(VDMSTuningEnvironment):
+    """A tuning environment whose workload drifts as evaluations are spent.
+
+    The environment advances through the :class:`DynamicWorkload` timeline:
+    the Nth evaluation (1-based, counted across ``evaluate`` and
+    ``evaluate_batch``) runs under the phase active at step N.  A batch is
+    atomic — it is evaluated entirely under the phase active at its first
+    step, matching one concurrent replay round on a worker pool.  At every
+    phase boundary the replayer is rebuilt and the result cache flushed
+    (:meth:`~repro.workloads.environment.VDMSTuningEnvironment.set_workload`),
+    so re-evaluating an old configuration reflects the drifted workload.
+
+    Examples
+    --------
+    >>> from repro import load_dataset
+    >>> from repro.workloads.dynamic import (
+    ...     DynamicTuningEnvironment, DynamicWorkload, QPSBurstEvent,
+    ... )
+    >>> dynamic = DynamicWorkload(
+    ...     load_dataset("glove-small"), events=[QPSBurstEvent(at_step=2, severity=1.0)]
+    ... )
+    >>> environment = DynamicTuningEnvironment(dynamic, seed=0)
+    >>> first = environment.evaluate(environment.default_configuration())
+    >>> environment.current_phase.name
+    'baseline'
+    >>> second = environment.evaluate(environment.default_configuration())
+    >>> environment.current_phase.name
+    'qps_burst'
+    """
+
+    def __init__(
+        self,
+        dynamic: DynamicWorkload,
+        *,
+        space: ConfigurationSpace | None = None,
+        noise: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        base = dynamic.phase(0)
+        super().__init__(
+            base.dataset, workload=base.workload, space=space, noise=noise, seed=seed
+        )
+        self.dynamic = dynamic
+        self._phase_index = 0
+        self._steps = 0
+        #: ``(phase_index, first_step)`` for every phase entered so far.
+        self.phase_log: list[tuple[int, int]] = [(0, 1)]
+
+    @property
+    def current_phase(self) -> WorkloadPhase:
+        """The phase the next evaluation would run under (before advancing)."""
+        return self.dynamic.phase(self._phase_index)
+
+    @property
+    def steps_taken(self) -> int:
+        """Evaluations spent so far on this environment."""
+        return self._steps
+
+    def _advance_to_step(self, step: int) -> None:
+        target = self.dynamic.phase_index_at(step)
+        if target == self._phase_index:
+            return
+        phase = self.dynamic.phase(target)
+        self._phase_index = target
+        self.set_workload(phase.workload, dataset=phase.dataset)
+        self.phase_log.append((target, step))
+
+    def evaluate(self, configuration: Configuration | Mapping[str, Any]) -> EvaluationResult:
+        self._steps += 1
+        self._advance_to_step(self._steps)
+        return super().evaluate(configuration)
+
+    def evaluate_batch(
+        self,
+        configurations: Sequence[Configuration | Mapping[str, Any]],
+        *,
+        evaluator=None,
+    ) -> list[EvaluationResult]:
+        if len(configurations) == 0:
+            return []
+        self._advance_to_step(self._steps + 1)
+        self._steps += len(configurations)
+        if evaluator is not None:
+            evaluator.sync_with(self)
+        return super().evaluate_batch(configurations, evaluator=evaluator)

@@ -87,6 +87,23 @@ class VDMSTuningEnvironment:
         self._recommendation_seconds = 0.0
         self._result_cache: dict[tuple, EvaluationResult] = {}
 
+    # -- workload switching -----------------------------------------------------------
+
+    def set_workload(self, workload: SearchWorkload, *, dataset: Dataset | None = None) -> None:
+        """Swap the active workload (and optionally the dataset) mid-run.
+
+        The replayer is rebuilt and the result cache flushed — cached results
+        describe the *old* workload, and the whole point of re-evaluating
+        after a drift event is to observe the new one.  History and the
+        tuning clock are preserved: a workload switch is part of the same
+        (online) tuning run, not a new run.
+        """
+        if dataset is not None:
+            self.dataset = dataset
+        self.workload = workload
+        self._replayer = WorkloadReplayer(self.dataset, self.workload)
+        self._result_cache.clear()
+
     # -- evaluation -----------------------------------------------------------------
 
     def default_configuration(self) -> Configuration:

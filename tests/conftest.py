@@ -18,6 +18,22 @@ from repro.workloads.environment import VDMSTuningEnvironment
 from repro.workloads.workload import SearchWorkload
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the checked-in golden trace files from the current run "
+        "instead of comparing against them (see docs/testing.md)",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """Whether golden-trace tests should rewrite their expectation files."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 def make_tiny_dataset(
     num_vectors: int = 1200,
     num_queries: int = 24,

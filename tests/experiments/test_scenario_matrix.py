@@ -1,0 +1,83 @@
+"""Tests for the scenario-matrix regression harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.scenario_matrix import (
+    DRIFT_SCENARIOS,
+    run_scenario,
+    run_scenario_matrix,
+    save_matrix,
+)
+
+
+class TestRunScenario:
+    def test_single_cell_summary_shape(self):
+        cell = run_scenario(
+            "glove-small",
+            "query_shift",
+            0.7,
+            "vdtuner",
+            total_steps=14,
+            retune_budget=5,
+            drift_step=9,
+            seed=0,
+        )
+        assert cell["dataset"] == "glove-small"
+        assert cell["drift"] == "query_shift"
+        assert cell["severity"] == 0.7
+        assert cell["drift_step"] == 9
+        assert cell["total_steps"] == 14
+        phases = cell["phases"]
+        assert [p["phase"] for p in phases] == [0, 1]
+        for phase in phases:
+            assert phase["pareto_front"], "every phase records a Pareto front"
+            assert phase["hypervolume"] >= 0.0
+
+    def test_alias_resolution(self):
+        cell = run_scenario(
+            "glove-small", "churn", 0.5, "random",
+            total_steps=10, retune_budget=4, drift_step=7, seed=0,
+        )
+        assert cell["drift"] == "data_churn"
+        assert cell["tuner"] == "random"
+
+
+class TestScenarioMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        # The acceptance-criteria sweep: >= 4 drift scenarios x >= 2 tuners.
+        return run_scenario_matrix(
+            "glove-small",
+            drifts=DRIFT_SCENARIOS,
+            severities=(0.7,),
+            tuners=("vdtuner", "random"),
+            total_steps=12,
+            retune_budget=4,
+            seed=0,
+        )
+
+    def test_covers_all_cells(self, matrix):
+        assert len(DRIFT_SCENARIOS) >= 4
+        assert len(matrix["cells"]) == len(DRIFT_SCENARIOS) * 1 * 2
+        seen = {(cell["drift"], cell["tuner"]) for cell in matrix["cells"]}
+        assert len(seen) == len(matrix["cells"])
+
+    def test_every_cell_has_per_phase_pareto_metrics(self, matrix):
+        for cell in matrix["cells"]:
+            assert cell["phases"], cell["drift"]
+            for phase in cell["phases"]:
+                assert "pareto_front" in phase
+                assert "hypervolume" in phase
+                assert "time_to_recover" in phase
+
+    def test_persists_to_json(self, matrix, tmp_path):
+        path = save_matrix(matrix, tmp_path / "nested" / "matrix.json")
+        assert path.exists()
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded["drifts"] == list(DRIFT_SCENARIOS)
+        assert loaded["tuners"] == ["vdtuner", "random"]
+        assert len(loaded["cells"]) == len(matrix["cells"])

@@ -99,6 +99,109 @@ class TestBatchEvaluator:
             assert evaluator.evaluate_many([]) == []
 
 
+class TestMakespanAccounting:
+    """The batch replay clock charges the pool makespan: max, not sum.
+
+    With at least as many workers as batch members every replay gets its own
+    worker, so the simulated wall-clock of the batch must equal the slowest
+    member — for every pool backend, including batches containing failures.
+    """
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_makespan_equals_max_member_cost(self, dataset, workload, backend):
+        environment = VDMSTuningEnvironment(dataset, workload=workload, seed=0)
+        batch = sample_batch(environment.space, count=4)
+        with BatchEvaluator(
+            dataset, workload=workload, num_workers=len(batch), backend=backend
+        ) as evaluator:
+            results = environment.evaluate_batch(batch, evaluator=evaluator)
+        costs = [result.replay_seconds for result in results]
+        assert environment.elapsed_replay_seconds == pytest.approx(max(costs))
+        assert environment.elapsed_replay_seconds < sum(costs)
+
+    def test_serial_backend_charges_the_sum(self, dataset, workload):
+        environment = VDMSTuningEnvironment(dataset, workload=workload, seed=0)
+        batch = sample_batch(environment.space, count=4)
+        with BatchEvaluator(
+            dataset, workload=workload, num_workers=4, backend="serial"
+        ) as evaluator:
+            results = environment.evaluate_batch(batch, evaluator=evaluator)
+        # One worker replays one at a time: the batch costs the plain sum.
+        costs = [result.replay_seconds for result in results]
+        assert environment.elapsed_replay_seconds == pytest.approx(sum(costs))
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_makespan_with_failure_isolation(self, dataset, workload, backend):
+        environment = VDMSTuningEnvironment(dataset, workload=workload, seed=0)
+        batch = [c.to_dict() for c in sample_batch(environment.space, count=4)]
+        batch[2] = dict(batch[2], index_type="NO_SUCH_INDEX")
+        with BatchEvaluator(
+            dataset, workload=workload, num_workers=len(batch), backend=backend
+        ) as evaluator:
+            results = environment.evaluate_batch(batch, evaluator=evaluator)
+        assert results[2].failed and results[2].replay_seconds == 0.0
+        costs = [result.replay_seconds for result in results]
+        # The failed slot costs nothing; the batch still takes the slowest
+        # successful member, never the sum.
+        assert environment.elapsed_replay_seconds == pytest.approx(max(costs))
+        assert environment.elapsed_replay_seconds < sum(costs)
+
+    def test_fewer_workers_lie_between_max_and_sum(self, dataset, workload):
+        environment = VDMSTuningEnvironment(dataset, workload=workload, seed=0)
+        batch = sample_batch(environment.space, count=5)
+        with BatchEvaluator(
+            dataset, workload=workload, num_workers=2, backend="thread"
+        ) as evaluator:
+            results = environment.evaluate_batch(batch, evaluator=evaluator)
+        costs = [result.replay_seconds for result in results]
+        assert environment.elapsed_replay_seconds >= max(costs)
+        assert environment.elapsed_replay_seconds <= sum(costs)
+
+
+class TestWorkloadSwitching:
+    def test_update_workload_resets_pool_state(self, dataset, workload):
+        evaluator = BatchEvaluator(dataset, workload=workload, num_workers=2, backend="thread")
+        try:
+            environment = VDMSTuningEnvironment(dataset, workload=workload)
+            batch = [
+                environment.default_configuration().to_dict(),
+                dict(environment.default_configuration().to_dict(), nprobe=4),
+            ]
+            before = evaluator.evaluate_many(batch)
+            import dataclasses
+
+            trough = dataclasses.replace(workload, concurrency=1)
+            evaluator.update_workload(dataset, trough)
+            assert evaluator.workload.concurrency == 1
+            after = evaluator.evaluate_many(batch)
+            # Same configurations, collapsed concurrency: throughput moves.
+            assert results_signature(before) != results_signature(after)
+        finally:
+            evaluator.close()
+
+    def test_update_workload_with_same_objects_is_a_noop(self, dataset, workload):
+        evaluator = BatchEvaluator(dataset, workload=workload, num_workers=2, backend="thread")
+        try:
+            pool_before = evaluator._pool
+            evaluator.update_workload(dataset, workload)
+            assert evaluator._pool is pool_before
+        finally:
+            evaluator.close()
+
+    def test_sync_with_adopts_environment_state(self, dataset, workload):
+        environment = VDMSTuningEnvironment(dataset, workload=workload, seed=0)
+        evaluator = BatchEvaluator.from_environment(environment, num_workers=2, backend="thread")
+        try:
+            import dataclasses
+
+            bursty = dataclasses.replace(workload, concurrency=1)
+            environment.set_workload(bursty)
+            evaluator.sync_with(environment)
+            assert evaluator.workload is environment.workload
+        finally:
+            evaluator.close()
+
+
 class TestEnvironmentBatchEvaluation:
     def test_evaluate_batch_matches_sequential_evaluate(self, dataset, workload):
         space_env = VDMSTuningEnvironment(dataset, workload=workload, seed=0)

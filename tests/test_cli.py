@@ -101,3 +101,192 @@ class TestCompareCommand:
         assert exit_code == 0
         assert "random" in output
         assert "default" in output
+
+
+class TestBatchParallelFlags:
+    def test_tune_batch_parallel_end_to_end(self, capsys):
+        exit_code = main(
+            [
+                "tune",
+                "--dataset",
+                "glove-small",
+                "--iterations",
+                "12",
+                "--seed",
+                "0",
+                "--batch-size",
+                "4",
+                "--workers",
+                "2",
+                "--parallel-backend",
+                "thread",
+                "--json",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        configuration = json.loads(output)
+        assert "index_type" in configuration
+
+    def test_tune_batch_size_without_workers(self, capsys):
+        exit_code = main(
+            ["tune", "--dataset", "glove-small", "--iterations", "10",
+             "--batch-size", "3", "--json"]
+        )
+        assert exit_code == 0
+        assert "index_type" in json.loads(capsys.readouterr().out)
+
+    def test_compare_with_batch_flags(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--dataset",
+                "glove-small",
+                "--iterations",
+                "8",
+                "--tuners",
+                "random",
+                "--batch-size",
+                "2",
+                "--workers",
+                "2",
+                "--parallel-backend",
+                "thread",
+            ]
+        )
+        assert exit_code == 0
+        assert "random" in capsys.readouterr().out
+
+
+class TestTuneOnlineCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["tune-online"])
+        assert args.drift == "shift"
+        assert args.steps == 36 and args.retune_budget == 8
+        assert not args.cold_restart
+
+    def test_unknown_drift_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tune-online", "--drift", "comet", "--steps", "6"])
+
+    def test_tune_online_end_to_end(self, capsys):
+        exit_code = main(
+            [
+                "tune-online",
+                "--dataset",
+                "glove-small",
+                "--drift",
+                "shift",
+                "--seed",
+                "0",
+                "--steps",
+                "16",
+                "--retune-budget",
+                "6",
+                "--drift-step",
+                "11",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "phase" in output
+        assert "drift detected" in output or "no drift detected" in output
+
+    def test_tune_online_json_summary(self, capsys):
+        exit_code = main(
+            [
+                "tune-online",
+                "--dataset",
+                "glove-small",
+                "--drift",
+                "filter",
+                "--severity",
+                "0.8",
+                "--seed",
+                "0",
+                "--steps",
+                "16",
+                "--retune-budget",
+                "6",
+                "--drift-step",
+                "11",
+                "--json",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        summary = json.loads(output)
+        assert summary["total_steps"] == 16
+        assert [p["phase"] for p in summary["phases"]] == [0, 1]
+
+    def test_tune_online_cold_restart_and_batch_flags(self, capsys):
+        exit_code = main(
+            [
+                "tune-online",
+                "--dataset",
+                "glove-small",
+                "--drift",
+                "burst",
+                "--seed",
+                "1",
+                "--steps",
+                "14",
+                "--retune-budget",
+                "5",
+                "--drift-step",
+                "9",
+                "--cold-restart",
+                "--batch-size",
+                "2",
+                "--workers",
+                "2",
+                "--parallel-backend",
+                "thread",
+                "--json",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        summary = json.loads(output)
+        assert summary["warm_start"] is False
+        assert summary["total_steps"] == 14
+
+    def test_static_workload_never_drifts(self, capsys):
+        exit_code = main(
+            ["tune-online", "--drift", "none", "--steps", "10",
+             "--retune-budget", "5", "--json"]
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert summary["detections"] == []
+        assert [p["phase"] for p in summary["phases"]] == [0]
+
+
+class TestScenarioMatrixCommand:
+    def test_matrix_table_and_json_output(self, capsys, tmp_path):
+        output_path = tmp_path / "matrix.json"
+        exit_code = main(
+            [
+                "scenario-matrix",
+                "--dataset",
+                "glove-small",
+                "--drifts",
+                "query_shift",
+                "qps_burst",
+                "--severities",
+                "0.7",
+                "--tuners",
+                "random",
+                "--steps",
+                "10",
+                "--retune-budget",
+                "4",
+                "--output",
+                str(output_path),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "query_shift" in output and "qps_burst" in output
+        matrix = json.loads(output_path.read_text(encoding="utf-8"))
+        assert len(matrix["cells"]) == 2

@@ -1,0 +1,116 @@
+"""Golden-trace regression test: a fixed-seed end-to-end tuning run.
+
+The whole stack — synthetic dataset generation, the simulated VDMS, the cost
+model, NPI normalization, the GP surrogate and the EHVI recommendation loop —
+is deterministic given a seed, so the summary of a small ``tune`` run is a
+very sensitive regression net: almost any unintended behavioral change
+anywhere in the pipeline moves some number in the trace.
+
+When a change *intentionally* alters tuning behavior, regenerate the trace
+and review the diff like any other code change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_trace.py --update-golden
+
+(see docs/testing.md for the workflow).  Floating-point values are compared
+with a small relative tolerance so the trace is stable across platforms and
+BLAS builds; structural fields (index types, failure flags, counts) must
+match exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.tuner import VDTuner, VDTunerSettings
+from repro.workloads.environment import VDMSTuningEnvironment
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_trace.json"
+
+DATASET = "glove-small"
+ITERATIONS = 12
+SEED = 0
+
+#: Relative tolerance for floating-point comparisons against the golden file.
+RELATIVE_TOLERANCE = 1e-6
+
+
+def run_golden_scenario() -> dict:
+    """The fixed-seed scenario the golden file describes."""
+    environment = VDMSTuningEnvironment(DATASET, seed=SEED)
+    settings = VDTunerSettings(
+        num_iterations=ITERATIONS,
+        abandon_window=4,
+        candidate_pool_size=64,
+        ehvi_samples=16,
+        seed=SEED,
+    )
+    report = VDTuner(environment, settings=settings).run()
+    best = report.best_observation()
+    return {
+        "dataset": DATASET,
+        "iterations": ITERATIONS,
+        "seed": SEED,
+        "trace": [
+            {
+                "iteration": observation.iteration,
+                "index_type": observation.index_type,
+                "speed": round(float(observation.speed), 6),
+                "recall": round(float(observation.recall), 6),
+                "failed": bool(observation.failed),
+            }
+            for observation in report.history
+        ],
+        "best": {
+            "index_type": best.index_type,
+            "speed": round(float(best.speed), 6),
+            "recall": round(float(best.recall), 6),
+        },
+        "abandoned": dict(report.abandoned),
+        "replay_seconds": round(float(report.replay_seconds), 6),
+    }
+
+
+def assert_matches_golden(actual, golden, path="$"):
+    """Recursive comparison: floats by relative tolerance, the rest exactly."""
+    if isinstance(golden, float) and isinstance(actual, (int, float)):
+        assert actual == pytest.approx(golden, rel=RELATIVE_TOLERANCE), (
+            f"{path}: {actual!r} != {golden!r}"
+        )
+    elif isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: expected an object"
+        assert sorted(actual) == sorted(golden), f"{path}: keys differ"
+        for key in golden:
+            assert_matches_golden(actual[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, list), f"{path}: expected a list"
+        assert len(actual) == len(golden), f"{path}: length differs"
+        for position, (a, g) in enumerate(zip(actual, golden)):
+            assert_matches_golden(a, g, f"{path}[{position}]")
+    else:
+        assert actual == golden, f"{path}: {actual!r} != {golden!r}"
+
+
+def test_golden_tuning_trace(update_golden):
+    summary = run_golden_scenario()
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        pytest.skip(f"golden trace rewritten at {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden file {GOLDEN_PATH}; generate it with "
+        "pytest tests/test_golden_trace.py --update-golden"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert_matches_golden(summary, golden)
+
+
+def test_golden_scenario_is_deterministic():
+    """The scenario itself must be rerun-stable, or the golden file is noise."""
+    first = run_golden_scenario()
+    second = run_golden_scenario()
+    assert first == second

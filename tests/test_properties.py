@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.bo.pareto import (
+    batch_hypervolume_2d,
     hypervolume_2d,
     hypervolume_improvement_2d,
     is_non_dominated,
@@ -16,9 +17,12 @@ from repro.bo.pareto import (
 from repro.bo.sampling import latin_hypercube
 from repro.config import build_milvus_space
 from repro.config.parameters import CategoricalParameter, FloatParameter, IntParameter
+from repro.core.history import Observation, ObservationHistory
+from repro.core.npi import index_type_base_points, normalize_objectives
 from repro.datasets.ground_truth import recall_at_k
 from repro.vdms.distance import pairwise_distances
 from repro.vdms.index.kmeans import kmeans
+from repro.workloads.replay import EvaluationResult
 
 SPACE = build_milvus_space()
 
@@ -61,6 +65,29 @@ class TestParetoProperties:
 
     @given(points=objective_sets)
     @settings(max_examples=60, deadline=None)
+    def test_pareto_front_is_idempotent(self, points):
+        front = pareto_front(points)
+        twice = pareto_front(front)
+        assert front.shape == twice.shape
+        # Same multiset of rows (ordering may differ between passes).
+        assert np.allclose(
+            np.sort(front.view(np.ndarray), axis=0), np.sort(twice, axis=0)
+        )
+
+    @given(points=objective_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_dominated_points_never_change_the_front(self, points):
+        front = pareto_front(points)
+        # A point weakly dominated by a front member adds nothing.
+        dominated = front[0] * 0.5
+        augmented = pareto_front(np.vstack([points, dominated]))
+        reference = np.zeros(2)
+        assert hypervolume_2d(augmented, reference) == pytest.approx(
+            hypervolume_2d(front, reference)
+        )
+
+    @given(points=objective_sets)
+    @settings(max_examples=60, deadline=None)
     def test_hypervolume_improvement_matches_definition(self, points):
         reference = np.zeros(2)
         front = points[: max(1, points.shape[0] // 2)]
@@ -72,6 +99,147 @@ class TestParetoProperties:
             [hypervolume_2d(np.vstack([front, c]), reference) - base for c in candidates]
         )
         assert np.allclose(fast, direct, atol=1e-7)
+
+
+batched_sets = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 5), st.integers(1, 8), st.just(2)),
+    elements=st.floats(0.0, 100.0, allow_nan=False),
+)
+
+
+class TestBatchHypervolumeProperties:
+    @given(point_sets=batched_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_hypervolume_per_set(self, point_sets):
+        reference = np.zeros(2)
+        batched = batch_hypervolume_2d(point_sets, reference)
+        direct = np.array([hypervolume_2d(s, reference) for s in point_sets])
+        assert np.allclose(batched, direct, atol=1e-9)
+
+    @given(
+        point_sets=batched_sets,
+        extra=hnp.arrays(
+            dtype=np.float64,
+            shape=(2,),
+            elements=st.floats(0.0, 100.0, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_under_point_addition(self, point_sets, extra):
+        reference = np.zeros(2)
+        base = batch_hypervolume_2d(point_sets, reference)
+        appended = np.concatenate(
+            [point_sets, np.broadcast_to(extra, (point_sets.shape[0], 1, 2))], axis=1
+        )
+        augmented = batch_hypervolume_2d(appended, reference)
+        assert np.all(augmented >= base - 1e-9)
+
+    @given(point_sets=batched_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_under_within_set_permutation(self, point_sets):
+        reference = np.zeros(2)
+        rng = np.random.default_rng(0)
+        permuted = np.take_along_axis(
+            point_sets,
+            rng.permuted(
+                np.broadcast_to(
+                    np.arange(point_sets.shape[1])[None, :, None], point_sets.shape
+                ).copy(),
+                axis=1,
+            )[:, :, :1].repeat(2, axis=2),
+            axis=1,
+        )
+        assert np.allclose(
+            batch_hypervolume_2d(point_sets, reference),
+            batch_hypervolume_2d(permuted, reference),
+            atol=1e-9,
+        )
+
+
+def make_history(speeds, recalls, index_types, failures):
+    observations = []
+    for position, (speed, recall, index_type, failed) in enumerate(
+        zip(speeds, recalls, index_types, failures), start=1
+    ):
+        result = EvaluationResult(
+            qps=speed,
+            recall=recall,
+            memory_gib=1.0,
+            latency_ms=1.0,
+            build_seconds=1.0,
+            replay_seconds=1.0,
+            failed=failed,
+            configuration={"index_type": index_type},
+        )
+        observations.append(
+            Observation(
+                iteration=position,
+                index_type=index_type,
+                configuration={"index_type": index_type, "slot": position},
+                result=result,
+                speed=speed,
+                recall=recall,
+            )
+        )
+    return ObservationHistory(observations)
+
+
+history_strategy = st.integers(1, 12).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(0.1, 1000.0, allow_nan=False), min_size=n, max_size=n),
+        st.lists(st.floats(0.01, 1.0, allow_nan=False), min_size=n, max_size=n),
+        st.lists(st.sampled_from(["FLAT", "HNSW", "IVF_FLAT"]), min_size=n, max_size=n),
+        st.lists(st.booleans(), min_size=n, max_size=n),
+    )
+)
+
+
+class TestNPIProperties:
+    @given(data=history_strategy, constrained=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_normalization_round_trips_through_base_points(self, data, constrained):
+        history = make_history(*data)
+        index_types = ["FLAT", "HNSW", "IVF_FLAT"]
+        base_points = index_type_base_points(history, index_types, constrained=constrained)
+        normalized = normalize_objectives(history, base_points)
+        raw = history.objective_matrix()
+        # Multiplying the normalized objectives back by the per-index-type
+        # base point recovers the (failure-replaced) raw objective matrix.
+        restored = np.empty_like(normalized)
+        for row, observation in enumerate(history):
+            restored[row] = normalized[row] * base_points[observation.index_type]
+        assert np.allclose(restored, raw, rtol=1e-9, atol=1e-12)
+
+    @given(data=history_strategy, constrained=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_base_points_are_strictly_positive(self, data, constrained):
+        history = make_history(*data)
+        base_points = index_type_base_points(
+            history, ["FLAT", "HNSW", "IVF_FLAT"], constrained=constrained
+        )
+        for point in base_points.values():
+            assert np.all(point > 0)
+
+    @given(data=history_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_normalized_base_observation_maps_to_one(self, data):
+        history = make_history(*data)
+        index_types = ["FLAT", "HNSW", "IVF_FLAT"]
+        base_points = index_type_base_points(history, index_types)
+        normalized = normalize_objectives(history, base_points)
+        for index_type in index_types:
+            balanced = history.balanced_point(index_type)
+            if balanced is None:
+                continue
+            rows = [
+                row
+                for row, o in enumerate(history)
+                if o.index_type == index_type and not o.failed
+                and np.allclose(o.objectives(), balanced)
+            ]
+            # The observation defining the base point normalizes to (1, 1).
+            assert any(np.allclose(normalized[row], 1.0) for row in rows)
 
 
 class TestParameterProperties:

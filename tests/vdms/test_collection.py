@@ -120,6 +120,73 @@ class TestSearch:
         assert wide > narrow
 
 
+class TestDelete:
+    def test_delete_removes_rows(self, corpus):
+        collection = loaded_collection(corpus)
+        deleted = collection.delete(np.arange(10))
+        assert deleted == 10
+        assert collection.num_rows == 490
+
+    def test_delete_unknown_ids_is_a_noop(self, corpus):
+        collection = loaded_collection(corpus)
+        assert collection.delete(np.array([10_000, 10_001])) == 0
+        assert collection.num_rows == 500
+
+    def test_delete_from_pending_buffer(self, corpus):
+        vectors, _, _ = corpus
+        collection = Collection("buffered", dimension=16)
+        collection.insert(vectors[:20])
+        # Not flushed yet: deletion must reach the insert buffer.
+        assert collection.delete(np.arange(5)) == 5
+        collection.flush()
+        assert collection.num_rows == 15
+
+    def test_delete_invalidates_touched_segment_indexes(self, corpus):
+        collection = loaded_collection(corpus)
+        collection.create_index("IVF_FLAT", {"nlist": 16, "nprobe": 16})
+        index_bytes_before = collection.index_bytes()
+        sealed_ids = collection._segments.sealed_segments[0].ids
+        collection.delete(sealed_ids[:8])
+        # The touched sealed segment lost its index; the others keep theirs.
+        assert collection.index_bytes() < index_bytes_before
+        assert collection.has_index
+
+    def test_search_falls_back_to_brute_force_after_delete(self, corpus):
+        vectors, queries, _ = corpus
+        collection = loaded_collection(corpus)
+        collection.create_index("FLAT", {})
+        doomed = collection._segments.sealed_segments[0].ids[:8]
+        collection.delete(doomed)
+        result = collection.search(queries, 5)
+        assert result.ids.shape == (queries.shape[0], 5)
+        # Deleted rows never appear in results, and recall against the
+        # surviving corpus stays exact (brute force over de-indexed segments).
+        assert not np.isin(result.ids, doomed).any()
+        keep = np.ones(vectors.shape[0], dtype=bool)
+        keep[doomed] = False
+        survivors = np.flatnonzero(keep)
+        truth = survivors[brute_force_neighbors(vectors[keep], queries, 5, "angular")]
+        assert recall_at_k(result.ids, truth, 5) == pytest.approx(1.0)
+
+    def test_reindex_after_delete_restores_index_search(self, corpus):
+        collection = loaded_collection(corpus)
+        collection.create_index("IVF_FLAT", {"nlist": 16, "nprobe": 16})
+        collection.delete(collection._segments.sealed_segments[0].ids[:8])
+        collection.create_index("IVF_FLAT", {"nlist": 16, "nprobe": 16})
+        # Every sealed segment is indexed again.
+        assert set(collection._segment_indexes) == {
+            s.segment_id for s in collection._segments.sealed_segments
+        }
+
+    def test_delete_everything_leaves_searchable_empty_state(self, corpus):
+        collection = loaded_collection(corpus)
+        collection.create_index("FLAT", {})
+        collection.delete(np.arange(500))
+        assert collection.num_rows == 0
+        with pytest.raises(IndexNotBuiltError):
+            collection.search(np.zeros((1, 16), dtype=np.float32), 3)
+
+
 class TestIndexCache:
     def test_cache_reused_for_same_structural_params(self, corpus):
         cache = {}
