@@ -40,7 +40,7 @@ setup(
         "scipy>=1.8",
     ],
     extras_require={
-        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "test": ["pytest", "hypothesis", "pytest-benchmark", "pytest-cov"],
     },
     entry_points={
         "console_scripts": [

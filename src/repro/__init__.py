@@ -11,7 +11,8 @@ contains:
 
 ``repro.config``
     Parameter and configuration-space machinery, including the holistic
-    16-dimensional Milvus-like tuning space used throughout the paper.
+    Milvus-like tuning space used throughout the paper (its 16 dimensions
+    plus the serving-topology parameters of the sharded engine).
 
 ``repro.datasets`` and ``repro.workloads``
     Synthetic stand-ins for the paper's benchmark datasets and the workload

@@ -1,7 +1,7 @@
 """Random search via Latin-hypercube sampling.
 
 The paper's "Random" baseline: a space-filling design over the whole
-16-dimensional space (including the index type), evaluated in order.  It uses
+holistic space (including the index type), evaluated in order.  It uses
 no feedback at all, which is exactly why it falls behind the model-based
 tuners.
 """

@@ -18,6 +18,13 @@ the drift via CUSUM on the served metrics and re-tunes warm-started
 (``--cold-restart`` disables the warm start).  ``scenario-matrix`` sweeps
 {drift x severity x tuner} and persists per-phase Pareto metrics to JSON.
 
+``evaluate`` accepts ``--shards S --routing-policy hash|range
+--search-threads T`` to serve the replay through the sharded scatter-gather
+engine and the concurrent query scheduler (measured concurrent QPS), e.g.::
+
+    python -m repro.cli evaluate --dataset glove-small --index-type IVF_FLAT \
+        --shards 4 --search-threads 4 --set segment_max_size=125
+
 ``tune``, ``compare`` and ``tune-online`` accept ``--batch-size Q --workers N``
 to switch the tuners to the batch-parallel engine: joint q-EHVI suggestion
 batches evaluated concurrently on a worker pool (see :mod:`repro.parallel`),
@@ -86,6 +93,28 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = subparsers.add_parser("evaluate", help="replay the workload for one configuration")
     add_common(evaluate)
     evaluate.add_argument("--index-type", default="AUTOINDEX", choices=list(INDEX_TYPES))
+    evaluate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="S",
+        help="shard the collection into S hash/range partitions (shard_num)",
+    )
+    evaluate.add_argument(
+        "--routing-policy",
+        default=None,
+        choices=["hash", "range"],
+        help="row-to-shard routing policy (with --shards)",
+    )
+    evaluate.add_argument(
+        "--search-threads",
+        type=int,
+        default=None,
+        metavar="T",
+        help="serve the workload with a T-thread query scheduler and report "
+        "the measured concurrent QPS (default 1: serial search with the "
+        "analytic concurrency model)",
+    )
     evaluate.add_argument(
         "--set",
         dest="overrides",
@@ -190,10 +219,19 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     space = build_milvus_space()
     environment = VDMSTuningEnvironment(args.dataset, space=space, seed=args.seed)
     overrides = _parse_overrides(args.overrides, space)
+    for name, value in (
+        ("shard_num", args.shards),
+        ("routing_policy", args.routing_policy),
+        ("search_threads", args.search_threads),
+    ):
+        if value is not None:
+            overrides.setdefault(name, value)
     configuration = default_configuration(space, index_type=args.index_type, overrides=overrides)
     result = environment.evaluate(configuration)
     rows = [
         ["index type", args.index_type],
+        ["shards", configuration["shard_num"]],
+        ["search threads", configuration["search_threads"]],
         ["QPS", round(result.qps, 1)],
         ["recall", round(result.recall, 4)],
         ["latency (ms)", round(result.latency_ms, 2)],

@@ -7,7 +7,8 @@ Spaces know how to encode configurations into the unit hypercube (the
 representation used by the Gaussian-process models) and decode them back.
 
 The concrete space used throughout the paper reproduction — index type,
-eight index parameters and seven system parameters of a Milvus-like VDMS —
+eight index parameters, seven system parameters and three serving-topology
+parameters of a Milvus-like VDMS —
 is built by :func:`build_milvus_space`.
 """
 

@@ -1,9 +1,10 @@
-"""The holistic 16-dimensional Milvus-like tuning space used by the paper.
+"""The holistic Milvus-like tuning space: the paper 16 dimensions plus serving topology.
 
 The paper tunes Milvus 2.3.1 with 16 dimensions: the index type, eight index
 parameters (Table I of the paper) and seven system parameters recommended by
 the Milvus configuration documentation.  This module builds the equivalent
-space for the simulated VDMS in :mod:`repro.vdms`.
+space for the simulated VDMS in :mod:`repro.vdms`, extended by the three
+serving-topology parameters of the sharded engine (19 dimensions in total).
 
 Index parameters (Table I)::
 
@@ -24,6 +25,13 @@ System parameters (shared by every index type)::
     chunk_rows              -- rows per chunk inside a sealed segment
     query_node_threads      -- intra-query thread parallelism of a query node
     replica_number          -- number of in-memory replicas of the collection
+
+Serving-topology parameters (added by the sharded serving engine of
+:mod:`repro.vdms.sharding`; shared by every index type as well)::
+
+    shard_num               -- horizontal partitions of the collection
+    routing_policy          -- row-to-shard routing: hash or range
+    search_threads          -- query execution pool driving concurrent requests
 """
 
 from __future__ import annotations
@@ -64,7 +72,8 @@ INDEX_PARAMETERS: dict[str, tuple[str, ...]] = {
     "AUTOINDEX": (),
 }
 
-#: The seven system parameters, shared by all index types.
+#: The system parameters shared by all index types: the paper seven plus
+#: the serving topology (shard count, routing policy, execution threads).
 SYSTEM_PARAMETERS: tuple[str, ...] = (
     "segment_max_size",
     "segment_seal_proportion",
@@ -73,6 +82,9 @@ SYSTEM_PARAMETERS: tuple[str, ...] = (
     "chunk_rows",
     "query_node_threads",
     "replica_number",
+    "shard_num",
+    "routing_policy",
+    "search_threads",
 )
 
 
@@ -91,7 +103,7 @@ def _index_parameter_specs() -> list[Parameter]:
 
 
 def _system_parameter_specs() -> list[Parameter]:
-    """Specs for the seven shared system parameters."""
+    """Specs for the shared system parameters (incl. the serving topology)."""
     return [
         IntParameter("segment_max_size", low=64, high=2048, default=512, log_scale=True),
         FloatParameter("segment_seal_proportion", low=0.05, high=1.0, default=0.25),
@@ -100,6 +112,9 @@ def _system_parameter_specs() -> list[Parameter]:
         IntParameter("chunk_rows", low=512, high=65_536, default=8_192, log_scale=True),
         IntParameter("query_node_threads", low=1, high=16, default=4),
         IntParameter("replica_number", low=1, high=4, default=1),
+        IntParameter("shard_num", low=1, high=8, default=1),
+        CategoricalParameter("routing_policy", choices=["hash", "range"], default="hash"),
+        IntParameter("search_threads", low=1, high=16, default=1),
     ]
 
 
@@ -124,7 +139,7 @@ def build_milvus_space(
     >>> from repro import build_milvus_space
     >>> space = build_milvus_space()
     >>> space.dimension
-    16
+    19
     >>> space.default_configuration()["index_type"]
     'AUTOINDEX'
     >>> smaller = build_milvus_space(index_types=("HNSW", "IVF_FLAT"))
@@ -153,8 +168,9 @@ def build_milvus_space(
 def parameters_for_index(index_type: str) -> tuple[str, ...]:
     """Return the names of the tunable parameters relevant to ``index_type``.
 
-    This always includes the seven system parameters, since they are shared
-    by every index type, plus the index-specific parameters of Table I.
+    This always includes the shared system parameters (the paper's seven
+    plus the serving topology), since they apply to every index type, plus
+    the index-specific parameters of Table I.
     """
     if index_type not in INDEX_PARAMETERS:
         raise KeyError(f"unknown index type {index_type!r}")
@@ -173,7 +189,7 @@ def default_configuration(
     ----------
     space:
         The space to build the configuration in.  ``None`` builds the full
-        16-dimensional space first.
+        19-dimensional space first.
     index_type:
         If given, the returned configuration uses this index type instead of
         the space default.

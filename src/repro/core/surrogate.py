@@ -5,7 +5,7 @@ Two variants, matching the paper's ablation (Figure 8b):
 :class:`PollingSurrogate`
     VDTuner's surrogate.  Observations are NPI-normalized per index type
     (Eq. 2/3) before fitting one multi-output GP (two independent GPs, one
-    per objective) over the *full* 16-dimensional encoding — the holistic
+    per objective) over the *full* holistic encoding — the holistic
     model of Section IV-A.
 
 :class:`NativeSurrogate`

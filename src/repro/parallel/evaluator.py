@@ -71,9 +71,13 @@ def _failed_result(configuration: Mapping[str, Any], message: str) -> Evaluation
 _WORKER_REPLAYER: WorkloadReplayer | None = None
 
 
-def _process_worker_init(dataset: Dataset, workload: SearchWorkload) -> None:
+def _process_worker_init(
+    dataset: Dataset, workload: SearchWorkload, use_query_scheduler: bool = True
+) -> None:
     global _WORKER_REPLAYER
-    _WORKER_REPLAYER = WorkloadReplayer(dataset, workload)
+    _WORKER_REPLAYER = WorkloadReplayer(
+        dataset, workload, use_query_scheduler=use_query_scheduler
+    )
 
 
 def _process_worker_replay(task: tuple[int, dict[str, Any], int]):
@@ -119,6 +123,7 @@ class BatchEvaluator:
         num_workers: int = 1,
         backend: str = "process",
         seed: int = 0,
+        use_query_scheduler: bool = True,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
@@ -129,6 +134,7 @@ class BatchEvaluator:
         self.num_workers = 1 if backend == "serial" else max(1, int(num_workers))
         self.backend = backend if self.num_workers > 1 else "serial"
         self.seed = int(seed)
+        self.use_query_scheduler = bool(use_query_scheduler)
         self._pool: concurrent.futures.Executor | None = None
         self._serial_replayer: WorkloadReplayer | None = None
         self._thread_local = threading.local()
@@ -148,6 +154,7 @@ class BatchEvaluator:
             workload=environment.workload,
             num_workers=num_workers,
             backend=backend,
+            use_query_scheduler=getattr(environment, "use_query_scheduler", True),
         )
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -160,7 +167,7 @@ class BatchEvaluator:
                 self._pool = concurrent.futures.ProcessPoolExecutor(
                     max_workers=self.num_workers,
                     initializer=_process_worker_init,
-                    initargs=(self.dataset, self.workload),
+                    initargs=(self.dataset, self.workload, self.use_query_scheduler),
                 )
             else:
                 self._pool = concurrent.futures.ThreadPoolExecutor(
@@ -211,14 +218,18 @@ class BatchEvaluator:
 
     def _in_process_replay(self, values: dict[str, Any]) -> EvaluationResult:
         if self._serial_replayer is None:
-            self._serial_replayer = WorkloadReplayer(self.dataset, self.workload)
+            self._serial_replayer = WorkloadReplayer(
+                self.dataset, self.workload, use_query_scheduler=self.use_query_scheduler
+            )
         return self._serial_replayer.replay(values)
 
     def _thread_replay(self, task: tuple[int, dict[str, Any], int]):
         index, values, _task_seed = task
         replayer = getattr(self._thread_local, "replayer", None)
         if replayer is None:
-            replayer = WorkloadReplayer(self.dataset, self.workload)
+            replayer = WorkloadReplayer(
+                self.dataset, self.workload, use_query_scheduler=self.use_query_scheduler
+            )
             self._thread_local.replayer = replayer
         try:
             return index, replayer.replay(values)

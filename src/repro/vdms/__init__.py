@@ -6,14 +6,19 @@ This package is the substrate the tuner optimizes.  It provides:
   IVF_SQ8, IVF_PQ, HNSW, SCANN, AUTOINDEX) built on NumPy, so recall is
   measured rather than modelled;
 * a segment-based storage layer (growing/sealed segments, insert buffer)
-  whose behaviour is governed by the seven system parameters of the tuning
+  whose behaviour is governed by the shared system parameters of the tuning
   space;
 * a deterministic cost model that converts the *counted work* of a search
   (distance evaluations, graph hops, segments touched) plus the system
   configuration into search speed (QPS), latency and memory usage;
+* a sharded serving engine (:mod:`repro.vdms.sharding`): hash- or
+  range-partitioned shards inside every collection, a scatter-gather query
+  planner with a vectorized top-k heap-merge, and a thread-pool
+  :class:`QueryScheduler` that drives true concurrent request traffic;
 * a :class:`VectorDBServer` facade exposing a Milvus-like client API
   (``create_collection``, ``insert``, ``flush``, ``create_index``,
-  ``search``, ``drop_index``, ``apply_system_config``).
+  ``search``, ``concurrent_search``, ``drop_index``,
+  ``apply_system_config``).
 """
 
 from repro.vdms.collection import Collection, SearchResult
@@ -35,6 +40,15 @@ from repro.vdms.index import (
 )
 from repro.vdms.segment import Segment, SegmentManager, SegmentState
 from repro.vdms.server import VectorDBServer
+from repro.vdms.sharding import (
+    ROUTING_POLICIES,
+    QueryScheduler,
+    ScheduleTrace,
+    Shard,
+    merge_topk,
+    shard_assignments,
+    simulate_makespan,
+)
 from repro.vdms.system_config import SystemConfig
 
 __all__ = [
@@ -47,16 +61,23 @@ __all__ = [
     "IndexNotBuiltError",
     "InvalidConfigurationError",
     "PerformanceReport",
+    "QueryScheduler",
+    "ROUTING_POLICIES",
+    "ScheduleTrace",
     "SearchResult",
     "SearchStats",
     "Segment",
     "SegmentManager",
     "SegmentState",
+    "Shard",
     "SystemConfig",
     "VDMSError",
     "VectorDBServer",
     "VectorIndex",
     "create_index",
+    "merge_topk",
     "normalize_rows",
     "pairwise_distances",
+    "shard_assignments",
+    "simulate_makespan",
 ]

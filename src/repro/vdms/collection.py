@@ -1,13 +1,21 @@
 """Collections: the unit of storage, indexing and search.
 
-A collection owns a :class:`~repro.vdms.segment.SegmentManager`, builds one
-index per sealed segment, answers top-K searches by merging per-segment
-results (sealed segments through their index, growing segments by brute
-force), and exposes the profile the cost model consumes.
+A collection owns one or more :class:`~repro.vdms.sharding.Shard` horizontal
+partitions (``SystemConfig.shard_num``), routes inserted rows to shards by id
+(``SystemConfig.routing_policy``), builds one index per sealed segment inside
+each shard, and answers top-K searches with a scatter-gather plan: the query
+batch fans out to every shard (sealed segments through their index, growing
+or delete-invalidated segments by brute force) and the per-shard top-k lists
+are combined by a vectorized heap-merge.  Mutations and search snapshots are
+serialized by a collection lock, so concurrent searches keep computing on a
+consistent state while inserts, flushes and deletes land.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import copy
+import threading
 from dataclasses import dataclass
 from typing import Any, Mapping, MutableMapping
 
@@ -18,7 +26,8 @@ from repro.vdms.distance import METRICS, pairwise_distances, prepare_vectors
 from repro.vdms.errors import IndexBuildError, IndexNotBuiltError
 from repro.vdms.index import INDEX_REGISTRY, create_index
 from repro.vdms.index.base import BuildStats, SearchStats, VectorIndex
-from repro.vdms.segment import Segment, SegmentManager
+from repro.vdms.segment import Segment
+from repro.vdms.sharding import Shard, ShardSnapshot, merge_topk, shard_assignments
 from repro.vdms.system_config import SystemConfig
 
 __all__ = ["Collection", "SearchResult", "STRUCTURAL_PARAMETERS"]
@@ -48,16 +57,22 @@ class SearchResult:
     distances:
         Corresponding metric values (smaller is better).
     stats:
-        Aggregate counted work across all segments.
+        Aggregate counted work across all shards and segments.
+    shard_stats:
+        Per-shard counted work of the scatter phase, in shard order (one
+        entry per shard, including empty shards, which still cost a
+        scatter round-trip).  ``None`` for results assembled outside the
+        collection's own planner.
     """
 
     ids: np.ndarray
     distances: np.ndarray
     stats: SearchStats
+    shard_stats: list[SearchStats] | None = None
 
 
 class Collection:
-    """A named collection of vectors with per-segment indexes."""
+    """A named, shardable collection of vectors with per-segment indexes."""
 
     def __init__(
         self,
@@ -76,50 +91,63 @@ class Collection:
         self.dimension = int(dimension)
         self.metric = metric
         self.system_config = system_config or SystemConfig()
-        self._segments = SegmentManager(dimension=self.dimension, system_config=self.system_config)
-        self._segment_indexes: dict[int, VectorIndex] = {}
+        self.shard_num = max(1, int(self.system_config.shard_num))
+        self.routing_policy = self.system_config.routing_policy
+        self._shards = [
+            Shard(shard_id, self.dimension, self.system_config)
+            for shard_id in range(self.shard_num)
+        ]
         self._index_type: str | None = None
         self._index_params: dict[str, Any] = {}
         self._index_cache = index_cache
         self._next_auto_id = 0
+        self._lock = threading.RLock()
 
     # -- ingestion ---------------------------------------------------------------
 
     def insert(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> int:
-        """Insert vectors; returns the number of rows accepted."""
+        """Insert vectors, routing each row to its shard; returns rows accepted."""
         vectors = np.asarray(vectors, dtype=np.float32)
         if vectors.ndim == 1:
             vectors = vectors[None, :]
-        if ids is None:
-            ids = np.arange(self._next_auto_id, self._next_auto_id + vectors.shape[0], dtype=np.int64)
-        ids = np.asarray(ids, dtype=np.int64)
-        self._next_auto_id = int(max(self._next_auto_id, ids.max() + 1)) if ids.size else self._next_auto_id
-        accepted = self._segments.insert(vectors, ids)
+        with self._lock:
+            if ids is None:
+                ids = np.arange(self._next_auto_id, self._next_auto_id + vectors.shape[0], dtype=np.int64)
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape[0] != vectors.shape[0]:
+                raise ValueError("ids must match the number of vectors")
+            self._next_auto_id = int(max(self._next_auto_id, ids.max() + 1)) if ids.size else self._next_auto_id
+            assignments = shard_assignments(ids, self.shard_num, self.routing_policy)
+            accepted = 0
+            for shard in self._shards:
+                mask = assignments == shard.shard_id
+                accepted += shard.insert(vectors[mask], ids[mask])
         return accepted
 
     def flush(self) -> int:
-        """Seal full segments; returns the number of sealed segments afterwards."""
-        self._segments.flush()
-        # Any previously built indexes no longer match the segment layout.
-        self._segment_indexes.clear()
-        return len(self._segments.sealed_segments)
+        """Seal full segments in every shard; returns the total sealed count.
+
+        Any previously built indexes no longer match the segment layout and
+        are dropped shard by shard.
+        """
+        with self._lock:
+            return sum(shard.flush() for shard in self._shards)
 
     def delete(self, ids: np.ndarray) -> int:
         """Delete rows by id; returns the number of rows removed.
 
-        Deleting from a sealed segment invalidates that segment's index (the
-        index still references the removed rows): the stale index is dropped
-        and the segment is searched by brute force until ``create_index`` is
-        called again — deletions degrade both latency and recall consistency
-        until the collection is re-indexed, exactly the churn effect online
-        tuning has to react to.
+        Deletes are broadcast to every shard (routing tells us the owner,
+        but broadcasting keeps the operation correct even for ids inserted
+        under a different routing policy).  Deleting from a sealed segment
+        invalidates that segment's index (the index still references the
+        removed rows): the stale index is dropped and the segment is
+        searched by brute force until ``create_index`` is called again —
+        deletions degrade both latency and recall consistency until the
+        collection is re-indexed, exactly the churn effect online tuning has
+        to react to.
         """
-        deleted, touched_sealed = self._segments.delete(ids)
-        # Emptied-out sealed segments lost rows too, so they are always in
-        # touched_sealed and their index entries go away here as well.
-        for segment_id in touched_sealed:
-            self._segment_indexes.pop(segment_id, None)
-        return deleted
+        with self._lock:
+            return sum(shard.delete(ids) for shard in self._shards)
 
     # -- indexing -----------------------------------------------------------------
 
@@ -133,11 +161,18 @@ class Collection:
         """Whether an index is currently built over the sealed segments."""
         return self._index_type is not None
 
+    @property
+    def shards(self) -> list[Shard]:
+        """The shards of this collection, in shard-id order."""
+        return list(self._shards)
+
     def drop_index(self) -> None:
         """Drop the current index (the collection remains searchable by brute force only)."""
-        self._segment_indexes.clear()
-        self._index_type = None
-        self._index_params = {}
+        with self._lock:
+            for shard in self._shards:
+                shard.indexes.clear()
+            self._index_type = None
+            self._index_params = {}
 
     def _structural_signature(self, index_type: str, params: Mapping[str, Any]) -> tuple:
         names = STRUCTURAL_PARAMETERS[index_type]
@@ -145,11 +180,60 @@ class Collection:
 
     @staticmethod
     def _segment_fingerprint(segment: Segment) -> tuple:
+        # Sharding can hand two segments the same (first, last, count) triple
+        # with different membership (e.g. the same id span hash- vs
+        # range-partitioned), so the fingerprint also folds in cheap
+        # content hashes of the id set.
         ids = segment.ids
-        return (int(ids[0]), int(ids[-1]), int(ids.shape[0]))
+        return (
+            int(ids[0]),
+            int(ids[-1]),
+            int(ids.shape[0]),
+            int(ids.sum()),
+            int(np.bitwise_xor.reduce(ids)),
+        )
 
-    def create_index(self, index_type: str, params: Mapping[str, Any] | None = None) -> list[BuildStats]:
-        """Build (or rebuild) the index over every sealed segment.
+    @staticmethod
+    def _with_search_params(index: VectorIndex, params: Mapping[str, Any]) -> VectorIndex:
+        """A copy of ``index`` with search-time parameters applied.
+
+        Index objects are shared — by the build cache across collections and
+        by in-flight search snapshots within one — so search-time parameters
+        are never mutated in place: a shallow copy shares the (read-only)
+        index structures while keeping the scalar search knobs private,
+        which is what lets a rebuild reconfigure serving without tearing
+        searches that still hold the old object.
+        """
+        applicable = {
+            k: v for k, v in params.items() if k in VectorIndex.SEARCH_TIME_PARAMETERS
+        }
+        configured = copy.copy(index)
+        configured.params = dict(index.params)
+        configured.set_search_params(**applicable)
+        return configured
+
+    def _build_segment_index(
+        self, segment: Segment, index_type: str, params: dict[str, Any], signature: tuple
+    ) -> VectorIndex:
+        cache_key = (self.metric, self._segment_fingerprint(segment), index_type, signature)
+        index: VectorIndex | None = None
+        if self._index_cache is not None:
+            index = self._index_cache.get(cache_key)
+        if index is None:
+            index = create_index(index_type, metric=self.metric, **params)
+            index.build(segment.vectors, segment.ids)
+            if self._index_cache is not None:
+                self._index_cache[cache_key] = index
+        return self._with_search_params(index, params)
+
+    def create_index(
+        self,
+        index_type: str,
+        params: Mapping[str, Any] | None = None,
+        *,
+        build_workers: int | None = None,
+    ) -> list[BuildStats]:
+        """Build (or rebuild) the index over every sealed segment of every shard.
 
         Parameters
         ----------
@@ -158,54 +242,104 @@ class Collection:
         params:
             The holistic parameter mapping; only the parameters relevant to
             ``index_type`` are used.
+        build_workers:
+            When greater than 1, per-shard builds run concurrently on a
+            thread pool of this size (the BatchEvaluator-style fan-out:
+            shards are independent, so builds are embarrassingly parallel
+            and the result is identical to a serial build).
 
         Returns
         -------
         list of BuildStats
-            One entry per sealed segment (possibly served from the shared
-            build cache, in which case the stats describe the original
-            build — the real system re-does the work either way, which is
-            what the cost model charges for).
+            One entry per sealed segment, in (shard, segment) order
+            (possibly served from the shared build cache, in which case the
+            stats describe the original build — the real system re-does the
+            work either way, which is what the cost model charges for).
         """
         if index_type not in INDEX_REGISTRY:
             raise IndexBuildError(f"unknown index type {index_type!r}")
         params = dict(params or {})
-        sealed = self._segments.sealed_segments
-        self._segment_indexes.clear()
-        build_stats: list[BuildStats] = []
         signature = self._structural_signature(index_type, params)
-        for segment in sealed:
-            cache_key = (self.metric, self._segment_fingerprint(segment), index_type, signature)
-            index: VectorIndex | None = None
-            if self._index_cache is not None:
-                index = self._index_cache.get(cache_key)
-            if index is None:
-                index = create_index(index_type, metric=self.metric, **params)
-                index.build(segment.vectors, segment.ids)
-                if self._index_cache is not None:
-                    self._index_cache[cache_key] = index
-            index.set_search_params(**{k: v for k, v in params.items() if k in VectorIndex.SEARCH_TIME_PARAMETERS})
-            self._segment_indexes[segment.segment_id] = index
-            build_stats.append(index.build_stats)
-        self._index_type = index_type
-        self._index_params = params
-        return build_stats
+
+        def build_shard(shard: Shard) -> list[BuildStats]:
+            shard.indexes.clear()
+            stats: list[BuildStats] = []
+            for segment in shard.segments.sealed_segments:
+                index = self._build_segment_index(segment, index_type, params, signature)
+                shard.indexes[segment.segment_id] = index
+                stats.append(index.build_stats)
+            return stats
+
+        with self._lock:
+            workers = max(1, int(build_workers or 1))
+            if workers > 1 and len(self._shards) > 1:
+                with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=min(workers, len(self._shards)),
+                    thread_name_prefix="repro-build",
+                ) as pool:
+                    per_shard = list(pool.map(build_shard, self._shards))
+            else:
+                per_shard = [build_shard(shard) for shard in self._shards]
+            self._index_type = index_type
+            self._index_params = params
+        return [stats for shard_stats in per_shard for stats in shard_stats]
 
     def set_search_params(self, **params: Any) -> None:
-        """Update search-time parameters on every per-segment index."""
-        for index in self._segment_indexes.values():
-            index.set_search_params(**params)
-        self._index_params.update(params)
+        """Update search-time parameters on every per-segment index.
+
+        Indexes are replaced by reconfigured copies rather than mutated, so
+        searches holding a snapshot keep serving under the parameters they
+        started with.
+        """
+        with self._lock:
+            for shard in self._shards:
+                for segment_id, index in list(shard.indexes.items()):
+                    shard.indexes[segment_id] = self._with_search_params(index, params)
+            self._index_params.update(params)
 
     # -- search --------------------------------------------------------------------
 
+    def _search_snapshot(
+        self,
+        snapshot: ShardSnapshot,
+        queries: np.ndarray,
+        prepared_queries: np.ndarray,
+        top_k: int,
+    ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        """Top-K over one shard snapshot: indexed segments, then brute force."""
+        stats = SearchStats(num_queries=queries.shape[0])
+        candidate_ids: list[np.ndarray] = []
+        candidate_distances: list[np.ndarray] = []
+        for index in snapshot.indexed:
+            ids, distances, segment_stats = index.search(queries, top_k)
+            stats.merge(segment_stats)
+            candidate_ids.append(ids)
+            candidate_distances.append(distances)
+        for rows, row_ids in zip(snapshot.brute_vectors, snapshot.brute_ids):
+            num_rows = int(rows.shape[0])
+            prepared_rows = prepare_vectors(rows, self.metric)
+            distances = pairwise_distances(prepared_queries, prepared_rows, self.metric)
+            stats.distance_evaluations += int(queries.shape[0]) * num_rows
+            stats.segments_searched += int(queries.shape[0])
+            keep = min(top_k, num_rows)
+            positions, ordered = VectorIndex._top_k_from_distances(distances, keep)
+            candidate_ids.append(row_ids[positions])
+            candidate_distances.append(ordered)
+        if not candidate_ids:
+            empty_shape = (queries.shape[0], 0)
+            return np.empty(empty_shape, dtype=np.int64), np.empty(empty_shape), stats
+        ids, distances = merge_topk(candidate_ids, candidate_distances, top_k)
+        return ids, distances, stats
+
     def search(self, queries: np.ndarray, top_k: int) -> SearchResult:
-        """Top-K search across sealed (indexed) and growing (brute-force) segments."""
-        if self._segments.num_rows == 0:
-            raise IndexNotBuiltError("collection is empty; insert and flush before searching")
-        sealed = self._segments.sealed_segments
-        if sealed and not self.has_index:
-            raise IndexNotBuiltError("no index built; call create_index first")
+        """Scatter-gather top-K search across every shard.
+
+        The scatter phase runs the query batch against each shard's snapshot
+        (sealed segments through their index, growing and delete-invalidated
+        segments by brute force); the gather phase heap-merges the per-shard
+        top-k lists into the global top-k.  Snapshots are taken under the
+        collection lock, so concurrent mutations never tear a search.
+        """
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
@@ -213,68 +347,61 @@ class Collection:
         if top_k <= 0:
             raise ValueError("top_k must be positive")
 
-        stats = SearchStats(num_queries=queries.shape[0])
-        candidate_ids: list[np.ndarray] = []
-        candidate_distances: list[np.ndarray] = []
-
-        # Sealed segments whose index was invalidated (rows deleted since the
-        # last create_index) fall back to brute force below, like growing ones.
-        unindexed_sealed: list[Segment] = []
-        for segment in sealed:
-            index = self._segment_indexes.get(segment.segment_id)
-            if index is None:
-                unindexed_sealed.append(segment)
-                continue
-            ids, distances, segment_stats = index.search(queries, top_k)
-            stats.merge(segment_stats)
-            candidate_ids.append(ids)
-            candidate_distances.append(distances)
+        with self._lock:
+            snapshots = [shard.snapshot() for shard in self._shards]
+            has_index = self.has_index
+        if all(snapshot.is_empty for snapshot in snapshots):
+            raise IndexNotBuiltError("collection is empty; insert and flush before searching")
+        if any(
+            snapshot.indexed or snapshot.has_unindexed_sealed for snapshot in snapshots
+        ) and not has_index:
+            raise IndexNotBuiltError("no index built; call create_index first")
 
         prepared_queries = prepare_vectors(queries, self.metric)
-        for segment in unindexed_sealed + self._segments.growing_segments:
-            prepared_rows = prepare_vectors(segment.vectors, self.metric)
-            distances = pairwise_distances(prepared_queries, prepared_rows, self.metric)
-            stats.distance_evaluations += int(queries.shape[0]) * segment.num_rows
-            stats.segments_searched += int(queries.shape[0])
-            keep = min(top_k, segment.num_rows)
-            positions, ordered = VectorIndex._top_k_from_distances(distances, keep)
-            ids = segment.ids[positions]
-            if keep < top_k:
-                ids = np.pad(ids, ((0, 0), (0, top_k - keep)), constant_values=-1)
-                ordered = np.pad(ordered, ((0, 0), (0, top_k - keep)), constant_values=np.inf)
-            candidate_ids.append(ids)
-            candidate_distances.append(ordered)
+        shard_stats: list[SearchStats] = []
+        shard_ids: list[np.ndarray] = []
+        shard_distances: list[np.ndarray] = []
+        for snapshot in snapshots:
+            ids, distances, stats = self._search_snapshot(snapshot, queries, prepared_queries, top_k)
+            shard_stats.append(stats)
+            shard_ids.append(ids)
+            shard_distances.append(distances)
 
-        merged_ids = np.concatenate(candidate_ids, axis=1)
-        merged_distances = np.concatenate(candidate_distances, axis=1)
-        # Invalid (-1 padded) entries carry infinite distance, so a plain
-        # top-k merge pushes them to the tail automatically.
-        merged_distances = np.where(merged_ids < 0, np.inf, merged_distances)
-        positions, ordered = VectorIndex._top_k_from_distances(merged_distances, top_k)
-        final_ids = np.take_along_axis(merged_ids, positions, axis=1)
-        final_ids = np.where(np.isfinite(ordered), final_ids, -1)
-        return SearchResult(ids=final_ids.astype(np.int64), distances=ordered, stats=stats)
+        merged_ids, merged_distances = merge_topk(shard_ids, shard_distances, top_k)
+        total = SearchStats(num_queries=queries.shape[0])
+        for stats in shard_stats:
+            total.merge(stats)
+        return SearchResult(
+            ids=merged_ids,
+            distances=merged_distances,
+            stats=total,
+            shard_stats=shard_stats,
+        )
 
     # -- inspection ------------------------------------------------------------------
 
     @property
     def num_rows(self) -> int:
         """Total rows stored (excluding unflushed buffers)."""
-        return self._segments.num_rows
+        return sum(shard.num_rows for shard in self._shards)
 
     @property
     def num_sealed_segments(self) -> int:
-        """Number of sealed segments."""
-        return len(self._segments.sealed_segments)
+        """Number of sealed segments across all shards."""
+        return sum(len(shard.segments.sealed_segments) for shard in self._shards)
 
     @property
     def num_growing_rows(self) -> int:
-        """Rows currently in growing segments."""
-        return sum(s.num_rows for s in self._segments.growing_segments)
+        """Rows currently in growing segments across all shards."""
+        return sum(
+            segment.num_rows
+            for shard in self._shards
+            for segment in shard.segments.growing_segments
+        )
 
     def index_bytes(self) -> int:
         """Bytes occupied by the index structures of all sealed segments."""
-        return sum(index.memory_bytes() for index in self._segment_indexes.values())
+        return sum(shard.index_bytes() for shard in self._shards)
 
     def profile(self) -> CollectionProfile:
         """Snapshot of the facts the cost model needs."""
@@ -283,12 +410,12 @@ class Collection:
             total_rows=self.num_rows,
             sealed_segments=self.num_sealed_segments,
             growing_rows=self.num_growing_rows,
-            raw_bytes=self._segments.raw_bytes(),
+            raw_bytes=sum(shard.segments.raw_bytes() for shard in self._shards),
             index_bytes=self.index_bytes(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
-            f"Collection(name={self.name!r}, rows={self.num_rows}, "
+            f"Collection(name={self.name!r}, rows={self.num_rows}, shards={self.shard_num}, "
             f"sealed_segments={self.num_sealed_segments}, index={self._index_type!r})"
         )

@@ -115,6 +115,8 @@ class CostModel:
     STALENESS_MS_PER_GROWING_ROW = 6.0
     #: Diminishing-returns coefficient for intra-query threading.
     THREAD_SCALING = 0.30
+    #: Diminishing-returns coefficient for shard fan-out parallelism.
+    SHARD_SCALING = 0.85
     #: Memory inflation: simulated bytes stand for this many real bytes.
     MEMORY_SCALE = 2_000.0
     #: Simulated seconds per unit of build work (distance evaluations x dimension).
@@ -161,8 +163,22 @@ class CostModel:
         per_query["request_overhead"] = self.REQUEST_OVERHEAD_US
         return per_query
 
-    def query_latency_microseconds(self, stats: SearchStats, profile: CollectionProfile) -> tuple[float, dict[str, float]]:
-        """Mean per-request latency in microseconds and its breakdown."""
+    def query_latency_microseconds(
+        self,
+        stats: SearchStats,
+        profile: CollectionProfile,
+        *,
+        include_shard_fanout: bool = True,
+    ) -> tuple[float, dict[str, float]]:
+        """Mean per-request latency in microseconds and its breakdown.
+
+        ``include_shard_fanout`` controls whether the scatter-gather overlap
+        of shard tasks is folded into the latency (the analytic fallback).
+        The event-driven concurrency simulation sets it to ``False`` because
+        there the overlap is *scheduled* explicitly — each shard task is
+        placed on a worker — and folding the speedup in as well would count
+        the parallelism twice.
+        """
         breakdown = self.query_work_microseconds(stats, profile)
         parallelizable = sum(
             breakdown[key]
@@ -183,8 +199,17 @@ class CostModel:
         )
         threads = self.system_config.query_node_threads
         speedup = 1.0 + self.THREAD_SCALING * (threads - 1) ** 0.85 if threads > 1 else 1.0
-        latency = serial + parallelizable / speedup
+        shard_speedup = 1.0
+        if include_shard_fanout:
+            # Shard tasks of one request overlap on the execution pool, but
+            # only as far as there are both shards to split the work and
+            # threads to run them on.
+            fanout = max(1, min(self.system_config.shard_num, self.system_config.search_threads))
+            if fanout > 1:
+                shard_speedup = 1.0 + self.SHARD_SCALING * (fanout - 1) ** 0.9
+        latency = serial + parallelizable / (speedup * shard_speedup)
         breakdown["effective_thread_speedup"] = speedup
+        breakdown["effective_shard_speedup"] = shard_speedup
         return latency, breakdown
 
     # -- throughput and memory ----------------------------------------------------
@@ -195,6 +220,60 @@ class CostModel:
         if latency_us <= 0:
             return float("inf")
         return effective / (latency_us * 1e-6)
+
+    def shard_task_service_microseconds(
+        self, shard_stats: list[SearchStats], profile: CollectionProfile
+    ) -> list[float]:
+        """Service time of each shard task of one request.
+
+        Every task carries its own request overhead (the scatter RPC to that
+        shard) and its own share of the counted work; intra-query threading
+        still applies inside a task, but shard fan-out does not — overlap
+        between tasks is what the event simulation schedules explicitly.
+        Consistency blocking is a per-request wait (the request blocks once
+        for recent inserts to become visible, *before* scattering), so it is
+        charged to the first task only instead of once per shard.
+        """
+        services: list[float] = []
+        for position, stats in enumerate(shard_stats):
+            latency, breakdown = self.query_latency_microseconds(
+                stats, profile, include_shard_fanout=False
+            )
+            if position > 0:
+                latency -= breakdown["consistency_blocking"]
+            services.append(latency)
+        return services
+
+    def concurrent_qps(
+        self,
+        request_shard_stats: list[list[SearchStats]],
+        profile: CollectionProfile,
+        *,
+        workers: int,
+    ) -> tuple[float, float]:
+        """Measured concurrent throughput of a scheduled workload.
+
+        Replays the shard tasks the :class:`~repro.vdms.sharding.QueryScheduler`
+        recorded through a deterministic list-scheduling simulation over
+        ``workers`` execution slots (see
+        :func:`repro.vdms.sharding.simulate_makespan`) and returns
+        ``(qps, makespan_seconds)``.  This replaces the flat
+        effective-concurrency multiplier with an actual schedule: requests
+        pipeline across workers, shard tasks of one request overlap, and the
+        throughput is requests divided by the simulated makespan.
+        """
+        from repro.vdms.sharding import simulate_makespan
+
+        if not request_shard_stats:
+            return 0.0, 0.0
+        task_seconds = [
+            [us * 1e-6 for us in self.shard_task_service_microseconds(shard_stats, profile)]
+            for shard_stats in request_shard_stats
+        ]
+        makespan = simulate_makespan(task_seconds, workers)
+        if makespan <= 0.0:
+            return float("inf"), 0.0
+        return len(request_shard_stats) / makespan, makespan
 
     def memory_gib(self, profile: CollectionProfile) -> float:
         """Simulated resident memory in GiB."""

@@ -18,6 +18,7 @@ from repro.vdms.collection import Collection
 from repro.vdms.cost_model import CostModel
 from repro.vdms.errors import CollectionNotFoundError
 from repro.vdms.index.base import VectorIndex
+from repro.vdms.sharding import QueryScheduler
 from repro.vdms.system_config import SystemConfig
 
 __all__ = ["VectorDBServer"]
@@ -117,8 +118,23 @@ class VectorDBServer:
         return self.get_collection(name).create_index(index_type, params)
 
     def search(self, name: str, queries: np.ndarray, top_k: int):
-        """Search a collection."""
+        """Search a collection (scatter-gather across its shards)."""
         return self.get_collection(name).search(queries, top_k)
+
+    def concurrent_search(self, name: str, queries: np.ndarray, top_k: int):
+        """Serve ``queries`` as concurrent per-query requests.
+
+        Drives the collection through a
+        :class:`~repro.vdms.sharding.QueryScheduler` sized by the system
+        configuration's ``search_threads``: real threads issue one request
+        per query against the thread-safe collection and the results are
+        reassembled in submission order.  Returns ``(result, trace)``; the
+        trace carries the per-request shard work the cost model's
+        :meth:`~repro.vdms.cost_model.CostModel.concurrent_qps` event
+        simulation consumes.
+        """
+        scheduler = QueryScheduler(num_threads=self._system_config.search_threads)
+        return scheduler.run(self.get_collection(name).search, queries, top_k)
 
     # -- cache management ----------------------------------------------------------------
 

@@ -1,0 +1,370 @@
+"""Sharded storage and concurrent query execution.
+
+This module turns the single-shard, serial-search collection into a
+scatter-gather serving engine:
+
+* :class:`Shard` — one horizontal partition of a collection.  Every shard
+  owns its own :class:`~repro.vdms.segment.SegmentManager` and its own
+  per-sealed-segment indexes, so shards can be loaded, indexed and searched
+  independently of each other.
+* routing — :func:`shard_assignments` maps external row ids to shards under
+  two policies: ``"hash"`` (a splitmix64 scramble of the id, uniform and
+  insertion-order independent) and ``"range"`` (contiguous id blocks
+  round-robined across shards, preserving locality of sequential ids).
+* :func:`merge_topk` — the vectorized heap-merge of the gather phase: per
+  shard top-k candidate lists are combined into the global top-k in one
+  argpartition/argsort pass, with ``-1``-padded (invalid) entries pushed to
+  the tail.  The merge is exact, so sharded search over exact indexes is
+  identical to an unsharded scan (the property the oracle suite pins down).
+* :class:`QueryScheduler` — a thread pool that drives *true concurrent
+  traffic*: the workload's query batch is split into individual requests,
+  executed concurrently against the (thread-safe) collection, and
+  reassembled in submission order so results are deterministic for any
+  thread count.  Timing stays in the simulated domain: the scheduler records
+  each request's per-shard counted work and
+  :meth:`repro.vdms.cost_model.CostModel.concurrent_qps` replays those shard
+  tasks through a deterministic event simulation over the configured worker
+  budget — measured concurrency scheduling instead of the cost model's flat
+  concurrency multiplier.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.vdms.index.base import SearchStats, VectorIndex
+from repro.vdms.segment import SegmentManager
+from repro.vdms.system_config import ROUTING_POLICIES, SystemConfig
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "RANGE_BLOCK_ROWS",
+    "shard_assignments",
+    "merge_topk",
+    "Shard",
+    "ShardSnapshot",
+    "QueryScheduler",
+    "ScheduleTrace",
+    "simulate_makespan",
+]
+
+#: Contiguous ids per block under the ``"range"`` policy.  Blocks are
+#: round-robined across shards, so sequentially assigned ids land together
+#: (locality) while the load still balances once the corpus spans many
+#: blocks.
+RANGE_BLOCK_ROWS = 256
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (uint64 arithmetic, wrapping)."""
+    z = values.astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def shard_assignments(ids: np.ndarray, shard_num: int, policy: str = "hash") -> np.ndarray:
+    """Map external row ids to shard indexes under a routing policy.
+
+    Routing depends only on the id and the (shard_num, policy) pair — never
+    on insertion order or current shard sizes — so inserts, deletes and
+    lookups of the same id always agree on the owning shard.
+    """
+    if policy not in ROUTING_POLICIES:
+        raise ValueError(f"unknown routing policy {policy!r}; expected one of {ROUTING_POLICIES}")
+    ids = np.asarray(ids, dtype=np.int64)
+    shard_num = int(shard_num)
+    if shard_num <= 1:
+        return np.zeros(ids.shape, dtype=np.int64)
+    if policy == "hash":
+        return (_splitmix64(ids) % np.uint64(shard_num)).astype(np.int64)
+    return (ids // RANGE_BLOCK_ROWS) % shard_num
+
+
+def merge_topk(
+    ids_list: Sequence[np.ndarray],
+    distances_list: Sequence[np.ndarray],
+    top_k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard top-k candidate lists into the global top-k.
+
+    Parameters
+    ----------
+    ids_list:
+        Candidate id arrays, one per shard, each of shape ``(q, k_i)``
+        (``k_i`` may differ per shard, including 0 for empty shards), padded
+        with ``-1`` where a shard returned fewer than ``k_i`` rows.
+    distances_list:
+        Matching distance arrays (smaller is better).
+    top_k:
+        Requested result width.  The output is always ``(q, top_k)``, padded
+        with ``-1`` ids / ``inf`` distances when fewer than ``top_k`` valid
+        candidates exist globally.
+
+    The merge is a single vectorized select over the concatenated candidate
+    lists, equivalent to (but cheaper than) a per-query binary heap, and is
+    invariant to the order of the per-shard lists for distinct distances.
+    """
+    top_k = int(top_k)
+    if top_k <= 0:
+        raise ValueError("top_k must be positive")
+    non_empty_ids = [np.asarray(a) for a in ids_list if np.asarray(a).shape[1] > 0]
+    non_empty_distances = [np.asarray(a) for a in distances_list if np.asarray(a).shape[1] > 0]
+    if len(non_empty_ids) != len(non_empty_distances):
+        raise ValueError("ids_list and distances_list must pair up shard by shard")
+    if not non_empty_ids:
+        raise ValueError("cannot merge zero candidate lists")
+    merged_ids = np.concatenate(non_empty_ids, axis=1)
+    merged_distances = np.concatenate(non_empty_distances, axis=1).astype(np.float64, copy=False)
+    # Invalid (-1 padded) entries carry infinite distance, so a plain top-k
+    # select pushes them to the tail automatically.
+    merged_distances = np.where(merged_ids < 0, np.inf, merged_distances)
+    positions, ordered = VectorIndex._top_k_from_distances(merged_distances, top_k)
+    final_ids = np.take_along_axis(merged_ids, positions, axis=1)
+    final_ids = np.where(np.isfinite(ordered), final_ids, -1).astype(np.int64)
+    if final_ids.shape[1] < top_k:
+        pad = top_k - final_ids.shape[1]
+        final_ids = np.pad(final_ids, ((0, 0), (0, pad)), constant_values=-1)
+        ordered = np.pad(ordered, ((0, 0), (0, pad)), constant_values=np.inf)
+    return final_ids, ordered
+
+
+@dataclass
+class ShardSnapshot:
+    """An immutable view of one shard taken under the collection lock.
+
+    ``indexed`` lists the indexes serving the shard's indexed sealed
+    segments (an index owns a private copy of its rows, so it is
+    self-contained); ``brute_vectors``/``brute_ids`` are consistent
+    ``(rows, ids)`` array pairs of the segments that must be scanned
+    exactly — growing segments plus sealed segments whose index was
+    invalidated by deletes.  Deletions *replace* segment arrays rather than
+    mutating them, so capturing the array references under the lock gives
+    every search a coherent state to compute on, however many mutations
+    land while it runs.
+    """
+
+    indexed: list[VectorIndex]
+    brute_vectors: list[np.ndarray]
+    brute_ids: list[np.ndarray]
+    has_unindexed_sealed: bool = False
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.indexed and not self.brute_vectors
+
+
+class Shard:
+    """One horizontal partition of a collection.
+
+    A shard owns its rows end to end: the segment manager that stores them,
+    the sealing policy applied to them and the per-sealed-segment indexes
+    that serve them.  The owning collection routes rows in and merges
+    results out; nothing inside a shard is aware of its siblings, which is
+    what makes per-shard index builds and searches embarrassingly parallel.
+    """
+
+    def __init__(self, shard_id: int, dimension: int, system_config: SystemConfig) -> None:
+        self.shard_id = int(shard_id)
+        self.segments = SegmentManager(dimension=int(dimension), system_config=system_config)
+        self.indexes: dict[int, VectorIndex] = {}
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, vectors: np.ndarray, ids: np.ndarray) -> int:
+        """Buffer rows routed to this shard."""
+        if vectors.shape[0] == 0:
+            return 0
+        return self.segments.insert(vectors, ids)
+
+    def flush(self) -> int:
+        """Seal full segments; invalidates this shard's indexes."""
+        self.segments.flush()
+        self.indexes.clear()
+        return len(self.segments.sealed_segments)
+
+    def delete(self, ids: np.ndarray) -> int:
+        """Delete rows by id; drops the indexes of touched sealed segments."""
+        deleted, touched_sealed = self.segments.delete(ids)
+        for segment_id in touched_sealed:
+            self.indexes.pop(segment_id, None)
+        return deleted
+
+    # -- reading ----------------------------------------------------------------
+
+    def snapshot(self) -> ShardSnapshot:
+        """Capture the current (segment, index) layout for a lock-free search."""
+        snapshot = ShardSnapshot(indexed=[], brute_vectors=[], brute_ids=[])
+        for segment in self.segments.sealed_segments:
+            index = self.indexes.get(segment.segment_id)
+            if index is None:
+                snapshot.brute_vectors.append(segment.vectors)
+                snapshot.brute_ids.append(segment.ids)
+                snapshot.has_unindexed_sealed = True
+            else:
+                snapshot.indexed.append(index)
+        for segment in self.segments.growing_segments:
+            snapshot.brute_vectors.append(segment.vectors)
+            snapshot.brute_ids.append(segment.ids)
+        return snapshot
+
+    @property
+    def num_rows(self) -> int:
+        """Rows stored in this shard (excluding unflushed buffers)."""
+        return self.segments.num_rows
+
+    def index_bytes(self) -> int:
+        """Bytes occupied by this shard's index structures."""
+        return sum(index.memory_bytes() for index in self.indexes.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Shard(id={self.shard_id}, rows={self.num_rows}, indexes={len(self.indexes)})"
+
+
+# -- concurrent query execution ------------------------------------------------------
+
+
+@dataclass
+class ScheduleTrace:
+    """What the scheduler observed while driving a workload.
+
+    ``request_shard_stats`` holds, per request in submission order, the
+    counted work of each shard task of that request — the raw material the
+    cost model's event simulation turns into a measured concurrent QPS.
+    ``served_requests`` records the request ids in the order worker threads
+    actually completed them (appended at service time, so lost or duplicated
+    requests show up here).  ``wall_seconds`` is the real elapsed time of the
+    (thread-pool) run; it is reported for context only and deliberately kept
+    out of every deterministic result.
+    """
+
+    num_requests: int
+    request_shard_stats: list[list[SearchStats]] = field(default_factory=list)
+    served_requests: list[int] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+
+def simulate_makespan(task_seconds: Sequence[Sequence[float]], workers: int) -> float:
+    """Deterministic makespan of shard tasks list-scheduled over ``workers``.
+
+    ``task_seconds[i]`` holds the service times of request *i*'s shard
+    tasks.  Requests arrive open-loop (all queued at time zero) and tasks
+    are assigned greedily, in submission order, to the least-loaded worker —
+    the same discipline a work-stealing pool converges to, minus the
+    nondeterminism.  With one worker this degenerates to the serial sum, so
+    serial and concurrent replays stay directly comparable.
+    """
+    workers = max(1, int(workers))
+    loads = [0.0] * workers
+    for request_tasks in task_seconds:
+        for seconds in request_tasks:
+            slot = loads.index(min(loads))
+            loads[slot] += float(seconds)
+    return max(loads)
+
+
+class QueryScheduler:
+    """Drives a query batch as individual concurrent requests.
+
+    The scheduler is the serving half of the scatter-gather engine: it
+    splits a workload's query batch into per-query requests, executes them
+    on a thread pool of ``num_threads`` (real threads, real locks — this is
+    the code path the concurrency stress suite hammers) and reassembles the
+    per-request results in submission order, so the merged result is
+    bit-identical for any thread count.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.vdms import Collection, SystemConfig
+    >>> config = SystemConfig(shard_num=2, search_threads=4)
+    >>> collection = Collection("docs", 8, metric="l2", system_config=config)
+    >>> _ = collection.insert(np.random.default_rng(0).normal(size=(64, 8)))
+    >>> _ = collection.flush()
+    >>> _ = collection.create_index("FLAT")
+    >>> scheduler = QueryScheduler(num_threads=4)
+    >>> result, trace = scheduler.run(collection.search, np.zeros((6, 8), dtype=np.float32), top_k=3)
+    >>> result.ids.shape, trace.num_requests
+    ((6, 3), 6)
+    """
+
+    def __init__(self, num_threads: int = 1) -> None:
+        self.num_threads = max(1, int(num_threads))
+
+    def run(
+        self,
+        search_fn: Callable[[np.ndarray, int], Any],
+        queries: np.ndarray,
+        top_k: int,
+    ):
+        """Execute every query as its own request; returns ``(result, trace)``.
+
+        ``search_fn(queries, top_k)`` must return a
+        :class:`~repro.vdms.collection.SearchResult`-like object with
+        ``ids``, ``distances``, ``stats`` and (optionally) ``shard_stats``.
+        """
+        from repro.vdms.collection import SearchResult
+
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        num_requests = int(queries.shape[0])
+        trace = ScheduleTrace(num_requests=num_requests)
+        if num_requests == 0:
+            empty = np.empty((0, int(top_k)), dtype=np.int64)
+            return (
+                SearchResult(ids=empty, distances=empty.astype(np.float64), stats=SearchStats()),
+                trace,
+            )
+
+        outcomes: list[Any] = [None] * num_requests
+        served_lock = threading.Lock()
+        started = time.perf_counter()
+
+        def serve(request_id: int):
+            outcome = search_fn(queries[request_id : request_id + 1], top_k)
+            with served_lock:
+                trace.served_requests.append(request_id)
+            return request_id, outcome
+
+        if self.num_threads == 1 or num_requests <= 1:
+            for request_id in range(num_requests):
+                outcomes[request_id] = serve(request_id)[1]
+        else:
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=min(self.num_threads, num_requests),
+                thread_name_prefix="repro-query",
+            ) as pool:
+                for request_id, outcome in pool.map(serve, range(num_requests)):
+                    outcomes[request_id] = outcome
+        trace.wall_seconds = time.perf_counter() - started
+
+        total = SearchStats()
+        ids_rows: list[np.ndarray] = []
+        distance_rows: list[np.ndarray] = []
+        for outcome in outcomes:
+            ids_rows.append(outcome.ids)
+            distance_rows.append(outcome.distances)
+            stats = outcome.stats
+            # Cross-request accumulation: requests carry distinct queries, so
+            # num_queries adds up (unlike the per-segment merge within one
+            # request, where it is the shared batch size).
+            total.num_queries += stats.num_queries
+            total.distance_evaluations += stats.distance_evaluations
+            total.coarse_evaluations += stats.coarse_evaluations
+            total.code_evaluations += stats.code_evaluations
+            total.reorder_evaluations += stats.reorder_evaluations
+            total.graph_hops += stats.graph_hops
+            total.segments_searched += stats.segments_searched
+            shard_stats = getattr(outcome, "shard_stats", None) or [stats]
+            trace.request_shard_stats.append(list(shard_stats))
+
+        ids = np.concatenate(ids_rows, axis=0)
+        distances = np.concatenate(distance_rows, axis=0)
+        return SearchResult(ids=ids, distances=distances, stats=total), trace

@@ -1,6 +1,8 @@
 """System-level configuration of the simulated VDMS.
 
-These are the seven tunable system parameters shared by every index type
+These are the tunable system parameters shared by every index type — the
+seven from the paper plus the serving topology (``shard_num``,
+``routing_policy``, ``search_threads``) the sharded engine adds
 (see :mod:`repro.config.milvus_space`).  The dataclass validates ranges and
 provides the derived quantities the storage layer and the cost model need,
 most importantly the *row capacity* implied by segment sizes.
@@ -20,7 +22,7 @@ from typing import Any, Mapping
 
 from repro.vdms.errors import InvalidConfigurationError
 
-__all__ = ["SystemConfig"]
+__all__ = ["SystemConfig", "ROUTING_POLICIES"]
 
 #: Simulated rows per (megabyte * dimension); chosen so the default segment
 #: size yields a handful of segments on the bundled datasets.
@@ -33,9 +35,15 @@ _ROW_DENSITY = 256.0
 SIMULATED_CORES = 16
 
 
+#: Routing policies accepted by ``routing_policy`` (see
+#: :mod:`repro.vdms.sharding`).
+ROUTING_POLICIES: tuple[str, ...] = ("hash", "range")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
-    """The seven shared system parameters.
+    """The shared system parameters (seven from the paper plus the serving
+    topology: ``shard_num``, ``routing_policy`` and ``search_threads``).
 
     Attributes
     ----------
@@ -61,6 +69,21 @@ class SystemConfig:
     replica_number:
         Number of in-memory replicas of the collection; adds throughput
         headroom at a proportional memory cost.
+    shard_num:
+        Number of horizontal partitions of a collection.  Each shard owns
+        its own segments and indexes; queries scatter to every shard and the
+        per-shard top-k lists are heap-merged.  Sharding pays a per-shard
+        overhead at ``search_threads == 1`` and wins once shard tasks can
+        actually overlap, making the topology itself a tunable trade-off.
+    routing_policy:
+        How rows are assigned to shards: ``"hash"`` (uniform splitmix64
+        scramble of the id) or ``"range"`` (contiguous id blocks
+        round-robined across shards).
+    search_threads:
+        Size of the query execution pool that serves concurrent requests
+        and overlapping shard tasks.  Execution threads compete with
+        ``query_node_threads`` for the simulated cores (see
+        :meth:`effective_search_workers`).
     """
 
     segment_max_size: int = 512
@@ -70,6 +93,9 @@ class SystemConfig:
     chunk_rows: int = 8_192
     query_node_threads: int = 4
     replica_number: int = 1
+    shard_num: int = 1
+    routing_policy: str = "hash"
+    search_threads: int = 1
 
     def __post_init__(self) -> None:
         if not 1 <= self.segment_max_size <= 1_000_000:
@@ -86,6 +112,14 @@ class SystemConfig:
             raise InvalidConfigurationError("query_node_threads out of range")
         if not 1 <= self.replica_number <= 64:
             raise InvalidConfigurationError("replica_number out of range")
+        if not 1 <= self.shard_num <= 64:
+            raise InvalidConfigurationError("shard_num out of range")
+        if self.routing_policy not in ROUTING_POLICIES:
+            raise InvalidConfigurationError(
+                f"routing_policy must be one of {ROUTING_POLICIES}"
+            )
+        if not 1 <= self.search_threads <= 256:
+            raise InvalidConfigurationError("search_threads out of range")
 
     # -- construction ----------------------------------------------------------
 
@@ -101,11 +135,16 @@ class SystemConfig:
             "chunk_rows",
             "query_node_threads",
             "replica_number",
+            "shard_num",
+            "routing_policy",
+            "search_threads",
         ):
             if field_name in values:
                 kwargs[field_name] = values[field_name]
         if "segment_seal_proportion" in kwargs:
             kwargs["segment_seal_proportion"] = float(kwargs["segment_seal_proportion"])
+        if "routing_policy" in kwargs:
+            kwargs["routing_policy"] = str(kwargs["routing_policy"])
         for integer_field in (
             "segment_max_size",
             "graceful_time",
@@ -113,6 +152,8 @@ class SystemConfig:
             "chunk_rows",
             "query_node_threads",
             "replica_number",
+            "shard_num",
+            "search_threads",
         ):
             if integer_field in kwargs:
                 kwargs[integer_field] = int(kwargs[integer_field])
@@ -152,3 +193,14 @@ class SystemConfig:
         """
         capacity = max(1, SIMULATED_CORES // max(1, self.query_node_threads))
         return max(1, min(int(requested_concurrency), capacity))
+
+    def effective_search_workers(self) -> int:
+        """Execution-pool slots the query scheduler can actually keep busy.
+
+        Each worker serves one request (or one shard task) at a time and
+        pins ``query_node_threads`` cores while doing so, so the pool is
+        capped by the same core budget that limits client concurrency:
+        raising intra-query threading shrinks the number of shard tasks that
+        can overlap.
+        """
+        return self.effective_concurrency(self.search_threads)

@@ -73,6 +73,7 @@ class VDMSTuningEnvironment:
         noise: float = 0.0,
         seed: int = 0,
         dataset_scale: float = 1.0,
+        use_query_scheduler: bool = True,
     ) -> None:
         if isinstance(dataset, str):
             dataset = load_dataset(dataset, scale=dataset_scale)
@@ -80,8 +81,14 @@ class VDMSTuningEnvironment:
         self.workload = workload or SearchWorkload.from_dataset(dataset, concurrency=concurrency)
         self.space = space or build_milvus_space()
         self.noise = float(noise)
+        # Whether replays of search_threads > 1 configurations drive the
+        # workload through the concurrent QueryScheduler (measured QPS) or
+        # always use the serial batch search + analytic concurrency model.
+        self.use_query_scheduler = bool(use_query_scheduler)
         self._rng = np.random.default_rng(seed)
-        self._replayer = WorkloadReplayer(self.dataset, self.workload)
+        self._replayer = WorkloadReplayer(
+            self.dataset, self.workload, use_query_scheduler=self.use_query_scheduler
+        )
         self._history: list[EvaluationRecord] = []
         self._replay_seconds = 0.0
         self._recommendation_seconds = 0.0
@@ -101,7 +108,9 @@ class VDMSTuningEnvironment:
         if dataset is not None:
             self.dataset = dataset
         self.workload = workload
-        self._replayer = WorkloadReplayer(self.dataset, self.workload)
+        self._replayer = WorkloadReplayer(
+            self.dataset, self.workload, use_query_scheduler=self.use_query_scheduler
+        )
         self._result_cache.clear()
 
     # -- evaluation -----------------------------------------------------------------

@@ -1,10 +1,20 @@
 """Workload replay: run one configuration end to end and measure it.
 
 The replayer performs the same steps the paper's harness performs for every
-sampled configuration: apply the system parameters, reload the collection,
-build the requested index, replay the search workload, and report search
-speed, recall and memory.  All times are simulated by the cost model, so the
-result is deterministic.
+sampled configuration: apply the system parameters, reload the (sharded)
+collection, build the requested index, replay the search workload, and report
+search speed, recall and memory.  All times are simulated by the cost model,
+so the result is deterministic.
+
+Concurrent serving: when the configuration asks for an execution pool
+(``search_threads > 1``), the workload is driven through a
+:class:`~repro.vdms.sharding.QueryScheduler` — real threads issuing one
+request per query against the thread-safe collection — and the reported QPS
+is the *measured* concurrent throughput of that schedule (shard tasks
+event-simulated over the configured worker budget, see
+:meth:`repro.vdms.cost_model.CostModel.concurrent_qps`).  With
+``search_threads == 1`` the replayer falls back to the plain cost-model
+concurrency multiplier, so serial configurations behave exactly as before.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from typing import Any, Mapping
 from repro.datasets.dataset import Dataset
 from repro.datasets.ground_truth import recall_at_k
 from repro.vdms.server import VectorDBServer
+from repro.vdms.sharding import QueryScheduler
 from repro.vdms.system_config import SystemConfig
 from repro.workloads.workload import SearchWorkload
 
@@ -90,12 +101,26 @@ class EvaluationResult:
 
 
 class WorkloadReplayer:
-    """Replays a workload against a server for one configuration at a time."""
+    """Replays a workload against a server for one configuration at a time.
 
-    def __init__(self, dataset: Dataset, workload: SearchWorkload | None = None, *, collection_name: str = "tuning") -> None:
+    ``use_query_scheduler`` enables the concurrent serving path for
+    configurations with ``search_threads > 1`` (the default); disabling it
+    forces every replay through the serial batch search plus the analytic
+    concurrency multiplier.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        workload: SearchWorkload | None = None,
+        *,
+        collection_name: str = "tuning",
+        use_query_scheduler: bool = True,
+    ) -> None:
         self.dataset = dataset
         self.workload = workload or SearchWorkload.from_dataset(dataset)
         self.collection_name = collection_name
+        self.use_query_scheduler = bool(use_query_scheduler)
         self.server = VectorDBServer()
 
     def replay(self, configuration: Mapping[str, Any]) -> EvaluationResult:
@@ -110,27 +135,54 @@ class WorkloadReplayer:
 
         index_type = str(configuration.get("index_type", "AUTOINDEX")).rstrip("_")
         params = {k: v for k, v in configuration.items() if k != "index_type"}
-        build_stats = collection.create_index(index_type, params)
+        build_stats = collection.create_index(
+            index_type, params, build_workers=system_config.search_threads
+        )
 
-        result = collection.search(self.workload.queries, self.workload.top_k)
+        scheduled = self.use_query_scheduler and system_config.search_threads > 1
+        trace = None
+        if scheduled:
+            scheduler = QueryScheduler(num_threads=system_config.search_threads)
+            result, trace = scheduler.run(
+                collection.search, self.workload.queries, self.workload.top_k
+            )
+        else:
+            result = collection.search(self.workload.queries, self.workload.top_k)
         recall = recall_at_k(result.ids, self.workload.ground_truth, self.workload.top_k)
 
         cost_model = self.server.cost_model()
+        profile = collection.profile()
         report = cost_model.evaluate(
             result.stats,
-            collection.profile(),
+            profile,
             build_stats,
             recall,
             concurrency=self.workload.concurrency,
         )
+        breakdown = dict(report.breakdown)
+        qps = report.qps
+        replay_seconds = report.replay_seconds
+        failed = report.failed
+        if scheduled and trace is not None and trace.num_requests:
+            workers = system_config.effective_search_workers()
+            measured_qps, makespan = cost_model.concurrent_qps(
+                trace.request_shard_stats, profile, workers=workers
+            )
+            qps = measured_qps
+            replay_seconds = report.build_seconds + cost_model.SIMULATED_REQUESTS / max(qps, 1e-9)
+            failed = replay_seconds > cost_model.REPLAY_TIMEOUT_SECONDS
+            breakdown["measured_concurrent_qps"] = float(measured_qps)
+            breakdown["scheduler_workers"] = float(workers)
+            breakdown["scheduled_requests"] = float(trace.num_requests)
+            breakdown["schedule_makespan_seconds"] = float(makespan)
         return EvaluationResult(
-            qps=report.qps,
+            qps=float(qps),
             recall=report.recall,
             memory_gib=report.memory_gib,
             latency_ms=report.latency_ms,
             build_seconds=report.build_seconds,
-            replay_seconds=report.replay_seconds,
-            failed=report.failed,
+            replay_seconds=float(replay_seconds),
+            failed=bool(failed),
             configuration=dict(configuration),
-            breakdown=dict(report.breakdown),
+            breakdown=breakdown,
         )

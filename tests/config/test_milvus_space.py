@@ -1,4 +1,4 @@
-"""Unit tests for the Milvus-like 16-dimensional tuning space."""
+"""Unit tests for the Milvus-like tuning space (16 paper dims + serving topology)."""
 
 import pytest
 
@@ -13,9 +13,10 @@ from repro.config.milvus_space import (
 
 
 class TestSpaceStructure:
-    def test_space_has_16_dimensions(self, milvus_space):
-        # Paper: index type + 8 index parameters + 7 system parameters.
-        assert milvus_space.dimension == 16
+    def test_space_has_19_dimensions(self, milvus_space):
+        # Paper: index type + 8 index parameters + 7 system parameters,
+        # plus the 3 serving-topology parameters of the sharded engine.
+        assert milvus_space.dimension == 19
 
     def test_index_type_choices_match_table1(self, milvus_space):
         assert tuple(milvus_space["index_type"].choices) == INDEX_TYPES
@@ -29,8 +30,10 @@ class TestSpaceStructure:
         for name in index_parameters:
             assert name in milvus_space
 
-    def test_seven_system_parameters(self, milvus_space):
-        assert len(SYSTEM_PARAMETERS) == 7
+    def test_ten_system_parameters(self, milvus_space):
+        # The paper's seven plus shard_num, routing_policy, search_threads.
+        assert len(SYSTEM_PARAMETERS) == 10
+        assert {"shard_num", "routing_policy", "search_threads"} < set(SYSTEM_PARAMETERS)
         for name in SYSTEM_PARAMETERS:
             assert name in milvus_space
 
@@ -54,7 +57,7 @@ class TestSpaceConstruction:
 
     def test_restricted_space_keeps_dimension(self):
         space = build_milvus_space(index_types=("HNSW", "IVF_FLAT"))
-        assert space.dimension == 16
+        assert space.dimension == 19
         assert set(space["index_type"].choices) == {"HNSW", "IVF_FLAT"}
 
     def test_single_index_space_is_buildable(self):

@@ -271,7 +271,7 @@ class TestParameterProperties:
 
     @given(
         vector=hnp.arrays(
-            dtype=np.float64, shape=(16,), elements=st.floats(0.0, 1.0, allow_nan=False)
+            dtype=np.float64, shape=(SPACE.dimension,), elements=st.floats(0.0, 1.0, allow_nan=False)
         )
     )
     @settings(max_examples=60, deadline=None)

@@ -1,0 +1,61 @@
+"""Repository hygiene: bytecode artifacts must never enter the tree.
+
+``__pycache__`` directories (and stray ``.pyc`` files) accumulate in the
+worktree whenever the suite runs without ``PYTHONDONTWRITEBYTECODE``; they
+must be both ignored by git (so ``git status`` stays clean) and absent from
+the tracked tree (CI fails the build otherwise — see the "bytecode
+artifacts" step in .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Patterns .gitignore must cover for Python bytecode and tool caches.
+REQUIRED_IGNORE_PATTERNS = (
+    "__pycache__/",
+    "*.py[cod]",
+    ".pytest_cache/",
+    ".hypothesis/",
+)
+
+
+def git(*args: str) -> str:
+    result = subprocess.run(
+        ["git", *args], cwd=REPO_ROOT, capture_output=True, text=True, timeout=60
+    )
+    if result.returncode != 0:
+        pytest.skip(f"git unavailable in this checkout: {result.stderr.strip()}")
+    return result.stdout
+
+
+def test_gitignore_covers_bytecode_artifacts():
+    gitignore = (REPO_ROOT / ".gitignore").read_text(encoding="utf-8").splitlines()
+    patterns = {line.strip() for line in gitignore if line.strip() and not line.startswith("#")}
+    missing = [pattern for pattern in REQUIRED_IGNORE_PATTERNS if pattern not in patterns]
+    assert not missing, f".gitignore is missing the patterns {missing}"
+
+
+def test_no_tracked_bytecode_artifacts():
+    tracked = git("ls-files").splitlines()
+    offenders = [
+        path
+        for path in tracked
+        if path.endswith((".pyc", ".pyo", ".pyd")) or "__pycache__" in path
+    ]
+    assert not offenders, f"bytecode artifacts are tracked by git: {offenders[:10]}"
+
+
+def test_worktree_bytecode_is_ignored_by_git():
+    # `git status --porcelain` must not surface bytecode even when it exists
+    # on disk (it routinely does after a test run).
+    status = git("status", "--porcelain").splitlines()
+    offenders = [
+        line for line in status if "__pycache__" in line or line.rstrip().endswith(".pyc")
+    ]
+    assert not offenders, f"bytecode artifacts leak into git status: {offenders[:10]}"

@@ -145,7 +145,7 @@ class TestDelete:
         collection = loaded_collection(corpus)
         collection.create_index("IVF_FLAT", {"nlist": 16, "nprobe": 16})
         index_bytes_before = collection.index_bytes()
-        sealed_ids = collection._segments.sealed_segments[0].ids
+        sealed_ids = collection.shards[0].segments.sealed_segments[0].ids
         collection.delete(sealed_ids[:8])
         # The touched sealed segment lost its index; the others keep theirs.
         assert collection.index_bytes() < index_bytes_before
@@ -155,7 +155,7 @@ class TestDelete:
         vectors, queries, _ = corpus
         collection = loaded_collection(corpus)
         collection.create_index("FLAT", {})
-        doomed = collection._segments.sealed_segments[0].ids[:8]
+        doomed = collection.shards[0].segments.sealed_segments[0].ids[:8]
         collection.delete(doomed)
         result = collection.search(queries, 5)
         assert result.ids.shape == (queries.shape[0], 5)
@@ -171,11 +171,11 @@ class TestDelete:
     def test_reindex_after_delete_restores_index_search(self, corpus):
         collection = loaded_collection(corpus)
         collection.create_index("IVF_FLAT", {"nlist": 16, "nprobe": 16})
-        collection.delete(collection._segments.sealed_segments[0].ids[:8])
+        collection.delete(collection.shards[0].segments.sealed_segments[0].ids[:8])
         collection.create_index("IVF_FLAT", {"nlist": 16, "nprobe": 16})
         # Every sealed segment is indexed again.
-        assert set(collection._segment_indexes) == {
-            s.segment_id for s in collection._segments.sealed_segments
+        assert set(collection.shards[0].indexes) == {
+            s.segment_id for s in collection.shards[0].segments.sealed_segments
         }
 
     def test_delete_everything_leaves_searchable_empty_state(self, corpus):

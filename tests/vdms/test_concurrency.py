@@ -1,0 +1,224 @@
+"""Concurrency stress suite for the sharded serving engine.
+
+Three guarantees are pinned down:
+
+* **No lost or duplicated queries** — the scheduler serves exactly one
+  request per query, for any thread count.
+* **Deterministic results** — replaying the same workload at
+  ``search_threads in {1, 4, 8}`` yields bit-identical served ids (real
+  thread scheduling may interleave arbitrarily; reassembly in submission
+  order must hide that completely), and the replayer's full evaluation
+  result is rerun-stable.
+* **Thread-safe mutation** — ``Collection.delete`` racing against in-flight
+  scheduled searches never corrupts a result: every response is a coherent
+  snapshot (valid ids, correct shape), and once the deletes have landed a
+  fresh search no longer serves the deleted rows.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.vdms import Collection, QueryScheduler, SystemConfig
+from repro.workloads.replay import WorkloadReplayer
+
+NUM_VECTORS = 900
+NUM_QUERIES = 48
+DIMENSION = 16
+TOP_K = 10
+
+THREAD_COUNTS = (1, 4, 8)
+
+
+def build_collection(shard_num: int = 4) -> tuple[Collection, np.ndarray]:
+    rng = np.random.default_rng(17)
+    vectors = rng.normal(size=(NUM_VECTORS, DIMENSION)).astype(np.float32)
+    queries = rng.normal(size=(NUM_QUERIES, DIMENSION)).astype(np.float32)
+    config = SystemConfig(
+        shard_num=shard_num, segment_max_size=64, segment_seal_proportion=0.25, insert_buf_size=64
+    )
+    collection = Collection("stress", DIMENSION, metric="l2", system_config=config)
+    collection.insert(vectors)
+    collection.flush()
+    collection.create_index("FLAT")
+    return collection, queries
+
+
+class TestSchedulerDeterminism:
+    def test_no_lost_or_duplicated_queries(self):
+        collection, queries = build_collection()
+        for threads in THREAD_COUNTS:
+            result, trace = QueryScheduler(num_threads=threads).run(
+                collection.search, queries, TOP_K
+            )
+            assert trace.num_requests == NUM_QUERIES
+            assert sorted(trace.served_requests) == list(range(NUM_QUERIES))
+            assert len(trace.request_shard_stats) == NUM_QUERIES
+            assert result.ids.shape == (NUM_QUERIES, TOP_K)
+            assert result.stats.num_queries == NUM_QUERIES
+
+    def test_results_identical_across_thread_counts(self):
+        collection, queries = build_collection()
+        outputs = {
+            threads: QueryScheduler(num_threads=threads).run(collection.search, queries, TOP_K)[0]
+            for threads in THREAD_COUNTS
+        }
+        baseline = outputs[THREAD_COUNTS[0]]
+        for threads, result in outputs.items():
+            assert np.array_equal(result.ids, baseline.ids), f"{threads} threads diverged"
+            assert np.array_equal(result.distances, baseline.distances)
+
+    def test_replay_is_deterministic_for_every_thread_count(self):
+        dataset = load_dataset("glove-small")
+        replayer = WorkloadReplayer(dataset)
+        params = {
+            "index_type": "IVF_FLAT",
+            "nlist": 32,
+            "nprobe": 8,
+            "segment_max_size": 125,
+            "insert_buf_size": 64,
+            "shard_num": 4,
+        }
+        recalls = {}
+        for threads in THREAD_COUNTS:
+            configured = dict(params, search_threads=threads)
+            first = replayer.replay(configured)
+            second = replayer.replay(configured)
+            assert first == second, f"replay at search_threads={threads} not rerun-stable"
+            recalls[threads] = first.recall
+        # The served results (and therefore recall) do not depend on the
+        # thread count, only the throughput accounting does.
+        assert len(set(recalls.values())) == 1
+
+
+class TestConcurrentDeletes:
+    def test_delete_during_in_flight_searches(self):
+        collection, queries = build_collection()
+        doomed_universe = np.arange(0, NUM_VECTORS, 2, dtype=np.int64)  # delete every other row
+        survivors = np.setdiff1d(np.arange(NUM_VECTORS, dtype=np.int64), doomed_universe)
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            scheduler = QueryScheduler(num_threads=4)
+            try:
+                while not stop.is_set():
+                    result, trace = scheduler.run(collection.search, queries, TOP_K)
+                    assert result.ids.shape == (NUM_QUERIES, TOP_K)
+                    assert sorted(trace.served_requests) == list(range(NUM_QUERIES))
+                    valid = (result.ids >= -1) & (result.ids < NUM_VECTORS)
+                    assert valid.all(), "search served an id outside the inserted universe"
+            except Exception as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+
+        searchers = [threading.Thread(target=hammer) for _ in range(2)]
+        for thread in searchers:
+            thread.start()
+        try:
+            deleted = 0
+            for start in range(0, doomed_universe.size, 50):
+                deleted += collection.delete(doomed_universe[start : start + 50])
+        finally:
+            stop.set()
+            for thread in searchers:
+                thread.join(timeout=30)
+        assert not errors, f"concurrent search failed: {errors[0]!r}"
+        assert all(not thread.is_alive() for thread in searchers)
+        assert deleted == doomed_universe.size
+        assert collection.num_rows == survivors.size
+
+        # After the dust settles, deleted rows are never served again and
+        # the survivors are served exactly (brute force over de-indexed
+        # segments keeps recall intact).
+        result = collection.search(queries, TOP_K)
+        assert not np.isin(result.ids, doomed_universe).any()
+        assert np.isin(result.ids, survivors).all()
+
+    def test_mutations_between_scheduled_batches_stay_coherent(self):
+        collection, queries = build_collection(shard_num=2)
+        scheduler = QueryScheduler(num_threads=4)
+        before, _ = scheduler.run(collection.search, queries, TOP_K)
+        held_out = before.ids[0, 0]
+        collection.delete(np.array([held_out]))
+        after, _ = scheduler.run(collection.search, queries, TOP_K)
+        assert not (after.ids == held_out).any()
+        # Re-indexing restores fully indexed serving with the same contract.
+        collection.create_index("FLAT")
+        reindexed, _ = scheduler.run(collection.search, queries, TOP_K)
+        assert np.array_equal(reindexed.ids, after.ids)
+
+    def test_concurrent_searches_do_not_deadlock_with_reindex(self):
+        collection, queries = build_collection(shard_num=2)
+        errors: list[Exception] = []
+        done = threading.Event()
+
+        def reindex() -> None:
+            try:
+                for _ in range(5):
+                    collection.create_index("FLAT")
+            except Exception as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+            finally:
+                done.set()
+
+        rebuilder = threading.Thread(target=reindex)
+        rebuilder.start()
+        scheduler = QueryScheduler(num_threads=4)
+        while not done.is_set():
+            result, _ = scheduler.run(collection.search, queries, TOP_K)
+            assert result.ids.shape == (NUM_QUERIES, TOP_K)
+        rebuilder.join(timeout=30)
+        assert not rebuilder.is_alive()
+        assert not errors
+
+
+class TestParallelIndexBuilds:
+    def test_parallel_build_matches_serial_build(self):
+        rng = np.random.default_rng(5)
+        vectors = rng.normal(size=(600, DIMENSION)).astype(np.float32)
+        queries = rng.normal(size=(8, DIMENSION)).astype(np.float32)
+        results = {}
+        for workers in (1, 4):
+            config = SystemConfig(shard_num=4, segment_max_size=64, insert_buf_size=64)
+            collection = Collection("build", DIMENSION, metric="l2", system_config=config)
+            collection.insert(vectors)
+            collection.flush()
+            stats = collection.create_index(
+                "IVF_FLAT", {"nlist": 8, "nprobe": 8}, build_workers=workers
+            )
+            results[workers] = (collection.search(queries, TOP_K), len(stats))
+        serial, parallel = results[1], results[4]
+        assert serial[1] == parallel[1]  # same number of per-segment builds
+        assert np.array_equal(serial[0].ids, parallel[0].ids)
+
+
+class TestSnapshotIsolation:
+    def test_reconfiguring_search_params_does_not_touch_snapshotted_indexes(self):
+        collection, queries = build_collection(shard_num=2)
+        collection.create_index("IVF_FLAT", {"nlist": 8, "nprobe": 2})
+        snapshots = [shard.snapshot() for shard in collection.shards]
+        before = [index.nprobe for snapshot in snapshots for index in snapshot.indexed]
+        # Both reconfiguration paths: explicit update and a cache-hit rebuild
+        # with different search-time parameters.
+        collection.set_search_params(nprobe=8)
+        collection.create_index("IVF_FLAT", {"nlist": 8, "nprobe": 6})
+        after = [index.nprobe for snapshot in snapshots for index in snapshot.indexed]
+        assert after == before == [2] * len(before), (
+            "in-flight snapshot saw a search-time parameter change"
+        )
+        # New snapshots serve under the new parameters.
+        fresh = [index.nprobe for shard in collection.shards for index in shard.indexes.values()]
+        assert fresh == [6] * len(fresh)
+        result = collection.search(queries, TOP_K)
+        assert result.ids.shape == (NUM_QUERIES, TOP_K)
+
+    def test_mismatched_ids_length_raises_value_error(self):
+        collection, _ = build_collection(shard_num=2)
+        with pytest.raises(ValueError, match="ids must match"):
+            collection.insert(
+                np.zeros((5, DIMENSION), dtype=np.float32), ids=np.arange(3, dtype=np.int64)
+            )

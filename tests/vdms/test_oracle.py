@@ -1,0 +1,168 @@
+"""Brute-force-oracle suite: every index type pinned to an exact NumPy scan.
+
+The oracle is deliberately independent of the package's distance kernels: it
+recomputes distances with plain NumPy expressions (float64) and takes the
+top-k by full argsort.  Every registered index type is then measured against
+it, for both supported similarity metrics:
+
+* exact indexes (FLAT, and IVF_FLAT probing every list) must achieve
+  recall 1.0 — identical ids, not just overlapping sets;
+* approximate indexes must clear a per-type recall floor;
+* sharded search (any ``shard_num``, any routing policy) over an exact
+  index must return results *identical* to the unsharded exact scan — the
+  scatter-gather merge must not change what is served.
+
+To add a new index type: register it in ``INDEX_ORACLE_CASES`` with a
+parameter mapping and a recall floor (1.0 marks it exact), and it is picked
+up by every test in this file (see docs/testing.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vdms import Collection, SystemConfig
+from repro.vdms.sharding import ROUTING_POLICIES
+
+#: (params, recall_floor) per index type; floor 1.0 marks the index exact.
+INDEX_ORACLE_CASES: dict[str, tuple[dict, float]] = {
+    "FLAT": ({}, 1.0),
+    # Probing every list makes IVF_FLAT an exhaustive (exact) scan.
+    "IVF_FLAT": ({"nlist": 8, "nprobe": 8}, 1.0),
+    "IVF_SQ8": ({"nlist": 8, "nprobe": 8}, 0.55),
+    "IVF_PQ": ({"nlist": 8, "nprobe": 8, "pq_m": 4, "pq_nbits": 8}, 0.25),
+    "HNSW": ({"hnsw_m": 16, "ef_construction": 128, "ef_search": 96}, 0.80),
+    "SCANN": ({"nlist": 8, "nprobe": 6, "reorder_k": 150}, 0.70),
+    "AUTOINDEX": ({}, 0.80),
+}
+
+EXACT_INDEX_TYPES = [name for name, (_, floor) in INDEX_ORACLE_CASES.items() if floor == 1.0]
+
+METRICS = ("l2", "angular")
+
+NUM_VECTORS = 720
+NUM_QUERIES = 12
+DIMENSION = 24
+TOP_K = 10
+
+#: Small segments so the scan crosses several per-segment indexes per shard.
+SEGMENT_CONFIG = {"segment_max_size": 64, "segment_seal_proportion": 0.25, "insert_buf_size": 64}
+
+
+def make_corpus(seed: int = 7) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(NUM_VECTORS, DIMENSION)).astype(np.float32)
+    queries = rng.normal(size=(NUM_QUERIES, DIMENSION)).astype(np.float32)
+    return vectors, queries
+
+
+def exact_scan(vectors: np.ndarray, queries: np.ndarray, metric: str, top_k: int) -> np.ndarray:
+    """Independent NumPy oracle: full distance matrix, full argsort."""
+    v = vectors.astype(np.float64)
+    q = queries.astype(np.float64)
+    if metric == "angular":
+        v = v / np.linalg.norm(v, axis=1, keepdims=True)
+        q = q / np.linalg.norm(q, axis=1, keepdims=True)
+    # Squared Euclidean distance, exact (oracle may be O(q * n * d)).
+    distances = ((q[:, None, :] - v[None, :, :]) ** 2).sum(axis=2)
+    return np.argsort(distances, axis=1, kind="stable")[:, :top_k]
+
+
+def recall_against(ids: np.ndarray, truth: np.ndarray) -> float:
+    hits = sum(len(np.intersect1d(row, true_row)) for row, true_row in zip(ids, truth))
+    return hits / truth.size
+
+
+def build_collection(
+    vectors: np.ndarray,
+    metric: str,
+    index_type: str,
+    params: dict,
+    *,
+    shard_num: int = 1,
+    routing_policy: str = "hash",
+) -> Collection:
+    config = SystemConfig(shard_num=shard_num, routing_policy=routing_policy, **SEGMENT_CONFIG)
+    collection = Collection("oracle", DIMENSION, metric=metric, system_config=config)
+    collection.insert(vectors)
+    collection.flush()
+    collection.create_index(index_type, params)
+    return collection
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("index_type", sorted(INDEX_ORACLE_CASES))
+class TestEveryIndexAgainstTheOracle:
+    def test_recall_at_k_clears_the_floor(self, index_type, metric):
+        params, floor = INDEX_ORACLE_CASES[index_type]
+        vectors, queries = make_corpus()
+        truth = exact_scan(vectors, queries, metric, TOP_K)
+        collection = build_collection(vectors, metric, index_type, params)
+        result = collection.search(queries, TOP_K)
+        recall = recall_against(result.ids, truth)
+        assert recall >= floor, f"{index_type}/{metric}: recall {recall:.3f} < floor {floor}"
+
+    def test_results_are_valid_ids_without_duplicates(self, index_type, metric):
+        params, _ = INDEX_ORACLE_CASES[index_type]
+        vectors, queries = make_corpus()
+        collection = build_collection(vectors, metric, index_type, params)
+        result = collection.search(queries, TOP_K)
+        assert result.ids.shape == (NUM_QUERIES, TOP_K)
+        assert ((result.ids >= 0) & (result.ids < NUM_VECTORS)).all()
+        for row in result.ids:
+            assert len(set(row.tolist())) == TOP_K, "duplicate ids within one result row"
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("index_type", EXACT_INDEX_TYPES)
+class TestExactIndexesAreExact:
+    def test_recall_is_exactly_one(self, index_type, metric):
+        params, _ = INDEX_ORACLE_CASES[index_type]
+        vectors, queries = make_corpus()
+        truth = exact_scan(vectors, queries, metric, TOP_K)
+        collection = build_collection(vectors, metric, index_type, params)
+        result = collection.search(queries, TOP_K)
+        assert recall_against(result.ids, truth) == pytest.approx(1.0)
+
+    def test_ids_identical_to_oracle(self, index_type, metric):
+        params, _ = INDEX_ORACLE_CASES[index_type]
+        vectors, queries = make_corpus()
+        truth = exact_scan(vectors, queries, metric, TOP_K)
+        collection = build_collection(vectors, metric, index_type, params)
+        result = collection.search(queries, TOP_K)
+        assert np.array_equal(result.ids, truth)
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("routing_policy", ROUTING_POLICIES)
+@pytest.mark.parametrize("shard_num", (1, 2, 4))
+@pytest.mark.parametrize("index_type", EXACT_INDEX_TYPES)
+class TestShardedSearchMatchesUnshardedExactScan:
+    def test_sharded_ids_identical_to_oracle(self, index_type, shard_num, routing_policy, metric):
+        params, _ = INDEX_ORACLE_CASES[index_type]
+        vectors, queries = make_corpus()
+        truth = exact_scan(vectors, queries, metric, TOP_K)
+        collection = build_collection(
+            vectors, metric, index_type, params,
+            shard_num=shard_num, routing_policy=routing_policy,
+        )
+        assert len(collection.shards) == shard_num
+        result = collection.search(queries, TOP_K)
+        assert np.array_equal(result.ids, truth), (
+            f"sharded {index_type} (shards={shard_num}, {routing_policy}) diverged from the oracle"
+        )
+
+    def test_sharded_equals_unsharded_bit_for_bit(self, index_type, shard_num, routing_policy, metric):
+        params, _ = INDEX_ORACLE_CASES[index_type]
+        vectors, queries = make_corpus()
+        unsharded = build_collection(vectors, metric, index_type, params).search(queries, TOP_K)
+        sharded = build_collection(
+            vectors, metric, index_type, params,
+            shard_num=shard_num, routing_policy=routing_policy,
+        ).search(queries, TOP_K)
+        assert np.array_equal(sharded.ids, unsharded.ids)
+        # Served ids must be bit-identical; distances are allowed the last
+        # float32 ulp because BLAS kernels round differently for different
+        # submatrix shapes (IVF scores rows cluster by cluster).
+        assert np.allclose(sharded.distances, unsharded.distances, rtol=1e-6, atol=1e-6)

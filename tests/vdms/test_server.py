@@ -78,3 +78,28 @@ class TestSystemConfig:
         collection.insert(vectors)
         collection.flush()
         assert collection.num_sealed_segments <= many_segments
+
+
+class TestConcurrentSearch:
+    def test_concurrent_search_matches_batch_search(self, vectors):
+        server = VectorDBServer()
+        server.apply_system_config(
+            {"shard_num": 2, "search_threads": 4, "segment_max_size": 64, "insert_buf_size": 64}
+        )
+        server.create_collection("c", 8)
+        server.insert("c", vectors)
+        server.flush("c")
+        server.create_index("c", "FLAT")
+        batch = server.search("c", vectors[:6], 3)
+        concurrent, trace = server.concurrent_search("c", vectors[:6], 3)
+        assert trace.num_requests == 6
+        assert sorted(trace.served_requests) == list(range(6))
+        assert np.array_equal(concurrent.ids, batch.ids)
+        # Per-request shard tasks feed the cost model's event simulation.
+        assert all(len(stats) == 2 for stats in trace.request_shard_stats)
+        qps, makespan = server.cost_model().concurrent_qps(
+            trace.request_shard_stats,
+            server.get_collection("c").profile(),
+            workers=server.system_config.effective_search_workers(),
+        )
+        assert qps > 0 and makespan > 0
