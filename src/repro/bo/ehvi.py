@@ -11,6 +11,15 @@ two-objective Monte-Carlo estimators of Daulton et al. (2020):
 :func:`monte_carlo_ehvi` for single points, :func:`monte_carlo_qehvi` for
 joint batches, and :func:`greedy_qehvi_scores` for the sequential-greedy
 batch construction the batch-parallel engine uses.
+
+Randomness discipline: the two *top-level entry points*
+(:func:`monte_carlo_ehvi` and :func:`monte_carlo_qehvi`) fall back to a
+fixed-seed generator when no ``rng`` is given, so one-shot acquisition
+values are reproducible.  :func:`greedy_qehvi_scores` — which batch
+construction calls once per batch slot — *requires* a caller-owned
+generator: a per-call fixed-seed fallback would re-draw the exact same
+Monte-Carlo noise for every slot, correlating the q-EHVI batch draws and
+silently biasing greedy selection toward the noise's favourites.
 """
 
 from __future__ import annotations
@@ -47,15 +56,18 @@ def monte_carlo_ehvi(
     num_samples:
         Number of Monte-Carlo samples per candidate.
     rng:
-        Random generator (defaults to a fixed-seed generator so acquisition
-        values are reproducible).
+        Random generator.  This is a top-level entry point, so it defaults
+        to a fixed-seed generator for reproducible one-shot values; loops
+        (batch construction, repeated scoring) must pass their own
+        generator so successive calls draw fresh noise.
 
     Returns
     -------
     numpy.ndarray
         EHVI estimate per candidate, shape ``(num_candidates,)``.
     """
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(0)
     means = np.atleast_2d(np.asarray(candidate_means, dtype=float))
     stds = np.atleast_2d(np.asarray(candidate_stds, dtype=float))
     if means.shape != stds.shape or means.shape[1] != 2:
@@ -86,7 +98,7 @@ def greedy_qehvi_scores(
     reference_point: np.ndarray,
     *,
     num_samples: int = 64,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator,
 ) -> np.ndarray:
     """Joint q-EHVI of ``prefix + candidate`` for every candidate at once.
 
@@ -115,14 +127,16 @@ def greedy_qehvi_scores(
     num_samples:
         Number of joint Monte-Carlo samples.
     rng:
-        Random generator (defaults to a fixed-seed generator).
+        Caller-owned random generator (required).  Batch construction calls
+        this once per batch slot; the slots stay decorrelated only because
+        each call advances the same generator instead of re-seeding — thread
+        the generator from the tuner's top-level seed.
 
     Returns
     -------
     numpy.ndarray
         Joint q-EHVI estimate per candidate, shape ``(c,)``.
     """
-    rng = rng or np.random.default_rng(0)
     prefix_means = np.asarray(prefix_means, dtype=float).reshape(-1, 2)
     prefix_stds = np.asarray(prefix_stds, dtype=float).reshape(-1, 2)
     cand_means = np.atleast_2d(np.asarray(candidate_means, dtype=float))
@@ -203,14 +217,17 @@ def monte_carlo_qehvi(
     num_samples:
         Number of joint Monte-Carlo samples.
     rng:
-        Random generator (defaults to a fixed-seed generator).
+        Random generator.  This is a top-level entry point, so it defaults
+        to a fixed-seed generator for reproducible one-shot values; the
+        generator is threaded through to :func:`greedy_qehvi_scores`.
 
     Returns
     -------
     float
         The Monte-Carlo q-EHVI estimate of the batch.
     """
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(0)
     means = np.atleast_2d(np.asarray(batch_means, dtype=float))
     stds = np.atleast_2d(np.asarray(batch_stds, dtype=float))
     if means.shape != stds.shape or means.shape[1] != 2:

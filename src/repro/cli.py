@@ -47,6 +47,8 @@ from repro.config import build_milvus_space, default_configuration
 from repro.config.milvus_space import INDEX_TYPES
 from repro.core import ObjectiveSpec, VDTuner, VDTunerSettings
 from repro.datasets import DATASET_NAMES
+from repro.vdms.errors import InvalidConfigurationError
+from repro.vdms.system_config import SystemConfig
 from repro.workloads import VDMSTuningEnvironment
 
 __all__ = ["main", "build_parser"]
@@ -198,6 +200,73 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fail(message: str) -> "SystemExit":
+    """Abort with an actionable error message (printed to stderr, exit status 1)."""
+    raise SystemExit(f"error: {message}")
+
+
+def _validate_batch_options(args: argparse.Namespace) -> None:
+    """Reject contradictory batch/worker flags before any work starts."""
+    if getattr(args, "batch_size", 1) < 1:
+        _fail(
+            f"--batch-size must be >= 1 (got {args.batch_size}); "
+            "use 1 for the paper's sequential loop"
+        )
+    if getattr(args, "workers", 1) < 1:
+        _fail(
+            f"--workers must be >= 1 (got {args.workers}); "
+            "use 1 for in-process evaluation"
+        )
+
+
+def _validate_evaluate_args(args: argparse.Namespace, dataset, overrides: dict) -> None:
+    """Reject contradictory ``evaluate`` flags with actionable messages."""
+    if args.search_threads is not None and args.search_threads < 1:
+        _fail(
+            f"--search-threads must be >= 1 (got {args.search_threads}); "
+            "use 1 for serial search with the analytic concurrency model"
+        )
+    effective_shards = args.shards if args.shards is not None else overrides.get("shard_num", 1)
+    if args.shards is not None:
+        if args.shards < 1:
+            _fail(f"--shards must be >= 1 (got {args.shards})")
+        if args.shards > dataset.num_vectors:
+            _fail(
+                f"--shards {args.shards} exceeds the {dataset.num_vectors} rows of "
+                f"dataset {dataset.name!r}; every shard needs at least one row"
+            )
+    if args.routing_policy is not None and int(effective_shards) == 1:
+        print(
+            "note: --routing-policy has no effect with a single shard; "
+            "pass --shards S > 1 to partition the collection",
+            file=sys.stderr,
+        )
+
+
+def _validate_tune_online_args(args: argparse.Namespace, drift_step: int) -> None:
+    """Reject contradictory ``tune-online`` flags with actionable messages."""
+    if args.steps < 1:
+        _fail(f"--steps must be >= 1 (got {args.steps})")
+    if args.retune_budget < 1:
+        _fail(f"--retune-budget must be >= 1 (got {args.retune_budget})")
+    if args.retune_budget > args.steps:
+        _fail(
+            f"--retune-budget {args.retune_budget} exceeds --steps {args.steps}; "
+            "the first tuning episode could never finish — lower the budget or "
+            "raise the step count"
+        )
+    if not 0.0 < args.severity <= 1.0:
+        _fail(f"--severity must lie in (0, 1] (got {args.severity})")
+    drifting = args.drift.lower() not in ("none", "static")
+    if drifting and not 1 <= drift_step <= args.steps:
+        _fail(
+            f"--drift-step {drift_step} is outside the run's 1..{args.steps} step "
+            "range; the drift would never fire — move it inside the budget or "
+            "use --drift none"
+        )
+    _validate_batch_options(args)
+
+
 def _parse_overrides(pairs: Sequence[str], space) -> dict:
     overrides = {}
     for pair in pairs:
@@ -219,6 +288,7 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     space = build_milvus_space()
     environment = VDMSTuningEnvironment(args.dataset, space=space, seed=args.seed)
     overrides = _parse_overrides(args.overrides, space)
+    _validate_evaluate_args(args, environment.dataset, overrides)
     for name, value in (
         ("shard_num", args.shards),
         ("routing_policy", args.routing_policy),
@@ -226,7 +296,16 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     ):
         if value is not None:
             overrides.setdefault(name, value)
-    configuration = default_configuration(space, index_type=args.index_type, overrides=overrides)
+    try:
+        configuration = default_configuration(
+            space, index_type=args.index_type, overrides=overrides
+        )
+        SystemConfig.from_mapping(dict(configuration))
+    except (ValueError, InvalidConfigurationError) as error:
+        _fail(
+            f"the combined configuration is invalid: {error}; "
+            "check --set overrides against the documented parameter ranges"
+        )
     result = environment.evaluate(configuration)
     rows = [
         ["index type", args.index_type],
@@ -255,6 +334,9 @@ def _make_evaluator(args: argparse.Namespace, environment: VDMSTuningEnvironment
 
 
 def _command_tune(args: argparse.Namespace) -> int:
+    if args.iterations < 1:
+        _fail(f"--iterations must be >= 1 (got {args.iterations})")
+    _validate_batch_options(args)
     environment = VDMSTuningEnvironment(args.dataset, seed=args.seed)
     objective = ObjectiveSpec(
         speed_metric="qp$" if args.cost_aware else "qps",
@@ -288,6 +370,9 @@ def _command_tune(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
+    if args.iterations < 1:
+        _fail(f"--iterations must be >= 1 (got {args.iterations})")
+    _validate_batch_options(args)
     curves = {}
     abilities = {}
     # One worker pool serves every tuner: the pool depends only on the
@@ -334,8 +419,14 @@ def _command_tune_online(args: argparse.Namespace) -> int:
     )
     from repro.datasets.registry import load_dataset
 
-    steps = max(1, args.steps)
-    drift_step = args.drift_step or max(args.retune_budget + 5, round(0.6 * steps))
+    steps = args.steps
+    if args.drift_step is not None:
+        drift_step = args.drift_step
+    else:
+        drift_step = min(
+            max(args.retune_budget + 5, round(0.6 * max(1, steps))), max(1, steps)
+        )
+    _validate_tune_online_args(args, drift_step)
     events = []
     if args.drift.lower() not in ("none", "static"):
         try:

@@ -4,7 +4,9 @@ The paper tunes Milvus 2.3.1 with 16 dimensions: the index type, eight index
 parameters (Table I of the paper) and seven system parameters recommended by
 the Milvus configuration documentation.  This module builds the equivalent
 space for the simulated VDMS in :mod:`repro.vdms`, extended by the three
-serving-topology parameters of the sharded engine (19 dimensions in total).
+serving-topology parameters of the sharded engine and the two
+background-maintenance parameters of the compaction subsystem (21 dimensions
+in total).
 
 Index parameters (Table I)::
 
@@ -32,6 +34,15 @@ Serving-topology parameters (added by the sharded serving engine of
     shard_num               -- horizontal partitions of the collection
     routing_policy          -- row-to-shard routing: hash or range
     search_threads          -- query execution pool driving concurrent requests
+
+Maintenance parameters (added by the background-maintenance subsystem of
+:mod:`repro.vdms.maintenance`; they govern how delete-churned collections
+heal)::
+
+    compaction_trigger_ratio -- tombstone fraction that makes a sealed
+                                segment a compaction candidate
+    maintenance_mode         -- off / inline / background scheduling of
+                                compaction + incremental re-indexing
 """
 
 from __future__ import annotations
@@ -73,7 +84,8 @@ INDEX_PARAMETERS: dict[str, tuple[str, ...]] = {
 }
 
 #: The system parameters shared by all index types: the paper seven plus
-#: the serving topology (shard count, routing policy, execution threads).
+#: the serving topology (shard count, routing policy, execution threads)
+#: plus the maintenance policy (compaction trigger, scheduling mode).
 SYSTEM_PARAMETERS: tuple[str, ...] = (
     "segment_max_size",
     "segment_seal_proportion",
@@ -85,6 +97,8 @@ SYSTEM_PARAMETERS: tuple[str, ...] = (
     "shard_num",
     "routing_policy",
     "search_threads",
+    "compaction_trigger_ratio",
+    "maintenance_mode",
 )
 
 
@@ -115,13 +129,17 @@ def _system_parameter_specs() -> list[Parameter]:
         IntParameter("shard_num", low=1, high=8, default=1),
         CategoricalParameter("routing_policy", choices=["hash", "range"], default="hash"),
         IntParameter("search_threads", low=1, high=16, default=1),
+        FloatParameter("compaction_trigger_ratio", low=0.05, high=0.95, default=0.2),
+        CategoricalParameter(
+            "maintenance_mode", choices=["off", "inline", "background"], default="off"
+        ),
     ]
 
 
 def build_milvus_space(
     index_types: tuple[str, ...] = INDEX_TYPES,
     *,
-    name: str = "milvus-16d",
+    name: str = "milvus-21d",
 ) -> ConfigurationSpace:
     """Build the holistic tuning space (index type + index params + system params).
 
@@ -139,7 +157,7 @@ def build_milvus_space(
     >>> from repro import build_milvus_space
     >>> space = build_milvus_space()
     >>> space.dimension
-    19
+    21
     >>> space.default_configuration()["index_type"]
     'AUTOINDEX'
     >>> smaller = build_milvus_space(index_types=("HNSW", "IVF_FLAT"))
@@ -189,7 +207,7 @@ def default_configuration(
     ----------
     space:
         The space to build the configuration in.  ``None`` builds the full
-        19-dimensional space first.
+        21-dimensional space first.
     index_type:
         If given, the returned configuration uses this index type instead of
         the space default.

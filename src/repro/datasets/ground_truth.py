@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.vdms.distance import pairwise_distances
+from repro.vdms.distance import pairwise_distances, top_k_select
 
 __all__ = ["brute_force_neighbors", "recall_at_k"]
 
@@ -46,12 +46,12 @@ def brute_force_neighbors(
     for start in range(0, queries.shape[0], batch_size):
         block = queries[start : start + batch_size]
         distances = pairwise_distances(block, vectors, metric)
-        if top_k < vectors.shape[0]:
-            candidates = np.argpartition(distances, top_k, axis=1)[:, :top_k]
-            ordered = np.take_along_axis(distances, candidates, axis=1).argsort(axis=1)
-            result[start : start + block.shape[0]] = np.take_along_axis(candidates, ordered, axis=1)
-        else:
-            result[start : start + block.shape[0]] = distances.argsort(axis=1)[:, :top_k]
+        # Lexicographic (distance, position) selection — the same tie-break
+        # the serving stack uses, so duplicate vectors at the top-k boundary
+        # yield the id the collection actually serves (recall of an exact
+        # index stays exactly 1.0 even on degenerate corpora).
+        positions, _ = top_k_select(distances, top_k)
+        result[start : start + block.shape[0]] = positions
     return result
 
 

@@ -72,11 +72,19 @@ _WORKER_REPLAYER: WorkloadReplayer | None = None
 
 
 def _process_worker_init(
-    dataset: Dataset, workload: SearchWorkload, use_query_scheduler: bool = True
+    dataset: Dataset,
+    workload: SearchWorkload,
+    use_query_scheduler: bool = True,
+    mutations=None,
+    row_ids=None,
 ) -> None:
     global _WORKER_REPLAYER
     _WORKER_REPLAYER = WorkloadReplayer(
-        dataset, workload, use_query_scheduler=use_query_scheduler
+        dataset,
+        workload,
+        use_query_scheduler=use_query_scheduler,
+        mutations=mutations,
+        row_ids=row_ids,
     )
 
 
@@ -124,11 +132,15 @@ class BatchEvaluator:
         backend: str = "process",
         seed: int = 0,
         use_query_scheduler: bool = True,
+        mutations=None,
+        row_ids=None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
         self.dataset = dataset
         self.workload = workload or SearchWorkload.from_dataset(dataset)
+        self.mutations = mutations
+        self.row_ids = row_ids
         # The serial backend runs one replay at a time, so it is also a
         # single worker as far as the makespan clock accounting goes.
         self.num_workers = 1 if backend == "serial" else max(1, int(num_workers))
@@ -155,6 +167,8 @@ class BatchEvaluator:
             num_workers=num_workers,
             backend=backend,
             use_query_scheduler=getattr(environment, "use_query_scheduler", True),
+            mutations=getattr(environment, "mutations", None),
+            row_ids=getattr(environment, "row_ids", None),
         )
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -167,7 +181,13 @@ class BatchEvaluator:
                 self._pool = concurrent.futures.ProcessPoolExecutor(
                     max_workers=self.num_workers,
                     initializer=_process_worker_init,
-                    initargs=(self.dataset, self.workload, self.use_query_scheduler),
+                    initargs=(
+                        self.dataset,
+                        self.workload,
+                        self.use_query_scheduler,
+                        self.mutations,
+                        self.row_ids,
+                    ),
                 )
             else:
                 self._pool = concurrent.futures.ThreadPoolExecutor(
@@ -182,20 +202,34 @@ class BatchEvaluator:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
-    def update_workload(self, dataset: Dataset, workload: SearchWorkload | None = None) -> None:
+    def update_workload(
+        self,
+        dataset: Dataset,
+        workload: SearchWorkload | None = None,
+        *,
+        mutations=None,
+        row_ids=None,
+    ) -> None:
         """Point the pool at a new dataset/workload (online drift support).
 
         Workers hold per-worker replayers initialized with the dataset they
         were spawned with, so a workload switch shuts the pool down; the next
-        batch lazily re-initializes workers against the new state.  No-op if
-        the dataset and workload are already current.
+        batch lazily re-initializes workers against the new state (including
+        any churn :class:`~repro.workloads.replay.MutationPlan`).  No-op if
+        the dataset, workload and mutation plan are already current.
         """
         workload = workload or SearchWorkload.from_dataset(dataset)
-        if dataset is self.dataset and workload is self.workload:
+        if (
+            dataset is self.dataset
+            and workload is self.workload
+            and mutations is self.mutations
+        ):
             return
         self.close()
         self.dataset = dataset
         self.workload = workload
+        self.mutations = mutations
+        self.row_ids = row_ids
         self._serial_replayer = None
         self._thread_local = threading.local()
 
@@ -204,9 +238,14 @@ class BatchEvaluator:
 
         Called by :class:`repro.workloads.dynamic.DynamicTuningEnvironment`
         before every pooled batch, so one evaluator can serve a whole online
-        tuning run across drift events.
+        tuning run across drift events (mutation plans included).
         """
-        self.update_workload(environment.dataset, environment.workload)
+        self.update_workload(
+            environment.dataset,
+            environment.workload,
+            mutations=getattr(environment, "mutations", None),
+            row_ids=getattr(environment, "row_ids", None),
+        )
 
     def __enter__(self) -> "BatchEvaluator":
         return self
@@ -216,20 +255,25 @@ class BatchEvaluator:
 
     # -- evaluation ---------------------------------------------------------------------
 
+    def _make_replayer(self) -> WorkloadReplayer:
+        return WorkloadReplayer(
+            self.dataset,
+            self.workload,
+            use_query_scheduler=self.use_query_scheduler,
+            mutations=self.mutations,
+            row_ids=self.row_ids,
+        )
+
     def _in_process_replay(self, values: dict[str, Any]) -> EvaluationResult:
         if self._serial_replayer is None:
-            self._serial_replayer = WorkloadReplayer(
-                self.dataset, self.workload, use_query_scheduler=self.use_query_scheduler
-            )
+            self._serial_replayer = self._make_replayer()
         return self._serial_replayer.replay(values)
 
     def _thread_replay(self, task: tuple[int, dict[str, Any], int]):
         index, values, _task_seed = task
         replayer = getattr(self._thread_local, "replayer", None)
         if replayer is None:
-            replayer = WorkloadReplayer(
-                self.dataset, self.workload, use_query_scheduler=self.use_query_scheduler
-            )
+            replayer = self._make_replayer()
             self._thread_local.replayer = replayer
         try:
             return index, replayer.replay(values)

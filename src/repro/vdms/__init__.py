@@ -5,9 +5,14 @@ This package is the substrate the tuner optimizes.  It provides:
 * real approximate-nearest-neighbour index implementations (FLAT, IVF_FLAT,
   IVF_SQ8, IVF_PQ, HNSW, SCANN, AUTOINDEX) built on NumPy, so recall is
   measured rather than modelled;
-* a segment-based storage layer (growing/sealed segments, insert buffer)
-  whose behaviour is governed by the shared system parameters of the tuning
-  space;
+* a segment-based storage layer (growing/sealed/invalidated segments,
+  insert buffer, tombstoned deletes) whose behaviour is governed by the
+  shared system parameters of the tuning space;
+* a background maintenance subsystem (:mod:`repro.vdms.maintenance`):
+  compaction physically reclaims tombstoned rows and right-sizes sealed
+  segments, and incremental per-segment re-indexing heals delete-invalidated
+  segments without a full rebuild — scheduled off/inline/background via
+  ``SystemConfig.maintenance_mode``;
 * a deterministic cost model that converts the *counted work* of a search
   (distance evaluations, graph hops, segments touched) plus the system
   configuration into search speed (QPS), latency and memory usage;
@@ -23,7 +28,7 @@ This package is the substrate the tuner optimizes.  It provides:
 
 from repro.vdms.collection import Collection, SearchResult
 from repro.vdms.cost_model import CostModel, PerformanceReport
-from repro.vdms.distance import normalize_rows, pairwise_distances
+from repro.vdms.distance import normalize_rows, pairwise_distances, top_k_select
 from repro.vdms.errors import (
     CollectionNotFoundError,
     IndexBuildError,
@@ -38,7 +43,8 @@ from repro.vdms.index import (
     VectorIndex,
     create_index,
 )
-from repro.vdms.segment import Segment, SegmentManager, SegmentState
+from repro.vdms.maintenance import MaintenanceReport, MaintenanceWorker
+from repro.vdms.segment import CompactionResult, Segment, SegmentManager, SegmentState
 from repro.vdms.server import VectorDBServer
 from repro.vdms.sharding import (
     ROUTING_POLICIES,
@@ -49,17 +55,21 @@ from repro.vdms.sharding import (
     shard_assignments,
     simulate_makespan,
 )
-from repro.vdms.system_config import SystemConfig
+from repro.vdms.system_config import MAINTENANCE_MODES, SystemConfig
 
 __all__ = [
     "BuildStats",
     "Collection",
     "CollectionNotFoundError",
+    "CompactionResult",
     "CostModel",
     "INDEX_REGISTRY",
     "IndexBuildError",
     "IndexNotBuiltError",
     "InvalidConfigurationError",
+    "MAINTENANCE_MODES",
+    "MaintenanceReport",
+    "MaintenanceWorker",
     "PerformanceReport",
     "QueryScheduler",
     "ROUTING_POLICIES",
@@ -80,4 +90,5 @@ __all__ = [
     "pairwise_distances",
     "shard_assignments",
     "simulate_makespan",
+    "top_k_select",
 ]

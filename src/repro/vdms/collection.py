@@ -26,7 +26,8 @@ from repro.vdms.distance import METRICS, pairwise_distances, prepare_vectors
 from repro.vdms.errors import IndexBuildError, IndexNotBuiltError
 from repro.vdms.index import INDEX_REGISTRY, create_index
 from repro.vdms.index.base import BuildStats, SearchStats, VectorIndex
-from repro.vdms.segment import Segment
+from repro.vdms.maintenance import MaintenanceReport, MaintenanceWorker
+from repro.vdms.segment import Segment, SegmentState
 from repro.vdms.sharding import Shard, ShardSnapshot, merge_topk, shard_assignments
 from repro.vdms.system_config import SystemConfig
 
@@ -82,6 +83,7 @@ class Collection:
         system_config: SystemConfig | None = None,
         *,
         index_cache: MutableMapping[tuple, VectorIndex] | None = None,
+        auto_maintenance: bool = True,
     ) -> None:
         if metric not in METRICS:
             raise ValueError(f"unsupported metric {metric!r}")
@@ -102,6 +104,11 @@ class Collection:
         self._index_cache = index_cache
         self._next_auto_id = 0
         self._lock = threading.RLock()
+        #: Whether ``maintenance_mode`` triggers maintenance automatically on
+        #: mutations.  The workload replayer disables this and invokes one
+        #: deterministic pass itself, so replays stay rerun-stable.
+        self.auto_maintenance = bool(auto_maintenance)
+        self._maintenance_worker: MaintenanceWorker | None = None
 
     # -- ingestion ---------------------------------------------------------------
 
@@ -127,11 +134,15 @@ class Collection:
     def flush(self) -> int:
         """Seal full segments in every shard; returns the total sealed count.
 
-        Any previously built indexes no longer match the segment layout and
-        are dropped shard by shard.
+        Previously sealed segments are untouched and keep their per-segment
+        indexes; only the growing tail is repartitioned.  Newly sealed
+        segments start unindexed (brute-forced) until ``create_index`` or
+        maintenance re-indexes them incrementally.
         """
         with self._lock:
-            return sum(shard.flush() for shard in self._shards)
+            sealed = sum(shard.flush() for shard in self._shards)
+        self._maintenance_hook()
+        return sealed
 
     def delete(self, ids: np.ndarray) -> int:
         """Delete rows by id; returns the number of rows removed.
@@ -139,15 +150,98 @@ class Collection:
         Deletes are broadcast to every shard (routing tells us the owner,
         but broadcasting keeps the operation correct even for ids inserted
         under a different routing policy).  Deleting from a sealed segment
-        invalidates that segment's index (the index still references the
-        removed rows): the stale index is dropped and the segment is
-        searched by brute force until ``create_index`` is called again —
-        deletions degrade both latency and recall consistency until the
-        collection is re-indexed, exactly the churn effect online tuning has
-        to react to.
+        tombstones the rows and invalidates that segment's index (the index
+        still references the removed rows): the stale index is dropped and
+        the segment's live rows are searched by brute force until the
+        maintenance subsystem compacts or incrementally re-indexes it
+        (``maintenance_mode`` in {"inline", "background"}, or an explicit
+        :meth:`run_maintenance`) — with maintenance off, deletions degrade
+        latency until ``create_index`` is called again, exactly the churn
+        effect online tuning has to react to.
         """
         with self._lock:
-            return sum(shard.delete(ids) for shard in self._shards)
+            deleted = sum(shard.delete(ids) for shard in self._shards)
+        self._maintenance_hook()
+        return deleted
+
+    # -- maintenance --------------------------------------------------------------
+
+    def _maintenance_hook(self) -> None:
+        """Trigger automatic maintenance after a mutation, per the configured mode."""
+        if not self.auto_maintenance:
+            return
+        mode = self.system_config.maintenance_mode
+        if mode == "inline":
+            self.run_maintenance()
+        elif mode == "background":
+            # Check-then-create under the lock: concurrent mutations must
+            # never spawn duplicate (and then orphaned) worker threads.
+            with self._lock:
+                if self._maintenance_worker is None or not self._maintenance_worker.is_alive:
+                    self._maintenance_worker = MaintenanceWorker(self)
+                worker = self._maintenance_worker
+            worker.notify()
+
+    @property
+    def maintenance_worker(self) -> MaintenanceWorker | None:
+        """The background maintenance worker, if one has been started."""
+        return self._maintenance_worker
+
+    def stop_maintenance(self) -> None:
+        """Stop the background maintenance worker (if running)."""
+        with self._lock:
+            worker = self._maintenance_worker
+            self._maintenance_worker = None
+        if worker is not None:
+            worker.stop()
+
+    def run_maintenance(self) -> MaintenanceReport:
+        """Run one compaction + incremental re-indexing pass over every shard.
+
+        Two per-segment steps, both under the mutation/snapshot lock so
+        in-flight searches keep serving the coherent snapshot they captured:
+
+        1. every shard's :meth:`~repro.vdms.segment.SegmentManager.compact`
+           physically drops tombstoned rows and merges undersized survivors
+           into right-sized sealed segments (per ``segment_max_size`` and
+           ``compaction_trigger_ratio``), dropping the indexes of the
+           segments it replaced;
+        2. if an index is built, every sealed segment *without* an index —
+           freshly compacted segments, delete-invalidated segments below the
+           compaction trigger, and segments sealed by a flush since the last
+           build — gets its per-segment index rebuilt over its live rows.
+
+        A full-collection rebuild never happens: untouched segments keep
+        their indexes (and their build-cache entries).  Returns a
+        :class:`~repro.vdms.maintenance.MaintenanceReport` the cost model
+        can charge (:meth:`repro.vdms.cost_model.CostModel.maintenance_seconds`).
+        """
+        report = MaintenanceReport()
+        with self._lock:
+            index_type = self._index_type
+            params = dict(self._index_params)
+            signature = (
+                self._structural_signature(index_type, params) if index_type else ()
+            )
+            for shard in self._shards:
+                result = shard.segments.compact()
+                for segment_id in result.dropped_segment_ids:
+                    shard.indexes.pop(segment_id, None)
+                report.segments_compacted += len(result.dropped_segment_ids)
+                report.segments_created += len(result.new_segments)
+                report.rows_dropped += result.rows_dropped
+                report.rows_rewritten += result.rows_rewritten
+                if index_type is None:
+                    continue
+                for segment in shard.segments.sealed_segments:
+                    if segment.segment_id in shard.indexes:
+                        continue
+                    index = self._build_segment_index(segment, index_type, params, signature)
+                    shard.indexes[segment.segment_id] = index
+                    segment.state = SegmentState.SEALED
+                    report.segments_reindexed += 1
+                    report.build_stats.append(index.build_stats)
+        return report
 
     # -- indexing -----------------------------------------------------------------
 
@@ -183,8 +277,8 @@ class Collection:
         # Sharding can hand two segments the same (first, last, count) triple
         # with different membership (e.g. the same id span hash- vs
         # range-partitioned), so the fingerprint also folds in cheap
-        # content hashes of the id set.
-        ids = segment.ids
+        # content hashes of the (live) id set.
+        ids = segment.live_ids
         return (
             int(ids[0]),
             int(ids[-1]),
@@ -220,8 +314,9 @@ class Collection:
         if self._index_cache is not None:
             index = self._index_cache.get(cache_key)
         if index is None:
+            vectors, ids = segment.live_arrays()
             index = create_index(index_type, metric=self.metric, **params)
-            index.build(segment.vectors, segment.ids)
+            index.build(vectors, ids)
             if self._index_cache is not None:
                 self._index_cache[cache_key] = index
         return self._with_search_params(index, params)
@@ -267,6 +362,7 @@ class Collection:
             for segment in shard.segments.sealed_segments:
                 index = self._build_segment_index(segment, index_type, params, signature)
                 shard.indexes[segment.segment_id] = index
+                segment.state = SegmentState.SEALED
                 stats.append(index.build_stats)
             return stats
 
@@ -412,6 +508,9 @@ class Collection:
             growing_rows=self.num_growing_rows,
             raw_bytes=sum(shard.segments.raw_bytes() for shard in self._shards),
             index_bytes=self.index_bytes(),
+            tombstone_rows=sum(
+                shard.segments.tombstone_rows for shard in self._shards
+            ),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -40,9 +40,12 @@ class CollectionProfile:
     growing_rows:
         Rows currently in growing (unindexed) segments.
     raw_bytes:
-        Raw vector storage bytes.
+        Raw vector storage bytes (tombstoned rows included — compaction is
+        what reclaims them).
     index_bytes:
         Bytes of index structures across all sealed segments.
+    tombstone_rows:
+        Deleted rows still physically stored, awaiting compaction.
     """
 
     dimension: int
@@ -51,6 +54,7 @@ class CollectionProfile:
     growing_rows: int
     raw_bytes: int
     index_bytes: int
+    tombstone_rows: int = 0
 
 
 @dataclass
@@ -123,6 +127,17 @@ class CostModel:
     BUILD_SECONDS_PER_WORK = 4.0e-7
     #: Fixed simulated seconds per index build (data load, serialization).
     BUILD_FIXED_SECONDS = 20.0
+    #: Fixed simulated seconds per maintenance pass that did work (scan the
+    #: segment population, schedule compactions) — far below the full-build
+    #: fixed cost because only touched segments are rewritten/re-indexed.
+    MAINTENANCE_FIXED_SECONDS = 2.0
+    #: Simulated seconds per (row x dimension) copied or reclaimed while
+    #: compacting (sequential rewrite, much cheaper than index build work).
+    MAINTENANCE_SECONDS_PER_ROW_DIM = 2.0e-8
+    #: Fraction of background maintenance that steals foreground capacity:
+    #: inline maintenance blocks the serving path for its full duration,
+    #: background maintenance overlaps serving at this duty cycle.
+    MAINTENANCE_BACKGROUND_DUTY = 0.25
     #: Simulated replayed requests per workload (the paper replays large batches).
     SIMULATED_REQUESTS = 10_000
     #: Simulated replay timeout in seconds (the paper uses 15 minutes).
@@ -288,6 +303,33 @@ class CostModel:
         """Simulated index build (plus data load) time."""
         work = sum(stats.distance_evaluations for stats in build_stats) * profile.dimension
         return self.BUILD_FIXED_SECONDS + work * self.BUILD_SECONDS_PER_WORK
+
+    def maintenance_seconds(self, report, profile: CollectionProfile) -> float:
+        """Simulated cost of one maintenance pass (compaction + re-indexing).
+
+        ``report`` is a :class:`~repro.vdms.maintenance.MaintenanceReport`
+        (or ``None``).  Compaction is charged per row moved or reclaimed,
+        incremental index rebuilds at the same rate as regular builds but
+        without the full-build fixed cost — only the touched segments pay.
+        Under ``maintenance_mode == "background"`` the pass overlaps
+        serving, so only :data:`MAINTENANCE_BACKGROUND_DUTY` of its duration
+        is charged to the foreground clock.
+        """
+        if report is None or not report.did_work:
+            return 0.0
+        copy_work = (report.rows_rewritten + report.rows_dropped) * profile.dimension
+        rebuild_work = (
+            sum(stats.distance_evaluations for stats in report.build_stats)
+            * profile.dimension
+        )
+        seconds = (
+            self.MAINTENANCE_FIXED_SECONDS
+            + copy_work * self.MAINTENANCE_SECONDS_PER_ROW_DIM
+            + rebuild_work * self.BUILD_SECONDS_PER_WORK
+        )
+        if self.system_config.maintenance_mode == "background":
+            seconds *= self.MAINTENANCE_BACKGROUND_DUTY
+        return float(seconds)
 
     # -- the headline entry point ---------------------------------------------------
 

@@ -9,13 +9,24 @@ Three metrics are supported, mirroring the options of the real system:
 ``"angular"``
     Cosine distance, computed as squared Euclidean distance between
     L2-normalized vectors (a strictly monotone transform of the angle).
+
+Determinism: the kernel guarantees that the distance of a ``(query, vector)``
+pair depends only on the pair itself, never on the *shape* of the batch it
+was scored in.  Single-precision GEMM rounds differently per submatrix shape
+(BLAS kernel selection), which would hand two copies of the same vector —
+stored in different segments or shards — unequal distances, silently
+defeating the id tie-breaking the scatter-gather merge
+(:func:`repro.vdms.sharding.merge_topk`) relies on for bit-identical sharded
+results.  The fix: accumulate in float64 (shape-dependent rounding shrinks to
+~1e-16 relative), round the result to float32 (collapsing that noise), and
+snap the sub-epsilon cancellation residue of identical vectors to exact zero.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["normalize_rows", "pairwise_distances", "prepare_vectors", "METRICS"]
+__all__ = ["normalize_rows", "pairwise_distances", "prepare_vectors", "top_k_select", "METRICS"]
 
 #: Supported metric names.
 METRICS: tuple[str, ...] = ("l2", "ip", "angular")
@@ -42,10 +53,24 @@ def prepare_vectors(matrix: np.ndarray, metric: str) -> np.ndarray:
     return np.ascontiguousarray(matrix)
 
 
+#: Relative threshold below which an l2/angular distance is snapped to exact
+#: zero.  Float64 cancellation residue of *identical* vectors is ~1e-16 of
+#: the norm scale, so 1e-14 cleans it with a ~100x margin.  The snap is not
+#: free of collateral: a pair of *distinct* vectors within ~2 float32 ulps
+#: of each other also collapses to an exact 0 tie — which then resolves
+#: deterministically by ascending id, the same outcome float32 serving
+#: could not reliably distinguish anyway.  Any pair separated by more than
+#: a couple of ulps keeps a strictly positive distance.
+_ZERO_SNAP_RELATIVE = 1e-14
+
+
 def pairwise_distances(queries: np.ndarray, vectors: np.ndarray, metric: str) -> np.ndarray:
     """Compute the full ``(q, n)`` distance matrix between queries and vectors.
 
-    Smaller values always mean "more similar", regardless of metric.
+    Smaller values always mean "more similar", regardless of metric.  Each
+    pair's value is independent of the batch shape (see the module
+    docstring), so identical rows receive bitwise-equal float32 distances in
+    any segment/shard layout.
     """
     if metric not in METRICS:
         raise ValueError(f"unsupported metric {metric!r}")
@@ -54,13 +79,56 @@ def pairwise_distances(queries: np.ndarray, vectors: np.ndarray, metric: str) ->
     if queries.ndim == 1:
         queries = queries[None, :]
     if metric == "ip":
-        return -(queries @ vectors.T)
+        scores = -(queries.astype(np.float64) @ vectors.astype(np.float64).T)
+        return scores.astype(np.float32)
     if metric == "angular":
         queries = normalize_rows(queries)
         vectors = normalize_rows(vectors)
-    # Squared Euclidean distance via the expansion ||a-b||^2 = ||a||^2 - 2ab + ||b||^2.
-    query_norms = np.einsum("ij,ij->i", queries, queries)[:, None]
-    vector_norms = np.einsum("ij,ij->i", vectors, vectors)[None, :]
-    distances = query_norms - 2.0 * (queries @ vectors.T) + vector_norms
+    # Squared Euclidean distance via the expansion ||a-b||^2 = ||a||^2 - 2ab + ||b||^2,
+    # accumulated in float64 and rounded to float32.
+    queries64 = queries.astype(np.float64)
+    vectors64 = vectors.astype(np.float64)
+    query_norms = np.einsum("ij,ij->i", queries64, queries64)[:, None]
+    vector_norms = np.einsum("ij,ij->i", vectors64, vectors64)[None, :]
+    distances = query_norms - 2.0 * (queries64 @ vectors64.T) + vector_norms
     np.maximum(distances, 0.0, out=distances)
-    return distances
+    rounded = distances.astype(np.float32)
+    rounded[distances < _ZERO_SNAP_RELATIVE * (query_norms + vector_norms)] = 0.0
+    return rounded
+
+
+def top_k_select(distances: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Select the smallest ``top_k`` entries per row of a distance matrix.
+
+    Returns ``(positions, ordered_distances)``, both of shape
+    ``(rows, min(top_k, n))``.  Equal distances resolve by ascending
+    position — deterministic for degenerate (duplicate-vector) inputs, and
+    since stored rows keep insertion order, position ties are id ties for
+    auto-assigned ids.  This is the single tie-breaking contract shared by
+    every index's per-segment top-k, the brute-force scan, the scatter-gather
+    merge (:func:`repro.vdms.sharding.merge_topk`, which additionally
+    tie-breaks by external id) and the recall ground truth
+    (:func:`repro.datasets.ground_truth.brute_force_neighbors`).
+    """
+    n = distances.shape[1]
+    top_k = min(int(top_k), n)
+    if top_k < n:
+        part = np.argpartition(distances, top_k - 1, axis=1)[:, :top_k]
+        part_distances = np.take_along_axis(distances, part, axis=1)
+        # Lexicographic (distance, position) order within the partition.
+        order = np.lexsort((part, part_distances), axis=1)
+        positions = np.take_along_axis(part, order, axis=1)
+        ordered = np.take_along_axis(part_distances, order, axis=1)
+        # argpartition keeps an *arbitrary* one of several equal-distance
+        # rows straddling the selection boundary; re-select those rows with
+        # a full stable sort so boundary ties also resolve by position.
+        boundary = ordered[:, -1:]
+        ambiguous = np.flatnonzero((distances <= boundary).sum(axis=1) > top_k)
+        if ambiguous.size:
+            full = np.argsort(distances[ambiguous], axis=1, kind="stable")[:, :top_k]
+            positions[ambiguous] = full
+            ordered[ambiguous] = np.take_along_axis(distances[ambiguous], full, axis=1)
+    else:
+        positions = np.argsort(distances, axis=1, kind="stable")
+        ordered = np.take_along_axis(distances, positions, axis=1)
+    return positions, ordered

@@ -15,7 +15,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.vdms.distance import METRICS, prepare_vectors
+from repro.vdms.distance import METRICS, prepare_vectors, top_k_select
 from repro.vdms.errors import IndexNotBuiltError
 
 __all__ = ["SearchStats", "BuildStats", "VectorIndex"]
@@ -234,19 +234,17 @@ class VectorIndex(ABC):
     def _top_k_from_distances(
         distances: np.ndarray, top_k: int
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Select the smallest ``top_k`` entries per row of a distance matrix."""
-        n = distances.shape[1]
-        top_k = min(top_k, n)
-        if top_k < n:
-            part = np.argpartition(distances, top_k - 1, axis=1)[:, :top_k]
-            part_distances = np.take_along_axis(distances, part, axis=1)
-            order = np.argsort(part_distances, axis=1)
-            positions = np.take_along_axis(part, order, axis=1)
-            ordered = np.take_along_axis(part_distances, order, axis=1)
-        else:
-            positions = np.argsort(distances, axis=1)
-            ordered = np.take_along_axis(distances, positions, axis=1)
-        return positions, ordered
+        """Select the smallest ``top_k`` entries per row of a distance matrix.
+
+        Delegates to :func:`repro.vdms.distance.top_k_select`: equal
+        distances resolve by ascending position, making the selection
+        deterministic for degenerate (duplicate-vector) inputs; since stored
+        rows keep insertion order, position ties are id ties for
+        auto-assigned ids — the contract the shard merge
+        (:func:`repro.vdms.sharding.merge_topk`) builds its cross-shard
+        id tie-breaking on.
+        """
+        return top_k_select(distances, top_k)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         state = "built" if self.is_built else "empty"

@@ -78,8 +78,11 @@ class IVFFlatIndex(VectorIndex):
             scores = pairwise_distances(query, self._vectors[candidate_positions], self.metric)[0]
             stats.distance_evaluations += int(candidate_positions.size)
             keep = min(top_k, candidate_positions.size)
-            order = np.argpartition(scores, keep - 1)[:keep] if keep < scores.size else np.arange(scores.size)
-            order = order[np.argsort(scores[order])]
+            # Lexicographic (score, stored position) select: candidates are
+            # concatenated in probe (cluster-major) order, so a plain
+            # partition would break score ties arbitrarily — duplicate
+            # vectors then diverge from the stable exact scan.
+            order = np.lexsort((candidate_positions, scores))[:keep]
             positions[query_index, :keep] = candidate_positions[order]
             distances[query_index, :keep] = scores[order]
         stats.segments_searched = num_queries

@@ -8,7 +8,21 @@ data-node behaviour of the real system:
   ``segment_max_size`` and ``segment_seal_proportion`` (or when the insert
   buffer fills up), it is *sealed*;
 * indexes are built per sealed segment; the growing segment is searched by
-  brute force, so its size affects both latency and consistency.
+  brute force, so its size affects both latency and consistency;
+* deletes on sealed segments set *tombstones* (delete bitmaps): the rows
+  stay in storage, the segment becomes *invalidated* (its index no longer
+  matches the live rows) and searches scan the live view by brute force;
+* :meth:`SegmentManager.compact` physically drops tombstoned rows and
+  merges undersized survivors into right-sized sealed segments — the
+  storage-layer half of the background maintenance subsystem
+  (:mod:`repro.vdms.maintenance`).
+
+The segment lifecycle state machine (documented in docs/architecture.md)::
+
+    growing ──flush──▶ sealed ──delete──▶ invalidated ──compact──▶ dropped,
+                         ▲                     │                   replaced by
+                         └──(re-)index────────┘                   new sealed
+                                                                  segments
 """
 
 from __future__ import annotations
@@ -20,7 +34,7 @@ import numpy as np
 
 from repro.vdms.system_config import SystemConfig
 
-__all__ = ["SegmentState", "Segment", "SegmentManager"]
+__all__ = ["SegmentState", "Segment", "SegmentManager", "CompactionResult"]
 
 
 class SegmentState(str, Enum):
@@ -28,6 +42,10 @@ class SegmentState(str, Enum):
 
     GROWING = "growing"
     SEALED = "sealed"
+    #: A sealed segment whose last-built index no longer matches its live
+    #: rows (deletes landed after the build).  Served by brute force over
+    #: the live view until maintenance compacts or re-indexes it.
+    INVALIDATED = "invalidated"
 
 
 @dataclass
@@ -39,27 +57,128 @@ class Segment:
     segment_id:
         Monotonically increasing id within the collection.
     vectors:
-        Row data, shape ``(rows, dimension)``.
+        Physical row data, shape ``(rows, dimension)`` — includes tombstoned
+        rows until the segment is compacted.
     ids:
-        External row ids, shape ``(rows,)``.
+        External row ids, shape ``(rows,)``, aligned with ``vectors``.
     state:
-        Growing (still accepting rows, unindexed) or sealed (immutable,
-        indexable).
+        Growing (still accepting rows, unindexed), sealed (immutable,
+        indexable) or invalidated (sealed with tombstones, index dropped).
+    tombstones:
+        Boolean delete bitmap over the physical rows (``True`` = deleted), or
+        ``None`` when no row has been deleted.  The bitmap is replaced, never
+        mutated in place, so search snapshots that captured the previous live
+        view stay coherent.
     """
 
     segment_id: int
     vectors: np.ndarray
     ids: np.ndarray
     state: SegmentState = SegmentState.GROWING
+    tombstones: np.ndarray | None = None
+    #: Cached ``(vectors, ids)`` of the live rows; rebuilt whenever the
+    #: tombstone bitmap is replaced so searches never filter per snapshot.
+    _live_cache: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def physical_rows(self) -> int:
+        """Rows physically stored, including tombstoned ones."""
+        return int(self.vectors.shape[0])
+
+    @property
+    def num_tombstones(self) -> int:
+        """Physically stored rows that have been deleted."""
+        return 0 if self.tombstones is None else int(self.tombstones.sum())
 
     @property
     def num_rows(self) -> int:
-        """Number of rows stored in the segment."""
-        return int(self.vectors.shape[0])
+        """Number of *live* rows served by the segment."""
+        return self.physical_rows - self.num_tombstones
+
+    @property
+    def tombstone_ratio(self) -> float:
+        """Fraction of physical rows that are tombstoned."""
+        physical = self.physical_rows
+        return self.num_tombstones / physical if physical else 0.0
+
+    def live_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(vectors, ids)`` pair of the live rows.
+
+        Returns the physical arrays themselves when no tombstones exist, and
+        a cached filtered copy otherwise; either way the arrays are never
+        mutated afterwards, so snapshot readers can hold them lock-free.
+        """
+        if self.tombstones is None:
+            return self.vectors, self.ids
+        if self._live_cache is None:
+            keep = ~self.tombstones
+            self._live_cache = (
+                np.ascontiguousarray(self.vectors[keep]),
+                np.ascontiguousarray(self.ids[keep]),
+            )
+        return self._live_cache
+
+    @property
+    def live_vectors(self) -> np.ndarray:
+        """Vectors of the live rows."""
+        return self.live_arrays()[0]
+
+    @property
+    def live_ids(self) -> np.ndarray:
+        """External ids of the live rows."""
+        return self.live_arrays()[1]
+
+    def apply_tombstones(self, hits: np.ndarray) -> int:
+        """Tombstone the physical rows flagged by ``hits`` (a boolean mask).
+
+        Already-tombstoned rows are ignored, so delete→insert→delete round
+        trips never double-count: the return value is the number of rows
+        *newly* deleted.  The bitmap and the live cache are replaced (not
+        mutated) to preserve snapshot coherence.
+        """
+        if self.tombstones is not None:
+            hits = hits & ~self.tombstones
+        newly = int(hits.sum())
+        if newly == 0:
+            return 0
+        combined = hits if self.tombstones is None else (self.tombstones | hits)
+        self.tombstones = combined
+        self._live_cache = None
+        self.live_arrays()  # rebuild the cache eagerly, under the caller's lock
+        return newly
 
     def raw_bytes(self) -> int:
-        """Bytes of raw vector data held by the segment."""
+        """Bytes of raw vector data physically held (tombstones included)."""
         return int(self.vectors.nbytes + self.ids.nbytes)
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """What one :meth:`SegmentManager.compact` pass did.
+
+    Attributes
+    ----------
+    dropped_segment_ids:
+        Segments removed by the pass (their indexes must be dropped too).
+    new_segments:
+        Right-sized sealed segments created from the surviving live rows.
+    rows_dropped:
+        Tombstoned rows physically reclaimed.
+    rows_rewritten:
+        Live rows copied into the new segments.
+    """
+
+    dropped_segment_ids: tuple[int, ...] = ()
+    new_segments: tuple[Segment, ...] = ()
+    rows_dropped: int = 0
+    rows_rewritten: int = 0
+
+    @property
+    def did_work(self) -> bool:
+        """Whether the pass changed the segment population at all."""
+        return bool(self.dropped_segment_ids)
 
 
 @dataclass
@@ -93,6 +212,7 @@ class SegmentManager:
         Rows are packed into sealed segments of ``sealed_segment_rows`` rows
         each; the final partial segment stays growing (and is capped by the
         insert buffer).  Returns the list of segments created by this flush.
+        Existing sealed segments are untouched (and keep their indexes).
         """
         if not self._pending_vectors:
             return []
@@ -107,7 +227,7 @@ class SegmentManager:
         if existing_growing:
             vectors = np.concatenate([s.vectors for s in existing_growing] + [vectors], axis=0)
             ids = np.concatenate([s.ids for s in existing_growing] + [ids], axis=0)
-            self._segments = [s for s in self._segments if s.state is SegmentState.SEALED]
+            self._segments = [s for s in self._segments if s.state is not SegmentState.GROWING]
 
         capacity = self.system_config.sealed_segment_rows(self.dimension)
         created: list[Segment] = []
@@ -137,11 +257,23 @@ class SegmentManager:
     def delete(self, ids: np.ndarray) -> tuple[int, list[int]]:
         """Delete rows by external id from buffers and segments.
 
-        Returns ``(rows_deleted, touched_sealed_segment_ids)``.  Deletions
-        compact the affected segments in place (the simulated system applies
-        delete bitmaps eagerly); sealed segments that lose rows keep their
-        sealed state but their indexes no longer match the data, so the
-        caller (the collection) must invalidate them.  Segments left empty
+        Returns ``(rows_deleted, touched_sealed_segment_ids)``.
+
+        Semantics (pinned down for duplicate and re-inserted external ids):
+
+        * every *live* copy of a requested id is deleted, wherever it lives —
+          unflushed buffers, growing segments and sealed segments alike — so
+          a delete→insert→delete round trip removes the re-inserted copy;
+        * rows already tombstoned by an earlier delete are never counted
+          again (no double-counting) and never resurrected;
+        * the return value is exactly the number of live rows removed, so
+          ``Collection.num_rows`` stays in lockstep with the oracle scan.
+
+        Buffered and growing rows are removed physically (they are cheap,
+        unindexed array rewrites); sealed segments get tombstones instead and
+        transition to :attr:`SegmentState.INVALIDATED` — the caller (the
+        collection) drops their indexes and the maintenance subsystem
+        reclaims the tombstoned rows later.  Segments left without live rows
         are dropped entirely.
         """
         doomed = np.unique(np.asarray(ids, dtype=np.int64))
@@ -163,18 +295,108 @@ class SegmentManager:
         touched_sealed: list[int] = []
         survivors: list[Segment] = []
         for segment in self._segments:
-            keep = ~np.isin(segment.ids, doomed)
-            removed = int((~keep).sum())
-            if removed:
-                deleted += removed
-                segment.vectors = np.ascontiguousarray(segment.vectors[keep])
-                segment.ids = np.ascontiguousarray(segment.ids[keep])
-                if segment.state is SegmentState.SEALED:
+            hits = np.isin(segment.ids, doomed)
+            if segment.state is SegmentState.GROWING:
+                removed = int(hits.sum())
+                if removed:
+                    deleted += removed
+                    keep = ~hits
+                    segment.vectors = np.ascontiguousarray(segment.vectors[keep])
+                    segment.ids = np.ascontiguousarray(segment.ids[keep])
+            else:
+                removed = segment.apply_tombstones(hits)
+                if removed:
+                    deleted += removed
+                    segment.state = SegmentState.INVALIDATED
                     touched_sealed.append(segment.segment_id)
             if segment.num_rows:
                 survivors.append(segment)
         self._segments = survivors
         return deleted, touched_sealed
+
+    # -- compaction -------------------------------------------------------------
+
+    def compact(
+        self, *, trigger_ratio: float | None = None, target_rows: int | None = None
+    ) -> CompactionResult:
+        """Compact tombstoned and undersized sealed segments.
+
+        Candidate selection:
+
+        * every non-growing segment whose tombstone ratio reaches
+          ``trigger_ratio`` (default: the system configuration's
+          ``compaction_trigger_ratio``) is rewritten — its tombstoned rows
+          are physically dropped;
+        * undersized sealed segments (fewer than half of ``target_rows``
+          live rows) join the pass when a tombstoned candidate is being
+          rewritten anyway, or when merging them actually reduces the
+          segment count — a lone undersized tail segment is left alone, so
+          repeated maintenance passes converge instead of rewriting it
+          forever.
+
+        The live rows of all candidates are concatenated in segment-id order
+        and repartitioned into sealed segments of ``target_rows`` rows (the
+        final remainder stays a smaller sealed segment).  The live
+        ``(id, vector)`` multiset is preserved exactly; growing segments and
+        unflushed buffers are never touched.
+        """
+        if trigger_ratio is None:
+            trigger_ratio = self.system_config.compaction_trigger_ratio
+        if target_rows is None:
+            target_rows = self.system_config.sealed_segment_rows(self.dimension)
+        target_rows = max(1, int(target_rows))
+
+        sealed = [s for s in self._segments if s.state is not SegmentState.GROWING]
+        tombstoned = [
+            s for s in sealed if s.num_tombstones and s.tombstone_ratio >= float(trigger_ratio)
+        ]
+        tombstoned_ids = {s.segment_id for s in tombstoned}
+        undersized = [
+            s
+            for s in sealed
+            if s.segment_id not in tombstoned_ids and s.num_rows < max(1, target_rows // 2)
+        ]
+        candidates = tombstoned + undersized
+        if not tombstoned:
+            total_live = sum(s.num_rows for s in undersized)
+            merged_count = -(-total_live // target_rows) if total_live else 0
+            if len(undersized) < 2 or merged_count >= len(undersized):
+                return CompactionResult()
+        if not candidates:
+            return CompactionResult()
+
+        candidates.sort(key=lambda s: s.segment_id)
+        live_pairs = [s.live_arrays() for s in candidates]
+        vectors = np.concatenate([pair[0] for pair in live_pairs], axis=0)
+        ids = np.concatenate([pair[1] for pair in live_pairs], axis=0)
+        rows_dropped = sum(s.num_tombstones for s in candidates)
+        rows_rewritten = int(vectors.shape[0])
+
+        new_segments: list[Segment] = []
+        offset = 0
+        total = vectors.shape[0]
+        while offset < total:
+            chunk = min(target_rows, total - offset)
+            new_segments.append(
+                self._new_segment(
+                    vectors[offset : offset + chunk],
+                    ids[offset : offset + chunk],
+                    SegmentState.SEALED,
+                )
+            )
+            offset += chunk
+
+        dropped = tuple(s.segment_id for s in candidates)
+        dropped_set = set(dropped)
+        self._segments = [
+            s for s in self._segments if s.segment_id not in dropped_set
+        ] + new_segments
+        return CompactionResult(
+            dropped_segment_ids=dropped,
+            new_segments=tuple(new_segments),
+            rows_dropped=int(rows_dropped),
+            rows_rewritten=rows_rewritten,
+        )
 
     def _new_segment(self, vectors: np.ndarray, ids: np.ndarray, state: SegmentState) -> Segment:
         segment = Segment(
@@ -195,8 +417,13 @@ class SegmentManager:
 
     @property
     def sealed_segments(self) -> list[Segment]:
-        """Sealed (indexable) segments."""
-        return [s for s in self._segments if s.state is SegmentState.SEALED]
+        """Sealed (indexable) segments, invalidated ones included."""
+        return [s for s in self._segments if s.state is not SegmentState.GROWING]
+
+    @property
+    def invalidated_segments(self) -> list[Segment]:
+        """Sealed segments whose index was invalidated by deletes."""
+        return [s for s in self._segments if s.state is SegmentState.INVALIDATED]
 
     @property
     def growing_segments(self) -> list[Segment]:
@@ -205,8 +432,13 @@ class SegmentManager:
 
     @property
     def num_rows(self) -> int:
-        """Total rows across all segments (excluding unflushed buffers)."""
+        """Total live rows across all segments (excluding unflushed buffers)."""
         return sum(s.num_rows for s in self._segments)
+
+    @property
+    def tombstone_rows(self) -> int:
+        """Deleted rows still physically stored, awaiting compaction."""
+        return sum(s.num_tombstones for s in self._segments)
 
     @property
     def pending_rows(self) -> int:
@@ -214,5 +446,5 @@ class SegmentManager:
         return int(sum(v.shape[0] for v in self._pending_vectors))
 
     def raw_bytes(self) -> int:
-        """Raw storage bytes across all segments."""
+        """Raw storage bytes across all segments (tombstoned rows included)."""
         return sum(s.raw_bytes() for s in self._segments)

@@ -72,14 +72,28 @@ class VectorDBServer:
 
     # -- collection management -----------------------------------------------------
 
-    def create_collection(self, name: str, dimension: int, metric: str = "angular") -> Collection:
-        """Create (or replace) a collection."""
+    def create_collection(
+        self,
+        name: str,
+        dimension: int,
+        metric: str = "angular",
+        *,
+        auto_maintenance: bool = True,
+    ) -> Collection:
+        """Create (or replace) a collection.
+
+        ``auto_maintenance=False`` detaches the collection from automatic
+        maintenance scheduling (``maintenance_mode``); callers then invoke
+        :meth:`~repro.vdms.collection.Collection.run_maintenance` themselves
+        — the deterministic discipline the workload replayer uses.
+        """
         collection = Collection(
             name,
             dimension,
             metric=metric,
             system_config=self._system_config,
             index_cache=self._index_cache,
+            auto_maintenance=auto_maintenance,
         )
         self._collections[name] = collection
         return collection

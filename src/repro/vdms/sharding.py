@@ -108,8 +108,10 @@ def merge_topk(
         candidates exist globally.
 
     The merge is a single vectorized select over the concatenated candidate
-    lists, equivalent to (but cheaper than) a per-query binary heap, and is
-    invariant to the order of the per-shard lists for distinct distances.
+    lists, equivalent to (but cheaper than) a per-query binary heap.  Equal
+    distances resolve by ascending external id, so the merge is invariant to
+    the order of the per-shard lists even for degenerate duplicate vectors —
+    what keeps sharded results bit-identical to the unsharded scan.
     """
     top_k = int(top_k)
     if top_k <= 0:
@@ -125,7 +127,11 @@ def merge_topk(
     # Invalid (-1 padded) entries carry infinite distance, so a plain top-k
     # select pushes them to the tail automatically.
     merged_distances = np.where(merged_ids < 0, np.inf, merged_distances)
-    positions, ordered = VectorIndex._top_k_from_distances(merged_distances, top_k)
+    # Lexicographic (distance, id) select: distance is the primary key (the
+    # last lexsort key is the most significant), ties break by ascending id.
+    order = np.lexsort((merged_ids, merged_distances), axis=1)
+    positions = order[:, :top_k]
+    ordered = np.take_along_axis(merged_distances, positions, axis=1)
     final_ids = np.take_along_axis(merged_ids, positions, axis=1)
     final_ids = np.where(np.isfinite(ordered), final_ids, -1).astype(np.int64)
     if final_ids.shape[1] < top_k:
@@ -144,10 +150,11 @@ class ShardSnapshot:
     self-contained); ``brute_vectors``/``brute_ids`` are consistent
     ``(rows, ids)`` array pairs of the segments that must be scanned
     exactly — growing segments plus sealed segments whose index was
-    invalidated by deletes.  Deletions *replace* segment arrays rather than
-    mutating them, so capturing the array references under the lock gives
-    every search a coherent state to compute on, however many mutations
-    land while it runs.
+    invalidated by deletes.  Deletions *replace* segment arrays (and
+    tombstone bitmaps, and the cached live views derived from them) rather
+    than mutating them, so capturing the array references under the lock
+    gives every search a coherent state to compute on, however many
+    mutations land while it runs.
     """
 
     indexed: list[VectorIndex]
@@ -184,9 +191,21 @@ class Shard:
         return self.segments.insert(vectors, ids)
 
     def flush(self) -> int:
-        """Seal full segments; invalidates this shard's indexes."""
+        """Seal full segments; existing sealed segments keep their indexes.
+
+        A flush only repartitions the growing tail of the data: previously
+        sealed segments are untouched, so their per-segment indexes remain
+        valid and keep serving.  Indexes whose segment vanished (the growing
+        segment merged back into the stream never had one, but defensive
+        against future layouts) are dropped.  Newly sealed segments start
+        unindexed — brute-forced until ``create_index`` or maintenance
+        re-indexes them incrementally.
+        """
         self.segments.flush()
-        self.indexes.clear()
+        live = {segment.segment_id for segment in self.segments.sealed_segments}
+        for segment_id in list(self.indexes):
+            if segment_id not in live:
+                del self.indexes[segment_id]
         return len(self.segments.sealed_segments)
 
     def delete(self, ids: np.ndarray) -> int:
@@ -204,8 +223,9 @@ class Shard:
         for segment in self.segments.sealed_segments:
             index = self.indexes.get(segment.segment_id)
             if index is None:
-                snapshot.brute_vectors.append(segment.vectors)
-                snapshot.brute_ids.append(segment.ids)
+                vectors, ids = segment.live_arrays()
+                snapshot.brute_vectors.append(vectors)
+                snapshot.brute_ids.append(ids)
                 snapshot.has_unindexed_sealed = True
             else:
                 snapshot.indexed.append(index)

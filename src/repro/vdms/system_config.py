@@ -22,7 +22,7 @@ from typing import Any, Mapping
 
 from repro.vdms.errors import InvalidConfigurationError
 
-__all__ = ["SystemConfig", "ROUTING_POLICIES"]
+__all__ = ["SystemConfig", "ROUTING_POLICIES", "MAINTENANCE_MODES"]
 
 #: Simulated rows per (megabyte * dimension); chosen so the default segment
 #: size yields a handful of segments on the bundled datasets.
@@ -38,6 +38,14 @@ SIMULATED_CORES = 16
 #: Routing policies accepted by ``routing_policy`` (see
 #: :mod:`repro.vdms.sharding`).
 ROUTING_POLICIES: tuple[str, ...] = ("hash", "range")
+
+#: Maintenance scheduling modes accepted by ``maintenance_mode`` (see
+#: :mod:`repro.vdms.maintenance`): ``"off"`` leaves delete-invalidated
+#: segments brute-forced until an explicit ``run_maintenance``/``create_index``
+#: call, ``"inline"`` runs maintenance synchronously inside the mutating
+#: call, and ``"background"`` delegates it to a background worker thread
+#: (modelled as an overlapped, duty-cycled cost by the replayer).
+MAINTENANCE_MODES: tuple[str, ...] = ("off", "inline", "background")
 
 
 @dataclass(frozen=True)
@@ -84,6 +92,16 @@ class SystemConfig:
         and overlapping shard tasks.  Execution threads compete with
         ``query_node_threads`` for the simulated cores (see
         :meth:`effective_search_workers`).
+    compaction_trigger_ratio:
+        Tombstone fraction at which a sealed segment becomes a compaction
+        candidate: lower values reclaim deleted rows (and heal brute-forced
+        segments) aggressively at a higher rewrite cost, higher values let
+        garbage accumulate.
+    maintenance_mode:
+        When background maintenance (compaction + incremental re-indexing)
+        runs: ``"off"`` (never automatically — the seed behaviour),
+        ``"inline"`` (synchronously inside deletes and flushes) or
+        ``"background"`` (a maintenance worker thread).
     """
 
     segment_max_size: int = 512
@@ -96,6 +114,8 @@ class SystemConfig:
     shard_num: int = 1
     routing_policy: str = "hash"
     search_threads: int = 1
+    compaction_trigger_ratio: float = 0.2
+    maintenance_mode: str = "off"
 
     def __post_init__(self) -> None:
         if not 1 <= self.segment_max_size <= 1_000_000:
@@ -120,6 +140,12 @@ class SystemConfig:
             )
         if not 1 <= self.search_threads <= 256:
             raise InvalidConfigurationError("search_threads out of range")
+        if not 0.01 <= self.compaction_trigger_ratio <= 1.0:
+            raise InvalidConfigurationError("compaction_trigger_ratio out of range")
+        if self.maintenance_mode not in MAINTENANCE_MODES:
+            raise InvalidConfigurationError(
+                f"maintenance_mode must be one of {MAINTENANCE_MODES}"
+            )
 
     # -- construction ----------------------------------------------------------
 
@@ -138,13 +164,17 @@ class SystemConfig:
             "shard_num",
             "routing_policy",
             "search_threads",
+            "compaction_trigger_ratio",
+            "maintenance_mode",
         ):
             if field_name in values:
                 kwargs[field_name] = values[field_name]
-        if "segment_seal_proportion" in kwargs:
-            kwargs["segment_seal_proportion"] = float(kwargs["segment_seal_proportion"])
-        if "routing_policy" in kwargs:
-            kwargs["routing_policy"] = str(kwargs["routing_policy"])
+        for float_field in ("segment_seal_proportion", "compaction_trigger_ratio"):
+            if float_field in kwargs:
+                kwargs[float_field] = float(kwargs[float_field])
+        for string_field in ("routing_policy", "maintenance_mode"):
+            if string_field in kwargs:
+                kwargs[string_field] = str(kwargs[string_field])
         for integer_field in (
             "segment_max_size",
             "graceful_time",

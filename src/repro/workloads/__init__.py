@@ -9,7 +9,7 @@ optimizes.
 """
 
 from repro.workloads.workload import SearchWorkload
-from repro.workloads.replay import EvaluationResult, WorkloadReplayer
+from repro.workloads.replay import EvaluationResult, MutationPlan, WorkloadReplayer
 from repro.workloads.environment import VDMSTuningEnvironment
 from repro.workloads.dynamic import (
     DRIFT_EVENT_TYPES,
@@ -32,6 +32,7 @@ __all__ = [
     "DynamicWorkload",
     "EvaluationResult",
     "FilterSelectivityEvent",
+    "MutationPlan",
     "QPSBurstEvent",
     "QueryShiftEvent",
     "SearchWorkload",

@@ -15,8 +15,13 @@ This module makes drift a first-class object:
     from a different region of the corpus (query-distribution shift);
   - :class:`DataChurnEvent` — a fraction of the stored vectors is deleted and
     replaced by freshly inserted ones (collection churn; recall ground truth
-    is recomputed, mirroring :meth:`repro.vdms.collection.Collection.delete`
-    invalidating per-segment indexes in the storage layer);
+    is recomputed).  The churn is also emitted as a
+    :class:`~repro.workloads.replay.MutationPlan`, so replays of the churned
+    phase drive a *live* collection through the deletes and inserts —
+    invalidating the per-segment indexes the deletes touch — and measure
+    whether the evaluated configuration's maintenance policy
+    (``maintenance_mode``, ``compaction_trigger_ratio``) heals the
+    post-delete brute-force cliff or suffers it;
   - :class:`QPSBurstEvent` — client concurrency bursts up or down;
   - :class:`FilterSelectivityEvent` — queries gain a metadata filter matched
     by only a fraction of the corpus; recall is measured post-filter, so
@@ -29,9 +34,10 @@ This module makes drift a first-class object:
 * :class:`DynamicTuningEnvironment` extends
   :class:`~repro.workloads.environment.VDMSTuningEnvironment` to advance
   through the timeline as evaluations are spent, swapping the replayer's
-  dataset/workload (and flushing the result cache) at every phase boundary —
-  the same configuration can, and usually does, measure differently after a
-  drift event.
+  dataset/workload — and the active mutation plan, which is how maintenance
+  is invoked between phases — and flushing the result cache at every phase
+  boundary: the same configuration can, and usually does, measure
+  differently after a drift event.
 """
 
 from __future__ import annotations
@@ -46,7 +52,7 @@ from repro.config import Configuration, ConfigurationSpace
 from repro.datasets.dataset import Dataset, DatasetSpec
 from repro.datasets.ground_truth import brute_force_neighbors
 from repro.workloads.environment import VDMSTuningEnvironment
-from repro.workloads.replay import EvaluationResult
+from repro.workloads.replay import EvaluationResult, MutationPlan
 from repro.workloads.workload import SearchWorkload
 
 __all__ = [
@@ -80,6 +86,14 @@ class WorkloadPhase:
         The dataset active during the phase (vectors, queries, ground truth).
     workload:
         The search workload active during the phase.
+    row_ids:
+        External id of each dataset row (``None`` means positions are ids) —
+        required to score searches against a live-mutated collection.
+    mutations:
+        The churn :class:`~repro.workloads.replay.MutationPlan` that produced
+        this phase's corpus, if any; replays of the phase then mutate a live
+        collection (and heal it via maintenance) instead of rebuilding from
+        scratch.
     """
 
     index: int
@@ -87,6 +101,8 @@ class WorkloadPhase:
     start_step: int
     dataset: Dataset
     workload: SearchWorkload
+    row_ids: np.ndarray | None = None
+    mutations: MutationPlan | None = None
 
 
 @dataclass(frozen=True)
@@ -120,6 +136,25 @@ class DriftEvent(ABC):
         self, dataset: Dataset, workload: SearchWorkload, rng: np.random.Generator
     ) -> tuple[Dataset, SearchWorkload]:
         """Transform the active ``(dataset, workload)`` pair."""
+
+    def apply_with_plan(
+        self,
+        dataset: Dataset,
+        workload: SearchWorkload,
+        rng: np.random.Generator,
+        base_row_ids: np.ndarray | None = None,
+    ) -> tuple[Dataset, SearchWorkload, np.ndarray | None, MutationPlan | None]:
+        """Like :meth:`apply`, also returning ``(row_ids, mutation_plan)``.
+
+        The default returns ``(None, None)`` — the event does not move any
+        corpus rows, so the previous phase's id map and mutation plan carry
+        over unchanged.  Events that churn the stored vectors (e.g.
+        :class:`DataChurnEvent`) override this to describe the churn as
+        live-collection operations.
+        """
+        del base_row_ids
+        drifted, drifted_workload = self.apply(dataset, workload, rng)
+        return drifted, drifted_workload, None, None
 
 
 def _derived_dataset(
@@ -214,6 +249,16 @@ class DataChurnEvent(DriftEvent):
     def apply(
         self, dataset: Dataset, workload: SearchWorkload, rng: np.random.Generator
     ) -> tuple[Dataset, SearchWorkload]:
+        drifted, drifted_workload, _, _ = self.apply_with_plan(dataset, workload, rng)
+        return drifted, drifted_workload
+
+    def apply_with_plan(
+        self,
+        dataset: Dataset,
+        workload: SearchWorkload,
+        rng: np.random.Generator,
+        base_row_ids: np.ndarray | None = None,
+    ) -> tuple[Dataset, SearchWorkload, np.ndarray | None, MutationPlan | None]:
         num_vectors = dataset.num_vectors
         churned_rows = max(1, int(round(0.5 * self.severity * num_vectors)))
         victims = rng.choice(num_vectors, size=churned_rows, replace=False)
@@ -231,7 +276,8 @@ class DataChurnEvent(DriftEvent):
         fresh = centers[assignment] + rng.normal(
             scale=0.1 * scale, size=(churned_rows, dataset.dimension)
         )
-        vectors = np.concatenate([survivors, fresh.astype(np.float32)], axis=0)
+        fresh = fresh.astype(np.float32)
+        vectors = np.concatenate([survivors, fresh], axis=0)
 
         # Part of the query population follows the fresh content.
         queries = dataset.queries.copy()
@@ -242,7 +288,26 @@ class DataChurnEvent(DriftEvent):
         queries[following_rows] = (fresh[picks] + jitter).astype(np.float32)
 
         drifted = _derived_dataset(dataset, suffix=self.name, vectors=vectors, queries=queries)
-        return drifted, _workload_for(drifted, workload)
+
+        # The same churn as live-collection operations on external ids: the
+        # storage layer gets real deletes (tombstoning sealed segments) and
+        # real inserts (new segments), so replays of the drifted phase
+        # measure a collection that has *lived through* the churn.
+        if base_row_ids is None:
+            base_row_ids = np.arange(num_vectors, dtype=np.int64)
+        else:
+            base_row_ids = np.asarray(base_row_ids, dtype=np.int64)
+        next_id = int(base_row_ids.max()) + 1 if base_row_ids.size else 0
+        insert_ids = np.arange(next_id, next_id + churned_rows, dtype=np.int64)
+        row_ids = np.concatenate([base_row_ids[keep_mask], insert_ids])
+        plan = MutationPlan(
+            base_vectors=dataset.vectors,
+            base_ids=base_row_ids,
+            delete_ids=base_row_ids[victims],
+            insert_vectors=fresh,
+            insert_ids=insert_ids,
+        )
+        return drifted, _workload_for(drifted, workload), row_ids, plan
 
 
 @dataclass(frozen=True)
@@ -409,7 +474,14 @@ class DynamicWorkload:
             previous = self._phases[-1]
             event = self.events[len(self._phases) - 1]
             rng = np.random.default_rng((self.seed, len(self._phases)))
-            dataset, workload = event.apply(previous.dataset, previous.workload, rng)
+            dataset, workload, row_ids, plan = event.apply_with_plan(
+                previous.dataset, previous.workload, rng, previous.row_ids
+            )
+            if row_ids is None:
+                # The event moved no corpus rows: the id map and the live
+                # mutation history carry over from the previous phase.
+                row_ids = previous.row_ids
+                plan = previous.mutations
             self._phases.append(
                 WorkloadPhase(
                     index=len(self._phases),
@@ -417,6 +489,8 @@ class DynamicWorkload:
                     start_step=event.at_step,
                     dataset=dataset,
                     workload=workload,
+                    row_ids=row_ids,
+                    mutations=plan,
                 )
             )
         return self._phases[index]
@@ -498,7 +572,12 @@ class DynamicTuningEnvironment(VDMSTuningEnvironment):
             return
         phase = self.dynamic.phase(target)
         self._phase_index = target
-        self.set_workload(phase.workload, dataset=phase.dataset)
+        self.set_workload(
+            phase.workload,
+            dataset=phase.dataset,
+            mutations=phase.mutations,
+            row_ids=phase.row_ids,
+        )
         self.phase_log.append((target, step))
 
     def evaluate(self, configuration: Configuration | Mapping[str, Any]) -> EvaluationResult:

@@ -86,6 +86,8 @@ class VDMSTuningEnvironment:
         # always use the serial batch search + analytic concurrency model.
         self.use_query_scheduler = bool(use_query_scheduler)
         self._rng = np.random.default_rng(seed)
+        self._mutations = None
+        self._row_ids = None
         self._replayer = WorkloadReplayer(
             self.dataset, self.workload, use_query_scheduler=self.use_query_scheduler
         )
@@ -96,7 +98,14 @@ class VDMSTuningEnvironment:
 
     # -- workload switching -----------------------------------------------------------
 
-    def set_workload(self, workload: SearchWorkload, *, dataset: Dataset | None = None) -> None:
+    def set_workload(
+        self,
+        workload: SearchWorkload,
+        *,
+        dataset: Dataset | None = None,
+        mutations=None,
+        row_ids: np.ndarray | None = None,
+    ) -> None:
         """Swap the active workload (and optionally the dataset) mid-run.
 
         The replayer is rebuilt and the result cache flushed — cached results
@@ -104,14 +113,37 @@ class VDMSTuningEnvironment:
         after a drift event is to observe the new one.  History and the
         tuning clock are preserved: a workload switch is part of the same
         (online) tuning run, not a new run.
+
+        ``mutations`` (a :class:`~repro.workloads.replay.MutationPlan`) makes
+        subsequent replays measure a live delete/insert-churned collection —
+        healed between the mutation and query phases by the maintenance
+        subsystem when the evaluated configuration enables it; ``row_ids``
+        maps the dataset's row positions to the external ids that collection
+        serves.
         """
         if dataset is not None:
             self.dataset = dataset
         self.workload = workload
+        self._mutations = mutations
+        self._row_ids = row_ids
         self._replayer = WorkloadReplayer(
-            self.dataset, self.workload, use_query_scheduler=self.use_query_scheduler
+            self.dataset,
+            self.workload,
+            use_query_scheduler=self.use_query_scheduler,
+            mutations=mutations,
+            row_ids=row_ids,
         )
         self._result_cache.clear()
+
+    @property
+    def mutations(self):
+        """The active churn :class:`~repro.workloads.replay.MutationPlan` (or ``None``)."""
+        return self._mutations
+
+    @property
+    def row_ids(self) -> np.ndarray | None:
+        """Dataset-position → external-id map of the active mutation plan."""
+        return self._row_ids
 
     # -- evaluation -----------------------------------------------------------------
 

@@ -15,12 +15,24 @@ event-simulated over the configured worker budget, see
 :meth:`repro.vdms.cost_model.CostModel.concurrent_qps`).  With
 ``search_threads == 1`` the replayer falls back to the plain cost-model
 concurrency multiplier, so serial configurations behave exactly as before.
+
+Churn replay: with a :class:`MutationPlan`, the replayer measures a *live
+mutating* collection instead of a freshly rebuilt one — it loads the
+pre-churn corpus, builds the index, applies the plan's deletes and inserts
+(invalidating the per-segment indexes the deletes touch), runs one
+deterministic maintenance pass when ``maintenance_mode`` is not ``"off"``,
+and only then replays the queries.  Configurations with maintenance off
+therefore *measure* the post-delete brute-force cliff, and configurations
+with maintenance on pay the (mode-dependent) compaction/re-index cost to
+avoid it — which is exactly what makes the maintenance knobs tunable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Mapping
+
+import numpy as np
 
 from repro.datasets.dataset import Dataset
 from repro.datasets.ground_truth import recall_at_k
@@ -29,7 +41,36 @@ from repro.vdms.sharding import QueryScheduler
 from repro.vdms.system_config import SystemConfig
 from repro.workloads.workload import SearchWorkload
 
-__all__ = ["EvaluationResult", "WorkloadReplayer"]
+__all__ = ["EvaluationResult", "MutationPlan", "WorkloadReplayer"]
+
+
+@dataclass(frozen=True)
+class MutationPlan:
+    """Deletes and inserts replayed against a live collection.
+
+    A plan captures churn as *operations on external ids* rather than as a
+    new corpus, so a replay can reproduce what a deployed collection goes
+    through: load the pre-churn base, then delete and insert.
+
+    Attributes
+    ----------
+    base_vectors:
+        The pre-churn corpus, shape ``(n, d)``.
+    base_ids:
+        External ids of the pre-churn rows, shape ``(n,)``.
+    delete_ids:
+        External ids deleted by the churn.
+    insert_vectors:
+        Rows inserted by the churn, shape ``(m, d)``.
+    insert_ids:
+        External ids of the inserted rows, shape ``(m,)``.
+    """
+
+    base_vectors: np.ndarray
+    base_ids: np.ndarray
+    delete_ids: np.ndarray
+    insert_vectors: np.ndarray
+    insert_ids: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -107,6 +148,11 @@ class WorkloadReplayer:
     configurations with ``search_threads > 1`` (the default); disabling it
     forces every replay through the serial batch search plus the analytic
     concurrency multiplier.
+
+    ``mutations`` switches the replay to the live-churn path (see the module
+    docstring); ``row_ids`` then maps the dataset's row positions (which the
+    ground truth is expressed in) to the external ids the mutated collection
+    serves, so recall stays exact.
     """
 
     def __init__(
@@ -116,21 +162,44 @@ class WorkloadReplayer:
         *,
         collection_name: str = "tuning",
         use_query_scheduler: bool = True,
+        mutations: MutationPlan | None = None,
+        row_ids: np.ndarray | None = None,
     ) -> None:
         self.dataset = dataset
         self.workload = workload or SearchWorkload.from_dataset(dataset)
         self.collection_name = collection_name
         self.use_query_scheduler = bool(use_query_scheduler)
+        self.mutations = mutations
+        self.row_ids = None if row_ids is None else np.asarray(row_ids, dtype=np.int64)
+        if self.mutations is not None and self.row_ids is None:
+            raise ValueError("a mutation plan requires row_ids to translate ground truth")
         self.server = VectorDBServer()
+
+    def _ground_truth_ids(self) -> np.ndarray:
+        """Ground truth expressed in the ids the collection actually serves."""
+        truth = self.workload.ground_truth
+        if self.row_ids is None:
+            return truth
+        return self.row_ids[truth]
 
     def replay(self, configuration: Mapping[str, Any]) -> EvaluationResult:
         """Apply ``configuration`` end to end and measure the workload."""
         system_config = SystemConfig.from_mapping(configuration)
         self.server.apply_system_config(system_config)
+        # Automatic maintenance is disabled on the replay collection: the
+        # replayer invokes exactly one deterministic pass itself (below), so
+        # replays are rerun-stable even for "background" mode.
         collection = self.server.create_collection(
-            self.collection_name, self.dataset.dimension, metric=self.dataset.metric
+            self.collection_name,
+            self.dataset.dimension,
+            metric=self.dataset.metric,
+            auto_maintenance=False,
         )
-        collection.insert(self.dataset.vectors)
+        plan = self.mutations
+        if plan is None:
+            collection.insert(self.dataset.vectors)
+        else:
+            collection.insert(plan.base_vectors, ids=plan.base_ids)
         collection.flush()
 
         index_type = str(configuration.get("index_type", "AUTOINDEX")).rstrip("_")
@@ -138,6 +207,15 @@ class WorkloadReplayer:
         build_stats = collection.create_index(
             index_type, params, build_workers=system_config.search_threads
         )
+
+        maintenance_report = None
+        if plan is not None:
+            collection.delete(plan.delete_ids)
+            if plan.insert_vectors.shape[0]:
+                collection.insert(plan.insert_vectors, ids=plan.insert_ids)
+                collection.flush()
+            if system_config.maintenance_mode != "off":
+                maintenance_report = collection.run_maintenance()
 
         scheduled = self.use_query_scheduler and system_config.search_threads > 1
         trace = None
@@ -148,7 +226,7 @@ class WorkloadReplayer:
             )
         else:
             result = collection.search(self.workload.queries, self.workload.top_k)
-        recall = recall_at_k(result.ids, self.workload.ground_truth, self.workload.top_k)
+        recall = recall_at_k(result.ids, self._ground_truth_ids(), self.workload.top_k)
 
         cost_model = self.server.cost_model()
         profile = collection.profile()
@@ -175,6 +253,16 @@ class WorkloadReplayer:
             breakdown["scheduler_workers"] = float(workers)
             breakdown["scheduled_requests"] = float(trace.num_requests)
             breakdown["schedule_makespan_seconds"] = float(makespan)
+        if plan is not None:
+            maintenance_seconds = cost_model.maintenance_seconds(maintenance_report, profile)
+            replay_seconds += maintenance_seconds
+            failed = failed or replay_seconds > cost_model.REPLAY_TIMEOUT_SECONDS
+            breakdown["maintenance_seconds"] = float(maintenance_seconds)
+            breakdown["tombstone_rows"] = float(profile.tombstone_rows)
+            if maintenance_report is not None:
+                breakdown["segments_compacted"] = float(maintenance_report.segments_compacted)
+                breakdown["segments_reindexed"] = float(maintenance_report.segments_reindexed)
+                breakdown["maintenance_rows_dropped"] = float(maintenance_report.rows_dropped)
         return EvaluationResult(
             qps=float(qps),
             recall=report.recall,

@@ -152,6 +152,7 @@ class TestMonteCarloQEHVI:
         scores = greedy_qehvi_scores(
             prefix_means, prefix_stds, candidates, candidate_stds,
             np.array([[0.2, 0.2]]), np.zeros(2), num_samples=32,
+            rng=np.random.default_rng(0),
         )
         prefix_alone = monte_carlo_qehvi(
             prefix_means, prefix_stds, np.array([[0.2, 0.2]]), np.zeros(2), num_samples=32
@@ -170,3 +171,53 @@ class TestMonteCarloQEHVI:
             np.array([[1.0, 0.4], [0.4, 1.0]]), stds, observed, reference, num_samples=32
         )
         assert diverse > duplicated
+
+
+class TestRngThreading:
+    """greedy_qehvi_scores must draw fresh noise per call from a shared generator.
+
+    The old fixed-seed fallback re-drew the *same* Monte-Carlo noise on
+    every rng-less call, correlating the batch slots of sequential-greedy
+    q-EHVI construction.
+    """
+
+    def test_greedy_scores_require_a_generator(self):
+        empty = np.empty((0, 2))
+        means = np.array([[1.0, 1.0]])
+        stds = np.array([[0.3, 0.3]])
+        with pytest.raises(TypeError):
+            greedy_qehvi_scores(empty, empty, means, stds, empty, np.zeros(2))
+
+    def test_successive_calls_advance_the_shared_generator(self):
+        empty = np.empty((0, 2))
+        means = np.array([[1.0, 1.0]])
+        stds = np.array([[0.5, 0.5]])
+        shared = np.random.default_rng(3)
+        first = greedy_qehvi_scores(
+            empty, empty, means, stds, empty, np.zeros(2), num_samples=32, rng=shared
+        )
+        second = greedy_qehvi_scores(
+            empty, empty, means, stds, empty, np.zeros(2), num_samples=32, rng=shared
+        )
+        # Same inputs, same generator object: the second call must consume
+        # fresh noise, so the Monte-Carlo estimates differ (decorrelated).
+        assert not np.allclose(first, second)
+        # Re-seeding reproduces the whole sequence, so determinism is kept.
+        replay = np.random.default_rng(3)
+        assert np.allclose(
+            first,
+            greedy_qehvi_scores(
+                empty, empty, means, stds, empty, np.zeros(2), num_samples=32, rng=replay
+            ),
+        )
+
+    def test_entry_points_keep_a_reproducible_default(self):
+        means = np.array([[1.0, 1.0]])
+        stds = np.array([[0.3, 0.3]])
+        observed = np.array([[0.5, 0.5]])
+        first = monte_carlo_ehvi(means, stds, observed, np.zeros(2), num_samples=16)
+        second = monte_carlo_ehvi(means, stds, observed, np.zeros(2), num_samples=16)
+        assert np.allclose(first, second)
+        joint_a = monte_carlo_qehvi(means, stds, observed, np.zeros(2), num_samples=16)
+        joint_b = monte_carlo_qehvi(means, stds, observed, np.zeros(2), num_samples=16)
+        assert joint_a == pytest.approx(joint_b)

@@ -13,10 +13,11 @@ from repro.config.milvus_space import (
 
 
 class TestSpaceStructure:
-    def test_space_has_19_dimensions(self, milvus_space):
+    def test_space_has_21_dimensions(self, milvus_space):
         # Paper: index type + 8 index parameters + 7 system parameters,
-        # plus the 3 serving-topology parameters of the sharded engine.
-        assert milvus_space.dimension == 19
+        # plus the 3 serving-topology parameters of the sharded engine and
+        # the 2 maintenance parameters of the compaction subsystem.
+        assert milvus_space.dimension == 21
 
     def test_index_type_choices_match_table1(self, milvus_space):
         assert tuple(milvus_space["index_type"].choices) == INDEX_TYPES
@@ -30,10 +31,12 @@ class TestSpaceStructure:
         for name in index_parameters:
             assert name in milvus_space
 
-    def test_ten_system_parameters(self, milvus_space):
-        # The paper's seven plus shard_num, routing_policy, search_threads.
-        assert len(SYSTEM_PARAMETERS) == 10
+    def test_twelve_system_parameters(self, milvus_space):
+        # The paper's seven plus shard_num, routing_policy, search_threads,
+        # compaction_trigger_ratio and maintenance_mode.
+        assert len(SYSTEM_PARAMETERS) == 12
         assert {"shard_num", "routing_policy", "search_threads"} < set(SYSTEM_PARAMETERS)
+        assert {"compaction_trigger_ratio", "maintenance_mode"} < set(SYSTEM_PARAMETERS)
         for name in SYSTEM_PARAMETERS:
             assert name in milvus_space
 
@@ -57,7 +60,7 @@ class TestSpaceConstruction:
 
     def test_restricted_space_keeps_dimension(self):
         space = build_milvus_space(index_types=("HNSW", "IVF_FLAT"))
-        assert space.dimension == 19
+        assert space.dimension == 21
         assert set(space["index_type"].choices) == {"HNSW", "IVF_FLAT"}
 
     def test_single_index_space_is_buildable(self):

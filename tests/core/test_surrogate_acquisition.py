@@ -79,7 +79,7 @@ class TestNativeSurrogate:
     def test_reference_point_scales_balanced_point(self, space, history):
         surrogate = NativeSurrogate(space).fit(history)
         reference = surrogate.reference_point("HNSW")
-        balanced = history.balanced_point()
+        balanced = history.balanced_point("HNSW")
         assert np.allclose(reference, 0.5 * balanced)
 
     def test_threshold_passthrough(self, space, history):

@@ -290,3 +290,71 @@ class TestScenarioMatrixCommand:
         assert "query_shift" in output and "qps_burst" in output
         matrix = json.loads(output_path.read_text(encoding="utf-8"))
         assert len(matrix["cells"]) == 2
+
+
+class TestFlagValidation:
+    """Contradictory flags fail fast with actionable messages (not tracebacks)."""
+
+    def exit_message(self, argv) -> str:
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        code = excinfo.value.code
+        assert isinstance(code, str) and code.startswith("error:"), (
+            f"expected an actionable error message, got exit code {code!r}"
+        )
+        return code
+
+    def test_evaluate_rejects_zero_search_threads(self):
+        message = self.exit_message(
+            ["evaluate", "--dataset", "glove-small", "--search-threads", "0"]
+        )
+        assert "--search-threads" in message and "serial" in message
+
+    def test_evaluate_rejects_more_shards_than_rows(self):
+        message = self.exit_message(
+            ["evaluate", "--dataset", "glove-small", "--shards", "999999"]
+        )
+        assert "--shards" in message and "rows" in message
+
+    def test_evaluate_rejects_out_of_range_override(self):
+        message = self.exit_message(
+            ["evaluate", "--dataset", "glove-small", "--set", "search_threads=0"]
+        )
+        assert "search_threads" in message and "--set" in message
+
+    def test_tune_online_rejects_budget_larger_than_steps(self):
+        message = self.exit_message(
+            ["tune-online", "--steps", "6", "--retune-budget", "12"]
+        )
+        assert "--retune-budget" in message and "--steps" in message
+
+    def test_tune_online_rejects_bad_severity(self):
+        message = self.exit_message(
+            ["tune-online", "--steps", "10", "--retune-budget", "3", "--severity", "1.5"]
+        )
+        assert "--severity" in message
+
+    def test_tune_online_rejects_drift_step_outside_budget(self):
+        message = self.exit_message(
+            ["tune-online", "--steps", "10", "--retune-budget", "3", "--drift-step", "40"]
+        )
+        assert "--drift-step" in message
+
+    def test_tune_online_rejects_zero_batch_size(self):
+        message = self.exit_message(
+            ["tune-online", "--steps", "10", "--retune-budget", "3", "--batch-size", "0"]
+        )
+        assert "--batch-size" in message
+
+    def test_tune_rejects_zero_workers(self):
+        message = self.exit_message(
+            ["tune", "--dataset", "glove-small", "--iterations", "2", "--workers", "0"]
+        )
+        assert "--workers" in message
+
+    def test_valid_drift_step_inside_budget_still_runs(self, capsys):
+        assert main([
+            "tune-online", "--steps", "4", "--retune-budget", "2",
+            "--drift-step", "3", "--seed", "0",
+        ]) == 0
+        assert "online tuning" in capsys.readouterr().out

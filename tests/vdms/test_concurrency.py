@@ -222,3 +222,87 @@ class TestSnapshotIsolation:
             collection.insert(
                 np.zeros((5, DIMENSION), dtype=np.float32), ids=np.arange(3, dtype=np.int64)
             )
+
+
+class TestMaintenanceConcurrency:
+    """Maintenance racing in-flight searches and deletes stays coherent."""
+
+    def test_maintenance_racing_searches_and_deletes(self):
+        collection, queries = build_collection(shard_num=2)
+        doomed_universe = np.arange(0, NUM_VECTORS, 3, dtype=np.int64)
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            scheduler = QueryScheduler(num_threads=4)
+            try:
+                while not stop.is_set():
+                    result, trace = scheduler.run(collection.search, queries, TOP_K)
+                    assert result.ids.shape == (NUM_QUERIES, TOP_K)
+                    assert sorted(trace.served_requests) == list(range(NUM_QUERIES))
+                    valid = (result.ids >= -1) & (result.ids < NUM_VECTORS)
+                    assert valid.all(), "search served an id outside the inserted universe"
+            except Exception as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+
+        def maintain() -> None:
+            try:
+                while not stop.is_set():
+                    collection.run_maintenance()
+            except Exception as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+
+        searchers = [threading.Thread(target=hammer) for _ in range(2)]
+        maintainer = threading.Thread(target=maintain)
+        for thread in searchers:
+            thread.start()
+        maintainer.start()
+        try:
+            deleted = 0
+            for start in range(0, doomed_universe.size, 40):
+                deleted += collection.delete(doomed_universe[start : start + 40])
+        finally:
+            stop.set()
+            for thread in searchers + [maintainer]:
+                thread.join(timeout=30)
+        assert not errors, f"maintenance race failed: {errors[0]!r}"
+        assert deleted == doomed_universe.size
+
+        # Once the dust settles a final pass heals every sealed segment and
+        # the deleted rows stay gone.
+        collection.run_maintenance()
+        for shard in collection.shards:
+            for segment in shard.segments.sealed_segments:
+                assert segment.segment_id in shard.indexes
+        result = collection.search(queries, TOP_K)
+        assert not np.isin(result.ids, doomed_universe).any()
+
+    def test_background_worker_racing_scheduled_searches(self):
+        rng = np.random.default_rng(29)
+        vectors = rng.normal(size=(NUM_VECTORS, DIMENSION)).astype(np.float32)
+        queries = rng.normal(size=(NUM_QUERIES, DIMENSION)).astype(np.float32)
+        config = SystemConfig(
+            shard_num=2, segment_max_size=64, segment_seal_proportion=0.25,
+            insert_buf_size=64, maintenance_mode="background",
+            compaction_trigger_ratio=0.05,
+        )
+        collection = Collection("bg", DIMENSION, metric="l2", system_config=config)
+        collection.insert(vectors)
+        collection.flush()
+        collection.create_index("FLAT")
+        scheduler = QueryScheduler(num_threads=4)
+        try:
+            for start in range(0, 300, 60):
+                collection.delete(np.arange(start, start + 60, dtype=np.int64))
+                result, _ = scheduler.run(collection.search, queries, TOP_K)
+                assert result.ids.shape == (NUM_QUERIES, TOP_K)
+            worker = collection.maintenance_worker
+            assert worker is not None
+            worker.join_idle(timeout=10.0)
+            for shard in collection.shards:
+                for segment in shard.segments.sealed_segments:
+                    assert segment.segment_id in shard.indexes
+            final, _ = scheduler.run(collection.search, queries, TOP_K)
+            assert not np.isin(final.ids, np.arange(300)).any()
+        finally:
+            collection.stop_maintenance()

@@ -89,3 +89,36 @@ class TestPrepareVectors:
 
     def test_metrics_constant(self):
         assert set(METRICS) == {"l2", "ip", "angular"}
+
+
+class TestShapeIndependentKernel:
+    """The kernel's per-pair determinism and zero-snap boundaries."""
+
+    def test_identical_rows_get_exact_zero_in_any_batch_shape(self):
+        rng = np.random.default_rng(3)
+        vectors = np.tile(rng.normal(size=(100, 24)).astype(np.float32), (4, 1))
+        queries = vectors[::37][:10].copy()
+        full = pairwise_distances(queries, vectors, "l2")
+        # Identical (query, vector) pairs are exactly zero...
+        for q, row in enumerate(queries):
+            matches = np.flatnonzero((vectors == row).all(axis=1))
+            assert (full[q, matches] == 0.0).all()
+        # ...and every pair's value is identical under any partitioning.
+        for split in (3, 7, 16):
+            parts = np.array_split(np.arange(vectors.shape[0]), split)
+            for part in parts:
+                sub = pairwise_distances(queries, vectors[part], "l2")
+                assert (sub == full[:, part]).all()
+
+    def test_near_duplicates_are_not_snapped_to_zero(self):
+        rng = np.random.default_rng(5)
+        v = rng.normal(size=(1, 64)).astype(np.float32)
+        v /= np.linalg.norm(v)
+        near = (v + 1e-5).astype(np.float32)
+        near /= np.linalg.norm(near)
+        distances = pairwise_distances(v, np.vstack([v, near]), "l2")
+        assert distances[0, 0] == 0.0
+        # A genuinely distinct vector keeps a strictly positive distance —
+        # snapping it to zero would let the id tie-break outrank the query's
+        # true exact match.
+        assert distances[0, 1] > 0.0

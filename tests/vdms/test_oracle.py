@@ -166,3 +166,109 @@ class TestShardedSearchMatchesUnshardedExactScan:
         # float32 ulp because BLAS kernels round differently for different
         # submatrix shapes (IVF scores rows cluster by cluster).
         assert np.allclose(sharded.distances, unsharded.distances, rtol=1e-6, atol=1e-6)
+
+
+def make_duplicated_corpus(seed: int = 13) -> tuple[np.ndarray, np.ndarray]:
+    """A corpus where every vector appears several times under distinct ids.
+
+    Duplicate vectors tie *exactly* in distance, so the top-k cut must be
+    decided by the id tie-break — the degenerate case the distinct-distance
+    corpus of :func:`make_corpus` never exercises.
+    """
+    rng = np.random.default_rng(seed)
+    unique = rng.normal(size=(NUM_VECTORS // 6, DIMENSION)).astype(np.float32)
+    vectors = np.tile(unique, (6, 1))
+    queries = unique[rng.integers(0, unique.shape[0], size=NUM_QUERIES)].copy()
+    return vectors, queries
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("routing_policy", ROUTING_POLICIES)
+@pytest.mark.parametrize("shard_num", (1, 2, 4))
+@pytest.mark.parametrize("index_type", EXACT_INDEX_TYPES)
+class TestDuplicateVectorTieBreaking:
+    """Equal distances must resolve by ascending external id, everywhere."""
+
+    def test_duplicates_match_oracle_and_unsharded(
+        self, index_type, shard_num, routing_policy, metric
+    ):
+        params, _ = INDEX_ORACLE_CASES[index_type]
+        vectors, queries = make_duplicated_corpus()
+        truth = exact_scan(vectors, queries, metric, TOP_K)
+        unsharded = build_collection(vectors, metric, index_type, params).search(queries, TOP_K)
+        sharded = build_collection(
+            vectors, metric, index_type, params,
+            shard_num=shard_num, routing_policy=routing_policy,
+        ).search(queries, TOP_K)
+        # The stable oracle resolves ties by position == ascending id, and
+        # both serving layouts must agree with it bit for bit.
+        assert np.array_equal(unsharded.ids, truth)
+        assert np.array_equal(sharded.ids, truth), (
+            f"duplicate-vector ties diverged for {index_type} "
+            f"(shards={shard_num}, {routing_policy}, {metric})"
+        )
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("shard_num", (1, 2, 4))
+@pytest.mark.parametrize("index_type", sorted(INDEX_ORACLE_CASES))
+class TestOracleWithMaintenanceEnabled:
+    """The oracle contract survives churn healed by the maintenance subsystem.
+
+    Every index type x metric x shard count: delete a slice of the corpus,
+    insert fresh rows, flush, run maintenance (compaction + incremental
+    re-indexing) and compare against an exact scan of the surviving corpus.
+    """
+
+    def churned_collection(self, index_type, params, metric, shard_num):
+        vectors, queries = make_corpus()
+        rng = np.random.default_rng(23)
+        config = SystemConfig(
+            shard_num=shard_num,
+            maintenance_mode="inline",
+            compaction_trigger_ratio=0.05,
+            **SEGMENT_CONFIG,
+        )
+        collection = Collection("oracle-maint", DIMENSION, metric=metric, system_config=config)
+        collection.insert(vectors)
+        collection.flush()
+        collection.create_index(index_type, params)
+        doomed = rng.choice(NUM_VECTORS, size=NUM_VECTORS // 5, replace=False).astype(np.int64)
+        collection.delete(doomed)
+        fresh = rng.normal(size=(NUM_VECTORS // 10, DIMENSION)).astype(np.float32)
+        fresh_ids = np.arange(NUM_VECTORS, NUM_VECTORS + fresh.shape[0], dtype=np.int64)
+        collection.insert(fresh, ids=fresh_ids)
+        collection.flush()
+        report = collection.run_maintenance()
+
+        keep = np.ones(NUM_VECTORS, dtype=bool)
+        keep[doomed] = False
+        corpus = np.concatenate([vectors[keep], fresh], axis=0)
+        corpus_ids = np.concatenate([np.flatnonzero(keep), fresh_ids])
+        return collection, queries, corpus, corpus_ids, report
+
+    def test_recall_clears_the_floor_after_maintenance(self, index_type, shard_num, metric):
+        params, floor = INDEX_ORACLE_CASES[index_type]
+        collection, queries, corpus, corpus_ids, report = self.churned_collection(
+            index_type, params, metric, shard_num
+        )
+        # Maintenance healed every sealed segment without a full rebuild.
+        for shard in collection.shards:
+            for segment in shard.segments.sealed_segments:
+                assert segment.segment_id in shard.indexes
+        truth = corpus_ids[exact_scan(corpus, queries, metric, TOP_K)]
+        result = collection.search(queries, TOP_K)
+        recall = recall_against(result.ids, truth)
+        if floor == 1.0:
+            assert np.array_equal(result.ids, truth), (
+                f"{index_type}/{metric}/shards={shard_num}: exact index diverged "
+                "from the oracle after maintenance"
+            )
+        else:
+            assert recall >= floor, (
+                f"{index_type}/{metric}/shards={shard_num}: recall {recall:.3f} "
+                f"< floor {floor} after maintenance"
+            )
+        # Served ids are always valid live ids.
+        served = result.ids[result.ids >= 0]
+        assert np.isin(served, corpus_ids).all()
