@@ -118,6 +118,16 @@ def build_parser() -> argparse.ArgumentParser:
         "analytic concurrency model)",
     )
     evaluate.add_argument(
+        "--filter-selectivity",
+        type=float,
+        default=None,
+        metavar="S",
+        help="attach an attribute filter matching a fraction S in (0, 1] of "
+        "the corpus to every query (hybrid filtered search); combine with "
+        "--set filter_strategy=pre|post|auto and --set overfetch_factor=F "
+        "to pin the execution strategy",
+    )
+    evaluate.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -173,6 +183,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tune_online.add_argument("--drift-step", type=int, default=None,
                              help="evaluation step the drift fires at (default: 60%% of --steps)")
+    tune_online.add_argument(
+        "--filter-selectivity",
+        type=float,
+        default=None,
+        metavar="S",
+        help="target selectivity of the filter_shift drift (fraction of the "
+        "corpus the emitted attribute predicate matches, in (0.1, 1)); "
+        "overrides --severity and requires --drift filter",
+    )
     tune_online.add_argument("--tuner", default="vdtuner", help="tuner registry name")
     tune_online.add_argument("--json", action="store_true",
                              help="print the full online report summary as JSON")
@@ -226,6 +245,19 @@ def _validate_evaluate_args(args: argparse.Namespace, dataset, overrides: dict) 
             f"--search-threads must be >= 1 (got {args.search_threads}); "
             "use 1 for serial search with the analytic concurrency model"
         )
+    if args.filter_selectivity is not None and not 0.0 < args.filter_selectivity <= 1.0:
+        _fail(
+            f"--filter-selectivity must lie in (0, 1] (got {args.filter_selectivity}); "
+            "it is the fraction of the corpus the attribute filter matches — "
+            "use 1.0 for a filter every row satisfies, or drop the flag for "
+            "unfiltered search"
+        )
+    if args.filter_selectivity is None and "filter_strategy" in overrides:
+        print(
+            "note: --set filter_strategy has no effect without --filter-selectivity; "
+            "unfiltered searches never consult the filter planner",
+            file=sys.stderr,
+        )
     effective_shards = args.shards if args.shards is not None else overrides.get("shard_num", 1)
     if args.shards is not None:
         if args.shards < 1:
@@ -241,6 +273,33 @@ def _validate_evaluate_args(args: argparse.Namespace, dataset, overrides: dict) 
             "pass --shards S > 1 to partition the collection",
             file=sys.stderr,
         )
+
+
+def _tune_online_severity(args: argparse.Namespace) -> float:
+    """Resolve the drift severity, honouring ``--filter-selectivity``.
+
+    The filter_shift event matches a ``max(0.05, 1 - 0.9 * severity)``
+    fraction of the corpus, so a requested selectivity ``S`` maps back to
+    ``severity = (1 - S) / 0.9``.
+    """
+    if args.filter_selectivity is None:
+        return args.severity
+    if args.drift.lower() not in ("filter", "selectivity", "filter_shift"):
+        _fail(
+            f"--filter-selectivity only applies to the filter_shift drift "
+            f"(got --drift {args.drift}); pass --drift filter, or use "
+            "--severity to scale other drift families"
+        )
+    selectivity = args.filter_selectivity
+    if not 0.1 <= selectivity < 1.0:
+        _fail(
+            f"--filter-selectivity must lie in [0.1, 1) for tune-online "
+            f"(got {selectivity}): the filter_shift severity mapping "
+            "(1 - S) / 0.9 only reaches that range — 0.1 is the lowest "
+            "selectivity a severity of 1.0 produces, and a filter matching "
+            "everything (1.0) is no drift at all (use --drift none)"
+        )
+    return (1.0 - selectivity) / 0.9
 
 
 def _validate_tune_online_args(args: argparse.Namespace, drift_step: int) -> None:
@@ -289,6 +348,19 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     environment = VDMSTuningEnvironment(args.dataset, space=space, seed=args.seed)
     overrides = _parse_overrides(args.overrides, space)
     _validate_evaluate_args(args, environment.dataset, overrides)
+    if args.filter_selectivity is not None:
+        import numpy as np
+
+        from repro.workloads.dynamic import make_filtered_workload
+
+        drifted, filtered = make_filtered_workload(
+            environment.dataset,
+            environment.workload,
+            args.filter_selectivity,
+            np.random.default_rng(args.seed),
+            suffix="cli_filter",
+        )
+        environment.set_workload(filtered, dataset=drifted)
     for name, value in (
         ("shard_num", args.shards),
         ("routing_policy", args.routing_policy),
@@ -314,10 +386,24 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         ["QPS", round(result.qps, 1)],
         ["recall", round(result.recall, 4)],
         ["latency (ms)", round(result.latency_ms, 2)],
+        ["latency p50 (ms)", round(result.breakdown.get("latency_p50_ms", result.latency_ms), 2)],
+        ["latency p99 (ms)", round(result.breakdown.get("latency_p99_ms", result.latency_ms), 2)],
         ["memory (GiB)", round(result.memory_gib, 2)],
         ["simulated replay (s)", round(result.replay_seconds, 1)],
         ["failed", result.failed],
     ]
+    if args.filter_selectivity is not None:
+        rows.extend(
+            [
+                ["filter selectivity", round(result.breakdown.get("filter_selectivity", 0.0), 4)],
+                ["filter strategy", configuration["filter_strategy"]],
+                ["filter rows scanned", int(result.breakdown.get("filter_rows_scanned", 0))],
+                ["filter candidates dropped", int(result.breakdown.get("filter_candidates_dropped", 0))],
+                ["pre / post segments",
+                 f"{int(result.breakdown.get('filter_pre_segments', 0))} / "
+                 f"{int(result.breakdown.get('filter_post_segments', 0))}"],
+            ]
+        )
     print(format_table(["metric", "value"], rows, title=f"evaluate on {args.dataset}"))
     return 0
 
@@ -427,10 +513,11 @@ def _command_tune_online(args: argparse.Namespace) -> int:
             max(args.retune_budget + 5, round(0.6 * max(1, steps))), max(1, steps)
         )
     _validate_tune_online_args(args, drift_step)
+    severity = _tune_online_severity(args)
     events = []
     if args.drift.lower() not in ("none", "static"):
         try:
-            events.append(make_drift_event(args.drift, at_step=drift_step, severity=args.severity))
+            events.append(make_drift_event(args.drift, at_step=drift_step, severity=severity))
         except KeyError as error:
             raise SystemExit(str(error)) from None
     dynamic = DynamicWorkload(load_dataset(args.dataset), events, seed=args.seed)
@@ -471,7 +558,7 @@ def _command_tune_online(args: argparse.Namespace) -> int:
         )
     title = (
         f"online tuning on {args.dataset} "
-        f"({args.drift} severity {args.severity} at step {drift_step}, "
+        f"({args.drift} severity {round(severity, 3)} at step {drift_step}, "
         f"{'warm' if settings.warm_start else 'cold'} re-tuning)"
     )
     print(

@@ -4,9 +4,10 @@ The paper tunes Milvus 2.3.1 with 16 dimensions: the index type, eight index
 parameters (Table I of the paper) and seven system parameters recommended by
 the Milvus configuration documentation.  This module builds the equivalent
 space for the simulated VDMS in :mod:`repro.vdms`, extended by the three
-serving-topology parameters of the sharded engine and the two
-background-maintenance parameters of the compaction subsystem (21 dimensions
-in total).
+serving-topology parameters of the sharded engine, the two
+background-maintenance parameters of the compaction subsystem and the two
+hybrid-search parameters of the filtered query planner (23 dimensions in
+total).
 
 Index parameters (Table I)::
 
@@ -43,6 +44,13 @@ heal)::
                                 segment a compaction candidate
     maintenance_mode         -- off / inline / background scheduling of
                                 compaction + incremental re-indexing
+
+Hybrid-search parameters (added by the filtered query planner of
+:mod:`repro.vdms.request`; they govern how attribute-filtered searches
+execute)::
+
+    filter_strategy          -- auto / pre / post filter execution
+    overfetch_factor         -- post-filter over-fetch multiplier
 """
 
 from __future__ import annotations
@@ -99,6 +107,8 @@ SYSTEM_PARAMETERS: tuple[str, ...] = (
     "search_threads",
     "compaction_trigger_ratio",
     "maintenance_mode",
+    "filter_strategy",
+    "overfetch_factor",
 )
 
 
@@ -133,13 +143,17 @@ def _system_parameter_specs() -> list[Parameter]:
         CategoricalParameter(
             "maintenance_mode", choices=["off", "inline", "background"], default="off"
         ),
+        CategoricalParameter(
+            "filter_strategy", choices=["auto", "pre", "post"], default="auto"
+        ),
+        FloatParameter("overfetch_factor", low=1.0, high=8.0, default=2.0, log_scale=True),
     ]
 
 
 def build_milvus_space(
     index_types: tuple[str, ...] = INDEX_TYPES,
     *,
-    name: str = "milvus-21d",
+    name: str = "milvus-23d",
 ) -> ConfigurationSpace:
     """Build the holistic tuning space (index type + index params + system params).
 
@@ -157,7 +171,7 @@ def build_milvus_space(
     >>> from repro import build_milvus_space
     >>> space = build_milvus_space()
     >>> space.dimension
-    21
+    23
     >>> space.default_configuration()["index_type"]
     'AUTOINDEX'
     >>> smaller = build_milvus_space(index_types=("HNSW", "IVF_FLAT"))
@@ -207,7 +221,7 @@ def default_configuration(
     ----------
     space:
         The space to build the configuration in.  ``None`` builds the full
-        21-dimensional space first.
+        23-dimensional space first.
     index_type:
         If given, the returned configuration uses this index type instead of
         the space default.

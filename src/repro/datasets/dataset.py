@@ -73,12 +73,19 @@ class DatasetSpec:
 
 @dataclass
 class Dataset:
-    """A fully materialized dataset: base vectors, queries and ground truth."""
+    """A fully materialized dataset: base vectors, queries and ground truth.
+
+    ``attributes`` optionally carries scalar payload columns (one int value
+    per base row) that hybrid filtered-search workloads predicate on; they
+    are inserted into the collection alongside the vectors by the workload
+    replayer.
+    """
 
     spec: DatasetSpec
     vectors: np.ndarray
     queries: np.ndarray
     ground_truth: np.ndarray = field(repr=False)
+    attributes: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         self.vectors = np.ascontiguousarray(self.vectors, dtype=np.float32)
@@ -90,6 +97,15 @@ class Dataset:
             raise ValueError("vectors and queries must share a dimension")
         if self.ground_truth.shape[0] != self.queries.shape[0]:
             raise ValueError("ground truth must have one row per query")
+        self.attributes = {
+            str(name): np.ascontiguousarray(column, dtype=np.int64)
+            for name, column in (self.attributes or {}).items()
+        }
+        for name, column in self.attributes.items():
+            if column.shape != (self.vectors.shape[0],):
+                raise ValueError(
+                    f"attribute column {name!r} must hold one value per base vector"
+                )
 
     @property
     def name(self) -> str:

@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.vdms.distance import pairwise_distances, top_k_select
 
-__all__ = ["brute_force_neighbors", "recall_at_k"]
+__all__ = ["brute_force_neighbors", "masked_brute_force_neighbors", "recall_at_k"]
 
 
 def brute_force_neighbors(
@@ -55,18 +55,63 @@ def brute_force_neighbors(
     return result
 
 
+def masked_brute_force_neighbors(
+    vectors: np.ndarray,
+    queries: np.ndarray,
+    top_k: int,
+    metric: str = "angular",
+    *,
+    mask: np.ndarray,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Exact ``top_k`` neighbours restricted to the rows ``mask`` allows.
+
+    The filtered-search oracle: the scan runs over the allowed subset only
+    and the returned positions refer to the *full* ``vectors`` array, so
+    they compare directly against an attribute-filtered collection search.
+    Rows are padded with ``-1`` when the mask allows fewer than ``top_k``
+    rows — the same under-full contract the serving stack pins.
+
+    Parameters
+    ----------
+    vectors / queries / top_k / metric / batch_size:
+        As in :func:`brute_force_neighbors`.
+    mask:
+        Boolean allow-mask over the base rows (``True`` = eligible).
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    queries = np.asarray(queries, dtype=np.float32)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (vectors.shape[0],):
+        raise ValueError("mask must have one entry per base vector")
+    allowed = np.flatnonzero(mask)
+    result = np.full((queries.shape[0], int(top_k)), -1, dtype=np.int64)
+    if allowed.size == 0:
+        return result
+    keep = int(min(top_k, allowed.size))
+    subset = brute_force_neighbors(
+        vectors[allowed], queries, keep, metric, batch_size=batch_size
+    )
+    result[:, :keep] = allowed[subset]
+    return result
+
+
 def recall_at_k(retrieved: np.ndarray, ground_truth: np.ndarray, k: int | None = None) -> float:
     """Compute mean recall@k over a batch of queries.
 
     ``retrieved`` may contain ``-1`` padding for queries that returned fewer
-    than ``k`` results; padding never matches a true neighbour.
+    than ``k`` results; padding never matches a true neighbour.  The ground
+    truth may itself be ``-1``-padded (a filter matching fewer than ``k``
+    rows): padded truth entries are excluded from the denominator, so a
+    correctly padded result still scores recall 1.0.
 
     Parameters
     ----------
     retrieved:
         Retrieved ids, shape ``(q, >=k)``.
     ground_truth:
-        Exact neighbour ids, shape ``(q, >=k)``.
+        Exact neighbour ids, shape ``(q, >=k)``, ``-1``-padded when fewer
+        than ``k`` eligible rows exist.
     k:
         Cut-off; defaults to the ground-truth width.
     """
@@ -83,6 +128,13 @@ def recall_at_k(retrieved: np.ndarray, ground_truth: np.ndarray, k: int | None =
         raise ValueError("k must be positive")
     truth = ground_truth[:, :k]
     hits = 0
+    eligible = 0
     for row_retrieved, row_truth in zip(retrieved[:, :k], truth):
-        hits += len(set(int(i) for i in row_retrieved if i >= 0) & set(int(i) for i in row_truth))
-    return hits / (truth.shape[0] * k)
+        true_ids = set(int(i) for i in row_truth if i >= 0)
+        eligible += len(true_ids)
+        hits += len(set(int(i) for i in row_retrieved if i >= 0) & true_ids)
+    if eligible == 0:
+        # No query had any eligible neighbour (a filter matched nothing):
+        # an empty, fully padded result is by definition complete.
+        return 1.0
+    return hits / eligible

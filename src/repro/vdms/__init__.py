@@ -20,6 +20,11 @@ This package is the substrate the tuner optimizes.  It provides:
   range-partitioned shards inside every collection, a scatter-gather query
   planner with a vectorized top-k heap-merge, and a thread-pool
   :class:`QueryScheduler` that drives true concurrent request traffic;
+* a hybrid filtered-search layer (:mod:`repro.vdms.request`): scalar
+  attribute columns stored alongside the vectors, a
+  :class:`SearchRequest`/:class:`SearchPlan` query-plan abstraction, and
+  tunable pre-filter vs post-filter execution planned per segment from the
+  estimated selectivity (``filter_strategy``, ``overfetch_factor``);
 * a :class:`VectorDBServer` facade exposing a Milvus-like client API
   (``create_collection``, ``insert``, ``flush``, ``create_index``,
   ``search``, ``concurrent_search``, ``drop_index``,
@@ -44,6 +49,13 @@ from repro.vdms.index import (
     create_index,
 )
 from repro.vdms.maintenance import MaintenanceReport, MaintenanceWorker
+from repro.vdms.request import (
+    AttributeFilter,
+    FilterStats,
+    SearchPlan,
+    SearchRequest,
+    SegmentPlan,
+)
 from repro.vdms.segment import CompactionResult, Segment, SegmentManager, SegmentState
 from repro.vdms.server import VectorDBServer
 from repro.vdms.sharding import (
@@ -55,11 +67,14 @@ from repro.vdms.sharding import (
     shard_assignments,
     simulate_makespan,
 )
-from repro.vdms.system_config import MAINTENANCE_MODES, SystemConfig
+from repro.vdms.system_config import FILTER_STRATEGIES, MAINTENANCE_MODES, SystemConfig
 
 __all__ = [
+    "AttributeFilter",
     "BuildStats",
     "Collection",
+    "FILTER_STRATEGIES",
+    "FilterStats",
     "CollectionNotFoundError",
     "CompactionResult",
     "CostModel",
@@ -74,9 +89,12 @@ __all__ = [
     "QueryScheduler",
     "ROUTING_POLICIES",
     "ScheduleTrace",
+    "SearchPlan",
+    "SearchRequest",
     "SearchResult",
     "SearchStats",
     "Segment",
+    "SegmentPlan",
     "SegmentManager",
     "SegmentState",
     "Shard",

@@ -27,6 +27,14 @@ from repro.vdms.errors import IndexBuildError, IndexNotBuiltError
 from repro.vdms.index import INDEX_REGISTRY, create_index
 from repro.vdms.index.base import BuildStats, SearchStats, VectorIndex
 from repro.vdms.maintenance import MaintenanceReport, MaintenanceWorker
+from repro.vdms.request import (
+    AUTO_PRE_FILTER_SELECTIVITY,
+    AttributeFilter,
+    FilterStats,
+    SearchPlan,
+    SearchRequest,
+    SegmentPlan,
+)
 from repro.vdms.segment import Segment, SegmentState
 from repro.vdms.sharding import Shard, ShardSnapshot, merge_topk, shard_assignments
 from repro.vdms.system_config import SystemConfig
@@ -54,7 +62,10 @@ class SearchResult:
     Attributes
     ----------
     ids:
-        Retrieved external ids, shape ``(q, top_k)``, padded with ``-1``.
+        Retrieved external ids, shape ``(q, top_k)``, padded with ``-1``
+        (a filter matching fewer than ``top_k`` live rows pads the tail
+        with id ``-1`` / distance ``inf``, bit-identically in every
+        serving layout).
     distances:
         Corresponding metric values (smaller is better).
     stats:
@@ -64,12 +75,26 @@ class SearchResult:
         entry per shard, including empty shards, which still cost a
         scatter round-trip).  ``None`` for results assembled outside the
         collection's own planner.
+    plan:
+        The resolved :class:`~repro.vdms.request.SearchPlan` of a filtered
+        request (``None`` for unfiltered searches).
+    filter_stats:
+        Aggregate :class:`~repro.vdms.request.FilterStats` of a filtered
+        request — rows scanned building allow-masks, candidates dropped by
+        post-filtering, per-strategy segment counts (``None`` unfiltered).
+    latencies_ms:
+        Per-query simulated latency samples, shape ``(q,)``; populated by
+        the workload replayer (which owns the cost model), ``None`` for
+        raw collection searches.
     """
 
     ids: np.ndarray
     distances: np.ndarray
     stats: SearchStats
     shard_stats: list[SearchStats] | None = None
+    plan: SearchPlan | None = None
+    filter_stats: FilterStats | None = None
+    latencies_ms: np.ndarray | None = None
 
 
 class Collection:
@@ -112,11 +137,30 @@ class Collection:
 
     # -- ingestion ---------------------------------------------------------------
 
-    def insert(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> int:
-        """Insert vectors, routing each row to its shard; returns rows accepted."""
+    def insert(
+        self,
+        vectors: np.ndarray,
+        ids: np.ndarray | None = None,
+        attributes: Mapping[str, np.ndarray] | None = None,
+    ) -> int:
+        """Insert vectors, routing each row to its shard; returns rows accepted.
+
+        ``attributes`` optionally carries scalar payload columns (one int
+        value per row, categoricals as integer codes); they are routed,
+        sealed, tombstoned and compacted together with their rows and are
+        what :class:`~repro.vdms.request.AttributeFilter` predicates read.
+        """
         vectors = np.asarray(vectors, dtype=np.float32)
         if vectors.ndim == 1:
             vectors = vectors[None, :]
+        columns: dict[str, np.ndarray] = {}
+        for name, column in (attributes or {}).items():
+            column = np.asarray(column, dtype=np.int64)
+            if column.shape != (vectors.shape[0],):
+                raise ValueError(
+                    f"attribute column {name!r} must hold one value per inserted row"
+                )
+            columns[str(name)] = column
         with self._lock:
             if ids is None:
                 ids = np.arange(self._next_auto_id, self._next_auto_id + vectors.shape[0], dtype=np.int64)
@@ -128,7 +172,11 @@ class Collection:
             accepted = 0
             for shard in self._shards:
                 mask = assignments == shard.shard_id
-                accepted += shard.insert(vectors[mask], ids[mask])
+                accepted += shard.insert(
+                    vectors[mask],
+                    ids[mask],
+                    attributes={name: column[mask] for name, column in columns.items()},
+                )
         return accepted
 
     def flush(self) -> int:
@@ -395,28 +443,164 @@ class Collection:
 
     # -- search --------------------------------------------------------------------
 
+    @staticmethod
+    def _allow_mask(
+        request_filter: AttributeFilter, attributes: Mapping[str, np.ndarray], rows: int
+    ) -> np.ndarray:
+        """Evaluate the filter over one segment's live attribute columns."""
+        if request_filter.field in attributes:
+            return request_filter.mask(attributes)
+        # A segment without the column serves no matching rows.
+        return np.zeros(rows, dtype=bool)
+
+    def _plan_segment(
+        self,
+        request_filter: AttributeFilter,
+        attributes: Mapping[str, np.ndarray],
+        rows: int,
+        strategy: str,
+        *,
+        indexed: bool,
+        shard_id: int,
+        segment_id: int,
+    ) -> tuple[np.ndarray, SegmentPlan]:
+        """Resolve one segment's allow-mask and filter-execution strategy.
+
+        The selectivity estimate is the evaluated mask's match fraction
+        (exact for the scalar columns stored here; a real system would
+        sample or keep column statistics).  Brute-forced segments always
+        pre-filter: a masked scan strictly dominates scanning every row and
+        dropping.  ``"auto"`` resolves per segment via
+        :data:`~repro.vdms.request.AUTO_PRE_FILTER_SELECTIVITY`.
+        """
+        mask = self._allow_mask(request_filter, attributes, rows)
+        allowed = int(mask.sum())
+        selectivity = allowed / rows if rows else 0.0
+        if not indexed:
+            resolved = "pre"
+        elif strategy == "auto":
+            resolved = "pre" if selectivity <= AUTO_PRE_FILTER_SELECTIVITY else "post"
+        else:
+            resolved = strategy
+        return mask, SegmentPlan(
+            shard_id=shard_id,
+            segment_id=segment_id,
+            strategy=resolved,
+            selectivity=selectivity,
+            allowed_rows=allowed,
+            live_rows=rows,
+            indexed=indexed,
+        )
+
+    def _plan_snapshots(
+        self, request: SearchRequest, snapshots: list[ShardSnapshot]
+    ) -> tuple[SearchPlan, list[tuple[list, list]]]:
+        """Build the :class:`SearchPlan` of a filtered request.
+
+        Returns the plan plus, per shard, the pair of per-segment
+        ``(mask, resolved_strategy)`` lists aligned with the snapshot's
+        ``indexed`` and brute lists, which the scatter phase executes.
+        """
+        strategy = request.filter_strategy or self.system_config.filter_strategy
+        overfetch = (
+            request.overfetch_factor
+            if request.overfetch_factor is not None
+            else self.system_config.overfetch_factor
+        )
+        segment_plans: list[SegmentPlan] = []
+        shard_masks: list[tuple[list, list]] = []
+        for snapshot in snapshots:
+            indexed_masks: list[tuple[np.ndarray, str]] = []
+            brute_masks: list[np.ndarray] = []
+            for index, attributes, segment_id in zip(
+                snapshot.indexed, snapshot.indexed_attributes, snapshot.indexed_segment_ids
+            ):
+                mask, plan = self._plan_segment(
+                    request.filter, attributes, index.size, strategy,
+                    indexed=True, shard_id=snapshot.shard_id, segment_id=segment_id,
+                )
+                segment_plans.append(plan)
+                indexed_masks.append((mask, plan.strategy))
+            for rows, attributes, segment_id in zip(
+                snapshot.brute_vectors, snapshot.brute_attributes, snapshot.brute_segment_ids
+            ):
+                mask, plan = self._plan_segment(
+                    request.filter, attributes, int(rows.shape[0]), strategy,
+                    indexed=False, shard_id=snapshot.shard_id, segment_id=segment_id,
+                )
+                segment_plans.append(plan)
+                brute_masks.append(mask)
+            shard_masks.append((indexed_masks, brute_masks))
+        plan = SearchPlan(
+            strategy=strategy,
+            overfetch_factor=float(overfetch),
+            segments=tuple(segment_plans),
+        )
+        return plan, shard_masks
+
+    def plan_search(self, request: SearchRequest) -> SearchPlan:
+        """Plan (without executing) a filtered request against the live state."""
+        if request.filter is None:
+            return SearchPlan(
+                strategy=request.filter_strategy or self.system_config.filter_strategy,
+                overfetch_factor=float(
+                    request.overfetch_factor
+                    if request.overfetch_factor is not None
+                    else self.system_config.overfetch_factor
+                ),
+            )
+        with self._lock:
+            snapshots = [shard.snapshot() for shard in self._shards]
+        plan, _ = self._plan_snapshots(request, snapshots)
+        return plan
+
     def _search_snapshot(
         self,
         snapshot: ShardSnapshot,
-        queries: np.ndarray,
+        request: SearchRequest,
         prepared_queries: np.ndarray,
-        top_k: int,
+        masks: tuple[list, list] | None,
+        overfetch_factor: float,
     ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
         """Top-K over one shard snapshot: indexed segments, then brute force."""
+        queries = request.queries
+        top_k = request.top_k
         stats = SearchStats(num_queries=queries.shape[0])
+        indexed_masks = masks[0] if masks is not None else [(None, "pre")] * len(snapshot.indexed)
+        brute_masks = masks[1] if masks is not None else [None] * len(snapshot.brute_vectors)
         candidate_ids: list[np.ndarray] = []
         candidate_distances: list[np.ndarray] = []
-        for index in snapshot.indexed:
-            ids, distances, segment_stats = index.search(queries, top_k)
+        for index, (mask, strategy) in zip(snapshot.indexed, indexed_masks):
+            if mask is None:
+                ids, distances, segment_stats = index.search(queries, top_k)
+            else:
+                stats.filter_rows_scanned += index.size
+                ids, distances, segment_stats = index.search(
+                    queries,
+                    top_k,
+                    allow_mask=mask,
+                    strategy=strategy,
+                    overfetch_factor=overfetch_factor,
+                )
             stats.merge(segment_stats)
             candidate_ids.append(ids)
             candidate_distances.append(distances)
-        for rows, row_ids in zip(snapshot.brute_vectors, snapshot.brute_ids):
+        for (rows, row_ids), mask in zip(
+            zip(snapshot.brute_vectors, snapshot.brute_ids), brute_masks
+        ):
+            if mask is not None:
+                # Brute-forced segments always pre-filter: scan the allowed
+                # rows only (the mask evaluation itself is the charged scan).
+                stats.filter_rows_scanned += int(rows.shape[0])
+                rows = rows[mask]
+                row_ids = row_ids[mask]
             num_rows = int(rows.shape[0])
+            stats.segments_searched += int(queries.shape[0])
+            if num_rows == 0:
+                continue
             prepared_rows = prepare_vectors(rows, self.metric)
             distances = pairwise_distances(prepared_queries, prepared_rows, self.metric)
             stats.distance_evaluations += int(queries.shape[0]) * num_rows
-            stats.segments_searched += int(queries.shape[0])
             keep = min(top_k, num_rows)
             positions, ordered = VectorIndex._top_k_from_distances(distances, keep)
             candidate_ids.append(row_ids[positions])
@@ -427,21 +611,32 @@ class Collection:
         ids, distances = merge_topk(candidate_ids, candidate_distances, top_k)
         return ids, distances, stats
 
-    def search(self, queries: np.ndarray, top_k: int) -> SearchResult:
+    def search(self, queries, top_k: int | None = None) -> SearchResult:
         """Scatter-gather top-K search across every shard.
+
+        ``queries`` is either a plain query array paired with ``top_k``
+        (the back-compat wrapper form) or a full
+        :class:`~repro.vdms.request.SearchRequest` — the query-plan path:
+        an attribute-filtered request is planned per segment from the
+        estimated selectivity (pre-filter vs post-filter, see
+        :meth:`plan_search`) before the scatter phase executes it.
 
         The scatter phase runs the query batch against each shard's snapshot
         (sealed segments through their index, growing and delete-invalidated
         segments by brute force); the gather phase heap-merges the per-shard
-        top-k lists into the global top-k.  Snapshots are taken under the
-        collection lock, so concurrent mutations never tear a search.
+        top-k lists into the global top-k.  A filter matching fewer than
+        ``top_k`` live rows pads the tail with id ``-1`` / distance ``inf``.
+        Snapshots are taken under the collection lock, so concurrent
+        mutations never tear a search.
         """
-        queries = np.asarray(queries, dtype=np.float32)
-        if queries.ndim == 1:
-            queries = queries[None, :]
-        top_k = int(top_k)
-        if top_k <= 0:
-            raise ValueError("top_k must be positive")
+        if isinstance(queries, SearchRequest):
+            if top_k is not None:
+                raise ValueError("top_k is carried by the SearchRequest; do not pass both")
+            request = queries
+        else:
+            if top_k is None:
+                raise ValueError("top_k is required when queries is a plain array")
+            request = SearchRequest(queries=queries, top_k=int(top_k))
 
         with self._lock:
             snapshots = [shard.snapshot() for shard in self._shards]
@@ -453,25 +648,48 @@ class Collection:
         ) and not has_index:
             raise IndexNotBuiltError("no index built; call create_index first")
 
-        prepared_queries = prepare_vectors(queries, self.metric)
+        plan: SearchPlan | None = None
+        shard_masks: list[tuple[list, list]] | None = None
+        overfetch = float(
+            request.overfetch_factor
+            if request.overfetch_factor is not None
+            else self.system_config.overfetch_factor
+        )
+        if request.filter is not None:
+            plan, shard_masks = self._plan_snapshots(request, snapshots)
+            overfetch = plan.overfetch_factor
+
+        prepared_queries = prepare_vectors(request.queries, self.metric)
         shard_stats: list[SearchStats] = []
         shard_ids: list[np.ndarray] = []
         shard_distances: list[np.ndarray] = []
-        for snapshot in snapshots:
-            ids, distances, stats = self._search_snapshot(snapshot, queries, prepared_queries, top_k)
+        for position, snapshot in enumerate(snapshots):
+            masks = shard_masks[position] if shard_masks is not None else None
+            ids, distances, stats = self._search_snapshot(
+                snapshot, request, prepared_queries, masks, overfetch
+            )
             shard_stats.append(stats)
             shard_ids.append(ids)
             shard_distances.append(distances)
 
-        merged_ids, merged_distances = merge_topk(shard_ids, shard_distances, top_k)
-        total = SearchStats(num_queries=queries.shape[0])
+        merged_ids, merged_distances = merge_topk(shard_ids, shard_distances, request.top_k)
+        total = SearchStats(num_queries=request.queries.shape[0])
         for stats in shard_stats:
             total.merge(stats)
+        filter_stats = None
+        if plan is not None:
+            filter_stats = FilterStats.from_plan(
+                plan,
+                rows_scanned=total.filter_rows_scanned,
+                candidates_dropped=total.filter_candidates_dropped,
+            )
         return SearchResult(
             ids=merged_ids,
             distances=merged_distances,
             stats=total,
             shard_stats=shard_stats,
+            plan=plan,
+            filter_stats=filter_stats,
         )
 
     # -- inspection ------------------------------------------------------------------

@@ -107,6 +107,17 @@ class CostModel:
     REQUEST_OVERHEAD_US = 250.0
     #: Microseconds per (segment, query) pair visited.
     SEGMENT_OVERHEAD_US = 120.0
+    #: Microseconds per row whose attribute predicate is evaluated while
+    #: building a filtered request's allow-masks (an integer comparison per
+    #: row — far cheaper than a distance evaluation, but linear in the
+    #: segment population, which is what makes pre-filtering's mask cost
+    #: visible at scale).
+    FILTER_EVAL_US_PER_ROW = 0.004
+    #: Microseconds per candidate an index scored but the filter dropped
+    #: (post-filter over-fetch waste: heap traffic and result assembly on
+    #: rows that are then thrown away, on top of their scoring work, which
+    #: is already counted by the index).
+    FILTER_DROP_US = 0.05
     #: Microseconds per chunk boundary crossed while scanning a segment.
     CHUNK_OVERHEAD_US = 6.0
     #: Extra microseconds per row when chunks are so large they thrash caches.
@@ -170,6 +181,15 @@ class CostModel:
             segments_per_query * self.system_config.chunk_rows * self.LARGE_CHUNK_PENALTY_US
         )
 
+        # Hybrid (attribute-filtered) search: mask evaluation scales with
+        # the rows scanned, over-fetch waste with the candidates dropped.
+        # The scoring work of both strategies is already in the evaluation
+        # counters above, so these charge only the filtering machinery.
+        per_query["filter_overhead"] = (
+            stats.filter_rows_scanned / queries * self.FILTER_EVAL_US_PER_ROW
+            + stats.filter_candidates_dropped / queries * self.FILTER_DROP_US
+        )
+
         # Consistency blocking caused by a too-small graceful time.
         staleness = self.BASE_STALENESS_MS + self.STALENESS_MS_PER_GROWING_ROW * profile.growing_rows
         deficit = max(0.0, staleness - self.system_config.graceful_time)
@@ -205,6 +225,7 @@ class CostModel:
                 "graph_traversal",
                 "chunk_overhead",
                 "large_chunk_penalty",
+                "filter_overhead",
             )
         )
         serial = (

@@ -15,7 +15,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.vdms.distance import METRICS, prepare_vectors, top_k_select
+from repro.vdms.distance import METRICS, pairwise_distances, prepare_vectors, top_k_select
 from repro.vdms.errors import IndexNotBuiltError
 
 __all__ = ["SearchStats", "BuildStats", "VectorIndex"]
@@ -42,6 +42,13 @@ class SearchStats:
         Node expansions performed while traversing a proximity graph.
     segments_searched:
         Number of (segment, query) pairs visited.
+    filter_rows_scanned:
+        Rows whose attribute predicate was evaluated while building
+        allow-masks for a filtered request (cheap integer comparisons, far
+        below a distance evaluation).
+    filter_candidates_dropped:
+        Candidates an index scored but the filter then rejected — the
+        over-fetch waste of post-filter execution.
     """
 
     num_queries: int = 0
@@ -51,6 +58,8 @@ class SearchStats:
     reorder_evaluations: int = 0
     graph_hops: int = 0
     segments_searched: int = 0
+    filter_rows_scanned: int = 0
+    filter_candidates_dropped: int = 0
 
     def merge(self, other: "SearchStats") -> "SearchStats":
         """Accumulate another stats record into this one (in place)."""
@@ -61,6 +70,8 @@ class SearchStats:
         self.reorder_evaluations += other.reorder_evaluations
         self.graph_hops += other.graph_hops
         self.segments_searched += other.segments_searched
+        self.filter_rows_scanned += other.filter_rows_scanned
+        self.filter_candidates_dropped += other.filter_candidates_dropped
         return self
 
     def total_work(self) -> int:
@@ -167,12 +178,41 @@ class VectorIndex(ABC):
         self._build_stats.num_vectors = vectors.shape[0]
         return self._build_stats
 
-    def search(self, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray, SearchStats]:
-        """Search the index.
+    def search(
+        self,
+        queries: np.ndarray,
+        top_k: int,
+        *,
+        allow_mask: np.ndarray | None = None,
+        strategy: str = "pre",
+        overfetch_factor: float = 2.0,
+    ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        """Search the index, optionally restricted to an allowed-row mask.
+
+        Parameters
+        ----------
+        queries:
+            Query vectors, shape ``(q, d)``.
+        top_k:
+            Result width; rows are padded with ``-1`` ids / ``inf``
+            distances when fewer (allowed) results exist.
+        allow_mask:
+            Optional boolean mask over the index's stored positions
+            (``True`` = the row may be served).  ``None`` searches
+            unfiltered.
+        strategy:
+            Filter-execution strategy for a masked search: ``"pre"``
+            applies the mask before scoring (masked exact scan by default;
+            IVF-family indexes generate filtered candidates instead),
+            ``"post"`` over-fetches ``ceil(top_k * overfetch_factor)``
+            unfiltered candidates, drops the rejected ones and refills with
+            doubled fetch widths until ``top_k`` allowed rows are found or
+            the index is exhausted.
+        overfetch_factor:
+            Initial over-fetch multiplier of the ``"post"`` strategy.
 
         Returns ``(ids, distances, stats)`` where ``ids`` has shape
-        ``(q, top_k)`` (padded with ``-1`` when fewer results exist) and
-        ``distances`` the corresponding metric values.
+        ``(q, top_k)``.
         """
         if not self.is_built:
             raise IndexNotBuiltError(f"{self.index_type} index has not been built")
@@ -184,7 +224,27 @@ class VectorIndex(ABC):
         top_k = int(top_k)
         if top_k <= 0:
             raise ValueError("top_k must be positive")
-        positions, distances, stats = self._search(queries, min(top_k, self.size))
+        if allow_mask is None:
+            positions, distances, stats = self._search(queries, min(top_k, self.size))
+        else:
+            allow_mask = np.asarray(allow_mask, dtype=bool)
+            if allow_mask.shape != (self.size,):
+                raise ValueError(
+                    f"allow_mask must cover every stored row (expected shape "
+                    f"({self.size},), got {allow_mask.shape})"
+                )
+            if strategy not in ("pre", "post"):
+                raise ValueError(f"strategy must be 'pre' or 'post', got {strategy!r}")
+            if not allow_mask.any():
+                positions = np.full((queries.shape[0], top_k), -1, dtype=np.int64)
+                distances = np.full((queries.shape[0], top_k), np.inf)
+                stats = SearchStats(segments_searched=int(queries.shape[0]))
+            elif strategy == "pre":
+                positions, distances, stats = self._search_filtered(queries, top_k, allow_mask)
+            else:
+                positions, distances, stats = self._search_postfiltered(
+                    queries, top_k, allow_mask, overfetch_factor
+                )
         stats.num_queries = queries.shape[0]
         ids = np.where(positions >= 0, self._ids[np.clip(positions, 0, self.size - 1)], -1)
         if ids.shape[1] < top_k:
@@ -192,6 +252,72 @@ class VectorIndex(ABC):
             ids = np.pad(ids, ((0, 0), (0, pad_width)), constant_values=-1)
             distances = np.pad(distances, ((0, 0), (0, pad_width)), constant_values=np.inf)
         return ids.astype(np.int64), distances, stats
+
+    # -- filtered execution ------------------------------------------------------
+
+    def _search_filtered(
+        self, queries: np.ndarray, top_k: int, allow_mask: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        """Pre-filter execution: a masked exact scan over the allowed rows.
+
+        The default charges one full-precision distance per (query, allowed
+        row) — linear in selectivity, independent of the index structure —
+        and is exact by construction.  Index types whose candidate
+        generation can be filtered directly (the IVF family) override this
+        with a cheaper filtered candidate scan.
+        """
+        allowed_positions = np.flatnonzero(allow_mask)
+        distances = pairwise_distances(queries, self._vectors[allowed_positions], self.metric)
+        keep = min(top_k, int(allowed_positions.size))
+        local_positions, ordered = self._top_k_from_distances(distances, keep)
+        stats = SearchStats(
+            distance_evaluations=int(queries.shape[0]) * int(allowed_positions.size),
+            segments_searched=int(queries.shape[0]),
+        )
+        # ``allowed_positions`` ascends, so the in-subset position tie-break
+        # coincides with the stored-position tie-break of the full scan.
+        return allowed_positions[local_positions], ordered, stats
+
+    def _search_postfiltered(
+        self, queries: np.ndarray, top_k: int, allow_mask: np.ndarray, overfetch_factor: float
+    ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        """Post-filter execution: over-fetch, drop rejected rows, refill.
+
+        Each pass fetches ``fetch`` unfiltered candidates for the still
+        incomplete queries, keeps the allowed ones and doubles ``fetch``
+        for the next pass; a query completes when it has ``top_k`` allowed
+        rows or a pass has fetched the whole index.  All the work of every
+        pass is charged — the refill waste is exactly what makes
+        post-filtering expensive at low selectivity.
+        """
+        num_queries = int(queries.shape[0])
+        stats = SearchStats()
+        fetch = min(
+            self.size, max(top_k, int(np.ceil(top_k * max(1.0, float(overfetch_factor)))))
+        )
+        out_positions = np.full((num_queries, top_k), -1, dtype=np.int64)
+        out_distances = np.full((num_queries, top_k), np.inf)
+        pending = np.arange(num_queries)
+        while pending.size:
+            positions, distances, pass_stats = self._search(queries[pending], fetch)
+            stats.merge(pass_stats)
+            valid = positions >= 0
+            allowed = valid & allow_mask[np.clip(positions, 0, self.size - 1)]
+            stats.filter_candidates_dropped += int((valid & ~allowed).sum())
+            exhausted = fetch >= self.size
+            still_pending: list[int] = []
+            for row, query_index in enumerate(pending):
+                found = np.flatnonzero(allowed[row])[:top_k]
+                if found.size >= top_k or exhausted:
+                    out_positions[query_index, : found.size] = positions[row, found]
+                    out_distances[query_index, : found.size] = distances[row, found]
+                else:
+                    still_pending.append(int(query_index))
+            if exhausted:
+                break
+            pending = np.asarray(still_pending, dtype=np.int64)
+            fetch = min(self.size, fetch * 2)
+        return out_positions, out_distances, stats
 
     # -- search-time parameters -------------------------------------------------
 

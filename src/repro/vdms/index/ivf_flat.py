@@ -66,8 +66,14 @@ class IVFFlatIndex(VectorIndex):
                 candidates.append(np.empty(0, dtype=np.int64))
         return candidates, stats
 
-    def _search(self, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray, SearchStats]:
-        candidates, stats = self._probed_candidates(queries, self.nprobe)
+    def _score_candidates(
+        self,
+        queries: np.ndarray,
+        candidates: list[np.ndarray],
+        top_k: int,
+        stats: SearchStats,
+    ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        """Score per-query candidate lists at full precision and select top-k."""
         num_queries = queries.shape[0]
         positions = np.full((num_queries, top_k), -1, dtype=np.int64)
         distances = np.full((num_queries, top_k), np.inf, dtype=np.float32)
@@ -87,6 +93,27 @@ class IVFFlatIndex(VectorIndex):
             distances[query_index, :keep] = scores[order]
         stats.segments_searched = num_queries
         return positions, distances, stats
+
+    def _search(self, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        candidates, stats = self._probed_candidates(queries, self.nprobe)
+        return self._score_candidates(queries, candidates, top_k, stats)
+
+    def _search_filtered(
+        self, queries: np.ndarray, top_k: int, allow_mask: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        """Pre-filter via filtered candidate generation.
+
+        The probed inverted lists are intersected with the allow-mask
+        *before* scoring, so only allowed rows are ever scored — the
+        IVF-family advantage over the base class's masked exact scan: the
+        coarse quantizer still prunes the search to ``nprobe`` lists.
+        """
+        candidates, stats = self._probed_candidates(queries, self.nprobe)
+        filtered = [
+            candidate_positions[allow_mask[candidate_positions]]
+            for candidate_positions in candidates
+        ]
+        return self._score_candidates(queries, filtered, top_k, stats)
 
     def memory_bytes(self) -> int:
         if self._centroids is None:

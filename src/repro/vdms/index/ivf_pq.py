@@ -94,8 +94,14 @@ class IVFPQIndex(IVFFlatIndex):
             tables[sub] = np.einsum("ij,ij->i", diff, diff)
         return tables
 
-    def _search(self, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray, SearchStats]:
-        candidates, stats = self._probed_candidates(queries, self.nprobe)
+    def _score_candidates(
+        self,
+        queries: np.ndarray,
+        candidates: list[np.ndarray],
+        top_k: int,
+        stats: SearchStats,
+    ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        """Score per-query candidate lists with ADC table lookups."""
         num_queries = queries.shape[0]
         positions = np.full((num_queries, top_k), -1, dtype=np.int64)
         distances = np.full((num_queries, top_k), np.inf, dtype=np.float32)

@@ -45,8 +45,14 @@ class IVFSQ8Index(IVFFlatIndex):
         """Reconstruct approximate vectors for the given positions."""
         return self._codes[positions].astype(np.float32) / 255.0 * self._scales + self._minimums
 
-    def _search(self, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray, SearchStats]:
-        candidates, stats = self._probed_candidates(queries, self.nprobe)
+    def _score_candidates(
+        self,
+        queries: np.ndarray,
+        candidates: list[np.ndarray],
+        top_k: int,
+        stats: SearchStats,
+    ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        """Score per-query candidate lists on the decoded 8-bit codes."""
         num_queries = queries.shape[0]
         positions = np.full((num_queries, top_k), -1, dtype=np.int64)
         distances = np.full((num_queries, top_k), np.inf, dtype=np.float32)

@@ -49,8 +49,14 @@ class ScannIndex(IVFSQ8Index):
         stats.extra["quantizer"] = "scann-sq8"
         return stats
 
-    def _search(self, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray, SearchStats]:
-        candidates, stats = self._probed_candidates(queries, self.nprobe)
+    def _score_candidates(
+        self,
+        queries: np.ndarray,
+        candidates: list[np.ndarray],
+        top_k: int,
+        stats: SearchStats,
+    ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
+        """Quantized scoring of the candidate lists plus exact re-ranking."""
         num_queries = queries.shape[0]
         positions = np.full((num_queries, top_k), -1, dtype=np.int64)
         distances = np.full((num_queries, top_k), np.inf, dtype=np.float32)

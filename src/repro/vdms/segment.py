@@ -32,9 +32,64 @@ from enum import Enum
 
 import numpy as np
 
+from repro.vdms.request import ATTRIBUTE_MISSING
 from repro.vdms.system_config import SystemConfig
 
 __all__ = ["SegmentState", "Segment", "SegmentManager", "CompactionResult"]
+
+
+def _as_attribute_columns(
+    attributes: "dict[str, np.ndarray] | None", rows: int
+) -> dict[str, np.ndarray]:
+    """Validate and normalize attribute columns for ``rows`` rows."""
+    if not attributes:
+        return {}
+    columns: dict[str, np.ndarray] = {}
+    for name, column in attributes.items():
+        column = np.asarray(column, dtype=np.int64)
+        if column.ndim != 1 or column.shape[0] != rows:
+            raise ValueError(
+                f"attribute column {name!r} must be 1-D with one value per row "
+                f"(expected {rows}, got shape {column.shape})"
+            )
+        columns[str(name)] = column
+    return columns
+
+
+def _concat_attribute_columns(
+    parts: "list[dict[str, np.ndarray]]", counts: "list[int]"
+) -> dict[str, np.ndarray]:
+    """Concatenate per-batch attribute columns, NULL-filling missing ones.
+
+    ``parts[i]`` holds the columns of a batch of ``counts[i]`` rows.  The
+    result carries the union of all column names; a batch that lacks a
+    column contributes the :data:`~repro.vdms.request.ATTRIBUTE_MISSING`
+    sentinel for its rows — which every filter predicate rejects, the same
+    NULL semantics as a segment without the column — so columns always stay
+    aligned with the physical row order without inventing matchable values.
+    """
+    names: set[str] = set()
+    for part in parts:
+        names.update(part)
+    if not names:
+        return {}
+    merged: dict[str, np.ndarray] = {}
+    for name in sorted(names):
+        blocks = [
+            part[name]
+            if name in part
+            else np.full(count, ATTRIBUTE_MISSING, dtype=np.int64)
+            for part, count in zip(parts, counts)
+        ]
+        merged[name] = np.concatenate(blocks) if blocks else np.empty(0, dtype=np.int64)
+    return merged
+
+
+def _slice_attribute_columns(
+    attributes: "dict[str, np.ndarray]", selector
+) -> dict[str, np.ndarray]:
+    """Apply a row selector (slice or mask) to every attribute column."""
+    return {name: np.ascontiguousarray(column[selector]) for name, column in attributes.items()}
 
 
 class SegmentState(str, Enum):
@@ -69,6 +124,11 @@ class Segment:
         ``None`` when no row has been deleted.  The bitmap is replaced, never
         mutated in place, so search snapshots that captured the previous live
         view stay coherent.
+    attributes:
+        Scalar attribute columns (int-valued payload, categoricals stored as
+        integer codes), each aligned with the physical rows exactly like
+        ``ids``.  Tombstones apply to them through the same live view, and
+        compaction carries them into the rewritten segments.
     """
 
     segment_id: int
@@ -76,9 +136,11 @@ class Segment:
     ids: np.ndarray
     state: SegmentState = SegmentState.GROWING
     tombstones: np.ndarray | None = None
-    #: Cached ``(vectors, ids)`` of the live rows; rebuilt whenever the
-    #: tombstone bitmap is replaced so searches never filter per snapshot.
-    _live_cache: tuple[np.ndarray, np.ndarray] | None = field(
+    attributes: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Cached ``(vectors, ids, attributes)`` of the live rows; rebuilt
+    #: whenever the tombstone bitmap is replaced so searches never filter
+    #: per snapshot.
+    _live_cache: tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]] | None = field(
         default=None, repr=False, compare=False
     )
 
@@ -110,25 +172,36 @@ class Segment:
         a cached filtered copy otherwise; either way the arrays are never
         mutated afterwards, so snapshot readers can hold them lock-free.
         """
+        vectors, ids, _ = self.live_view()
+        return vectors, ids
+
+    def live_view(self) -> tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]:
+        """The ``(vectors, ids, attributes)`` triple of the live rows."""
         if self.tombstones is None:
-            return self.vectors, self.ids
+            return self.vectors, self.ids, self.attributes
         if self._live_cache is None:
             keep = ~self.tombstones
             self._live_cache = (
                 np.ascontiguousarray(self.vectors[keep]),
                 np.ascontiguousarray(self.ids[keep]),
+                _slice_attribute_columns(self.attributes, keep),
             )
         return self._live_cache
 
     @property
     def live_vectors(self) -> np.ndarray:
         """Vectors of the live rows."""
-        return self.live_arrays()[0]
+        return self.live_view()[0]
 
     @property
     def live_ids(self) -> np.ndarray:
         """External ids of the live rows."""
-        return self.live_arrays()[1]
+        return self.live_view()[1]
+
+    @property
+    def live_attributes(self) -> dict[str, np.ndarray]:
+        """Attribute columns of the live rows (aligned with ``live_ids``)."""
+        return self.live_view()[2]
 
     def apply_tombstones(self, hits: np.ndarray) -> int:
         """Tombstone the physical rows flagged by ``hits`` (a boolean mask).
@@ -191,11 +264,21 @@ class SegmentManager:
     _next_segment_id: int = 0
     _pending_vectors: list[np.ndarray] = field(default_factory=list)
     _pending_ids: list[np.ndarray] = field(default_factory=list)
+    _pending_attributes: list[dict[str, np.ndarray]] = field(default_factory=list)
 
     # -- ingestion -------------------------------------------------------------
 
-    def insert(self, vectors: np.ndarray, ids: np.ndarray) -> int:
-        """Buffer rows for insertion; returns the number of rows accepted."""
+    def insert(
+        self,
+        vectors: np.ndarray,
+        ids: np.ndarray,
+        attributes: dict[str, np.ndarray] | None = None,
+    ) -> int:
+        """Buffer rows for insertion; returns the number of rows accepted.
+
+        ``attributes`` carries optional scalar columns (one value per row);
+        they travel with the rows through sealing, deletes and compaction.
+        """
         vectors = np.asarray(vectors, dtype=np.float32)
         ids = np.asarray(ids, dtype=np.int64)
         if vectors.ndim != 2 or vectors.shape[1] != self.dimension:
@@ -204,6 +287,7 @@ class SegmentManager:
             raise ValueError("ids must match the number of vectors")
         self._pending_vectors.append(vectors)
         self._pending_ids.append(ids)
+        self._pending_attributes.append(_as_attribute_columns(attributes, vectors.shape[0]))
         return int(vectors.shape[0])
 
     def flush(self) -> list[Segment]:
@@ -218,23 +302,41 @@ class SegmentManager:
             return []
         vectors = np.concatenate(self._pending_vectors, axis=0)
         ids = np.concatenate(self._pending_ids, axis=0)
+        attributes = _concat_attribute_columns(
+            self._pending_attributes, [v.shape[0] for v in self._pending_vectors]
+        )
         self._pending_vectors.clear()
         self._pending_ids.clear()
+        self._pending_attributes.clear()
 
         # Merge any existing growing segment back into the stream so the
         # sealing policy is applied to the complete tail of the data.
         existing_growing = [s for s in self._segments if s.state is SegmentState.GROWING]
         if existing_growing:
-            vectors = np.concatenate([s.vectors for s in existing_growing] + [vectors], axis=0)
-            ids = np.concatenate([s.ids for s in existing_growing] + [ids], axis=0)
+            parts = existing_growing
+            vectors = np.concatenate([s.vectors for s in parts] + [vectors], axis=0)
+            ids = np.concatenate([s.ids for s in parts] + [ids], axis=0)
+            attributes = _concat_attribute_columns(
+                [s.attributes for s in parts] + [attributes],
+                [s.physical_rows for s in parts] + [int(vectors.shape[0]) - sum(s.physical_rows for s in parts)],
+            )
             self._segments = [s for s in self._segments if s.state is not SegmentState.GROWING]
 
         capacity = self.system_config.sealed_segment_rows(self.dimension)
         created: list[Segment] = []
         offset = 0
         total = vectors.shape[0]
+
+        def segment_slice(start: int, stop: int, state: SegmentState) -> Segment:
+            return self._new_segment(
+                vectors[start:stop],
+                ids[start:stop],
+                state,
+                attributes=_slice_attribute_columns(attributes, slice(start, stop)),
+            )
+
         while total - offset >= capacity:
-            created.append(self._new_segment(vectors[offset : offset + capacity], ids[offset : offset + capacity], SegmentState.SEALED))
+            created.append(segment_slice(offset, offset + capacity, SegmentState.SEALED))
             offset += capacity
         remainder = total - offset
         if remainder > 0:
@@ -242,15 +344,9 @@ class SegmentManager:
             if remainder > buffer_rows:
                 # The insert buffer cannot hold the whole remainder: seal the
                 # overflow early even though it is below the nominal threshold.
-                created.append(
-                    self._new_segment(
-                        vectors[offset : total - buffer_rows],
-                        ids[offset : total - buffer_rows],
-                        SegmentState.SEALED,
-                    )
-                )
+                created.append(segment_slice(offset, total - buffer_rows, SegmentState.SEALED))
                 offset = total - buffer_rows
-            created.append(self._new_segment(vectors[offset:], ids[offset:], SegmentState.GROWING))
+            created.append(segment_slice(offset, total, SegmentState.GROWING))
         self._segments.extend(created)
         return created
 
@@ -289,8 +385,15 @@ class SegmentManager:
                 deleted += removed
                 self._pending_vectors[position] = self._pending_vectors[position][keep]
                 self._pending_ids[position] = self._pending_ids[position][keep]
-        self._pending_vectors = [v for v in self._pending_vectors if v.shape[0]]
-        self._pending_ids = [i for i in self._pending_ids if i.shape[0]]
+                self._pending_attributes[position] = _slice_attribute_columns(
+                    self._pending_attributes[position], keep
+                )
+        occupied = [v.shape[0] > 0 for v in self._pending_vectors]
+        self._pending_vectors = [v for v, keep in zip(self._pending_vectors, occupied) if keep]
+        self._pending_ids = [i for i, keep in zip(self._pending_ids, occupied) if keep]
+        self._pending_attributes = [
+            a for a, keep in zip(self._pending_attributes, occupied) if keep
+        ]
 
         touched_sealed: list[int] = []
         survivors: list[Segment] = []
@@ -303,6 +406,7 @@ class SegmentManager:
                     keep = ~hits
                     segment.vectors = np.ascontiguousarray(segment.vectors[keep])
                     segment.ids = np.ascontiguousarray(segment.ids[keep])
+                    segment.attributes = _slice_attribute_columns(segment.attributes, keep)
             else:
                 removed = segment.apply_tombstones(hits)
                 if removed:
@@ -366,9 +470,12 @@ class SegmentManager:
             return CompactionResult()
 
         candidates.sort(key=lambda s: s.segment_id)
-        live_pairs = [s.live_arrays() for s in candidates]
-        vectors = np.concatenate([pair[0] for pair in live_pairs], axis=0)
-        ids = np.concatenate([pair[1] for pair in live_pairs], axis=0)
+        live_views = [s.live_view() for s in candidates]
+        vectors = np.concatenate([view[0] for view in live_views], axis=0)
+        ids = np.concatenate([view[1] for view in live_views], axis=0)
+        attributes = _concat_attribute_columns(
+            [view[2] for view in live_views], [view[0].shape[0] for view in live_views]
+        )
         rows_dropped = sum(s.num_tombstones for s in candidates)
         rows_rewritten = int(vectors.shape[0])
 
@@ -382,6 +489,9 @@ class SegmentManager:
                     vectors[offset : offset + chunk],
                     ids[offset : offset + chunk],
                     SegmentState.SEALED,
+                    attributes=_slice_attribute_columns(
+                        attributes, slice(offset, offset + chunk)
+                    ),
                 )
             )
             offset += chunk
@@ -398,12 +508,19 @@ class SegmentManager:
             rows_rewritten=rows_rewritten,
         )
 
-    def _new_segment(self, vectors: np.ndarray, ids: np.ndarray, state: SegmentState) -> Segment:
+    def _new_segment(
+        self,
+        vectors: np.ndarray,
+        ids: np.ndarray,
+        state: SegmentState,
+        attributes: dict[str, np.ndarray] | None = None,
+    ) -> Segment:
         segment = Segment(
             segment_id=self._next_segment_id,
             vectors=np.ascontiguousarray(vectors),
             ids=np.ascontiguousarray(ids),
             state=state,
+            attributes=attributes or {},
         )
         self._next_segment_id += 1
         return segment

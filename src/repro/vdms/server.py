@@ -131,11 +131,16 @@ class VectorDBServer:
         """Build an index over a collection."""
         return self.get_collection(name).create_index(index_type, params)
 
-    def search(self, name: str, queries: np.ndarray, top_k: int):
-        """Search a collection (scatter-gather across its shards)."""
+    def search(self, name: str, queries, top_k: int | None = None):
+        """Search a collection (scatter-gather across its shards).
+
+        ``queries`` is either a plain query array (with ``top_k``) or a
+        :class:`~repro.vdms.request.SearchRequest` carrying an attribute
+        filter and its execution-strategy knobs.
+        """
         return self.get_collection(name).search(queries, top_k)
 
-    def concurrent_search(self, name: str, queries: np.ndarray, top_k: int):
+    def concurrent_search(self, name: str, queries, top_k: int | None = None):
         """Serve ``queries`` as concurrent per-query requests.
 
         Drives the collection through a

@@ -116,12 +116,20 @@ def merge_topk(
     top_k = int(top_k)
     if top_k <= 0:
         raise ValueError("top_k must be positive")
+    if len(ids_list) != len(distances_list):
+        raise ValueError("ids_list and distances_list must pair up shard by shard")
+    if not ids_list:
+        raise ValueError("cannot merge zero candidate lists")
     non_empty_ids = [np.asarray(a) for a in ids_list if np.asarray(a).shape[1] > 0]
     non_empty_distances = [np.asarray(a) for a in distances_list if np.asarray(a).shape[1] > 0]
-    if len(non_empty_ids) != len(non_empty_distances):
-        raise ValueError("ids_list and distances_list must pair up shard by shard")
     if not non_empty_ids:
-        raise ValueError("cannot merge zero candidate lists")
+        # Every list is zero-wide — a filter that matched nothing anywhere.
+        # The under-full contract applies: full ``-1`` / ``inf`` padding.
+        num_queries = int(np.asarray(ids_list[0]).shape[0])
+        return (
+            np.full((num_queries, top_k), -1, dtype=np.int64),
+            np.full((num_queries, top_k), np.inf),
+        )
     merged_ids = np.concatenate(non_empty_ids, axis=1)
     merged_distances = np.concatenate(non_empty_distances, axis=1).astype(np.float64, copy=False)
     # Invalid (-1 padded) entries carry infinite distance, so a plain top-k
@@ -150,16 +158,26 @@ class ShardSnapshot:
     self-contained); ``brute_vectors``/``brute_ids`` are consistent
     ``(rows, ids)`` array pairs of the segments that must be scanned
     exactly — growing segments plus sealed segments whose index was
-    invalidated by deletes.  Deletions *replace* segment arrays (and
-    tombstone bitmaps, and the cached live views derived from them) rather
-    than mutating them, so capturing the array references under the lock
-    gives every search a coherent state to compute on, however many
-    mutations land while it runs.
+    invalidated by deletes.  ``indexed_attributes``/``brute_attributes``
+    carry each segment's live attribute columns, row-aligned with the
+    index's stored positions (respectively the brute arrays), which is
+    what lets the query planner evaluate attribute filters per segment;
+    ``indexed_segment_ids``/``brute_segment_ids`` name the segments for
+    the plan.  Deletions *replace* segment arrays (and tombstone bitmaps,
+    and the cached live views derived from them) rather than mutating
+    them, so capturing the array references under the lock gives every
+    search a coherent state to compute on, however many mutations land
+    while it runs.
     """
 
-    indexed: list[VectorIndex]
-    brute_vectors: list[np.ndarray]
-    brute_ids: list[np.ndarray]
+    shard_id: int = 0
+    indexed: list[VectorIndex] = field(default_factory=list)
+    brute_vectors: list[np.ndarray] = field(default_factory=list)
+    brute_ids: list[np.ndarray] = field(default_factory=list)
+    indexed_attributes: list[dict[str, np.ndarray]] = field(default_factory=list)
+    brute_attributes: list[dict[str, np.ndarray]] = field(default_factory=list)
+    indexed_segment_ids: list[int] = field(default_factory=list)
+    brute_segment_ids: list[int] = field(default_factory=list)
     has_unindexed_sealed: bool = False
 
     @property
@@ -184,11 +202,16 @@ class Shard:
 
     # -- mutation ---------------------------------------------------------------
 
-    def insert(self, vectors: np.ndarray, ids: np.ndarray) -> int:
-        """Buffer rows routed to this shard."""
+    def insert(
+        self,
+        vectors: np.ndarray,
+        ids: np.ndarray,
+        attributes: dict[str, np.ndarray] | None = None,
+    ) -> int:
+        """Buffer rows routed to this shard (scalar attributes included)."""
         if vectors.shape[0] == 0:
             return 0
-        return self.segments.insert(vectors, ids)
+        return self.segments.insert(vectors, ids, attributes=attributes)
 
     def flush(self) -> int:
         """Seal full segments; existing sealed segments keep their indexes.
@@ -219,19 +242,28 @@ class Shard:
 
     def snapshot(self) -> ShardSnapshot:
         """Capture the current (segment, index) layout for a lock-free search."""
-        snapshot = ShardSnapshot(indexed=[], brute_vectors=[], brute_ids=[])
+        snapshot = ShardSnapshot(shard_id=self.shard_id)
         for segment in self.segments.sealed_segments:
             index = self.indexes.get(segment.segment_id)
+            vectors, ids, attributes = segment.live_view()
             if index is None:
-                vectors, ids = segment.live_arrays()
                 snapshot.brute_vectors.append(vectors)
                 snapshot.brute_ids.append(ids)
+                snapshot.brute_attributes.append(attributes)
+                snapshot.brute_segment_ids.append(segment.segment_id)
                 snapshot.has_unindexed_sealed = True
             else:
+                # An index is always built over the segment's current live
+                # rows (deletes drop it), so the live attribute columns are
+                # row-aligned with the index's stored positions.
                 snapshot.indexed.append(index)
+                snapshot.indexed_attributes.append(attributes)
+                snapshot.indexed_segment_ids.append(segment.segment_id)
         for segment in self.segments.growing_segments:
             snapshot.brute_vectors.append(segment.vectors)
             snapshot.brute_ids.append(segment.ids)
+            snapshot.brute_attributes.append(segment.attributes)
+            snapshot.brute_segment_ids.append(segment.segment_id)
         return snapshot
 
     @property
@@ -319,21 +351,35 @@ class QueryScheduler:
 
     def run(
         self,
-        search_fn: Callable[[np.ndarray, int], Any],
-        queries: np.ndarray,
-        top_k: int,
+        search_fn: Callable[..., Any],
+        queries,
+        top_k: int | None = None,
     ):
         """Execute every query as its own request; returns ``(result, trace)``.
 
-        ``search_fn(queries, top_k)`` must return a
-        :class:`~repro.vdms.collection.SearchResult`-like object with
-        ``ids``, ``distances``, ``stats`` and (optionally) ``shard_stats``.
+        ``queries`` is either a plain query array (with ``top_k``) or a
+        :class:`~repro.vdms.request.SearchRequest`, whose filter and
+        strategy knobs are pushed down to every per-query request.  With an
+        array, ``search_fn(queries, top_k)`` is called per query; with a
+        request, ``search_fn(request_slice)`` is.  Either way it must
+        return a :class:`~repro.vdms.collection.SearchResult`-like object
+        with ``ids``, ``distances``, ``stats`` and (optionally)
+        ``shard_stats``.
         """
         from repro.vdms.collection import SearchResult
+        from repro.vdms.request import SearchRequest
 
-        queries = np.asarray(queries, dtype=np.float32)
-        if queries.ndim == 1:
-            queries = queries[None, :]
+        request: SearchRequest | None = None
+        if isinstance(queries, SearchRequest):
+            request = queries
+            queries = request.queries
+            top_k = request.top_k
+        else:
+            if top_k is None:
+                raise ValueError("top_k is required when queries is a plain array")
+            queries = np.asarray(queries, dtype=np.float32)
+            if queries.ndim == 1:
+                queries = queries[None, :]
         num_requests = int(queries.shape[0])
         trace = ScheduleTrace(num_requests=num_requests)
         if num_requests == 0:
@@ -348,7 +394,10 @@ class QueryScheduler:
         started = time.perf_counter()
 
         def serve(request_id: int):
-            outcome = search_fn(queries[request_id : request_id + 1], top_k)
+            if request is not None:
+                outcome = search_fn(request.slice(request_id, request_id + 1))
+            else:
+                outcome = search_fn(queries[request_id : request_id + 1], top_k)
             with served_lock:
                 trace.served_requests.append(request_id)
             return request_id, outcome
@@ -382,9 +431,36 @@ class QueryScheduler:
             total.reorder_evaluations += stats.reorder_evaluations
             total.graph_hops += stats.graph_hops
             total.segments_searched += stats.segments_searched
+            total.filter_rows_scanned += stats.filter_rows_scanned
+            total.filter_candidates_dropped += stats.filter_candidates_dropped
             shard_stats = getattr(outcome, "shard_stats", None) or [stats]
             trace.request_shard_stats.append(list(shard_stats))
 
         ids = np.concatenate(ids_rows, axis=0)
         distances = np.concatenate(distance_rows, axis=0)
-        return SearchResult(ids=ids, distances=distances, stats=total), trace
+        # A filtered request: carry the (identical per-request) plan and
+        # rebuild the aggregate filter stats from the accumulated counters.
+        plan = next(
+            (getattr(outcome, "plan", None) for outcome in outcomes
+             if getattr(outcome, "plan", None) is not None),
+            None,
+        )
+        filter_stats = None
+        if plan is not None:
+            from repro.vdms.request import FilterStats
+
+            filter_stats = FilterStats.from_plan(
+                plan,
+                rows_scanned=total.filter_rows_scanned,
+                candidates_dropped=total.filter_candidates_dropped,
+            )
+        return (
+            SearchResult(
+                ids=ids,
+                distances=distances,
+                stats=total,
+                plan=plan,
+                filter_stats=filter_stats,
+            ),
+            trace,
+        )

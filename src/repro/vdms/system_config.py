@@ -21,8 +21,9 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.vdms.errors import InvalidConfigurationError
+from repro.vdms.request import FILTER_STRATEGIES
 
-__all__ = ["SystemConfig", "ROUTING_POLICIES", "MAINTENANCE_MODES"]
+__all__ = ["SystemConfig", "ROUTING_POLICIES", "MAINTENANCE_MODES", "FILTER_STRATEGIES"]
 
 #: Simulated rows per (megabyte * dimension); chosen so the default segment
 #: size yields a handful of segments on the bundled datasets.
@@ -46,6 +47,9 @@ ROUTING_POLICIES: tuple[str, ...] = ("hash", "range")
 #: call, and ``"background"`` delegates it to a background worker thread
 #: (modelled as an overlapped, duty-cycled cost by the replayer).
 MAINTENANCE_MODES: tuple[str, ...] = ("off", "inline", "background")
+
+# ``FILTER_STRATEGIES`` (auto/pre/post, accepted by ``filter_strategy``) is
+# re-exported from :mod:`repro.vdms.request`, the single source of truth.
 
 
 @dataclass(frozen=True)
@@ -102,6 +106,16 @@ class SystemConfig:
         runs: ``"off"`` (never automatically — the seed behaviour),
         ``"inline"`` (synchronously inside deletes and flushes) or
         ``"background"`` (a maintenance worker thread).
+    filter_strategy:
+        How attribute-filtered (hybrid) searches execute: ``"pre"``
+        (filter before candidate scoring), ``"post"`` (over-fetch then
+        drop rejected candidates) or ``"auto"`` (the query planner picks
+        per segment from the estimated selectivity).
+    overfetch_factor:
+        Post-filter over-fetch multiplier: each segment initially fetches
+        ``ceil(top_k * overfetch_factor)`` unfiltered candidates before
+        dropping and refilling.  Larger values trade extra scoring work
+        for fewer refill passes at low selectivity.
     """
 
     segment_max_size: int = 512
@@ -116,6 +130,8 @@ class SystemConfig:
     search_threads: int = 1
     compaction_trigger_ratio: float = 0.2
     maintenance_mode: str = "off"
+    filter_strategy: str = "auto"
+    overfetch_factor: float = 2.0
 
     def __post_init__(self) -> None:
         if not 1 <= self.segment_max_size <= 1_000_000:
@@ -146,6 +162,12 @@ class SystemConfig:
             raise InvalidConfigurationError(
                 f"maintenance_mode must be one of {MAINTENANCE_MODES}"
             )
+        if self.filter_strategy not in FILTER_STRATEGIES:
+            raise InvalidConfigurationError(
+                f"filter_strategy must be one of {FILTER_STRATEGIES}"
+            )
+        if not 1.0 <= self.overfetch_factor <= 64.0:
+            raise InvalidConfigurationError("overfetch_factor out of range")
 
     # -- construction ----------------------------------------------------------
 
@@ -166,13 +188,19 @@ class SystemConfig:
             "search_threads",
             "compaction_trigger_ratio",
             "maintenance_mode",
+            "filter_strategy",
+            "overfetch_factor",
         ):
             if field_name in values:
                 kwargs[field_name] = values[field_name]
-        for float_field in ("segment_seal_proportion", "compaction_trigger_ratio"):
+        for float_field in (
+            "segment_seal_proportion",
+            "compaction_trigger_ratio",
+            "overfetch_factor",
+        ):
             if float_field in kwargs:
                 kwargs[float_field] = float(kwargs[float_field])
-        for string_field in ("routing_policy", "maintenance_mode"):
+        for string_field in ("routing_policy", "maintenance_mode", "filter_strategy"):
             if string_field in kwargs:
                 kwargs[string_field] = str(kwargs[string_field])
         for integer_field in (

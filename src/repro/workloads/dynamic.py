@@ -23,9 +23,14 @@ This module makes drift a first-class object:
     (``maintenance_mode``, ``compaction_trigger_ratio``) heals the
     post-delete brute-force cliff or suffers it;
   - :class:`QPSBurstEvent` — client concurrency bursts up or down;
-  - :class:`FilterSelectivityEvent` — queries gain a metadata filter matched
-    by only a fraction of the corpus; recall is measured post-filter, so
-    unfiltered top-K search loses result slots to non-matching vectors.
+  - :class:`FilterSelectivityEvent` — queries gain a *real* attribute
+    predicate matched by only a fraction of the corpus: a scalar column is
+    written over the stored rows, every replayed search carries the
+    :class:`~repro.vdms.request.AttributeFilter`, the query planner
+    executes it (pre- vs post-filter per ``filter_strategy`` /
+    ``overfetch_factor``) and recall is measured against masked
+    brute-force ground truth — the tuner learns real filter-execution
+    trade-offs.
 
 * :class:`DynamicWorkload` lays events on a timeline and materializes the
   *phases* between them (phase 0 is the undrifted base workload; each event
@@ -50,7 +55,8 @@ import numpy as np
 
 from repro.config import Configuration, ConfigurationSpace
 from repro.datasets.dataset import Dataset, DatasetSpec
-from repro.datasets.ground_truth import brute_force_neighbors
+from repro.datasets.ground_truth import brute_force_neighbors, masked_brute_force_neighbors
+from repro.vdms.request import AttributeFilter
 from repro.workloads.environment import VDMSTuningEnvironment
 from repro.workloads.replay import EvaluationResult, MutationPlan
 from repro.workloads.workload import SearchWorkload
@@ -65,8 +71,14 @@ __all__ = [
     "DynamicWorkload",
     "DynamicTuningEnvironment",
     "DRIFT_EVENT_TYPES",
+    "FILTER_FIELD",
     "make_drift_event",
+    "make_filtered_workload",
 ]
+
+#: Attribute column written by filter-selectivity workloads (the scalar
+#: payload the emitted predicates read).
+FILTER_FIELD = "filter_tag"
 
 
 @dataclass(frozen=True)
@@ -164,12 +176,33 @@ def _derived_dataset(
     vectors: np.ndarray | None = None,
     queries: np.ndarray | None = None,
     ground_truth: np.ndarray | None = None,
+    attributes: dict[str, np.ndarray] | None = None,
+    active_filter: AttributeFilter | None = None,
 ) -> Dataset:
-    """A copy of ``base`` with some arrays replaced and a renamed spec."""
+    """A copy of ``base`` with some arrays replaced and a renamed spec.
+
+    Attribute columns carry over from ``base`` when the corpus rows are
+    unchanged (pass ``attributes`` explicitly when they are).  When the
+    ground truth must be recomputed and an ``active_filter`` is in force,
+    the masked brute-force oracle is used, so filtered workloads stay
+    consistent through subsequent drift events.
+    """
+    same_corpus = vectors is None
     vectors = base.vectors if vectors is None else vectors
     queries = base.queries if queries is None else queries
+    if attributes is None:
+        attributes = dict(base.attributes) if same_corpus else {}
     if ground_truth is None:
-        ground_truth = brute_force_neighbors(vectors, queries, base.top_k, base.metric)
+        if active_filter is not None and active_filter.field in attributes:
+            ground_truth = masked_brute_force_neighbors(
+                vectors,
+                queries,
+                base.top_k,
+                base.metric,
+                mask=active_filter.mask(attributes),
+            )
+        else:
+            ground_truth = brute_force_neighbors(vectors, queries, base.top_k, base.metric)
     spec = DatasetSpec(
         name=f"{base.spec.name}+{suffix}",
         num_vectors=int(vectors.shape[0]),
@@ -181,16 +214,31 @@ def _derived_dataset(
         seed=base.spec.seed,
         difficulty=base.spec.difficulty,
     )
-    return Dataset(spec=spec, vectors=vectors, queries=queries, ground_truth=ground_truth)
+    return Dataset(
+        spec=spec,
+        vectors=vectors,
+        queries=queries,
+        ground_truth=ground_truth,
+        attributes=attributes,
+    )
 
 
 def _workload_for(dataset: Dataset, template: SearchWorkload) -> SearchWorkload:
-    """A workload over ``dataset`` keeping the template's top-k/concurrency."""
+    """A workload over ``dataset`` keeping the template's top-k/concurrency.
+
+    The template's attribute filter survives only when the derived dataset
+    still stores the predicated column (and its ground truth was therefore
+    recomputed masked); otherwise the workload reverts to unfiltered.
+    """
+    carried_filter = template.filter
+    if carried_filter is not None and carried_filter.field not in dataset.attributes:
+        carried_filter = None
     return SearchWorkload(
         queries=dataset.queries,
         ground_truth=dataset.ground_truth,
         top_k=min(template.top_k, dataset.top_k),
         concurrency=template.concurrency,
+        filter=carried_filter,
     )
 
 
@@ -223,7 +271,9 @@ class QueryShiftEvent(DriftEvent):
         blended = (1.0 - self.severity) * anchors + self.severity * directions * norms
         jitter = rng.normal(scale=0.05 * float(norms.mean()), size=anchors.shape)
         queries[shifted_rows] = (blended + jitter).astype(np.float32)
-        drifted = _derived_dataset(dataset, suffix=self.name, queries=queries)
+        drifted = _derived_dataset(
+            dataset, suffix=self.name, queries=queries, active_filter=workload.filter
+        )
         return drifted, _workload_for(drifted, workload)
 
 
@@ -287,7 +337,25 @@ class DataChurnEvent(DriftEvent):
         jitter = rng.normal(scale=0.05 * scale, size=(num_following, dataset.dimension))
         queries[following_rows] = (fresh[picks] + jitter).astype(np.float32)
 
-        drifted = _derived_dataset(dataset, suffix=self.name, vectors=vectors, queries=queries)
+        # Attribute columns survive the churn: survivors keep their values
+        # and fresh rows sample from the base column (preserving each
+        # column's marginal distribution), so an active attribute filter
+        # keeps predicating — and its masked ground truth stays exact —
+        # through the churn.
+        fresh_attributes: dict[str, np.ndarray] = {}
+        attributes: dict[str, np.ndarray] = {}
+        for name, column in dataset.attributes.items():
+            fresh_attributes[name] = rng.choice(column, size=churned_rows)
+            attributes[name] = np.concatenate([column[keep_mask], fresh_attributes[name]])
+
+        drifted = _derived_dataset(
+            dataset,
+            suffix=self.name,
+            vectors=vectors,
+            queries=queries,
+            attributes=attributes,
+            active_filter=workload.filter,
+        )
 
         # The same churn as live-collection operations on external ids: the
         # storage layer gets real deletes (tombstoning sealed segments) and
@@ -306,6 +374,8 @@ class DataChurnEvent(DriftEvent):
             delete_ids=base_row_ids[victims],
             insert_vectors=fresh,
             insert_ids=insert_ids,
+            base_attributes=dict(dataset.attributes) or None,
+            insert_attributes=fresh_attributes or None,
         )
         return drifted, _workload_for(drifted, workload), row_ids, plan
 
@@ -346,33 +416,88 @@ class QPSBurstEvent(DriftEvent):
         return dataset, replace(workload, concurrency=concurrency)
 
 
+def make_filtered_workload(
+    dataset: Dataset,
+    workload: SearchWorkload,
+    selectivity: float,
+    rng: np.random.Generator,
+    *,
+    suffix: str = "filter_shift",
+    guarantee_top_k: bool = True,
+) -> tuple[Dataset, SearchWorkload]:
+    """Attach a real attribute predicate matching a ``selectivity`` fraction.
+
+    A :data:`FILTER_FIELD` column is written over the corpus (0 = matching,
+    1..9 = non-matching buckets), the workload gains the
+    ``filter_tag == 0`` :class:`~repro.vdms.request.AttributeFilter`, and
+    the ground truth is recomputed with the masked brute-force oracle — so
+    the predicate replays *end to end*: the replayer stores the column,
+    every search executes the filter through the query planner (pre- or
+    post-filter per ``filter_strategy``/``overfetch_factor``), and recall is
+    measured against the matching subset.
+
+    ``guarantee_top_k`` keeps at least ``top_k`` matching rows so the
+    drifted workload never degenerates to an all-padded result.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError("selectivity must lie in (0, 1]")
+    num_vectors = dataset.num_vectors
+    floor = dataset.top_k if guarantee_top_k else 1
+    num_matching = min(num_vectors, max(floor, int(round(selectivity * num_vectors))))
+    matching = rng.choice(num_vectors, size=num_matching, replace=False)
+    # Non-matching rows spread over several buckets, so the column looks
+    # like a genuine categorical payload rather than a boolean.
+    tags = rng.integers(1, 10, size=num_vectors)
+    tags[matching] = 0
+    attributes = dict(dataset.attributes)
+    attributes[FILTER_FIELD] = tags.astype(np.int64)
+    query_filter = AttributeFilter(FILTER_FIELD, "eq", 0)
+    ground_truth = masked_brute_force_neighbors(
+        dataset.vectors, dataset.queries, dataset.top_k, dataset.metric, mask=tags == 0
+    )
+    drifted = _derived_dataset(
+        dataset,
+        suffix=suffix,
+        ground_truth=ground_truth,
+        attributes=attributes,
+    )
+    filtered = SearchWorkload(
+        queries=drifted.queries,
+        ground_truth=drifted.ground_truth,
+        top_k=min(workload.top_k, drifted.top_k),
+        concurrency=workload.concurrency,
+        filter=query_filter,
+    )
+    return drifted, filtered
+
+
 @dataclass(frozen=True)
 class FilterSelectivityEvent(DriftEvent):
-    """Filter-selectivity change: only part of the corpus matches the queries.
+    """Filter-selectivity change: queries gain a real attribute predicate.
 
-    Queries gain a metadata filter satisfied by a ``1 - 0.9 * severity``
-    fraction of the base vectors.  The replayed search remains unfiltered
-    (the simulated VDMS, like early Milvus, post-filters), so retrieved
-    non-matching vectors waste top-K slots: ground truth is recomputed over
-    the matching subset only and recall drops until the tuner compensates
-    (deeper searches, different index types).
+    A scalar :data:`FILTER_FIELD` column lands on the corpus and every
+    query gains an ``AttributeFilter`` satisfied by a ``1 - 0.9 * severity``
+    fraction of the rows (via :func:`make_filtered_workload`).  The filter
+    is *executed* end to end — the query planner picks pre- vs post-filter
+    per segment, charging real masked-scan or over-fetch work — and recall
+    is measured against the masked brute-force ground truth, so the tuner
+    can trade ``filter_strategy``/``overfetch_factor`` against the other
+    knobs instead of fighting an unexplainable recall cap.
     """
 
     name: ClassVar[str] = "filter_shift"
 
+    @property
+    def selectivity(self) -> float:
+        """Fraction of the corpus the emitted predicate matches."""
+        return max(0.05, 1.0 - 0.9 * self.severity)
+
     def apply(
         self, dataset: Dataset, workload: SearchWorkload, rng: np.random.Generator
     ) -> tuple[Dataset, SearchWorkload]:
-        selectivity = max(0.05, 1.0 - 0.9 * self.severity)
-        num_matching = max(dataset.top_k, int(round(selectivity * dataset.num_vectors)))
-        matching = np.sort(rng.choice(dataset.num_vectors, size=num_matching, replace=False))
-        neighbors = brute_force_neighbors(
-            dataset.vectors[matching], dataset.queries, dataset.top_k, dataset.metric
+        return make_filtered_workload(
+            dataset, workload, self.selectivity, rng, suffix=self.name
         )
-        # Map subset positions back to collection-level ids (insertion order).
-        ground_truth = matching[neighbors]
-        drifted = _derived_dataset(dataset, suffix=self.name, ground_truth=ground_truth)
-        return drifted, _workload_for(drifted, workload)
 
 
 #: Registry of drift-event families by name (CLI / scenario-matrix entry point).

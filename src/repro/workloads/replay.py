@@ -16,6 +16,16 @@ event-simulated over the configured worker budget, see
 ``search_threads == 1`` the replayer falls back to the plain cost-model
 concurrency multiplier, so serial configurations behave exactly as before.
 
+Hybrid filtered replay: a workload carrying an
+:class:`~repro.vdms.request.AttributeFilter` replays *end to end* — the
+dataset's attribute columns are inserted with the vectors, every search is a
+:class:`~repro.vdms.request.SearchRequest` the collection's query planner
+executes (pre- vs post-filter per the evaluated configuration's
+``filter_strategy``/``overfetch_factor``), recall is measured against the
+masked ground truth, and the result surfaces per-query latency samples
+(p50/p99 in the breakdown) plus filter stats (rows scanned, candidates
+dropped, per-strategy segment counts).
+
 Churn replay: with a :class:`MutationPlan`, the replayer measures a *live
 mutating* collection instead of a freshly rebuilt one — it loads the
 pre-churn corpus, builds the index, applies the plan's deletes and inserts
@@ -36,6 +46,8 @@ import numpy as np
 
 from repro.datasets.dataset import Dataset
 from repro.datasets.ground_truth import recall_at_k
+from repro.vdms.index.base import SearchStats
+from repro.vdms.request import SearchRequest
 from repro.vdms.server import VectorDBServer
 from repro.vdms.sharding import QueryScheduler
 from repro.vdms.system_config import SystemConfig
@@ -64,6 +76,10 @@ class MutationPlan:
         Rows inserted by the churn, shape ``(m, d)``.
     insert_ids:
         External ids of the inserted rows, shape ``(m,)``.
+    base_attributes / insert_attributes:
+        Optional scalar attribute columns of the pre-churn corpus and the
+        inserted rows (hybrid filtered workloads replay their predicates
+        against the live-mutated collection too).
     """
 
     base_vectors: np.ndarray
@@ -71,6 +87,8 @@ class MutationPlan:
     delete_ids: np.ndarray
     insert_vectors: np.ndarray
     insert_ids: np.ndarray
+    base_attributes: dict[str, np.ndarray] | None = None
+    insert_attributes: dict[str, np.ndarray] | None = None
 
 
 @dataclass(frozen=True)
@@ -180,7 +198,37 @@ class WorkloadReplayer:
         truth = self.workload.ground_truth
         if self.row_ids is None:
             return truth
-        return self.row_ids[truth]
+        # Guard the -1 padding of masked (filtered) ground truth: padding
+        # entries stay -1 instead of indexing the id map from the tail.
+        return np.where(truth >= 0, self.row_ids[np.clip(truth, 0, None)], -1)
+
+    def _search_request(self) -> SearchRequest:
+        """The workload as a :class:`SearchRequest` (filter pushed down)."""
+        return SearchRequest(
+            queries=self.workload.queries,
+            top_k=self.workload.top_k,
+            filter=self.workload.filter,
+        )
+
+    def _latency_samples_ms(
+        self, cost_model, profile, trace, fallback_latency_us: float, num_queries: int
+    ) -> np.ndarray:
+        """Per-query simulated latency samples in milliseconds.
+
+        On the scheduled path every request carries its own counted work,
+        so each query gets its own cost-model latency; the serial batch
+        path measures one aggregate, so every query reports the mean.
+        """
+        if trace is not None and trace.request_shard_stats:
+            samples = []
+            for shard_stats in trace.request_shard_stats:
+                merged = SearchStats()
+                for stats in shard_stats:
+                    merged.merge(stats)
+                latency_us, _ = cost_model.query_latency_microseconds(merged, profile)
+                samples.append(latency_us / 1000.0)
+            return np.asarray(samples, dtype=np.float64)
+        return np.full(max(1, num_queries), fallback_latency_us / 1000.0)
 
     def replay(self, configuration: Mapping[str, Any]) -> EvaluationResult:
         """Apply ``configuration`` end to end and measure the workload."""
@@ -197,9 +245,11 @@ class WorkloadReplayer:
         )
         plan = self.mutations
         if plan is None:
-            collection.insert(self.dataset.vectors)
+            collection.insert(self.dataset.vectors, attributes=self.dataset.attributes)
         else:
-            collection.insert(plan.base_vectors, ids=plan.base_ids)
+            collection.insert(
+                plan.base_vectors, ids=plan.base_ids, attributes=plan.base_attributes
+            )
         collection.flush()
 
         index_type = str(configuration.get("index_type", "AUTOINDEX")).rstrip("_")
@@ -212,20 +262,23 @@ class WorkloadReplayer:
         if plan is not None:
             collection.delete(plan.delete_ids)
             if plan.insert_vectors.shape[0]:
-                collection.insert(plan.insert_vectors, ids=plan.insert_ids)
+                collection.insert(
+                    plan.insert_vectors,
+                    ids=plan.insert_ids,
+                    attributes=plan.insert_attributes,
+                )
                 collection.flush()
             if system_config.maintenance_mode != "off":
                 maintenance_report = collection.run_maintenance()
 
+        request = self._search_request()
         scheduled = self.use_query_scheduler and system_config.search_threads > 1
         trace = None
         if scheduled:
             scheduler = QueryScheduler(num_threads=system_config.search_threads)
-            result, trace = scheduler.run(
-                collection.search, self.workload.queries, self.workload.top_k
-            )
+            result, trace = scheduler.run(collection.search, request)
         else:
-            result = collection.search(self.workload.queries, self.workload.top_k)
+            result = collection.search(request)
         recall = recall_at_k(result.ids, self._ground_truth_ids(), self.workload.top_k)
 
         cost_model = self.server.cost_model()
@@ -253,6 +306,25 @@ class WorkloadReplayer:
             breakdown["scheduler_workers"] = float(workers)
             breakdown["scheduled_requests"] = float(trace.num_requests)
             breakdown["schedule_makespan_seconds"] = float(makespan)
+
+        # Per-query latency samples: the replayer surfaces p50/p99 alongside
+        # the mean, so tail behaviour (one slow filtered segment, one
+        # overfetch-refilling query) is visible to the tuner's consumers.
+        latency_us, _ = cost_model.query_latency_microseconds(result.stats, profile)
+        samples_ms = self._latency_samples_ms(
+            cost_model, profile, trace, latency_us, self.workload.num_queries
+        )
+        result.latencies_ms = samples_ms
+        breakdown["latency_p50_ms"] = float(np.percentile(samples_ms, 50))
+        breakdown["latency_p99_ms"] = float(np.percentile(samples_ms, 99))
+
+        if result.filter_stats is not None:
+            stats = result.filter_stats
+            breakdown["filter_rows_scanned"] = float(stats.rows_scanned)
+            breakdown["filter_candidates_dropped"] = float(stats.candidates_dropped)
+            breakdown["filter_selectivity"] = float(stats.selectivity)
+            breakdown["filter_pre_segments"] = float(stats.pre_segments)
+            breakdown["filter_post_segments"] = float(stats.post_segments)
         if plan is not None:
             maintenance_seconds = cost_model.maintenance_seconds(maintenance_report, profile)
             replay_seconds += maintenance_seconds

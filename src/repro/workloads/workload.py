@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datasets.dataset import Dataset
+from repro.vdms.request import AttributeFilter
 
 __all__ = ["SearchWorkload"]
 
@@ -25,12 +26,18 @@ class SearchWorkload:
     queries:
         Query vectors, shape ``(q, d)``.
     ground_truth:
-        Exact neighbour ids per query, shape ``(q, >=top_k)``.
+        Exact neighbour ids per query, shape ``(q, >=top_k)``; ``-1``-padded
+        when a filtered workload's predicate matches fewer than ``top_k``
+        rows.
     top_k:
         Number of neighbours requested per query (the paper uses 100 on
         million-scale data; the scaled-down datasets default to 10).
     concurrency:
         Number of concurrent client requests (the paper's default is 10).
+    filter:
+        Optional :class:`~repro.vdms.request.AttributeFilter` every query
+        of the workload carries (hybrid filtered search); the ground truth
+        must then be the masked brute-force truth over the matching rows.
 
     Examples
     --------
@@ -46,6 +53,7 @@ class SearchWorkload:
     ground_truth: np.ndarray
     top_k: int = 10
     concurrency: int = 10
+    filter: AttributeFilter | None = None
 
     def __post_init__(self) -> None:
         queries = np.asarray(self.queries, dtype=np.float32)

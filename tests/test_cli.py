@@ -63,6 +63,39 @@ class TestEvaluateCommand:
         with pytest.raises(SystemExit):
             main(["evaluate", "--set", "bogus=3"])
 
+    def test_evaluate_filtered_search_end_to_end(self, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--dataset",
+                "glove-small",
+                "--index-type",
+                "IVF_FLAT",
+                "--filter-selectivity",
+                "0.2",
+                "--set",
+                "filter_strategy=pre",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "filter selectivity" in output
+        assert "filter rows scanned" in output
+        assert "latency p99 (ms)" in output
+
+    @pytest.mark.parametrize("selectivity", ["0.0", "-0.3", "1.5"])
+    def test_evaluate_filter_selectivity_out_of_range(self, selectivity, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["evaluate", "--filter-selectivity", selectivity])
+        assert "--filter-selectivity" in str(excinfo.value)
+
+    def test_evaluate_filter_strategy_without_filter_notes(self, capsys):
+        exit_code = main(
+            ["evaluate", "--index-type", "IVF_FLAT", "--set", "filter_strategy=post"]
+        )
+        assert exit_code == 0
+        assert "no effect without --filter-selectivity" in capsys.readouterr().err
+
 
 class TestTuneCommand:
     def test_tune_json_output_is_a_valid_configuration(self, capsys):
@@ -250,6 +283,45 @@ class TestTuneOnlineCommand:
         summary = json.loads(output)
         assert summary["warm_start"] is False
         assert summary["total_steps"] == 14
+
+    def test_filter_selectivity_requires_filter_drift(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["tune-online", "--drift", "shift", "--filter-selectivity", "0.2",
+                 "--steps", "10", "--retune-budget", "4"]
+            )
+        assert "--drift filter" in str(excinfo.value)
+
+    @pytest.mark.parametrize("selectivity", ["0.05", "1.0"])
+    def test_filter_selectivity_out_of_tune_online_range(self, selectivity):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["tune-online", "--drift", "filter", "--filter-selectivity", selectivity,
+                 "--steps", "10", "--retune-budget", "4"]
+            )
+        assert "--filter-selectivity" in str(excinfo.value)
+
+    def test_filter_selectivity_maps_to_severity(self, capsys):
+        exit_code = main(
+            [
+                "tune-online",
+                "--drift",
+                "filter",
+                "--filter-selectivity",
+                "0.2",
+                "--steps",
+                "12",
+                "--retune-budget",
+                "4",
+                "--drift-step",
+                "8",
+                "--json",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        summary = json.loads(output)
+        assert [p["phase"] for p in summary["phases"]] == [0, 1]
 
     def test_static_workload_never_drifts(self, capsys):
         exit_code = main(

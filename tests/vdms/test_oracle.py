@@ -10,11 +10,16 @@ it, for both supported similarity metrics:
 * approximate indexes must clear a per-type recall floor;
 * sharded search (any ``shard_num``, any routing policy) over an exact
   index must return results *identical* to the unsharded exact scan — the
-  scatter-gather merge must not change what is served.
+  scatter-gather merge must not change what is served;
+* attribute-filtered (hybrid) search is pinned to an independent *masked*
+  NumPy scan (:func:`masked_exact_scan`): every index type, both metrics,
+  selectivities {0.05, 0.3, 0.9}, with exact indexes id-identical to the
+  masked oracle and sharded filtered results bit-identical to unsharded.
 
 To add a new index type: register it in ``INDEX_ORACLE_CASES`` with a
-parameter mapping and a recall floor (1.0 marks it exact), and it is picked
-up by every test in this file (see docs/testing.md).
+parameter mapping and a recall floor (1.0 marks it exact) plus a filtered
+floor in ``FILTERED_RECALL_FLOORS``, and it is picked up by every test in
+this file (see docs/testing.md).
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.vdms import Collection, SystemConfig
+from repro.vdms import AttributeFilter, Collection, SearchRequest, SystemConfig
 from repro.vdms.sharding import ROUTING_POLICIES
 
 #: (params, recall_floor) per index type; floor 1.0 marks the index exact.
@@ -82,10 +87,11 @@ def build_collection(
     *,
     shard_num: int = 1,
     routing_policy: str = "hash",
+    attributes: dict | None = None,
 ) -> Collection:
     config = SystemConfig(shard_num=shard_num, routing_policy=routing_policy, **SEGMENT_CONFIG)
     collection = Collection("oracle", DIMENSION, metric=metric, system_config=config)
-    collection.insert(vectors)
+    collection.insert(vectors, attributes=attributes)
     collection.flush()
     collection.create_index(index_type, params)
     return collection
@@ -207,6 +213,165 @@ class TestDuplicateVectorTieBreaking:
             f"duplicate-vector ties diverged for {index_type} "
             f"(shards={shard_num}, {routing_policy}, {metric})"
         )
+
+
+# -- attribute-filtered (hybrid) search oracle ---------------------------------------
+
+#: Selectivities the filtered oracle sweeps: well below, at, and well above
+#: the planner's auto pre/post threshold.
+FILTER_SELECTIVITIES = (0.05, 0.3, 0.9)
+
+#: Per-type recall floor of the *filtered* oracle.  Tiny per-segment corpora
+#: make every index near-exhaustive here, so the floors sit high; exact
+#: indexes must be id-identical (handled separately).
+FILTERED_RECALL_FLOORS: dict[str, float] = {
+    "FLAT": 1.0,
+    "IVF_FLAT": 1.0,
+    "IVF_SQ8": 0.85,
+    "IVF_PQ": 0.85,
+    "HNSW": 0.85,
+    "SCANN": 0.65,
+    "AUTOINDEX": 0.85,
+}
+
+FILTER_FIELD = "tag"
+
+
+def make_filter_tags(seed: int = 99) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1000, size=NUM_VECTORS).astype(np.int64)
+
+
+def filter_for(selectivity: float) -> AttributeFilter:
+    return AttributeFilter(FILTER_FIELD, "lt", int(round(selectivity * 1000)))
+
+
+def masked_exact_scan(
+    vectors: np.ndarray, queries: np.ndarray, metric: str, top_k: int, mask: np.ndarray
+) -> np.ndarray:
+    """Independent NumPy masked oracle: scan the allowed subset, map back.
+
+    Rows are ``-1``-padded when the mask allows fewer than ``top_k`` rows —
+    the under-full contract the serving stack must match bit for bit.
+    """
+    allowed = np.flatnonzero(mask)
+    result = np.full((queries.shape[0], top_k), -1, dtype=np.int64)
+    if allowed.size == 0:
+        return result
+    subset = exact_scan(vectors[allowed], queries, metric, min(top_k, allowed.size))
+    result[:, : subset.shape[1]] = allowed[subset]
+    return result
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("selectivity", FILTER_SELECTIVITIES)
+@pytest.mark.parametrize("index_type", sorted(INDEX_ORACLE_CASES))
+class TestFilteredSearchAgainstTheMaskedOracle:
+    def test_filtered_recall_clears_the_floor(self, index_type, selectivity, metric):
+        params, _ = INDEX_ORACLE_CASES[index_type]
+        floor = FILTERED_RECALL_FLOORS[index_type]
+        vectors, queries = make_corpus()
+        tags = make_filter_tags()
+        query_filter = filter_for(selectivity)
+        truth = masked_exact_scan(
+            vectors, queries, metric, TOP_K, query_filter.mask({FILTER_FIELD: tags})
+        )
+        collection = build_collection(
+            vectors, metric, index_type, params, attributes={FILTER_FIELD: tags}
+        )
+        result = collection.search(
+            SearchRequest(queries=queries, top_k=TOP_K, filter=query_filter)
+        )
+        recall = recall_against(result.ids, truth)
+        assert recall >= floor, (
+            f"{index_type}/{metric}/selectivity={selectivity}: filtered recall "
+            f"{recall:.3f} < floor {floor}"
+        )
+
+    def test_filtered_results_only_serve_allowed_rows(self, index_type, selectivity, metric):
+        params, _ = INDEX_ORACLE_CASES[index_type]
+        vectors, queries = make_corpus()
+        tags = make_filter_tags()
+        query_filter = filter_for(selectivity)
+        allowed = np.flatnonzero(query_filter.mask({FILTER_FIELD: tags}))
+        collection = build_collection(
+            vectors, metric, index_type, params, attributes={FILTER_FIELD: tags}
+        )
+        result = collection.search(
+            SearchRequest(queries=queries, top_k=TOP_K, filter=query_filter)
+        )
+        served = result.ids[result.ids >= 0]
+        assert np.isin(served, allowed).all(), "a filtered search served a rejected row"
+        for row in result.ids:
+            valid = row[row >= 0]
+            assert len(set(valid.tolist())) == valid.size, "duplicate ids in one result row"
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("strategy", ("auto", "pre", "post"))
+@pytest.mark.parametrize("selectivity", FILTER_SELECTIVITIES)
+@pytest.mark.parametrize("index_type", EXACT_INDEX_TYPES)
+class TestFilteredExactIndexesAreExact:
+    """Exact indexes must match the masked oracle id-for-id at every
+    selectivity, whichever execution strategy serves the filter."""
+
+    def test_filtered_ids_identical_to_masked_oracle(
+        self, index_type, selectivity, strategy, metric
+    ):
+        params, _ = INDEX_ORACLE_CASES[index_type]
+        vectors, queries = make_corpus()
+        tags = make_filter_tags()
+        query_filter = filter_for(selectivity)
+        truth = masked_exact_scan(
+            vectors, queries, metric, TOP_K, query_filter.mask({FILTER_FIELD: tags})
+        )
+        collection = build_collection(
+            vectors, metric, index_type, params, attributes={FILTER_FIELD: tags}
+        )
+        result = collection.search(
+            SearchRequest(
+                queries=queries,
+                top_k=TOP_K,
+                filter=query_filter,
+                filter_strategy=strategy,
+            )
+        )
+        assert np.array_equal(result.ids, truth), (
+            f"{index_type}/{metric}/selectivity={selectivity}/{strategy} diverged "
+            "from the masked oracle"
+        )
+        assert recall_against(result.ids, truth) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("shard_num", (1, 2, 4))
+@pytest.mark.parametrize("selectivity", FILTER_SELECTIVITIES)
+@pytest.mark.parametrize("index_type", EXACT_INDEX_TYPES)
+class TestFilteredShardedMatchesUnsharded:
+    def test_sharded_filtered_ids_bit_identical(
+        self, index_type, selectivity, shard_num, metric
+    ):
+        params, _ = INDEX_ORACLE_CASES[index_type]
+        vectors, queries = make_corpus()
+        tags = make_filter_tags()
+        query_filter = filter_for(selectivity)
+        request = SearchRequest(queries=queries, top_k=TOP_K, filter=query_filter)
+        unsharded = build_collection(
+            vectors, metric, index_type, params, attributes={FILTER_FIELD: tags}
+        ).search(request)
+        sharded = build_collection(
+            vectors, metric, index_type, params,
+            shard_num=shard_num, attributes={FILTER_FIELD: tags},
+        ).search(request)
+        truth = masked_exact_scan(
+            vectors, queries, metric, TOP_K, query_filter.mask({FILTER_FIELD: tags})
+        )
+        assert np.array_equal(unsharded.ids, truth)
+        assert np.array_equal(sharded.ids, unsharded.ids), (
+            f"filtered {index_type} (shards={shard_num}, {metric}, "
+            f"selectivity={selectivity}) diverged from unsharded"
+        )
+        assert np.allclose(sharded.distances, unsharded.distances, rtol=1e-6, atol=1e-6)
 
 
 @pytest.mark.parametrize("metric", METRICS)

@@ -125,9 +125,18 @@ class TestMergeProperties:
         merged_ids, _ = merge_topk(ids_list, distances_list, 3)
         assert merged_ids.tolist() == [[7, 2, -1]]
 
-    def test_all_empty_raises(self):
+    def test_all_zero_wide_lists_pad_fully(self):
+        # A filter that matched nothing anywhere: the under-full contract
+        # applies, -1 ids with infinite distances, never an error.
+        merged_ids, merged_distances = merge_topk(
+            [np.empty((2, 0), dtype=np.int64)], [np.empty((2, 0))], 3
+        )
+        assert merged_ids.tolist() == [[-1, -1, -1], [-1, -1, -1]]
+        assert np.isinf(merged_distances).all()
+
+    def test_no_lists_at_all_raises(self):
         with pytest.raises(ValueError):
-            merge_topk([np.empty((1, 0), dtype=np.int64)], [np.empty((1, 0))], 3)
+            merge_topk([], [], 3)
 
     def test_nonpositive_k_raises(self):
         with pytest.raises(ValueError):
