@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Sequence
 
@@ -126,6 +127,29 @@ def build_parser() -> argparse.ArgumentParser:
         "the corpus to every query (hybrid filtered search); combine with "
         "--set filter_strategy=pre|post|auto and --set overfetch_factor=F "
         "to pin the execution strategy",
+    )
+    evaluate.add_argument(
+        "--cache-policy",
+        default=None,
+        choices=["none", "lru"],
+        help="query-result/plan cache policy (cache_policy); lru serves "
+        "repeated requests from the tiered cache and reports the hit ratio",
+    )
+    evaluate.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="entries kept per cache tier (cache_capacity, with --cache-policy lru)",
+    )
+    evaluate.add_argument(
+        "--popularity-skew",
+        type=float,
+        default=None,
+        metavar="S",
+        help="replay a Zipf(s=S) popularity-skewed request stream instead of "
+        "one pass over the query pool (hot queries repeat; pair with "
+        "--cache-policy lru to see the cache pay off)",
     )
     evaluate.add_argument(
         "--set",
@@ -258,6 +282,36 @@ def _validate_evaluate_args(args: argparse.Namespace, dataset, overrides: dict) 
             "unfiltered searches never consult the filter planner",
             file=sys.stderr,
         )
+    if args.popularity_skew is not None and (
+        not math.isfinite(args.popularity_skew) or args.popularity_skew < 0.0
+    ):
+        _fail(
+            f"--popularity-skew must be a finite value >= 0 (got {args.popularity_skew}); "
+            "0 replays every query once, larger values concentrate the stream "
+            "on the hot queries"
+        )
+    if args.cache_capacity is not None and args.cache_capacity < 1:
+        _fail(
+            f"--cache-capacity must be >= 1 (got {args.cache_capacity}); "
+            "every cache tier needs room for at least one entry"
+        )
+    effective_policy = (
+        args.cache_policy
+        if args.cache_policy is not None
+        else overrides.get("cache_policy", "none")
+    )
+    if args.cache_capacity is not None and effective_policy == "none":
+        print(
+            "note: --cache-capacity has no effect without --cache-policy lru; "
+            "the cache is disabled by default",
+            file=sys.stderr,
+        )
+    if args.popularity_skew and effective_policy == "none":
+        print(
+            "note: --popularity-skew replays a skewed stream but nothing "
+            "memoizes it; add --cache-policy lru to serve repeats from cache",
+            file=sys.stderr,
+        )
     effective_shards = args.shards if args.shards is not None else overrides.get("shard_num", 1)
     if args.shards is not None:
         if args.shards < 1:
@@ -361,10 +415,18 @@ def _command_evaluate(args: argparse.Namespace) -> int:
             suffix="cli_filter",
         )
         environment.set_workload(filtered, dataset=drifted)
+    if args.popularity_skew is not None:
+        from dataclasses import replace as dataclass_replace
+
+        environment.set_workload(
+            dataclass_replace(environment.workload, popularity_skew=args.popularity_skew)
+        )
     for name, value in (
         ("shard_num", args.shards),
         ("routing_policy", args.routing_policy),
         ("search_threads", args.search_threads),
+        ("cache_policy", args.cache_policy),
+        ("cache_capacity", args.cache_capacity),
     ):
         if value is not None:
             overrides.setdefault(name, value)
@@ -392,6 +454,17 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         ["simulated replay (s)", round(result.replay_seconds, 1)],
         ["failed", result.failed],
     ]
+    if configuration["cache_policy"] != "none":
+        rows.extend(
+            [
+                ["cache policy", configuration["cache_policy"]],
+                ["cache capacity", configuration["cache_capacity"]],
+                ["cache hit ratio", round(result.breakdown.get("cache_hit_ratio", 0.0), 4)],
+                ["cache hits / misses",
+                 f"{int(result.breakdown.get('cache_hits', 0))} / "
+                 f"{int(result.breakdown.get('cache_misses', 0))}"],
+            ]
+        )
     if args.filter_selectivity is not None:
         rows.extend(
             [

@@ -5,8 +5,9 @@ parameters (Table I of the paper) and seven system parameters recommended by
 the Milvus configuration documentation.  This module builds the equivalent
 space for the simulated VDMS in :mod:`repro.vdms`, extended by the three
 serving-topology parameters of the sharded engine, the two
-background-maintenance parameters of the compaction subsystem and the two
-hybrid-search parameters of the filtered query planner (23 dimensions in
+background-maintenance parameters of the compaction subsystem, the two
+hybrid-search parameters of the filtered query planner and the two
+query-cache parameters of the tiered result/plan cache (25 dimensions in
 total).
 
 Index parameters (Table I)::
@@ -51,6 +52,13 @@ execute)::
 
     filter_strategy          -- auto / pre / post filter execution
     overfetch_factor         -- post-filter over-fetch multiplier
+
+Query-cache parameters (added by the tiered query cache of
+:mod:`repro.vdms.cache`; they govern whether repeated requests are served
+from memoized results and how many entries stay resident)::
+
+    cache_policy             -- none / lru result+plan caching
+    cache_capacity           -- entries kept per cache tier
 """
 
 from __future__ import annotations
@@ -93,7 +101,8 @@ INDEX_PARAMETERS: dict[str, tuple[str, ...]] = {
 
 #: The system parameters shared by all index types: the paper seven plus
 #: the serving topology (shard count, routing policy, execution threads)
-#: plus the maintenance policy (compaction trigger, scheduling mode).
+#: plus the maintenance policy (compaction trigger, scheduling mode) plus
+#: the hybrid-search planner and the tiered query cache.
 SYSTEM_PARAMETERS: tuple[str, ...] = (
     "segment_max_size",
     "segment_seal_proportion",
@@ -109,6 +118,8 @@ SYSTEM_PARAMETERS: tuple[str, ...] = (
     "maintenance_mode",
     "filter_strategy",
     "overfetch_factor",
+    "cache_policy",
+    "cache_capacity",
 )
 
 
@@ -147,13 +158,15 @@ def _system_parameter_specs() -> list[Parameter]:
             "filter_strategy", choices=["auto", "pre", "post"], default="auto"
         ),
         FloatParameter("overfetch_factor", low=1.0, high=8.0, default=2.0, log_scale=True),
+        CategoricalParameter("cache_policy", choices=["none", "lru"], default="none"),
+        IntParameter("cache_capacity", low=16, high=65_536, default=1_024, log_scale=True),
     ]
 
 
 def build_milvus_space(
     index_types: tuple[str, ...] = INDEX_TYPES,
     *,
-    name: str = "milvus-23d",
+    name: str = "milvus-25d",
 ) -> ConfigurationSpace:
     """Build the holistic tuning space (index type + index params + system params).
 
@@ -171,7 +184,7 @@ def build_milvus_space(
     >>> from repro import build_milvus_space
     >>> space = build_milvus_space()
     >>> space.dimension
-    23
+    25
     >>> space.default_configuration()["index_type"]
     'AUTOINDEX'
     >>> smaller = build_milvus_space(index_types=("HNSW", "IVF_FLAT"))
@@ -221,7 +234,7 @@ def default_configuration(
     ----------
     space:
         The space to build the configuration in.  ``None`` builds the full
-        23-dimensional space first.
+        25-dimensional space first.
     index_type:
         If given, the returned configuration uses this index type instead of
         the space default.

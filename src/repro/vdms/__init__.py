@@ -25,12 +25,28 @@ This package is the substrate the tuner optimizes.  It provides:
   :class:`SearchRequest`/:class:`SearchPlan` query-plan abstraction, and
   tunable pre-filter vs post-filter execution planned per segment from the
   estimated selectivity (``filter_strategy``, ``overfetch_factor``);
+* a mutation-safe tiered query cache (:mod:`repro.vdms.cache`): a result
+  tier memoizing whole search answers and a plan tier memoizing the
+  planner's selectivity estimation, keyed on canonical request hashes plus
+  a per-collection monotonic version counter every mutation bumps —
+  staleness is impossible by construction — behind a pluggable
+  :class:`CacheBackend` protocol (``cache_policy``, ``cache_capacity``);
 * a :class:`VectorDBServer` facade exposing a Milvus-like client API
   (``create_collection``, ``insert``, ``flush``, ``create_index``,
   ``search``, ``concurrent_search``, ``drop_index``,
   ``apply_system_config``).
 """
 
+from repro.vdms.cache import (
+    CACHE_POLICIES,
+    CacheBackend,
+    CachedResult,
+    CacheStats,
+    LRUCacheBackend,
+    TieredQueryCache,
+    canonical_filter_key,
+    request_cache_key,
+)
 from repro.vdms.collection import Collection, SearchResult
 from repro.vdms.cost_model import CostModel, PerformanceReport
 from repro.vdms.distance import normalize_rows, pairwise_distances, top_k_select
@@ -72,6 +88,10 @@ from repro.vdms.system_config import FILTER_STRATEGIES, MAINTENANCE_MODES, Syste
 __all__ = [
     "AttributeFilter",
     "BuildStats",
+    "CACHE_POLICIES",
+    "CacheBackend",
+    "CacheStats",
+    "CachedResult",
     "Collection",
     "FILTER_STRATEGIES",
     "FilterStats",
@@ -82,6 +102,7 @@ __all__ = [
     "IndexBuildError",
     "IndexNotBuiltError",
     "InvalidConfigurationError",
+    "LRUCacheBackend",
     "MAINTENANCE_MODES",
     "MaintenanceReport",
     "MaintenanceWorker",
@@ -99,13 +120,16 @@ __all__ = [
     "SegmentState",
     "Shard",
     "SystemConfig",
+    "TieredQueryCache",
     "VDMSError",
     "VectorDBServer",
     "VectorIndex",
+    "canonical_filter_key",
     "create_index",
     "merge_topk",
     "normalize_rows",
     "pairwise_distances",
+    "request_cache_key",
     "shard_assignments",
     "simulate_makespan",
     "top_k_select",

@@ -1,0 +1,327 @@
+"""Mutation-safe tiered query cache: results, plans and canonical keys.
+
+Real vector-DB traffic is heavily skewed — the same hot queries and the same
+hot predicates arrive over and over — yet the serving path recomputes
+everything per request.  This module adds the two memoization tiers the
+collection consults before doing work:
+
+* the **result tier** memoizes whole :class:`~repro.vdms.collection.SearchResult`
+  payloads keyed on a canonical hash of the request (queries digest, ``top_k``,
+  canonical filter, resolved strategy knobs);
+* the **plan tier** memoizes :meth:`~repro.vdms.collection.Collection.plan_search`'s
+  selectivity estimation — the per-segment allow-masks and the resolved
+  :class:`~repro.vdms.request.SearchPlan` — keyed on the canonical predicate,
+  so repeated predicates plan once instead of re-scanning every attribute
+  column.
+
+Staleness is impossible by construction rather than by invalidation
+callbacks: every cache key carries the collection's **monotonic version
+counter**, which every mutation path (``insert``, ``delete``, ``flush``,
+``create_index``, ``drop_index``, ``set_search_params``, ``run_maintenance``)
+bumps under the collection's mutation/snapshot lock.  A lookup at version
+``v`` can only ever see entries stored at version ``v``; entries stored under
+older versions become unreachable garbage that LRU eviction reclaims.  No
+entry is ever served across a mutation — the invariant the interleaved
+mutation/cache oracle suite (``tests/vdms/test_cache_oracle.py``) pins down.
+
+Backends are pluggable through the :class:`CacheBackend` protocol (the
+pattern of SNIPPETS.md's cachetools resource layer): the in-process
+:class:`LRUCacheBackend` ships now, and a distributed backend (Redis-style)
+only needs ``get``/``put``/``clear``/``__len__`` over hashable keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.vdms.request import AttributeFilter, SearchRequest
+
+__all__ = [
+    "CACHE_POLICIES",
+    "CacheBackend",
+    "CacheStats",
+    "CachedResult",
+    "LRUCacheBackend",
+    "TieredQueryCache",
+    "canonical_filter_key",
+    "make_backend",
+    "request_cache_key",
+]
+
+#: Cache policies accepted by ``SystemConfig.cache_policy``: ``"none"``
+#: disables both tiers (the seed behaviour), ``"lru"`` serves them from
+#: in-process :class:`LRUCacheBackend` instances.
+CACHE_POLICIES: tuple[str, ...] = ("none", "lru")
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """The storage contract of one cache tier.
+
+    Implementations must be safe for concurrent ``get``/``put`` from the
+    serving threads (the in-process backend uses its own lock; a remote
+    backend's client library typically is already).  Keys are hashable
+    tuples; values are opaque.  ``get`` returns ``None`` on a miss —
+    ``None`` is never a legal cached value.
+    """
+
+    def get(self, key: Hashable) -> Any | None:
+        """Return the cached value, or ``None`` on a miss."""
+        ...
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting per policy if full."""
+        ...
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of live entries."""
+        ...
+
+
+class LRUCacheBackend:
+    """In-process least-recently-used backend with a fixed entry capacity.
+
+    A ``get`` refreshes recency; a ``put`` over capacity evicts the least
+    recently used entry.  All operations take the backend's own lock, so
+    concurrent serving threads never tear the recency list — the collection
+    lock is *not* held around cache traffic on the read path.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if value is None:
+            raise ValueError("None is not a cacheable value")
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"LRUCacheBackend(entries={len(self)}, capacity={self.capacity})"
+
+
+#: Registry of cache backend factories by policy name (``"none"`` excluded:
+#: it means "no cache object at all", not an empty backend).
+CACHE_BACKENDS: dict[str, type] = {"lru": LRUCacheBackend}
+
+
+def make_backend(policy: str, capacity: int) -> CacheBackend:
+    """Instantiate the backend for ``policy`` (one of :data:`CACHE_BACKENDS`)."""
+    try:
+        factory = CACHE_BACKENDS[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache policy {policy!r}; expected one of {tuple(CACHE_BACKENDS)}"
+        ) from None
+    return factory(capacity)
+
+
+# -- canonical keys ------------------------------------------------------------------
+
+
+def canonical_filter_key(request_filter: AttributeFilter | None) -> tuple | None:
+    """A hashable canonical form of a filter: semantic equality => key equality.
+
+    Semantically equivalent predicates normalize to the same key:
+
+    * ``in`` values are deduplicated and sorted (order never matters);
+    * a one-value ``in`` collapses to ``eq``;
+    * a ``range`` with equal bounds collapses to ``eq``.
+
+    Any semantic difference (field, operator family, operand) keeps keys
+    distinct.  ``None`` stays ``None`` (unfiltered).
+    """
+    if request_filter is None:
+        return None
+    op = request_filter.op
+    value = request_filter.value
+    if op == "in":
+        values = tuple(sorted(set(value)))  # type: ignore[arg-type]
+        if len(values) == 1:
+            return (request_filter.field, "eq", values[0])
+        return (request_filter.field, "in", values)
+    if op == "range":
+        low, high = value  # type: ignore[misc]
+        if low == high:
+            return (request_filter.field, "eq", low)
+        return (request_filter.field, "range", (low, high))
+    return (request_filter.field, op, value)
+
+
+def queries_digest(queries: np.ndarray) -> str:
+    """Content digest of a query batch, independent of the array's layout.
+
+    The batch is normalized to a C-contiguous ``float32`` array first, so
+    the same values reach the hash whether the caller passed a Fortran-order
+    slice, a view, or a ``float64`` copy (``SearchRequest`` already promotes
+    dtype, this guards layout).  The shape is folded in so ``(2, 8)`` and
+    ``(4, 4)`` batches of the same bytes stay distinct.
+    """
+    queries = np.ascontiguousarray(queries, dtype=np.float32)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(queries.shape).encode("ascii"))
+    digest.update(queries.tobytes())
+    return digest.hexdigest()
+
+
+def request_cache_key(request: SearchRequest, system_config=None) -> tuple:
+    """The canonical (version-free) cache key of one request.
+
+    Covers everything that can change the result payload: the query batch
+    (content digest), ``top_k``, the canonical filter and — for filtered
+    requests only — the *resolved* strategy knobs (the request's own when
+    set, else the system configuration's).  Unfiltered requests exclude the
+    strategy knobs: they cannot influence an unfiltered result, so requests
+    differing only there share an entry.
+    """
+    filter_key = canonical_filter_key(request.filter)
+    if filter_key is None:
+        return (queries_digest(request.queries), int(request.top_k), None)
+    strategy = request.filter_strategy
+    overfetch = request.overfetch_factor
+    if system_config is not None:
+        strategy = strategy or system_config.filter_strategy
+        overfetch = overfetch if overfetch is not None else system_config.overfetch_factor
+    return (
+        queries_digest(request.queries),
+        int(request.top_k),
+        filter_key,
+        strategy,
+        None if overfetch is None else float(overfetch),
+    )
+
+
+# -- the tiered cache ----------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one collection's tiered cache."""
+
+    result_hits: int = 0
+    result_misses: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+
+    @property
+    def result_hit_ratio(self) -> float:
+        """Fraction of result lookups served from cache (0 when idle)."""
+        lookups = self.result_hits + self.result_misses
+        return self.result_hits / lookups if lookups else 0.0
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """The immutable payload of one result-tier entry.
+
+    Arrays are stored once and copied out on every hit, so a caller
+    mutating its :class:`~repro.vdms.collection.SearchResult` can never
+    corrupt the cache (or other callers).
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    plan: Any | None = None
+
+
+class TieredQueryCache:
+    """The result tier plus the plan tier of one collection.
+
+    Every key is prefixed with the collection version the entry was computed
+    at, so lookups — always issued at the *current* version, read under the
+    collection lock — can never observe a pre-mutation entry.  The two tiers
+    share the policy and capacity but not storage: result entries (arrays)
+    and plan entries (masks) have very different sizes and hit patterns, and
+    one tier churning must not evict the other.
+    """
+
+    def __init__(self, policy: str, capacity: int) -> None:
+        self.policy = str(policy)
+        self.capacity = int(capacity)
+        self._results = make_backend(self.policy, self.capacity)
+        self._plans = make_backend(self.policy, self.capacity)
+        self._stats_lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # -- result tier ---------------------------------------------------------------
+
+    def get_result(self, version: int, key: tuple) -> CachedResult | None:
+        """Look up a result entry at ``version``; counts the hit or miss."""
+        value = self._results.get((int(version),) + key)
+        with self._stats_lock:
+            if value is None:
+                self.stats.result_misses += 1
+            else:
+                self.stats.result_hits += 1
+        return value
+
+    def put_result(self, version: int, key: tuple, value: CachedResult) -> None:
+        """Store a result entry computed at ``version``."""
+        self._results.put((int(version),) + key, value)
+
+    # -- plan tier -----------------------------------------------------------------
+
+    def get_plan(self, version: int, key: tuple) -> Any | None:
+        """Look up a plan entry at ``version``; counts the hit or miss."""
+        value = self._plans.get((int(version),) + key)
+        with self._stats_lock:
+            if value is None:
+                self.stats.plan_misses += 1
+            else:
+                self.stats.plan_hits += 1
+        return value
+
+    def put_plan(self, version: int, key: tuple, value: Any) -> None:
+        """Store a plan entry computed at ``version``."""
+        self._plans.put((int(version),) + key, value)
+
+    # -- management ----------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop both tiers (the version protocol makes this optional)."""
+        self._results.clear()
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._results) + len(self._plans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TieredQueryCache(policy={self.policy!r}, capacity={self.capacity}, "
+            f"results={len(self._results)}, plans={len(self._plans)})"
+        )

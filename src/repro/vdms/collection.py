@@ -21,6 +21,7 @@ from typing import Any, Mapping, MutableMapping
 
 import numpy as np
 
+from repro.vdms.cache import CachedResult, TieredQueryCache, canonical_filter_key, request_cache_key
 from repro.vdms.cost_model import CollectionProfile
 from repro.vdms.distance import METRICS, pairwise_distances, prepare_vectors
 from repro.vdms.errors import IndexBuildError, IndexNotBuiltError
@@ -129,6 +130,15 @@ class Collection:
         self._index_cache = index_cache
         self._next_auto_id = 0
         self._lock = threading.RLock()
+        #: Monotonic mutation counter: every mutation path bumps it under
+        #: the lock, and every cache key carries it, so a cached entry can
+        #: never be served across a mutation (see :mod:`repro.vdms.cache`).
+        self._version = 0
+        self._query_cache: TieredQueryCache | None = None
+        if self.system_config.cache_policy != "none":
+            self._query_cache = TieredQueryCache(
+                self.system_config.cache_policy, self.system_config.cache_capacity
+            )
         #: Whether ``maintenance_mode`` triggers maintenance automatically on
         #: mutations.  The workload replayer disables this and invokes one
         #: deterministic pass itself, so replays stay rerun-stable.
@@ -177,6 +187,7 @@ class Collection:
                     ids[mask],
                     attributes={name: column[mask] for name, column in columns.items()},
                 )
+            self._version += 1
         return accepted
 
     def flush(self) -> int:
@@ -189,6 +200,11 @@ class Collection:
         """
         with self._lock:
             sealed = sum(shard.flush() for shard in self._shards)
+            # Conservative bump even when nothing sealed: a flush may
+            # repartition the growing tail (rewriting segments without
+            # changing the live multiset), and a cached entry must never
+            # survive any segment rewrite.
+            self._version += 1
         self._maintenance_hook()
         return sealed
 
@@ -209,6 +225,7 @@ class Collection:
         """
         with self._lock:
             deleted = sum(shard.delete(ids) for shard in self._shards)
+            self._version += 1
         self._maintenance_hook()
         return deleted
 
@@ -289,6 +306,10 @@ class Collection:
                     segment.state = SegmentState.SEALED
                     report.segments_reindexed += 1
                     report.build_stats.append(index.build_stats)
+            # Conservative bump even for a no-op pass: compaction rewrites
+            # segments without changing the live multiset, and risking a
+            # stale hit across any rewrite is not worth the saved misses.
+            self._version += 1
         return report
 
     # -- indexing -----------------------------------------------------------------
@@ -308,6 +329,17 @@ class Collection:
         """The shards of this collection, in shard-id order."""
         return list(self._shards)
 
+    @property
+    def version(self) -> int:
+        """The monotonic mutation counter (read under the lock)."""
+        with self._lock:
+            return self._version
+
+    @property
+    def query_cache(self) -> TieredQueryCache | None:
+        """The tiered query cache, or ``None`` when ``cache_policy`` is ``"none"``."""
+        return self._query_cache
+
     def drop_index(self) -> None:
         """Drop the current index (the collection remains searchable by brute force only)."""
         with self._lock:
@@ -315,6 +347,7 @@ class Collection:
                 shard.indexes.clear()
             self._index_type = None
             self._index_params = {}
+            self._version += 1
 
     def _structural_signature(self, index_type: str, params: Mapping[str, Any]) -> tuple:
         names = STRUCTURAL_PARAMETERS[index_type]
@@ -426,6 +459,7 @@ class Collection:
                 per_shard = [build_shard(shard) for shard in self._shards]
             self._index_type = index_type
             self._index_params = params
+            self._version += 1
         return [stats for shard_stats in per_shard for stats in shard_stats]
 
     def set_search_params(self, **params: Any) -> None:
@@ -440,6 +474,9 @@ class Collection:
                 for segment_id, index in list(shard.indexes.items()):
                     shard.indexes[segment_id] = self._with_search_params(index, params)
             self._index_params.update(params)
+            # Search-time parameters change results, so cached entries
+            # computed under the old parameters must become unreachable.
+            self._version += 1
 
     # -- search --------------------------------------------------------------------
 
@@ -538,8 +575,24 @@ class Collection:
         )
         return plan, shard_masks
 
+    def _plan_cache_key(self, request: SearchRequest) -> tuple:
+        """Plan-tier cache key: canonical predicate + resolved strategy knobs."""
+        strategy = request.filter_strategy or self.system_config.filter_strategy
+        overfetch = float(
+            request.overfetch_factor
+            if request.overfetch_factor is not None
+            else self.system_config.overfetch_factor
+        )
+        return (canonical_filter_key(request.filter), strategy, overfetch)
+
     def plan_search(self, request: SearchRequest) -> SearchPlan:
-        """Plan (without executing) a filtered request against the live state."""
+        """Plan (without executing) a filtered request against the live state.
+
+        With the tiered query cache enabled, the selectivity estimation —
+        one predicate evaluation per live row per segment — runs once per
+        (canonical predicate, collection version) and is served from the
+        plan tier afterwards.
+        """
         if request.filter is None:
             return SearchPlan(
                 strategy=request.filter_strategy or self.system_config.filter_strategy,
@@ -550,8 +603,17 @@ class Collection:
                 ),
             )
         with self._lock:
+            version = self._version
             snapshots = [shard.snapshot() for shard in self._shards]
-        plan, _ = self._plan_snapshots(request, snapshots)
+        cache = self._query_cache
+        plan_key = self._plan_cache_key(request) if cache is not None else None
+        if cache is not None:
+            cached = cache.get_plan(version, plan_key)
+            if cached is not None:
+                return cached[0]
+        plan, shard_masks = self._plan_snapshots(request, snapshots)
+        if cache is not None:
+            cache.put_plan(version, plan_key, (plan, shard_masks))
         return plan
 
     def _search_snapshot(
@@ -561,8 +623,15 @@ class Collection:
         prepared_queries: np.ndarray,
         masks: tuple[list, list] | None,
         overfetch_factor: float,
+        *,
+        charge_filter_scan: bool = True,
     ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
-        """Top-K over one shard snapshot: indexed segments, then brute force."""
+        """Top-K over one shard snapshot: indexed segments, then brute force.
+
+        ``charge_filter_scan`` is ``False`` when the allow-masks came from
+        the plan tier of the query cache: the predicate was not re-evaluated
+        for this request, so no mask-building scan is charged.
+        """
         queries = request.queries
         top_k = request.top_k
         stats = SearchStats(num_queries=queries.shape[0])
@@ -574,7 +643,8 @@ class Collection:
             if mask is None:
                 ids, distances, segment_stats = index.search(queries, top_k)
             else:
-                stats.filter_rows_scanned += index.size
+                if charge_filter_scan:
+                    stats.filter_rows_scanned += index.size
                 ids, distances, segment_stats = index.search(
                     queries,
                     top_k,
@@ -591,7 +661,8 @@ class Collection:
             if mask is not None:
                 # Brute-forced segments always pre-filter: scan the allowed
                 # rows only (the mask evaluation itself is the charged scan).
-                stats.filter_rows_scanned += int(rows.shape[0])
+                if charge_filter_scan:
+                    stats.filter_rows_scanned += int(rows.shape[0])
                 rows = rows[mask]
                 row_ids = row_ids[mask]
             num_rows = int(rows.shape[0])
@@ -611,7 +682,7 @@ class Collection:
         ids, distances = merge_topk(candidate_ids, candidate_distances, top_k)
         return ids, distances, stats
 
-    def search(self, queries, top_k: int | None = None) -> SearchResult:
+    def search(self, queries, top_k: int | None = None, *, use_cache: bool = True) -> SearchResult:
         """Scatter-gather top-K search across every shard.
 
         ``queries`` is either a plain query array paired with ``top_k``
@@ -620,6 +691,16 @@ class Collection:
         an attribute-filtered request is planned per segment from the
         estimated selectivity (pre-filter vs post-filter, see
         :meth:`plan_search`) before the scatter phase executes it.
+
+        With ``cache_policy`` enabled, the tiered query cache is consulted
+        first: a result-tier hit returns the memoized payload (copied, and
+        bit-identical to a fresh search at the same collection version) and
+        charges only ``cache_hits`` work; a plan-tier hit reuses the
+        predicate's allow-masks without re-scanning the attribute columns.
+        ``use_cache=False`` bypasses both tiers for this call (the oracle
+        suite and the replayer's deterministic accounting use it).  The
+        version is captured and the lookup performed under the collection
+        lock, so a hit can never straddle a mutation.
 
         The scatter phase runs the query batch against each shard's snapshot
         (sealed segments through their index, growing and delete-invalidated
@@ -638,7 +719,15 @@ class Collection:
                 raise ValueError("top_k is required when queries is a plain array")
             request = SearchRequest(queries=queries, top_k=int(top_k))
 
+        cache = self._query_cache if use_cache else None
+        result_key: tuple | None = None
         with self._lock:
+            version = self._version
+            if cache is not None:
+                result_key = request_cache_key(request, self.system_config)
+                hit = cache.get_result(version, result_key)
+                if hit is not None:
+                    return self._result_from_cache(request, hit)
             snapshots = [shard.snapshot() for shard in self._shards]
             has_index = self.has_index
         if all(snapshot.is_empty for snapshot in snapshots):
@@ -650,13 +739,27 @@ class Collection:
 
         plan: SearchPlan | None = None
         shard_masks: list[tuple[list, list]] | None = None
+        charge_filter_scan = True
         overfetch = float(
             request.overfetch_factor
             if request.overfetch_factor is not None
             else self.system_config.overfetch_factor
         )
         if request.filter is not None:
-            plan, shard_masks = self._plan_snapshots(request, snapshots)
+            if cache is not None:
+                plan_key = self._plan_cache_key(request)
+                cached_plan = cache.get_plan(version, plan_key)
+                if cached_plan is not None:
+                    # The masks were computed from the same version's
+                    # snapshots (deterministic), so they align segment by
+                    # segment; the predicate is not re-evaluated, so the
+                    # mask-building scan is not re-charged.
+                    plan, shard_masks = cached_plan
+                    charge_filter_scan = False
+            if plan is None:
+                plan, shard_masks = self._plan_snapshots(request, snapshots)
+                if cache is not None:
+                    cache.put_plan(version, plan_key, (plan, shard_masks))
             overfetch = plan.overfetch_factor
 
         prepared_queries = prepare_vectors(request.queries, self.metric)
@@ -666,7 +769,8 @@ class Collection:
         for position, snapshot in enumerate(snapshots):
             masks = shard_masks[position] if shard_masks is not None else None
             ids, distances, stats = self._search_snapshot(
-                snapshot, request, prepared_queries, masks, overfetch
+                snapshot, request, prepared_queries, masks, overfetch,
+                charge_filter_scan=charge_filter_scan,
             )
             shard_stats.append(stats)
             shard_ids.append(ids)
@@ -683,12 +787,38 @@ class Collection:
                 rows_scanned=total.filter_rows_scanned,
                 candidates_dropped=total.filter_candidates_dropped,
             )
+        if cache is not None:
+            cache.put_result(
+                version,
+                result_key,
+                CachedResult(
+                    ids=merged_ids.copy(), distances=merged_distances.copy(), plan=plan
+                ),
+            )
         return SearchResult(
             ids=merged_ids,
             distances=merged_distances,
             stats=total,
             shard_stats=shard_stats,
             plan=plan,
+            filter_stats=filter_stats,
+        )
+
+    def _result_from_cache(self, request: SearchRequest, hit: CachedResult) -> SearchResult:
+        """Materialize a result-tier hit: copied arrays, cache-hit-only work."""
+        num_queries = int(request.queries.shape[0])
+        stats = SearchStats(num_queries=num_queries, cache_hits=num_queries)
+        filter_stats = None
+        if hit.plan is not None:
+            # The plan describes the memoized execution; no filter work was
+            # performed for *this* request, so the counters report zero.
+            filter_stats = FilterStats.from_plan(hit.plan, rows_scanned=0, candidates_dropped=0)
+        return SearchResult(
+            ids=hit.ids.copy(),
+            distances=hit.distances.copy(),
+            stats=stats,
+            shard_stats=None,
+            plan=hit.plan,
             filter_stats=filter_stats,
         )
 

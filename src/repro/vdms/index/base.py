@@ -49,6 +49,10 @@ class SearchStats:
     filter_candidates_dropped:
         Candidates an index scored but the filter then rejected — the
         over-fetch waste of post-filter execution.
+    cache_hits:
+        Queries answered from the tiered query cache
+        (:mod:`repro.vdms.cache`) instead of a scatter-gather search; a
+        cached query contributes no scanning counters, only this one.
     """
 
     num_queries: int = 0
@@ -60,6 +64,7 @@ class SearchStats:
     segments_searched: int = 0
     filter_rows_scanned: int = 0
     filter_candidates_dropped: int = 0
+    cache_hits: int = 0
 
     def merge(self, other: "SearchStats") -> "SearchStats":
         """Accumulate another stats record into this one (in place)."""
@@ -72,6 +77,7 @@ class SearchStats:
         self.segments_searched += other.segments_searched
         self.filter_rows_scanned += other.filter_rows_scanned
         self.filter_candidates_dropped += other.filter_candidates_dropped
+        self.cache_hits += other.cache_hits
         return self
 
     def total_work(self) -> int:

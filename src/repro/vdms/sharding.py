@@ -433,6 +433,7 @@ class QueryScheduler:
             total.segments_searched += stats.segments_searched
             total.filter_rows_scanned += stats.filter_rows_scanned
             total.filter_candidates_dropped += stats.filter_candidates_dropped
+            total.cache_hits += stats.cache_hits
             shard_stats = getattr(outcome, "shard_stats", None) or [stats]
             trace.request_shard_stats.append(list(shard_stats))
 

@@ -20,10 +20,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from repro.vdms.cache import CACHE_POLICIES
 from repro.vdms.errors import InvalidConfigurationError
 from repro.vdms.request import FILTER_STRATEGIES
 
-__all__ = ["SystemConfig", "ROUTING_POLICIES", "MAINTENANCE_MODES", "FILTER_STRATEGIES"]
+__all__ = [
+    "SystemConfig",
+    "ROUTING_POLICIES",
+    "MAINTENANCE_MODES",
+    "FILTER_STRATEGIES",
+    "CACHE_POLICIES",
+]
 
 #: Simulated rows per (megabyte * dimension); chosen so the default segment
 #: size yields a handful of segments on the bundled datasets.
@@ -50,6 +57,9 @@ MAINTENANCE_MODES: tuple[str, ...] = ("off", "inline", "background")
 
 # ``FILTER_STRATEGIES`` (auto/pre/post, accepted by ``filter_strategy``) is
 # re-exported from :mod:`repro.vdms.request`, the single source of truth.
+
+# ``CACHE_POLICIES`` (none/lru, accepted by ``cache_policy``) is re-exported
+# from :mod:`repro.vdms.cache` the same way.
 
 
 @dataclass(frozen=True)
@@ -116,6 +126,19 @@ class SystemConfig:
         ``ceil(top_k * overfetch_factor)`` unfiltered candidates before
         dropping and refilling.  Larger values trade extra scoring work
         for fewer refill passes at low selectivity.
+    cache_policy:
+        Tiered query-cache policy (see :mod:`repro.vdms.cache`):
+        ``"none"`` disables both the result and the plan tier (the seed
+        behaviour), ``"lru"`` memoizes search results and query plans in
+        in-process LRU backends invalidated by the collection version
+        counter — worth its memory under skewed (hot-query) traffic,
+        dead weight under uniform traffic, which is what makes the
+        policy itself tunable.
+    cache_capacity:
+        Entry capacity of each cache tier (results and plans count
+        separately).  Larger capacities hold more of the hot set at a
+        proportional memory cost; ignored when ``cache_policy`` is
+        ``"none"``.
     """
 
     segment_max_size: int = 512
@@ -132,6 +155,8 @@ class SystemConfig:
     maintenance_mode: str = "off"
     filter_strategy: str = "auto"
     overfetch_factor: float = 2.0
+    cache_policy: str = "none"
+    cache_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if not 1 <= self.segment_max_size <= 1_000_000:
@@ -168,6 +193,12 @@ class SystemConfig:
             )
         if not 1.0 <= self.overfetch_factor <= 64.0:
             raise InvalidConfigurationError("overfetch_factor out of range")
+        if self.cache_policy not in CACHE_POLICIES:
+            raise InvalidConfigurationError(
+                f"cache_policy must be one of {CACHE_POLICIES}"
+            )
+        if not 1 <= self.cache_capacity <= 1_000_000:
+            raise InvalidConfigurationError("cache_capacity out of range")
 
     # -- construction ----------------------------------------------------------
 
@@ -190,6 +221,8 @@ class SystemConfig:
             "maintenance_mode",
             "filter_strategy",
             "overfetch_factor",
+            "cache_policy",
+            "cache_capacity",
         ):
             if field_name in values:
                 kwargs[field_name] = values[field_name]
@@ -200,7 +233,12 @@ class SystemConfig:
         ):
             if float_field in kwargs:
                 kwargs[float_field] = float(kwargs[float_field])
-        for string_field in ("routing_policy", "maintenance_mode", "filter_strategy"):
+        for string_field in (
+            "routing_policy",
+            "maintenance_mode",
+            "filter_strategy",
+            "cache_policy",
+        ):
             if string_field in kwargs:
                 kwargs[string_field] = str(kwargs[string_field])
         for integer_field in (
@@ -212,6 +250,7 @@ class SystemConfig:
             "replica_number",
             "shard_num",
             "search_threads",
+            "cache_capacity",
         ):
             if integer_field in kwargs:
                 kwargs[integer_field] = int(kwargs[integer_field])

@@ -239,6 +239,8 @@ def _workload_for(dataset: Dataset, template: SearchWorkload) -> SearchWorkload:
         top_k=min(template.top_k, dataset.top_k),
         concurrency=template.concurrency,
         filter=carried_filter,
+        popularity_skew=template.popularity_skew,
+        popularity_requests=template.popularity_requests,
     )
 
 
@@ -467,6 +469,8 @@ def make_filtered_workload(
         top_k=min(workload.top_k, drifted.top_k),
         concurrency=workload.concurrency,
         filter=query_filter,
+        popularity_skew=workload.popularity_skew,
+        popularity_requests=workload.popularity_requests,
     )
     return drifted, filtered
 

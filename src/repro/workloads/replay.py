@@ -39,17 +39,20 @@ avoid it — which is exactly what makes the maintenance knobs tunable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import functools
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 import numpy as np
 
 from repro.datasets.dataset import Dataset
 from repro.datasets.ground_truth import recall_at_k
+from repro.vdms.cache import request_cache_key
 from repro.vdms.index.base import SearchStats
-from repro.vdms.request import SearchRequest
+from repro.vdms.request import FilterStats, SearchRequest
 from repro.vdms.server import VectorDBServer
-from repro.vdms.sharding import QueryScheduler
+from repro.vdms.sharding import QueryScheduler, ScheduleTrace
 from repro.vdms.system_config import SystemConfig
 from repro.workloads.workload import SearchWorkload
 
@@ -202,13 +205,147 @@ class WorkloadReplayer:
         # entries stay -1 instead of indexing the id map from the tail.
         return np.where(truth >= 0, self.row_ids[np.clip(truth, 0, None)], -1)
 
-    def _search_request(self) -> SearchRequest:
-        """The workload as a :class:`SearchRequest` (filter pushed down)."""
+    def _search_request(self, indices: np.ndarray | None = None) -> SearchRequest:
+        """The workload as a :class:`SearchRequest` (filter pushed down).
+
+        ``indices`` optionally resamples the query pool into the replayed
+        request stream (Zipfian popularity, see
+        :meth:`repro.workloads.workload.SearchWorkload.popularity_indices`).
+        """
+        queries = self.workload.queries
+        if indices is not None:
+            queries = queries[indices]
         return SearchRequest(
-            queries=self.workload.queries,
+            queries=queries,
             top_k=self.workload.top_k,
             filter=self.workload.filter,
         )
+
+    def _cache_replay(
+        self, collection, request: SearchRequest, system_config: SystemConfig
+    ):
+        """Replay a request stream against a cache-enabled collection,
+        deterministically.
+
+        The *live* cache hit pattern of a threaded run is racy (which of two
+        concurrent identical requests computes and which hits depends on
+        timing), which would make replay stats — and therefore the tuner's
+        observations and the golden trace — nondeterministic.  The replayer
+        therefore measures the cache the same way the cost model measures
+        time: by deterministic simulation over exact counted work.
+
+        1. The stream is deduplicated by canonical cache key and every
+           *unique* request is executed once through the query scheduler
+           with the cache bypassed, so each unique request's counted work is
+           exact and thread-count independent.
+        2. The LRU result tier is simulated over the full stream at
+           ``cache_capacity``: a hit charges one ``cache_hits`` unit; a miss
+           charges its unique request's real counted work (evicted entries
+           genuinely re-miss and re-pay, exactly like the live cache).
+        3. The plan tier is simulated alongside: only the first executed
+           miss pays the predicate's mask-building scan — every later miss
+           reuses the memoized plan, so its ``filter_rows_scanned`` is
+           stripped (what :meth:`repro.vdms.collection.Collection.search`
+           does on a plan-tier hit).
+
+        Returns ``(result, trace, cache_info)``: the full-stream result
+        (ids/distances gathered from the unique executions — bit-identical
+        to serving every request, cached or not), a schedule trace carrying
+        the synthesized per-request shard stats for the event-driven QPS
+        simulation, and the hit/miss accounting.
+        """
+        num_requests = int(request.queries.shape[0])
+        keys: list[tuple] = []
+        key_to_unique: dict[tuple, int] = {}
+        unique_positions: list[int] = []
+        for position in range(num_requests):
+            key = request_cache_key(request.slice(position, position + 1), system_config)
+            keys.append(key)
+            if key not in key_to_unique:
+                key_to_unique[key] = len(unique_positions)
+                unique_positions.append(position)
+        unique_request = SearchRequest(
+            queries=request.queries[np.asarray(unique_positions, dtype=np.int64)],
+            top_k=request.top_k,
+            filter=request.filter,
+            filter_strategy=request.filter_strategy,
+            overfetch_factor=request.overfetch_factor,
+        )
+
+        scheduler = QueryScheduler(num_threads=system_config.search_threads)
+        unique_result, unique_trace = scheduler.run(
+            functools.partial(collection.search, use_cache=False), unique_request
+        )
+
+        filtered = request.filter is not None
+        capacity = max(1, int(system_config.cache_capacity))
+        lru: OrderedDict[tuple, bool] = OrderedDict()
+        stream_shard_stats: list[list[SearchStats]] = []
+        hits = 0
+        plan_charged = False
+        for key in keys:
+            if key in lru:
+                lru.move_to_end(key)
+                hits += 1
+                stream_shard_stats.append([SearchStats(num_queries=1, cache_hits=1)])
+                continue
+            shard_stats = list(unique_trace.request_shard_stats[key_to_unique[key]])
+            if filtered:
+                if plan_charged:
+                    shard_stats = [
+                        replace(stats, filter_rows_scanned=0) for stats in shard_stats
+                    ]
+                plan_charged = True
+            stream_shard_stats.append(shard_stats)
+            lru[key] = True
+            while len(lru) > capacity:
+                lru.popitem(last=False)
+
+        inverse = np.asarray([key_to_unique[key] for key in keys], dtype=np.int64)
+        total = SearchStats()
+        for shard_stats in stream_shard_stats:
+            merged = SearchStats()
+            for stats in shard_stats:
+                merged.merge(stats)
+            # Cross-request accumulation (requests carry distinct queries),
+            # mirroring the scheduler's own aggregation.
+            total.num_queries += merged.num_queries
+            total.distance_evaluations += merged.distance_evaluations
+            total.coarse_evaluations += merged.coarse_evaluations
+            total.code_evaluations += merged.code_evaluations
+            total.reorder_evaluations += merged.reorder_evaluations
+            total.graph_hops += merged.graph_hops
+            total.segments_searched += merged.segments_searched
+            total.filter_rows_scanned += merged.filter_rows_scanned
+            total.filter_candidates_dropped += merged.filter_candidates_dropped
+            total.cache_hits += merged.cache_hits
+
+        filter_stats = None
+        if unique_result.plan is not None:
+            filter_stats = FilterStats.from_plan(
+                unique_result.plan,
+                rows_scanned=total.filter_rows_scanned,
+                candidates_dropped=total.filter_candidates_dropped,
+            )
+        from repro.vdms.collection import SearchResult
+
+        result = SearchResult(
+            ids=unique_result.ids[inverse],
+            distances=unique_result.distances[inverse],
+            stats=total,
+            plan=unique_result.plan,
+            filter_stats=filter_stats,
+        )
+        trace = ScheduleTrace(
+            num_requests=num_requests, request_shard_stats=stream_shard_stats
+        )
+        cache_info = {
+            "cache_hits": float(hits),
+            "cache_misses": float(num_requests - hits),
+            "cache_hit_ratio": hits / num_requests if num_requests else 0.0,
+            "cache_unique_requests": float(len(unique_positions)),
+        }
+        return result, trace, cache_info
 
     def _latency_samples_ms(
         self, cost_model, profile, trace, fallback_latency_us: float, num_queries: int
@@ -271,15 +408,28 @@ class WorkloadReplayer:
             if system_config.maintenance_mode != "off":
                 maintenance_report = collection.run_maintenance()
 
-        request = self._search_request()
+        indices = None
+        if self.workload.popularity_skew > 0.0:
+            indices = self.workload.popularity_indices(self.workload.popularity_requests)
+        request = self._search_request(indices)
+        truth = self._ground_truth_ids()
+        if indices is not None:
+            truth = truth[indices]
+        cache_on = system_config.cache_policy != "none"
         scheduled = self.use_query_scheduler and system_config.search_threads > 1
         trace = None
-        if scheduled:
+        cache_info: dict[str, float] | None = None
+        if cache_on:
+            # Cache-enabled replay always takes the per-request path, even
+            # for serial configurations: hits are per request, so per-request
+            # accounting is what makes the measured QPS reflect them.
+            result, trace, cache_info = self._cache_replay(collection, request, system_config)
+        elif scheduled:
             scheduler = QueryScheduler(num_threads=system_config.search_threads)
             result, trace = scheduler.run(collection.search, request)
         else:
             result = collection.search(request)
-        recall = recall_at_k(result.ids, self._ground_truth_ids(), self.workload.top_k)
+        recall = recall_at_k(result.ids, truth, self.workload.top_k)
 
         cost_model = self.server.cost_model()
         profile = collection.profile()
@@ -294,8 +444,14 @@ class WorkloadReplayer:
         qps = report.qps
         replay_seconds = report.replay_seconds
         failed = report.failed
-        if scheduled and trace is not None and trace.num_requests:
-            workers = system_config.effective_search_workers()
+        if trace is not None and trace.num_requests:
+            # Serial cache-enabled configurations still replay per request;
+            # their worker budget is the plain client-concurrency one, so
+            # cache-off serial behaviour is matched exactly at hit ratio 0.
+            if system_config.search_threads > 1:
+                workers = system_config.effective_search_workers()
+            else:
+                workers = system_config.effective_concurrency(self.workload.concurrency)
             measured_qps, makespan = cost_model.concurrent_qps(
                 trace.request_shard_stats, profile, workers=workers
             )
@@ -306,6 +462,8 @@ class WorkloadReplayer:
             breakdown["scheduler_workers"] = float(workers)
             breakdown["scheduled_requests"] = float(trace.num_requests)
             breakdown["schedule_makespan_seconds"] = float(makespan)
+        if cache_info is not None:
+            breakdown.update(cache_info)
 
         # Per-query latency samples: the replayer surfaces p50/p99 alongside
         # the mean, so tail behaviour (one slow filtered segment, one

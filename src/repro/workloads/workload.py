@@ -38,6 +38,21 @@ class SearchWorkload:
         Optional :class:`~repro.vdms.request.AttributeFilter` every query
         of the workload carries (hybrid filtered search); the ground truth
         must then be the masked brute-force truth over the matching rows.
+    popularity_skew:
+        Zipf exponent ``s`` of the query popularity distribution.  ``0.0``
+        (the default) keeps the historical behaviour — every query issued
+        exactly once.  With ``s > 0`` the replayed request stream is a
+        resampling of the query pool where the *i*-th query is drawn with
+        probability proportional to ``(i + 1) ** -s`` (see
+        :meth:`popularity_indices`): hot queries repeat, which is the
+        traffic shape the tiered query cache exists for.  Composes with
+        filters and churn — every resampled request still carries the
+        workload's predicate and replays against the mutated collection.
+    popularity_requests:
+        Length of the resampled request stream (defaults to the pool size).
+        Only meaningful with ``popularity_skew > 0``; streams longer than
+        the pool model sustained skewed traffic, where the hit ratio climbs
+        above what a single pass over the pool can reach.
 
     Examples
     --------
@@ -54,6 +69,8 @@ class SearchWorkload:
     top_k: int = 10
     concurrency: int = 10
     filter: AttributeFilter | None = None
+    popularity_skew: float = 0.0
+    popularity_requests: int | None = None
 
     def __post_init__(self) -> None:
         queries = np.asarray(self.queries, dtype=np.float32)
@@ -68,11 +85,41 @@ class SearchWorkload:
             raise ValueError("top_k must be within (0, ground_truth width]")
         if self.concurrency < 1:
             raise ValueError("concurrency must be >= 1")
+        if not np.isfinite(self.popularity_skew) or self.popularity_skew < 0.0:
+            raise ValueError("popularity_skew must be a finite value >= 0")
+        if self.popularity_requests is not None and self.popularity_requests < 1:
+            raise ValueError("popularity_requests must be >= 1 when set")
 
     @property
     def num_queries(self) -> int:
         """Number of queries in the batch."""
         return int(self.queries.shape[0])
+
+    def popularity_indices(
+        self, num_requests: int | None = None, *, seed: int = 0
+    ) -> np.ndarray:
+        """Deterministic Zipf-resampled request stream over the query pool.
+
+        Returns the query-pool indexes of ``num_requests`` requests (the
+        pool size by default).  With ``popularity_skew == 0`` the stream is
+        the identity — every query once, in order, exactly the historical
+        replay.  With ``s > 0``, pool position ``i`` (0-based) is drawn
+        i.i.d. with probability proportional to ``(i + 1) ** -s``: the
+        front of the pool becomes the hot set.  The draw is seeded, so the
+        same workload always replays the same stream.
+        """
+        pool = self.num_queries
+        num_requests = pool if num_requests is None else int(num_requests)
+        if num_requests < 0:
+            raise ValueError("num_requests must be >= 0")
+        if self.popularity_skew <= 0.0:
+            if num_requests == pool:
+                return np.arange(pool, dtype=np.int64)
+            return np.arange(num_requests, dtype=np.int64) % max(1, pool)
+        weights = np.arange(1, pool + 1, dtype=np.float64) ** -float(self.popularity_skew)
+        weights /= weights.sum()
+        rng = np.random.default_rng(seed)
+        return rng.choice(pool, size=num_requests, p=weights).astype(np.int64)
 
     @classmethod
     def from_dataset(cls, dataset: Dataset, *, top_k: int | None = None, concurrency: int = 10) -> "SearchWorkload":

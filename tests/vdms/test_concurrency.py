@@ -277,6 +277,88 @@ class TestMaintenanceConcurrency:
         result = collection.search(queries, TOP_K)
         assert not np.isin(result.ids, doomed_universe).any()
 
+    def test_cached_searches_racing_deletes_never_serve_tombstones(self):
+        """Cache-enabled searches racing deletes + maintenance never return
+        a deleted id once its delete has completed, and never tear a
+        version read (every response is a coherent snapshot)."""
+        rng = np.random.default_rng(23)
+        vectors = rng.normal(size=(NUM_VECTORS, DIMENSION)).astype(np.float32)
+        queries = rng.normal(size=(NUM_QUERIES, DIMENSION)).astype(np.float32)
+        config = SystemConfig(
+            shard_num=2, segment_max_size=64, segment_seal_proportion=0.25,
+            insert_buf_size=64, cache_policy="lru", cache_capacity=256,
+        )
+        collection = Collection("cached", DIMENSION, metric="l2", system_config=config)
+        collection.insert(vectors)
+        collection.flush()
+        collection.create_index("FLAT")
+
+        confirmed_deleted: set[int] = set()
+        deleted_lock = threading.Lock()
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            scheduler = QueryScheduler(num_threads=4)
+            try:
+                while not stop.is_set():
+                    with deleted_lock:
+                        gone_before = np.fromiter(confirmed_deleted, dtype=np.int64)
+                    result, _ = scheduler.run(collection.search, queries, TOP_K)
+                    assert result.ids.shape == (NUM_QUERIES, TOP_K)
+                    # Rows whose delete completed BEFORE this search began
+                    # must never be served — cached or not.  (Rows deleted
+                    # mid-flight may legitimately appear either way.)
+                    stale = np.isin(result.ids, gone_before)
+                    assert not stale.any(), (
+                        f"cached search served tombstoned ids "
+                        f"{result.ids[stale][:5].tolist()}"
+                    )
+            except Exception as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+
+        def version_reader() -> None:
+            # The version counter must be monotonic from any thread: a torn
+            # or non-monotonic read would break the cache-key protocol.
+            try:
+                last = collection.version
+                while not stop.is_set():
+                    current = collection.version
+                    assert current >= last, f"version went backwards: {current} < {last}"
+                    last = current
+            except Exception as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+
+        searchers = [threading.Thread(target=hammer) for _ in range(2)]
+        reader = threading.Thread(target=version_reader)
+        for thread in searchers:
+            thread.start()
+        reader.start()
+        try:
+            for start in range(0, 600, 60):
+                doomed = np.arange(start, start + 60, dtype=np.int64)
+                collection.delete(doomed)
+                with deleted_lock:
+                    confirmed_deleted.update(doomed.tolist())
+                if start % 120 == 0:
+                    collection.run_maintenance()
+        finally:
+            stop.set()
+            for thread in searchers + [reader]:
+                thread.join(timeout=30)
+        assert not errors, f"cached search race failed: {errors[0]!r}"
+        assert all(not thread.is_alive() for thread in searchers + [reader])
+
+        # Settled state: a cached hit and a cache-bypassed scan agree.
+        cached = collection.search(queries, TOP_K)
+        cached_again = collection.search(queries, TOP_K)
+        fresh = collection.search(queries, TOP_K, use_cache=False)
+        assert np.array_equal(cached_again.ids, fresh.ids)
+        assert np.array_equal(cached.ids, fresh.ids)
+        assert not np.isin(fresh.ids, np.arange(600)).any()
+        assert collection.query_cache is not None
+        assert collection.query_cache.stats.result_hits > 0
+
     def test_background_worker_racing_scheduled_searches(self):
         rng = np.random.default_rng(29)
         vectors = rng.normal(size=(NUM_VECTORS, DIMENSION)).astype(np.float32)
