@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Five subcommands cover the workflows a downstream user needs most often::
+Seven subcommands cover the workflows a downstream user needs most often::
 
     python -m repro.cli evaluate    --dataset glove-small --index-type HNSW
     python -m repro.cli tune        --dataset glove-small --iterations 50 --recall-floor 0.9
     python -m repro.cli compare     --dataset glove-small --iterations 30 --tuners vdtuner random qehvi
     python -m repro.cli tune-online --dataset glove-small --drift shift --seed 0
     python -m repro.cli scenario-matrix --output matrix.json
+    python -m repro.cli serve       --preload glove-small --port 8421
+    python -m repro.cli loadgen     --url http://127.0.0.1:8421 --qps 50 --duration 5
 
 ``evaluate`` replays the workload once for a single configuration, ``tune``
 runs VDTuner and prints the recommended configuration, and ``compare`` runs
@@ -31,6 +33,11 @@ batches evaluated concurrently on a worker pool (see :mod:`repro.parallel`),
 e.g.::
 
     python -m repro.cli tune --dataset glove-small --iterations 48 --batch-size 4 --workers 4
+
+``serve`` exposes a VDMS instance over JSON/HTTP with admission control
+(bounded queue, deadlines, load shedding, graceful drain on SIGTERM) and
+``loadgen`` drives it with an open-loop Poisson arrival stream, reporting
+achieved QPS, latency quantiles and the shed rate (see :mod:`repro.serving`).
 """
 
 from __future__ import annotations
@@ -240,6 +247,54 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evaluations per (re-)tuning episode")
     matrix.add_argument("--output", default=None, metavar="PATH",
                         help="write the matrix to this JSON file")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the JSON/HTTP serving front-end (admission control, graceful drain)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="listen address")
+    serve.add_argument("--port", type=int, default=8421,
+                       help="listen port (0 binds an ephemeral port)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="bounded admission queue; a full queue sheds with HTTP 429")
+    serve.add_argument("--serve-workers", type=int, default=2, metavar="N",
+                       help="execution threads draining the admission queue")
+    serve.add_argument("--default-deadline-ms", type=float, default=None, metavar="MS",
+                       help="deadline applied to requests that carry none; expired "
+                       "requests are answered 504 without touching the backend")
+    serve.add_argument("--drain-timeout", type=float, default=30.0, metavar="S",
+                       help="seconds the graceful drain waits for admitted requests")
+    serve.add_argument("--preload", default=None, metavar="DATASET",
+                       choices=sorted(DATASET_NAMES),
+                       help="build a ready-to-search collection from this dataset "
+                       "before accepting traffic")
+    serve.add_argument("--index-type", default="FLAT", choices=list(INDEX_TYPES),
+                       help="index built over the preloaded collection")
+    serve.add_argument("--collection-name", default="bench",
+                       help="name of the preloaded collection")
+    serve.add_argument("--seed", type=int, default=0, help="random seed")
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="open-loop (Poisson-arrival) load generator against a running server",
+    )
+    loadgen.add_argument("--url", default="http://127.0.0.1:8421",
+                         help="base URL of a running `repro.cli serve` instance")
+    loadgen.add_argument("--collection", default="bench", help="collection to search")
+    loadgen.add_argument("--qps", type=float, default=50.0,
+                         help="target offered arrival rate (open-loop: requests are "
+                         "dispatched on schedule regardless of outstanding work)")
+    loadgen.add_argument("--duration", type=float, default=5.0, metavar="S",
+                         help="length of the arrival schedule in seconds")
+    loadgen.add_argument("--top-k", type=int, default=10, help="neighbours per query")
+    loadgen.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                         help="per-request deadline forwarded in each search body")
+    loadgen.add_argument("--no-cache", action="store_true",
+                         help="send use_cache=false so every request costs real "
+                         "scatter-gather work")
+    loadgen.add_argument("--seed", type=int, default=0, help="random seed")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the report as JSON instead of a table")
     return parser
 
 
@@ -689,6 +744,149 @@ def _command_scenario_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_serve_args(args: argparse.Namespace) -> None:
+    """Reject invalid ``serve`` flags before binding the socket."""
+    if not 0 <= args.port <= 65_535:
+        _fail(f"--port must lie in [0, 65535] (got {args.port}); 0 binds an ephemeral port")
+    if args.queue_depth < 1:
+        _fail(f"--queue-depth must be >= 1 (got {args.queue_depth})")
+    if args.serve_workers < 1:
+        _fail(f"--serve-workers must be >= 1 (got {args.serve_workers})")
+    if args.default_deadline_ms is not None and not args.default_deadline_ms > 0:
+        _fail(
+            f"--default-deadline-ms must be positive (got {args.default_deadline_ms}); "
+            "drop the flag to serve without a default deadline"
+        )
+    if not args.drain_timeout > 0:
+        _fail(f"--drain-timeout must be positive (got {args.drain_timeout})")
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.serving import ServingConfig, ServingFrontend
+
+    _validate_serve_args(args)
+    frontend = ServingFrontend(
+        config=ServingConfig(
+            host=args.host,
+            port=args.port,
+            queue_depth=args.queue_depth,
+            workers=args.serve_workers,
+            default_deadline_ms=args.default_deadline_ms,
+            drain_timeout_seconds=args.drain_timeout,
+        )
+    )
+    if args.preload is not None:
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset(args.preload)
+        configuration = default_configuration(index_type=args.index_type)
+        params = {k: v for k, v in configuration.to_dict().items() if k != "index_type"}
+        collection = frontend.backend.create_collection(
+            args.collection_name, dataset.dimension, metric=dataset.metric
+        )
+        collection.insert(dataset.vectors)
+        collection.flush()
+        collection.create_index(args.index_type, params)
+        print(
+            f"preloaded collection {args.collection_name!r}: "
+            f"{dataset.vectors.shape[0]} x {dataset.dimension} "
+            f"({args.preload}, {args.index_type})",
+            flush=True,
+        )
+
+    # Signal handlers only set an event; the drain itself runs outside signal
+    # context below.  Handlers can only be installed from the main thread —
+    # embedded callers (tests) drive request_drain() directly instead.
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, lambda *_: frontend.request_drain())
+        signal.signal(signal.SIGINT, lambda *_: frontend.request_drain())
+
+    frontend.start()
+    print(
+        f"serving on {frontend.url} "
+        f"(queue_depth={args.queue_depth}, workers={args.serve_workers}); "
+        "SIGTERM/SIGINT drains gracefully",
+        flush=True,
+    )
+    frontend.drain_requested.wait()
+    print("drain requested; finishing admitted requests...", flush=True)
+    drained = frontend.drain()
+    stats = frontend.admission.stats()
+    print(
+        f"drained (complete={drained}): served={stats.served} shed={stats.shed} "
+        f"expired={stats.expired} rejected={stats.rejected} failed={stats.failed}",
+        flush=True,
+    )
+    return 0 if drained else 1
+
+
+def _validate_loadgen_args(args: argparse.Namespace) -> None:
+    """Reject invalid ``loadgen`` flags before opening connections."""
+    if not args.qps > 0:
+        _fail(f"--qps must be positive (got {args.qps})")
+    if not args.duration > 0:
+        _fail(f"--duration must be positive (got {args.duration})")
+    if args.top_k < 1:
+        _fail(f"--top-k must be >= 1 (got {args.top_k})")
+    if args.deadline_ms is not None and not args.deadline_ms > 0:
+        _fail(
+            f"--deadline-ms must be positive (got {args.deadline_ms}); "
+            "drop the flag to send requests without deadlines"
+        )
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    from repro.serving import run_load
+
+    _validate_loadgen_args(args)
+    try:
+        report = run_load(
+            args.url,
+            args.collection,
+            qps=args.qps,
+            duration_seconds=args.duration,
+            top_k=args.top_k,
+            deadline_ms=args.deadline_ms,
+            use_cache=not args.no_cache,
+            seed=args.seed,
+        )
+    except (ConnectionError, OSError, RuntimeError) as error:
+        _fail(
+            f"cannot drive {args.url}: {error}; "
+            "is `python -m repro.cli serve` running there?"
+        )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    rows = [
+        ["offered QPS", f"{report.offered_qps:.1f}"],
+        ["achieved QPS", f"{report.achieved_qps:.1f}"],
+        ["sent", report.sent],
+        ["served (200)", report.served],
+        ["shed (429)", report.shed],
+        ["expired (504)", report.expired],
+        ["rejected (503)", report.rejected],
+        ["errors", report.errors],
+        ["shed rate", f"{report.shed_rate:.3f}"],
+        ["latency p50 (ms)", f"{report.latency_p50_ms:.2f}"],
+        ["latency p99 (ms)", f"{report.latency_p99_ms:.2f}"],
+        ["latency p99.9 (ms)", f"{report.latency_p999_ms:.2f}"],
+        ["dispatch lag p99 (ms)", f"{report.dispatch_lag_p99_ms:.2f}"],
+        ["queue depth mean/max", f"{report.queue_depth_mean:.1f} / {report.queue_depth_max}"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"open-loop load: {args.collection} @ {args.url}",
+        )
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -699,6 +897,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _command_compare,
         "tune-online": _command_tune_online,
         "scenario-matrix": _command_scenario_matrix,
+        "serve": _command_serve,
+        "loadgen": _command_loadgen,
     }
     return handlers[args.command](args)
 

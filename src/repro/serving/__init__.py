@@ -1,0 +1,40 @@
+"""Network serving front-end and open-loop load harness.
+
+This package turns the in-process :class:`~repro.vdms.server.VectorDBServer`
+into a network service with explicit overload behaviour:
+
+* :mod:`repro.serving.admission` — bounded request queue, per-request
+  deadlines checked at dequeue, load shedding, graceful drain.
+* :mod:`repro.serving.server` — :class:`ServingFrontend`, a threaded-socket
+  JSON-over-HTTP server mapping admission outcomes onto status codes
+  (200 / 429 shed / 503 draining / 504 deadline).
+* :mod:`repro.serving.loadgen` — :class:`LoadGenerator`, an open-loop
+  Poisson-arrival load generator, plus a closed-loop
+  :func:`measure_saturation` probe to anchor offered-load sweeps.
+"""
+
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionError,
+    AdmissionSnapshot,
+    DeadlineExceededError,
+    QueueFullError,
+    ServerDrainingError,
+)
+from repro.serving.loadgen import LoadGenerator, LoadReport, measure_saturation, run_load
+from repro.serving.server import ServingConfig, ServingFrontend
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "AdmissionSnapshot",
+    "DeadlineExceededError",
+    "LoadGenerator",
+    "LoadReport",
+    "QueueFullError",
+    "ServerDrainingError",
+    "ServingConfig",
+    "ServingFrontend",
+    "measure_saturation",
+    "run_load",
+]

@@ -1,0 +1,319 @@
+"""Admission control: a bounded queue, deadlines and load shedding.
+
+The serving front-end must degrade *predictably* under overload.  An
+unbounded queue degrades unpredictably: every queued request eventually
+completes, but tail latency grows without bound and the clients that gave up
+long ago still consume server work.  The :class:`AdmissionController`
+implements the standard counter-measures in one place, decoupled from the
+HTTP layer so they are unit-testable with plain callables:
+
+* **Bounded queue** — at most ``queue_depth`` requests wait for execution;
+  a submission against a full queue is *shed* immediately
+  (:class:`QueueFullError`, surfaced as HTTP 429).  Shedding costs
+  microseconds, so the server stays responsive precisely when it is
+  overloaded.
+* **Per-request deadlines** — a request may carry an absolute deadline
+  (``time.monotonic()`` domain).  Workers check it when they *dequeue* the
+  request: if the deadline passed while the request waited, executing it
+  would waste service capacity on an answer the client no longer wants, so
+  it is rejected (:class:`DeadlineExceededError`, surfaced as HTTP 504)
+  without touching the backend.
+* **Graceful drain** — :meth:`AdmissionController.drain` flips the
+  controller into a draining state (new submissions raise
+  :class:`ServerDrainingError`, surfaced as HTTP 503), waits until every
+  *admitted* request has been completed, then stops the worker threads.
+  Admitted work is a promise: drain never abandons it.
+
+Execution happens on a fixed pool of ``workers`` threads, so the controller
+also bounds concurrency — the queue absorbs bursts, the workers bound the
+parallel load on the backend.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass
+from queue import Empty, Full, Queue
+from typing import Any, Callable
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "AdmissionSnapshot",
+    "DeadlineExceededError",
+    "QueueFullError",
+    "ServerDrainingError",
+]
+
+
+class AdmissionError(RuntimeError):
+    """Base class for admission-control rejections."""
+
+
+class QueueFullError(AdmissionError):
+    """The bounded request queue is full; the request was shed (HTTP 429)."""
+
+
+class DeadlineExceededError(AdmissionError):
+    """The request's deadline passed while it was queued (HTTP 504)."""
+
+
+class ServerDrainingError(AdmissionError):
+    """The controller is draining or closed; no new work is admitted (HTTP 503)."""
+
+
+@dataclass(frozen=True)
+class AdmissionSnapshot:
+    """A consistent snapshot of the controller's counters.
+
+    Attributes
+    ----------
+    admitted:
+        Requests accepted into the queue since start.
+    shed:
+        Submissions rejected because the queue was full (429s).
+    rejected:
+        Submissions rejected because the controller was draining (503s).
+    expired:
+        Admitted requests rejected at dequeue because their deadline had
+        already passed (504s).
+    served:
+        Admitted requests whose callable completed normally.
+    failed:
+        Admitted requests whose callable raised.
+    queue_depth:
+        Requests currently waiting for a worker.
+    in_flight:
+        Admitted requests not yet finished (queued + executing).
+    max_queue_depth:
+        High-water mark of ``queue_depth`` since start.
+    draining:
+        Whether :meth:`AdmissionController.drain` has been initiated.
+    """
+
+    admitted: int
+    shed: int
+    rejected: int
+    expired: int
+    served: int
+    failed: int
+    queue_depth: int
+    in_flight: int
+    max_queue_depth: int
+    draining: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for the ``/stats`` endpoint."""
+        return {
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "served": self.served,
+            "failed": self.failed,
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
+            "max_queue_depth": self.max_queue_depth,
+            "draining": self.draining,
+        }
+
+
+_STOP = object()
+
+
+class AdmissionController:
+    """Bounded-queue executor with deadlines, shedding and graceful drain.
+
+    Examples
+    --------
+    >>> controller = AdmissionController(queue_depth=8, workers=2)
+    >>> future = controller.submit(lambda: 21 * 2)
+    >>> future.result()
+    42
+    >>> controller.drain()
+    True
+    """
+
+    def __init__(
+        self,
+        *,
+        queue_depth: int = 64,
+        workers: int = 2,
+        thread_name_prefix: str = "repro-serve",
+    ) -> None:
+        if int(queue_depth) < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if int(workers) < 1:
+            raise ValueError("workers must be >= 1")
+        self.queue_depth = int(queue_depth)
+        self.workers = int(workers)
+        self._queue: Queue = Queue(maxsize=self.queue_depth)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._admitted = 0
+        self._shed = 0
+        self._rejected = 0
+        self._expired = 0
+        self._served = 0
+        self._failed = 0
+        self._in_flight = 0
+        self._max_queue_depth = 0
+        self._draining = False
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"{thread_name_prefix}-{slot}",
+                daemon=True,
+            )
+            for slot in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        deadline: float | None = None,
+        **kwargs: Any,
+    ) -> concurrent.futures.Future:
+        """Admit ``fn(*args, **kwargs)`` for execution, or reject it now.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant; ``None``
+        means the request waits however long it takes.  Raises
+        :class:`ServerDrainingError` when draining, :class:`QueueFullError`
+        when the bounded queue is full.  The returned future resolves to the
+        callable's result, its exception, or :class:`DeadlineExceededError`
+        if the deadline passed before a worker picked the request up.
+        """
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        job = (fn, args, kwargs, deadline, future)
+        with self._lock:
+            if self._draining:
+                self._rejected += 1
+                raise ServerDrainingError("server is draining; not accepting new requests")
+            try:
+                self._queue.put_nowait(job)
+            except Full:
+                self._shed += 1
+                raise QueueFullError(
+                    f"request queue is full ({self.queue_depth} waiting); request shed"
+                ) from None
+            self._admitted += 1
+            self._in_flight += 1
+            depth = self._queue.qsize()
+            if depth > self._max_queue_depth:
+                self._max_queue_depth = depth
+        return future
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def current_queue_depth(self) -> int:
+        """Requests currently waiting for a worker (approximate under races)."""
+        return self._queue.qsize()
+
+    @property
+    def draining(self) -> bool:
+        """Whether drain has been initiated."""
+        return self._draining
+
+    def stats(self) -> AdmissionSnapshot:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return AdmissionSnapshot(
+                admitted=self._admitted,
+                shed=self._shed,
+                rejected=self._rejected,
+                expired=self._expired,
+                served=self._served,
+                failed=self._failed,
+                queue_depth=self._queue.qsize(),
+                in_flight=self._in_flight,
+                max_queue_depth=self._max_queue_depth,
+                draining=self._draining,
+            )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Stop admitting, finish every admitted request, stop the workers.
+
+        Returns ``True`` when every admitted request completed within
+        ``timeout`` seconds (``None`` waits forever).  Even on timeout the
+        workers are stopped — after their current request — so the method
+        always leaves the controller closed; it never abandons a request
+        silently (``False`` tells the caller in-flight work remained).
+        Idempotent: later calls return immediately.
+        """
+        with self._lock:
+            already_closed = self._closed
+            self._draining = True
+            if not already_closed:
+                deadline = None if timeout is None else time.monotonic() + timeout
+                while self._in_flight > 0:
+                    remaining = None if deadline is None else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        break
+                    self._idle.wait(timeout=remaining)
+                drained = self._in_flight == 0
+                self._closed = True
+            else:
+                drained = self._in_flight == 0
+        if already_closed:
+            return drained
+        for _ in self._threads:
+            # Blocking put: with in-flight work remaining (timeout path) the
+            # queue may be full, but workers keep consuming, so the sentinel
+            # lands as soon as a slot frees up.
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        return drained
+
+    def close(self) -> None:
+        """Alias for :meth:`drain` with the default timeout."""
+        self.drain()
+
+    # -- workers ------------------------------------------------------------------
+
+    def _finish(self, outcome: str) -> None:
+        with self._lock:
+            if outcome == "served":
+                self._served += 1
+            elif outcome == "failed":
+                self._failed += 1
+            else:
+                self._expired += 1
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.notify_all()
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                job = self._queue.get(timeout=1.0)
+            except Empty:
+                continue
+            if job is _STOP:
+                return
+            fn, args, kwargs, deadline, future = job
+            if deadline is not None and time.monotonic() > deadline:
+                self._finish("expired")
+                future.set_exception(
+                    DeadlineExceededError("deadline passed while the request was queued")
+                )
+                continue
+            try:
+                result = fn(*args, **kwargs)
+            except BaseException as error:  # noqa: BLE001 - relayed to the waiter
+                self._finish("failed")
+                future.set_exception(error)
+            else:
+                self._finish("served")
+                future.set_result(result)

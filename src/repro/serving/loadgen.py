@@ -1,0 +1,463 @@
+"""Open-loop load generation against the serving front-end.
+
+The distinction this module exists for: a **closed-loop** client (issue a
+request, wait for the answer, issue the next) can never drive a server past
+saturation — when the server slows down, the client slows down with it, so
+measured latency stays flat and the saturation point is invisible.  Real
+traffic is **open-loop**: arrivals do not care how the server is doing.
+:class:`LoadGenerator` therefore precomputes a Poisson arrival schedule
+(exponential inter-arrival gaps at the target rate) and dispatches each
+request at its scheduled instant regardless of outstanding work.  Offered
+load beyond capacity then shows up the only ways it can: queueing delay
+(latency tail), shed requests (429), expired deadlines (504).
+
+The generator records, per run (:class:`LoadReport`): achieved vs offered
+QPS, served-request latency quantiles (p50/p99/p99.9), shed/expired/rejected
+counts, client dispatch lag (how late requests left the client — the
+open-loop guarantee being auditable), and a queue-depth time series sampled
+from the server's ``/stats`` endpoint.
+
+:func:`measure_saturation` is the deliberate closed-loop complement: a few
+back-to-back worker loops measure the server's maximum sustainable
+throughput, which the open-loop phases are then scaled against.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import urlsplit
+
+import numpy as np
+
+__all__ = ["LoadGenerator", "LoadReport", "measure_saturation", "run_load"]
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return float("nan")
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run.
+
+    Attributes
+    ----------
+    offered_qps:
+        The target arrival rate of the Poisson schedule.
+    achieved_qps:
+        Requests actually dispatched per second of wall-clock run time
+        (lower than offered only if the client itself could not keep up —
+        check ``dispatch_lag_p99_ms``).
+    served / shed / expired / rejected / errors:
+        Final request outcomes: HTTP 200 / 429 (queue full) / 504 (deadline
+        passed while queued) / 503 (draining) / anything else.
+    latency_p50_ms, latency_p99_ms, latency_p999_ms:
+        Quantiles over *served* requests only — shed requests fail in
+        microseconds and would flatter the tail.
+    dispatch_lag_p99_ms:
+        How late requests left the client relative to their scheduled
+        arrival instant.  Large values mean the client saturated before the
+        server did and "offered" overstates the real arrival rate.
+    queue_depth_mean / queue_depth_max / queue_depth_samples:
+        Server-side admission-queue depth sampled from ``/stats`` during
+        the run (empty when sampling is disabled).
+    """
+
+    offered_qps: float
+    duration_seconds: float
+    sent: int
+    served: int
+    shed: int
+    expired: int
+    rejected: int
+    errors: int
+    achieved_qps: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_p999_ms: float
+    dispatch_lag_p99_ms: float
+    queue_depth_mean: float
+    queue_depth_max: int
+    queue_depth_samples: list[int] = field(default_factory=list)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of sent requests shed with 429."""
+        return self.shed / self.sent if self.sent else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (CLI ``--json`` output and benchmark reports)."""
+        return {
+            "offered_qps": self.offered_qps,
+            "duration_seconds": self.duration_seconds,
+            "sent": self.sent,
+            "served": self.served,
+            "shed": self.shed,
+            "expired": self.expired,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "achieved_qps": self.achieved_qps,
+            "shed_rate": self.shed_rate,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_p999_ms": self.latency_p999_ms,
+            "dispatch_lag_p99_ms": self.dispatch_lag_p99_ms,
+            "queue_depth_mean": self.queue_depth_mean,
+            "queue_depth_max": self.queue_depth_max,
+        }
+
+
+class _Client:
+    """Minimal JSON-over-HTTP client with a persistent connection."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(f"expected an http://host:port URL, got {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def request(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in range(2):  # one retry on a dropped keep-alive connection
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, path, body=payload, headers=headers)
+                response = self._conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt == 1:
+                    raise
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        return response.status, decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+class LoadGenerator:
+    """Open-loop (Poisson-arrival) load generator for a serving front-end.
+
+    Parameters
+    ----------
+    url:
+        Base URL of a running :class:`~repro.serving.server.ServingFrontend`.
+    collection:
+        Collection to search; its dimension is resolved over HTTP unless
+        ``dimension`` is given.
+    qps:
+        Target offered arrival rate.
+    duration_seconds:
+        Length of the arrival schedule.
+    deadline_ms:
+        Optional per-request deadline forwarded in each search body.
+    use_cache:
+        Forwarded to the search endpoint; the default benchmark setting is
+        ``False`` so every request costs real scatter-gather work.
+    sample_stats_every:
+        Interval of the ``/stats`` queue-depth sampler; ``None`` disables
+        sampling.
+    max_client_threads:
+        Size of the client worker pool.  Each worker keeps one persistent
+        HTTP connection, so the pool bounds concurrent in-flight requests;
+        it must comfortably exceed (offered QPS × server latency) or the
+        client turns closed-loop — dispatch lag in the report reveals when
+        it did.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        collection: str,
+        *,
+        qps: float,
+        duration_seconds: float,
+        dimension: int | None = None,
+        top_k: int = 10,
+        deadline_ms: float | None = None,
+        use_cache: bool = True,
+        seed: int = 0,
+        sample_stats_every: float | None = 0.1,
+        max_client_threads: int = 64,
+    ) -> None:
+        if not qps > 0:
+            raise ValueError("qps must be positive")
+        if not duration_seconds > 0:
+            raise ValueError("duration_seconds must be positive")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if max_client_threads < 1:
+            raise ValueError("max_client_threads must be >= 1")
+        self.url = url.rstrip("/")
+        self.collection = collection
+        self.qps = float(qps)
+        self.duration_seconds = float(duration_seconds)
+        self.dimension = dimension
+        self.top_k = int(top_k)
+        self.deadline_ms = deadline_ms
+        self.use_cache = bool(use_cache)
+        self.seed = int(seed)
+        self.sample_stats_every = sample_stats_every
+        self.max_client_threads = int(max_client_threads)
+        self._local = threading.local()
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _client(self) -> _Client:
+        client = getattr(self._local, "client", None)
+        if client is None:
+            client = _Client(self.url)
+            self._local.client = client
+        return client
+
+    def _resolve_dimension(self) -> int:
+        if self.dimension is not None:
+            return int(self.dimension)
+        status, payload = self._client().request(
+            "GET", f"/collections/{self.collection}"
+        )
+        if status != 200:
+            raise RuntimeError(
+                f"cannot resolve dimension of collection {self.collection!r}: "
+                f"HTTP {status} {payload.get('error', '')}"
+            )
+        self.dimension = int(payload["dimension"])
+        return self.dimension
+
+    # -- the run ------------------------------------------------------------------
+
+    def run(self) -> LoadReport:
+        """Execute the schedule and aggregate a :class:`LoadReport`."""
+        dimension = self._resolve_dimension()
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(1.0 / self.qps, size=max(1, int(self.qps * self.duration_seconds * 2)))
+        arrivals = np.cumsum(gaps)
+        arrivals = arrivals[arrivals < self.duration_seconds]
+        queries = rng.normal(size=(max(1, len(arrivals)), dimension)).astype(np.float32)
+
+        lock = threading.Lock()
+        latencies: list[float] = []
+        lags: list[float] = []
+        counts = {"served": 0, "shed": 0, "expired": 0, "rejected": 0, "errors": 0}
+        depth_samples: list[int] = []
+        stop_sampling = threading.Event()
+
+        def fire(index: int, scheduled: float, start: float) -> None:
+            body = {
+                "queries": [queries[index].tolist()],
+                "top_k": self.top_k,
+                "use_cache": self.use_cache,
+            }
+            if self.deadline_ms is not None:
+                body["deadline_ms"] = float(self.deadline_ms)
+            dispatched = time.monotonic()
+            try:
+                status, _ = self._client().request(
+                    "POST", f"/collections/{self.collection}/search", body
+                )
+            except Exception:
+                with lock:
+                    counts["errors"] += 1
+                return
+            finished = time.monotonic()
+            with lock:
+                lags.append((dispatched - start - scheduled) * 1000.0)
+                if status == 200:
+                    counts["served"] += 1
+                    latencies.append((finished - dispatched) * 1000.0)
+                elif status == 429:
+                    counts["shed"] += 1
+                elif status == 504:
+                    counts["expired"] += 1
+                elif status == 503:
+                    counts["rejected"] += 1
+                else:
+                    counts["errors"] += 1
+
+        def sample_stats() -> None:
+            client = _Client(self.url)
+            try:
+                while not stop_sampling.wait(self.sample_stats_every):
+                    try:
+                        status, payload = client.request("GET", "/stats")
+                    except Exception:
+                        continue
+                    if status == 200:
+                        with lock:
+                            depth_samples.append(int(payload.get("queue_depth", 0)))
+            finally:
+                client.close()
+
+        sampler = None
+        if self.sample_stats_every is not None:
+            sampler = threading.Thread(
+                target=sample_stats, name="repro-loadgen-stats", daemon=True
+            )
+            sampler.start()
+
+        # A fixed worker pool with one persistent keep-alive connection per
+        # worker: spawning a thread (and a TCP connection) per request would
+        # cost more than the request itself and poison the latency samples.
+        # The dispatcher below stays open-loop — it enqueues each request at
+        # its scheduled instant regardless of outstanding work; an idle
+        # worker picks it up immediately.
+        work: queue.Queue = queue.Queue()
+        start_box: list[float] = []
+        ready = threading.Event()
+
+        def worker_loop() -> None:
+            ready.wait(30.0)
+            while True:
+                item = work.get()
+                if item is None:
+                    return
+                index, scheduled = item
+                fire(index, scheduled, start_box[0])
+
+        workers = [
+            threading.Thread(target=worker_loop, name=f"repro-loadgen-{slot}", daemon=True)
+            for slot in range(self.max_client_threads)
+        ]
+        for thread in workers:
+            thread.start()
+
+        start = time.monotonic()
+        start_box.append(start)
+        ready.set()
+        sent = 0
+        for index, scheduled in enumerate(arrivals):
+            # Open-loop dispatch: sleep until the scheduled instant, never
+            # until the previous response.
+            delay = start + float(scheduled) - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            work.put((index, float(scheduled)))
+            sent += 1
+        for _ in workers:
+            work.put(None)
+        for thread in workers:
+            thread.join(timeout=120.0)
+        elapsed = time.monotonic() - start
+        stop_sampling.set()
+        if sampler is not None:
+            sampler.join(timeout=5.0)
+
+        return LoadReport(
+            offered_qps=self.qps,
+            duration_seconds=elapsed,
+            sent=sent,
+            served=counts["served"],
+            shed=counts["shed"],
+            expired=counts["expired"],
+            rejected=counts["rejected"],
+            errors=counts["errors"],
+            achieved_qps=sent / elapsed if elapsed > 0 else 0.0,
+            latency_p50_ms=_percentile(latencies, 50),
+            latency_p99_ms=_percentile(latencies, 99),
+            latency_p999_ms=_percentile(latencies, 99.9),
+            dispatch_lag_p99_ms=_percentile(lags, 99),
+            queue_depth_mean=float(np.mean(depth_samples)) if depth_samples else 0.0,
+            queue_depth_max=max(depth_samples) if depth_samples else 0,
+            queue_depth_samples=depth_samples,
+        )
+
+
+def run_load(url: str, collection: str, *, qps: float, duration_seconds: float, **kwargs: Any) -> LoadReport:
+    """One-shot convenience wrapper around :class:`LoadGenerator`."""
+    return LoadGenerator(
+        url, collection, qps=qps, duration_seconds=duration_seconds, **kwargs
+    ).run()
+
+
+def measure_saturation(
+    url: str,
+    collection: str,
+    *,
+    threads: int = 4,
+    duration_seconds: float = 1.5,
+    dimension: int | None = None,
+    top_k: int = 10,
+    use_cache: bool = False,
+    seed: int = 0,
+) -> float:
+    """Closed-loop saturation probe: maximum sustainable served QPS.
+
+    Runs ``threads`` back-to-back request loops for ``duration_seconds`` and
+    returns served requests per second.  Being closed-loop it cannot
+    overload the server — which is exactly why the number it returns is the
+    capacity the open-loop phases should be scaled against.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    probe = LoadGenerator(
+        url,
+        collection,
+        qps=1.0,  # unused; we only borrow dimension resolution + clients
+        duration_seconds=1.0,
+        dimension=dimension,
+        top_k=top_k,
+        use_cache=use_cache,
+        seed=seed,
+        sample_stats_every=None,
+    )
+    resolved = probe._resolve_dimension()
+    rng = np.random.default_rng(seed)
+    queries = rng.normal(size=(256, resolved)).astype(np.float32)
+    served = 0
+    lock = threading.Lock()
+    deadline = time.monotonic() + float(duration_seconds)
+
+    def loop(slot: int) -> None:
+        nonlocal served
+        client = _Client(url)
+        body_base = {"top_k": top_k, "use_cache": use_cache}
+        index = slot
+        try:
+            while time.monotonic() < deadline:
+                body = dict(body_base)
+                body["queries"] = [queries[index % len(queries)].tolist()]
+                index += threads
+                try:
+                    status, _ = client.request(
+                        "POST", f"/collections/{collection}/search", body
+                    )
+                except Exception:
+                    continue
+                if status == 200:
+                    with lock:
+                        served += 1
+        finally:
+            client.close()
+
+    workers = [
+        threading.Thread(target=loop, args=(slot,), name=f"repro-saturate-{slot}", daemon=True)
+        for slot in range(threads)
+    ]
+    start = time.monotonic()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=duration_seconds + 30.0)
+    elapsed = time.monotonic() - start
+    return served / elapsed if elapsed > 0 else 0.0

@@ -10,6 +10,8 @@ expensive build — the tuner still gets charged the simulated build time.
 
 from __future__ import annotations
 
+import functools
+import threading
 from typing import Any, Mapping
 
 import numpy as np
@@ -45,6 +47,9 @@ class VectorDBServer:
         self._system_config = system_config or SystemConfig()
         self._collections: dict[str, Collection] = {}
         self._index_cache: dict[tuple, VectorIndex] = {}
+        self._scheduler: QueryScheduler | None = None
+        self._scheduler_lock = threading.Lock()
+        self._measured_saturation_qps: float | None = None
 
     # -- system configuration ---------------------------------------------------
 
@@ -63,12 +68,45 @@ class VectorDBServer:
         if not isinstance(config, SystemConfig):
             config = SystemConfig.from_mapping(config)
         self._system_config = config
+        # Discarding a collection must stop its background maintenance
+        # worker first: the worker holds only a weak reference, but until
+        # the garbage collector runs it keeps polling (and can interleave a
+        # final pass with the reload) — deterministic teardown, not GC luck.
+        for collection in self._collections.values():
+            collection.stop_maintenance()
         self._collections.clear()
         return config
 
     def cost_model(self) -> CostModel:
-        """A cost model bound to the current system configuration."""
-        return CostModel(self._system_config)
+        """A cost model bound to the current system configuration.
+
+        A measured serving saturation registered via
+        :meth:`calibrate_saturation` is carried into every model built here,
+        so the event-driven ``concurrent_qps`` simulation stays capped by
+        what the real request path demonstrated.
+        """
+        return CostModel(
+            self._system_config,
+            measured_saturation_qps=self._measured_saturation_qps,
+        )
+
+    def calibrate_saturation(self, qps: float | None) -> None:
+        """Register the measured saturation throughput of the serving path.
+
+        ``qps`` is what an open-loop load sweep against the network
+        front-end (:mod:`repro.serving`) measured as the saturation
+        throughput of this server's request path.  Cost models built by
+        :meth:`cost_model` afterwards cap their
+        :meth:`~repro.vdms.cost_model.CostModel.concurrent_qps` estimate at
+        this value; ``None`` clears the calibration.
+        """
+        if qps is None:
+            self._measured_saturation_qps = None
+            return
+        qps = float(qps)
+        if not qps > 0.0:
+            raise ValueError("measured saturation QPS must be positive")
+        self._measured_saturation_qps = qps
 
     # -- collection management -----------------------------------------------------
 
@@ -95,12 +133,17 @@ class VectorDBServer:
             index_cache=self._index_cache,
             auto_maintenance=auto_maintenance,
         )
+        replaced = self._collections.get(name)
+        if replaced is not None:
+            replaced.stop_maintenance()
         self._collections[name] = collection
         return collection
 
     def drop_collection(self, name: str) -> None:
-        """Drop a collection if it exists."""
-        self._collections.pop(name, None)
+        """Drop a collection if it exists (stopping its maintenance worker)."""
+        collection = self._collections.pop(name, None)
+        if collection is not None:
+            collection.stop_maintenance()
 
     def has_collection(self, name: str) -> bool:
         """Whether a collection with this name exists."""
@@ -131,29 +174,74 @@ class VectorDBServer:
         """Build an index over a collection."""
         return self.get_collection(name).create_index(index_type, params)
 
-    def search(self, name: str, queries, top_k: int | None = None):
+    def search(self, name: str, queries, top_k: int | None = None, **kwargs: Any):
         """Search a collection (scatter-gather across its shards).
 
         ``queries`` is either a plain query array (with ``top_k``) or a
         :class:`~repro.vdms.request.SearchRequest` carrying an attribute
-        filter and its execution-strategy knobs.
+        filter and its execution-strategy knobs.  Keyword arguments are
+        forwarded verbatim to :meth:`Collection.search
+        <repro.vdms.collection.Collection.search>`, so facade callers keep
+        the full search surface — ``use_cache=False`` bypasses the tiered
+        query cache exactly as it does on the collection.
         """
-        return self.get_collection(name).search(queries, top_k)
+        return self.get_collection(name).search(queries, top_k, **kwargs)
 
-    def concurrent_search(self, name: str, queries, top_k: int | None = None):
+    def query_scheduler(self) -> QueryScheduler:
+        """The server's shared query scheduler (built lazily, reused).
+
+        The scheduler owns a real thread pool; building one per call would
+        churn ``search_threads`` threads on every request batch.  It is
+        cached here and rebuilt only when a configuration change alters
+        ``search_threads``.
+        """
+        threads = max(1, int(self._system_config.search_threads))
+        with self._scheduler_lock:
+            scheduler = self._scheduler
+            if scheduler is None or scheduler.num_threads != threads:
+                self._scheduler = QueryScheduler(num_threads=threads)
+                if scheduler is not None:
+                    scheduler.close()
+                scheduler = self._scheduler
+            return scheduler
+
+    def concurrent_search(self, name: str, queries, top_k: int | None = None, **kwargs: Any):
         """Serve ``queries`` as concurrent per-query requests.
 
-        Drives the collection through a
+        Drives the collection through the server's shared
         :class:`~repro.vdms.sharding.QueryScheduler` sized by the system
         configuration's ``search_threads``: real threads issue one request
         per query against the thread-safe collection and the results are
         reassembled in submission order.  Returns ``(result, trace)``; the
         trace carries the per-request shard work the cost model's
         :meth:`~repro.vdms.cost_model.CostModel.concurrent_qps` event
-        simulation consumes.
+        simulation consumes.  Keyword arguments are forwarded to every
+        per-query :meth:`Collection.search
+        <repro.vdms.collection.Collection.search>` call.
         """
-        scheduler = QueryScheduler(num_threads=self._system_config.search_threads)
-        return scheduler.run(self.get_collection(name).search, queries, top_k)
+        collection = self.get_collection(name)
+        search_fn = collection.search
+        if kwargs:
+            search_fn = functools.partial(collection.search, **kwargs)
+        return self.query_scheduler().run(search_fn, queries, top_k)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop every background resource deterministically.
+
+        Stops the maintenance worker of every collection and closes the
+        shared query scheduler's thread pool.  Collections and their data
+        remain usable afterwards (the scheduler is rebuilt lazily on the
+        next :meth:`concurrent_search`); this is the hook the network
+        serving front-end's graceful drain calls last.
+        """
+        for collection in self._collections.values():
+            collection.stop_maintenance()
+        with self._scheduler_lock:
+            scheduler, self._scheduler = self._scheduler, None
+        if scheduler is not None:
+            scheduler.close()
 
     # -- cache management ----------------------------------------------------------------
 

@@ -344,10 +344,45 @@ class QueryScheduler:
     >>> result, trace = scheduler.run(collection.search, np.zeros((6, 8), dtype=np.float32), top_k=3)
     >>> result.ids.shape, trace.num_requests
     ((6, 3), 6)
+    >>> scheduler.close()
+
+    The scheduler owns one persistent thread pool, created lazily on the
+    first concurrent :meth:`run` and reused by every later call — spinning a
+    pool up and down per batch costs ``num_threads`` thread creations per
+    request batch, pure churn on a serving path.  :meth:`close` shuts the
+    pool down deterministically (long-lived owners such as
+    :class:`~repro.vdms.server.VectorDBServer` call it when the thread count
+    changes); an unclosed scheduler's pool threads exit when the scheduler
+    is garbage-collected, like any abandoned executor.
     """
 
     def __init__(self, num_threads: int = 1) -> None:
         self.num_threads = max(1, int(num_threads))
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _executor(self) -> concurrent.futures.ThreadPoolExecutor:
+        """The persistent pool, created on first use."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.num_threads,
+                    thread_name_prefix="repro-query",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent; pool rebuilds on next run)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def run(
         self,
@@ -406,12 +441,8 @@ class QueryScheduler:
             for request_id in range(num_requests):
                 outcomes[request_id] = serve(request_id)[1]
         else:
-            with concurrent.futures.ThreadPoolExecutor(
-                max_workers=min(self.num_threads, num_requests),
-                thread_name_prefix="repro-query",
-            ) as pool:
-                for request_id, outcome in pool.map(serve, range(num_requests)):
-                    outcomes[request_id] = outcome
+            for request_id, outcome in self._executor().map(serve, range(num_requests)):
+                outcomes[request_id] = outcome
         trace.wall_seconds = time.perf_counter() - started
 
         total = SearchStats()

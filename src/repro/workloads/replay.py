@@ -195,6 +195,24 @@ class WorkloadReplayer:
         if self.mutations is not None and self.row_ids is None:
             raise ValueError("a mutation plan requires row_ids to translate ground truth")
         self.server = VectorDBServer()
+        self._scheduler: QueryScheduler | None = None
+
+    def _query_scheduler(self, system_config: SystemConfig) -> QueryScheduler:
+        """The replayer's reusable query scheduler for this configuration.
+
+        One replayer evaluates many configurations back to back; rebuilding
+        the scheduler (and its thread pool) per evaluation is churn, so the
+        scheduler is cached and replaced only when ``search_threads``
+        changes between configurations.
+        """
+        threads = max(1, int(system_config.search_threads))
+        scheduler = self._scheduler
+        if scheduler is None or scheduler.num_threads != threads:
+            if scheduler is not None:
+                scheduler.close()
+            scheduler = QueryScheduler(num_threads=threads)
+            self._scheduler = scheduler
+        return scheduler
 
     def _ground_truth_ids(self) -> np.ndarray:
         """Ground truth expressed in the ids the collection actually serves."""
@@ -272,8 +290,7 @@ class WorkloadReplayer:
             overfetch_factor=request.overfetch_factor,
         )
 
-        scheduler = QueryScheduler(num_threads=system_config.search_threads)
-        unique_result, unique_trace = scheduler.run(
+        unique_result, unique_trace = self._query_scheduler(system_config).run(
             functools.partial(collection.search, use_cache=False), unique_request
         )
 
@@ -425,8 +442,7 @@ class WorkloadReplayer:
             # accounting is what makes the measured QPS reflect them.
             result, trace, cache_info = self._cache_replay(collection, request, system_config)
         elif scheduled:
-            scheduler = QueryScheduler(num_threads=system_config.search_threads)
-            result, trace = scheduler.run(collection.search, request)
+            result, trace = self._query_scheduler(system_config).run(collection.search, request)
         else:
             result = collection.search(request)
         recall = recall_at_k(result.ids, truth, self.workload.top_k)

@@ -1,0 +1,155 @@
+"""Unit tests for the admission controller (no HTTP involved)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.admission import (
+    AdmissionController,
+    DeadlineExceededError,
+    QueueFullError,
+    ServerDrainingError,
+)
+
+
+@pytest.fixture
+def controller():
+    controller = AdmissionController(queue_depth=4, workers=1)
+    yield controller
+    controller.drain(timeout=5.0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(queue_depth=0)
+    with pytest.raises(ValueError):
+        AdmissionController(workers=0)
+
+
+def test_submit_executes_and_returns_result(controller):
+    assert controller.submit(lambda a, b: a + b, 19, 23).result(timeout=5.0) == 42
+
+
+def test_submit_propagates_exceptions(controller):
+    future = controller.submit(lambda: 1 / 0)
+    with pytest.raises(ZeroDivisionError):
+        future.result(timeout=5.0)
+    assert controller.stats().failed == 1
+
+
+def _block_worker(controller, gate):
+    """Submit a job that occupies a worker; returns once it is executing."""
+    started = threading.Event()
+
+    def job():
+        started.set()
+        gate.wait(10.0)
+
+    future = controller.submit(job)
+    assert started.wait(5.0)  # the job left the queue and holds the worker
+    return future
+
+
+def test_full_queue_sheds():
+    controller = AdmissionController(queue_depth=2, workers=1)
+    try:
+        gate = threading.Event()
+        blocker = _block_worker(controller, gate)
+        # Worker is busy on `blocker`; fill the queue, then overflow it.
+        queued = [controller.submit(lambda: None) for _ in range(2)]
+        with pytest.raises(QueueFullError):
+            controller.submit(lambda: None)
+        stats = controller.stats()
+        assert stats.shed == 1
+        assert stats.admitted == 3
+        gate.set()
+        blocker.result(timeout=5.0)
+        for future in queued:
+            future.result(timeout=5.0)
+    finally:
+        controller.drain(timeout=5.0)
+
+
+def test_deadline_checked_at_dequeue():
+    controller = AdmissionController(queue_depth=4, workers=1)
+    try:
+        gate = threading.Event()
+        blocker = _block_worker(controller, gate)
+        executed = []
+        expired = controller.submit(
+            executed.append, "ran", deadline=time.monotonic() + 0.05
+        )
+        time.sleep(0.15)  # deadline passes while the request waits in queue
+        gate.set()
+        blocker.result(timeout=5.0)
+        with pytest.raises(DeadlineExceededError):
+            expired.result(timeout=5.0)
+        assert executed == []  # the backend was never touched
+        assert controller.stats().expired == 1
+    finally:
+        controller.drain(timeout=5.0)
+
+
+def test_generous_deadline_is_served(controller):
+    future = controller.submit(lambda: "ok", deadline=time.monotonic() + 30.0)
+    assert future.result(timeout=5.0) == "ok"
+
+
+def test_drain_completes_every_admitted_request():
+    controller = AdmissionController(queue_depth=16, workers=2)
+    results = []
+    lock = threading.Lock()
+
+    def job(index):
+        time.sleep(0.02)
+        with lock:
+            results.append(index)
+
+    futures = [controller.submit(job, index) for index in range(10)]
+    assert controller.drain(timeout=10.0) is True
+    assert sorted(results) == list(range(10))
+    assert all(future.done() for future in futures)
+    stats = controller.stats()
+    assert stats.served == 10
+    assert stats.in_flight == 0
+
+
+def test_draining_rejects_new_submissions():
+    controller = AdmissionController(queue_depth=4, workers=1)
+    controller.drain(timeout=5.0)
+    with pytest.raises(ServerDrainingError):
+        controller.submit(lambda: None)
+    assert controller.stats().rejected == 1
+
+
+def test_drain_is_idempotent():
+    controller = AdmissionController(queue_depth=4, workers=1)
+    assert controller.drain(timeout=5.0) is True
+    assert controller.drain(timeout=5.0) is True
+
+
+def test_drain_stops_worker_threads():
+    controller = AdmissionController(queue_depth=4, workers=3, thread_name_prefix="repro-serve-x")
+    controller.submit(lambda: None).result(timeout=5.0)
+    controller.drain(timeout=5.0)
+    alive = [
+        thread.name
+        for thread in threading.enumerate()
+        if thread.name.startswith("repro-serve-x")
+    ]
+    assert alive == []
+
+
+def test_stats_counters_are_consistent(controller):
+    for _ in range(3):
+        controller.submit(lambda: None).result(timeout=5.0)
+    stats = controller.stats()
+    assert stats.admitted == 3
+    assert stats.served == 3
+    assert stats.shed == stats.rejected == stats.expired == stats.failed == 0
+    assert stats.in_flight == 0
+    assert stats.max_queue_depth >= 0
+    assert stats.to_dict()["served"] == 3

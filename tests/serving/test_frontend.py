@@ -1,0 +1,267 @@
+"""End-to-end tests of the JSON/HTTP serving front-end.
+
+Every test runs a real :class:`~repro.serving.server.ServingFrontend` on an
+ephemeral port and speaks plain HTTP to it, so the full stack — routing,
+admission, status-code mapping, drain — is exercised exactly as a network
+client sees it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import ServingConfig, ServingFrontend
+from repro.vdms.server import VectorDBServer
+
+
+def request(frontend, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", frontend.port, timeout=30.0)
+    try:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, json.loads(raw) if raw else {}
+    finally:
+        conn.close()
+
+
+@pytest.fixture
+def frontend():
+    frontend = ServingFrontend(config=ServingConfig(queue_depth=16, workers=2)).start()
+    yield frontend
+    frontend.drain()
+
+
+@pytest.fixture
+def loaded(frontend):
+    """A frontend with a small indexed collection named ``demo``."""
+    rng = np.random.default_rng(7)
+    vectors = rng.normal(size=(300, 12)).astype(np.float32)
+    assert request(frontend, "POST", "/collections", {"name": "demo", "dimension": 12})[0] == 200
+    assert (
+        request(frontend, "POST", "/collections/demo/insert", {"vectors": vectors.tolist()})[0]
+        == 200
+    )
+    assert request(frontend, "POST", "/collections/demo/flush", {})[0] == 200
+    assert (
+        request(frontend, "POST", "/collections/demo/index", {"index_type": "FLAT"})[0] == 200
+    )
+    return frontend, vectors
+
+
+def test_health_and_stats(frontend):
+    status, payload = request(frontend, "GET", "/healthz")
+    assert status == 200
+    assert payload == {"status": "ok", "draining": False}
+    status, payload = request(frontend, "GET", "/stats")
+    assert status == 200
+    assert payload["queue_capacity"] == 16
+    assert payload["workers"] == 2
+    assert payload["collections"] == []
+
+
+def test_full_collection_lifecycle(loaded):
+    frontend, vectors = loaded
+    status, payload = request(frontend, "GET", "/collections")
+    assert (status, payload) == (200, {"collections": ["demo"]})
+
+    status, payload = request(frontend, "GET", "/collections/demo")
+    assert status == 200
+    assert payload["dimension"] == 12
+    assert payload["num_rows"] == 300
+    assert payload["index_type"] == "FLAT"
+
+    status, payload = request(
+        frontend,
+        "POST",
+        "/collections/demo/search",
+        {"queries": [vectors[5].tolist()], "top_k": 3},
+    )
+    assert status == 200
+    assert payload["ids"][0][0] == 5  # nearest neighbour of a stored row is itself
+    assert len(payload["ids"][0]) == 3
+
+    status, payload = request(frontend, "POST", "/collections/demo/maintenance", {})
+    assert status == 200
+    assert "segments_compacted" in payload
+
+    assert request(frontend, "DELETE", "/collections/demo")[0] == 200
+    assert request(frontend, "GET", "/collections")[1] == {"collections": []}
+
+
+def test_search_respects_use_cache_flag(frontend):
+    backend = frontend.backend
+    backend.apply_system_config({"cache_policy": "lru", "cache_capacity": 32})
+    rng = np.random.default_rng(3)
+    vectors = rng.normal(size=(100, 8)).astype(np.float32)
+    request(frontend, "POST", "/collections", {"name": "c", "dimension": 8})
+    request(frontend, "POST", "/collections/c/insert", {"vectors": vectors.tolist()})
+    request(frontend, "POST", "/collections/c/flush", {})
+    body = {"queries": [vectors[0].tolist()], "top_k": 2}
+
+    request(frontend, "POST", "/collections/c/search", body)
+    _, second = request(frontend, "POST", "/collections/c/search", body)
+    assert second["cache_hits"] == 1
+
+    _, bypass = request(frontend, "POST", "/collections/c/search", {**body, "use_cache": False})
+    assert bypass["cache_hits"] == 0
+
+
+def test_error_status_codes(frontend):
+    assert request(frontend, "GET", "/nope")[0] == 404
+    assert request(frontend, "GET", "/collections/ghost")[0] == 404
+    assert request(frontend, "POST", "/collections/ghost/search", {"queries": [[1.0]]})[0] == 404
+    assert request(frontend, "DELETE", "/nope")[0] == 404
+    assert request(frontend, "POST", "/collections", {"name": "x"})[0] == 400  # no dimension
+    assert request(frontend, "POST", "/collections", {"dimension": 4})[0] == 400  # no name
+    request(frontend, "POST", "/collections", {"name": "c", "dimension": 4})
+    assert request(frontend, "POST", "/collections/c/search", {})[0] == 400  # no queries
+    assert (
+        request(frontend, "POST", "/collections/c/search", {"queries": [[1.0] * 4], "top_k": 0})[0]
+        == 400
+    )
+    assert (
+        request(frontend, "POST", "/collections/c/index", {"index_type": "BOGUS"})[0] == 400
+    )
+
+
+def test_queued_request_past_deadline_gets_504():
+    backend = VectorDBServer()
+    gate = threading.Event()
+    frontend = ServingFrontend(
+        backend, ServingConfig(queue_depth=8, workers=1)
+    ).start()
+    try:
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(50, 4)).astype(np.float32)
+        request(frontend, "POST", "/collections", {"name": "c", "dimension": 4})
+        request(frontend, "POST", "/collections/c/insert", {"vectors": vectors.tolist()})
+
+        # Occupy the single worker, then queue a search with a short deadline.
+        blocker = frontend.admission.submit(gate.wait, 10.0)
+        result = {}
+
+        def search():
+            result["response"] = request(
+                frontend,
+                "POST",
+                "/collections/c/search",
+                {"queries": [vectors[0].tolist()], "deadline_ms": 50},
+            )
+
+        client = threading.Thread(target=search)
+        client.start()
+        time.sleep(0.3)  # let the deadline lapse while the request is queued
+        gate.set()
+        blocker.result(timeout=5.0)
+        client.join(timeout=10.0)
+        status, payload = result["response"]
+        assert status == 504
+        assert "deadline" in payload["error"]
+        assert frontend.admission.stats().expired == 1
+    finally:
+        gate.set()
+        frontend.drain()
+
+
+def test_full_queue_sheds_with_429():
+    gate = threading.Event()
+    frontend = ServingFrontend(config=ServingConfig(queue_depth=1, workers=1)).start()
+    try:
+        request(frontend, "POST", "/collections", {"name": "c", "dimension": 4})
+        started = threading.Event()
+
+        def occupy_worker():
+            started.set()
+            gate.wait(10.0)
+
+        blocker = frontend.admission.submit(occupy_worker)
+        assert started.wait(5.0)  # the worker is busy, not just the queue
+        filler = frontend.admission.submit(lambda: None)  # queue is now full
+        status, payload = request(
+            frontend, "POST", "/collections/c/search", {"queries": [[0.0] * 4]}
+        )
+        assert status == 429
+        assert "shed" in payload["error"]
+        assert frontend.admission.stats().shed == 1
+        gate.set()
+        blocker.result(timeout=5.0)
+        filler.result(timeout=5.0)
+    finally:
+        gate.set()
+        frontend.drain()
+
+
+def test_graceful_drain_completes_in_flight_requests():
+    frontend = ServingFrontend(config=ServingConfig(queue_depth=32, workers=2)).start()
+    rng = np.random.default_rng(1)
+    vectors = rng.normal(size=(400, 16)).astype(np.float32)
+    request(frontend, "POST", "/collections", {"name": "c", "dimension": 16})
+    request(frontend, "POST", "/collections/c/insert", {"vectors": vectors.tolist()})
+    request(frontend, "POST", "/collections/c/flush", {})
+
+    responses = []
+    lock = threading.Lock()
+
+    def client(index):
+        status, _ = request(
+            frontend,
+            "POST",
+            "/collections/c/search",
+            {"queries": [vectors[index].tolist()], "top_k": 5, "use_cache": False},
+        )
+        with lock:
+            responses.append(status)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(12)]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.01)  # let some requests get admitted mid-flight
+    assert frontend.drain() is True
+    for thread in threads:
+        thread.join(timeout=10.0)
+
+    # Every request was either served (admitted before the drain) or cleanly
+    # rejected with 503 (arrived after) — never dropped or errored.
+    assert len(responses) == 12
+    assert set(responses) <= {200, 503}
+    stats = frontend.admission.stats()
+    assert stats.in_flight == 0
+    # create + insert + flush also went through admission, hence the +3.
+    assert stats.served == responses.count(200) + 3
+
+    # After the drain the listener is down and no serving threads survive.
+    with pytest.raises(OSError):
+        request(frontend, "GET", "/healthz")
+    alive = [t.name for t in threading.enumerate() if t.name.startswith("repro-serve")]
+    assert alive == []
+
+
+def test_drain_is_idempotent_and_context_manager_drains():
+    with ServingFrontend() as frontend:
+        url_port = frontend.port
+        assert request(frontend, "GET", "/healthz")[0] == 200
+    assert frontend.drain() is True  # second drain: no-op
+    with pytest.raises(OSError):
+        http.client.HTTPConnection("127.0.0.1", url_port, timeout=1.0).request("GET", "/healthz")
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ServingConfig(queue_depth=0)
+    with pytest.raises(ValueError):
+        ServingConfig(workers=0)
+    with pytest.raises(ValueError):
+        ServingConfig(port=70_000)
+    with pytest.raises(ValueError):
+        ServingConfig(default_deadline_ms=0)
+    with pytest.raises(ValueError):
+        ServingConfig(drain_timeout_seconds=0)

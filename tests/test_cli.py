@@ -430,3 +430,102 @@ class TestFlagValidation:
             "--drift-step", "3", "--seed", "0",
         ]) == 0
         assert "online tuning" in capsys.readouterr().out
+
+
+class TestServingCommands:
+    """Parse and validation paths of the `serve` / `loadgen` subcommands.
+
+    The served request path itself is covered end to end in
+    tests/serving/test_frontend.py; here we pin the CLI surface.
+    """
+
+    def exit_message(self, argv) -> str:
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        code = excinfo.value.code
+        assert isinstance(code, str) and code.startswith("error:")
+        return code
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8421
+        assert args.queue_depth == 64
+        assert args.serve_workers == 2
+        assert args.preload is None
+        assert args.collection_name == "bench"
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.url == "http://127.0.0.1:8421"
+        assert args.qps == 50.0
+        assert args.duration == 5.0
+        assert not args.no_cache and not args.json
+
+    def test_serve_rejects_bad_flags(self):
+        assert "--queue-depth" in self.exit_message(["serve", "--queue-depth", "0"])
+        assert "--serve-workers" in self.exit_message(["serve", "--serve-workers", "0"])
+        assert "--port" in self.exit_message(["serve", "--port", "70000"])
+        assert "--default-deadline-ms" in self.exit_message(
+            ["serve", "--default-deadline-ms", "0"]
+        )
+        assert "--drain-timeout" in self.exit_message(["serve", "--drain-timeout", "0"])
+
+    def test_loadgen_rejects_bad_flags(self):
+        assert "--qps" in self.exit_message(["loadgen", "--qps", "0"])
+        assert "--duration" in self.exit_message(["loadgen", "--duration", "0"])
+        assert "--top-k" in self.exit_message(["loadgen", "--top-k", "0"])
+        assert "--deadline-ms" in self.exit_message(["loadgen", "--deadline-ms", "-5"])
+
+    def test_loadgen_reports_unreachable_server(self):
+        message = self.exit_message(
+            ["loadgen", "--url", "http://127.0.0.1:9", "--qps", "1", "--duration", "0.1"]
+        )
+        assert "repro.cli serve" in message
+
+    def test_serve_loadgen_round_trip(self, capsys):
+        import threading
+
+        from repro.cli import _command_serve
+
+        argv = [
+            "serve", "--port", "0", "--queue-depth", "16", "--serve-workers", "1",
+            "--preload", "glove-small", "--index-type", "FLAT",
+        ]
+        args = build_parser().parse_args(argv)
+        # Drive the serve handler on a thread and stop it the way a process
+        # manager would (the SIGTERM handler just sets the same event).
+        import repro.serving.server as serving_server
+
+        frontends = []
+        original_start = serving_server.ServingFrontend.start
+
+        def capture_start(self):
+            frontends.append(self)
+            return original_start(self)
+
+        serving_server.ServingFrontend.start = capture_start
+        try:
+            server_thread = threading.Thread(target=_command_serve, args=(args,))
+            server_thread.start()
+            for _ in range(600):
+                if frontends and frontends[0].started.is_set():
+                    break
+                threading.Event().wait(0.05)
+            assert frontends and frontends[0].started.is_set(), "serve never came up"
+            frontend = frontends[0]
+            assert main([
+                "loadgen", "--url", frontend.url, "--collection", "bench",
+                "--qps", "10", "--duration", "1", "--no-cache", "--json",
+            ]) == 0
+        finally:
+            if frontends:
+                frontends[0].request_drain()
+            server_thread.join(timeout=30.0)
+            serving_server.ServingFrontend.start = original_start
+        output = capsys.readouterr().out
+        report = json.loads(output[output.index("{"):output.index("}") + 1])
+        assert report["sent"] > 0
+        assert report["served"] == report["sent"]
+        assert report["errors"] == 0
+        assert "serving on" in output
+        assert "drained (complete=True)" in output

@@ -1,11 +1,21 @@
 """Unit tests for the Milvus-like server facade."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.vdms.errors import CollectionNotFoundError
 from repro.vdms.server import VectorDBServer
 from repro.vdms.system_config import SystemConfig
+
+
+def _live_maintenance_threads():
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith("repro-maintenance") and thread.is_alive()
+    ]
 
 
 @pytest.fixture()
@@ -56,6 +66,16 @@ class TestSystemConfig:
         server.apply_system_config({"query_node_threads": 8})
         assert server.cost_model().system_config.query_node_threads == 8
 
+    def test_calibrate_saturation_feeds_cost_model(self):
+        server = VectorDBServer()
+        assert server.cost_model().measured_saturation_qps is None
+        server.calibrate_saturation(120.0)
+        assert server.cost_model().measured_saturation_qps == 120.0
+        server.calibrate_saturation(None)  # clearing restores the analytic model
+        assert server.cost_model().measured_saturation_qps is None
+        with pytest.raises(ValueError):
+            server.calibrate_saturation(0.0)
+
     def test_index_cache_shared_and_clearable(self, vectors):
         server = VectorDBServer()
         server.create_collection("c", 8)
@@ -103,3 +123,125 @@ class TestConcurrentSearch:
             workers=server.system_config.effective_search_workers(),
         )
         assert qps > 0 and makespan > 0
+
+
+class TestSearchKwargForwarding:
+    """The facade must forward search kwargs instead of silently dropping them."""
+
+    @pytest.fixture()
+    def cached_server(self, vectors):
+        server = VectorDBServer()
+        server.apply_system_config({"cache_policy": "lru", "cache_capacity": 64})
+        server.create_collection("c", 8)
+        server.insert("c", vectors)
+        server.flush("c")
+        yield server
+        server.shutdown()
+
+    def test_search_forwards_use_cache(self, cached_server, vectors):
+        queries = vectors[:4]
+        cached_server.search("c", queries, 3)
+        hit = cached_server.search("c", queries, 3)
+        assert hit.stats.cache_hits == 4  # the repeat is served from cache...
+        bypass = cached_server.search("c", queries, 3, use_cache=False)
+        assert bypass.stats.cache_hits == 0  # ...unless the caller opts out
+        assert np.array_equal(bypass.ids, hit.ids)
+
+    def test_concurrent_search_forwards_use_cache(self, cached_server, vectors):
+        cached_server.apply_system_config(
+            {"cache_policy": "lru", "cache_capacity": 64, "search_threads": 2}
+        )
+        cached_server.create_collection("c", 8)
+        cached_server.insert("c", vectors)
+        cached_server.flush("c")
+        queries = vectors[:4]
+        cached_server.concurrent_search("c", queries, 3)
+        result, _ = cached_server.concurrent_search("c", queries, 3, use_cache=False)
+        assert result.stats.cache_hits == 0
+
+
+class TestSchedulerReuse:
+    """concurrent_search must reuse one scheduler, not build one per call."""
+
+    def test_scheduler_cached_across_calls(self, vectors):
+        server = VectorDBServer()
+        server.apply_system_config({"search_threads": 2})
+        server.create_collection("c", 8)
+        server.insert("c", vectors)
+        server.flush("c")
+        first = server.query_scheduler()
+        server.concurrent_search("c", vectors[:4], 3)
+        server.concurrent_search("c", vectors[:4], 3)
+        assert server.query_scheduler() is first
+        server.shutdown()
+
+    def test_scheduler_rebuilt_only_on_thread_count_change(self):
+        server = VectorDBServer()
+        server.apply_system_config({"search_threads": 2})
+        scheduler = server.query_scheduler()
+        server.apply_system_config({"search_threads": 2, "nlist": 64})
+        assert server.query_scheduler() is scheduler  # unrelated change: kept
+        server.apply_system_config({"search_threads": 4})
+        rebuilt = server.query_scheduler()
+        assert rebuilt is not scheduler
+        assert rebuilt.num_threads == 4
+        server.shutdown()
+
+    def test_shutdown_closes_scheduler(self):
+        server = VectorDBServer()
+        server.apply_system_config({"search_threads": 2})
+        server.query_scheduler()
+        server.shutdown()
+        alive = [
+            thread
+            for thread in threading.enumerate()
+            if thread.name.startswith("repro-query") and thread.is_alive()
+        ]
+        assert alive == []
+
+
+class TestMaintenanceWorkerLifecycle:
+    """Dropping or replacing a collection must stop its maintenance thread."""
+
+    @pytest.fixture()
+    def background_server(self, vectors):
+        server = VectorDBServer()
+        server.apply_system_config({"maintenance_mode": "background"})
+        yield server
+        server.shutdown()
+        assert _live_maintenance_threads() == []
+
+    def _spawn_worker(self, server, vectors, name="c"):
+        collection = server.create_collection(name, 8)
+        collection.insert(vectors)
+        collection.flush()  # the flush mutation spawns the background worker
+        assert collection.maintenance_worker is not None
+        assert collection.maintenance_worker.is_alive
+        return collection
+
+    def test_drop_collection_stops_worker(self, background_server, vectors):
+        self._spawn_worker(background_server, vectors)
+        background_server.drop_collection("c")
+        assert _live_maintenance_threads() == []
+
+    def test_create_collection_replacement_stops_old_worker(
+        self, background_server, vectors
+    ):
+        old = self._spawn_worker(background_server, vectors)
+        old_worker = old.maintenance_worker
+        replacement = background_server.create_collection("c", 8)
+        assert background_server.get_collection("c") is replacement
+        assert not old_worker.is_alive
+
+    def test_apply_system_config_stops_workers(self, background_server, vectors):
+        self._spawn_worker(background_server, vectors, "a")
+        self._spawn_worker(background_server, vectors, "b")
+        background_server.apply_system_config({"maintenance_mode": "background"})
+        assert _live_maintenance_threads() == []
+
+    def test_shutdown_stops_workers(self, vectors):
+        server = VectorDBServer()
+        server.apply_system_config({"maintenance_mode": "background"})
+        self._spawn_worker(server, vectors)
+        server.shutdown()
+        assert _live_maintenance_threads() == []
