@@ -11,7 +11,7 @@ Two pinned properties of the filtered query planner
    index — the bench asserts >= 2x measured QPS for pre-filter there, at
    recall parity.
 
-2. **The tuner exploits the new dimensions.**  Given the 25-dimensional
+2. **The tuner exploits the new dimensions.**  Given the 27-dimensional
    space (``filter_strategy`` + ``overfetch_factor`` included), VDTuner
    must find a configuration within 5% of the best *fixed-strategy*
    frontier — the best QPS over {pre, post} x {FLAT, IVF_FLAT, HNSW,
@@ -131,7 +131,7 @@ def test_tuner_reaches_the_fixed_strategy_frontier():
             round(best.speed, 1), round(best.recall, 4), "yes"]],
         title=(
             f"fixed-strategy frontier vs VDTuner ({TUNER_ITERATIONS} iterations, "
-            f"25-dim space, selectivity {selectivity}, recall floor {RECALL_FLOOR})"
+            f"27-dim space, selectivity {selectivity}, recall floor {RECALL_FLOOR})"
         ),
     )
     register_report("filtered search tuning", table)
@@ -140,4 +140,4 @@ def test_tuner_reaches_the_fixed_strategy_frontier():
         f"tuner best {best.speed:.1f} QPS is below 95% of the fixed-strategy "
         f"frontier {frontier_qps:.1f} QPS"
     )
-    assert build_milvus_space().dimension == 25
+    assert build_milvus_space().dimension == 27

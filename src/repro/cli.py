@@ -1,13 +1,14 @@
 """Command-line interface.
 
-Seven subcommands cover the workflows a downstream user needs most often::
+Eight subcommands cover the workflows a downstream user needs most often::
 
     python -m repro.cli evaluate    --dataset glove-small --index-type HNSW
     python -m repro.cli tune        --dataset glove-small --iterations 50 --recall-floor 0.9
     python -m repro.cli compare     --dataset glove-small --iterations 30 --tuners vdtuner random qehvi
     python -m repro.cli tune-online --dataset glove-small --drift shift --seed 0
     python -m repro.cli scenario-matrix --output matrix.json
-    python -m repro.cli serve       --preload glove-small --port 8421
+    python -m repro.cli serve       --preload glove-small --port 8421 --data-dir /var/lib/vdms
+    python -m repro.cli recover     --data-dir /var/lib/vdms
     python -m repro.cli loadgen     --url http://127.0.0.1:8421 --qps 50 --duration 5
 
 ``evaluate`` replays the workload once for a single configuration, ``tune``
@@ -38,6 +39,10 @@ e.g.::
 (bounded queue, deadlines, load shedding, graceful drain on SIGTERM) and
 ``loadgen`` drives it with an open-loop Poisson arrival stream, reporting
 achieved QPS, latency quantiles and the shed rate (see :mod:`repro.serving`).
+``serve --data-dir DIR`` makes the server durable (write-ahead log +
+checkpoints under ``DIR``; existing collections are recovered before the
+socket binds) and ``recover`` performs the same recovery offline, reporting
+what each collection's WAL and checkpoint rebuilt.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 from typing import Sequence
 
@@ -272,7 +278,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="index built over the preloaded collection")
     serve.add_argument("--collection-name", default="bench",
                        help="name of the preloaded collection")
+    serve.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="persist collections under this directory (write-ahead "
+                       "log + checkpoints); existing collections are recovered "
+                       "before the socket binds")
+    serve.add_argument("--durability-mode", default=None,
+                       choices=["off", "wal", "wal+checkpoint"],
+                       help="durability tier used with --data-dir (default: "
+                       "wal+checkpoint when --data-dir is given)")
     serve.add_argument("--seed", type=int, default=0, help="random seed")
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="recover durable collections from a serve --data-dir directory",
+    )
+    recover.add_argument("--data-dir", required=True, metavar="DIR",
+                         help="the directory a durable `serve --data-dir` wrote")
+    recover.add_argument("--collection", default=None, metavar="NAME",
+                         help="recover only this collection (default: every "
+                         "collection found under the data directory)")
+    recover.add_argument("--json", action="store_true",
+                         help="print the recovery reports as JSON")
 
     loadgen = subparsers.add_parser(
         "loadgen",
@@ -759,6 +785,23 @@ def _validate_serve_args(args: argparse.Namespace) -> None:
         )
     if not args.drain_timeout > 0:
         _fail(f"--drain-timeout must be positive (got {args.drain_timeout})")
+    if args.data_dir is not None:
+        if os.path.isfile(args.data_dir):
+            _fail(
+                f"--data-dir {args.data_dir!r} is a file, not a directory; "
+                "point it at a directory (it is created if missing)"
+            )
+        if args.durability_mode == "off":
+            _fail(
+                f"--durability-mode off contradicts --data-dir {args.data_dir!r}: "
+                "a data directory requires the WAL; drop --data-dir for an "
+                "in-memory server, or use --durability-mode wal|wal+checkpoint"
+            )
+    elif args.durability_mode in ("wal", "wal+checkpoint"):
+        _fail(
+            f"--durability-mode {args.durability_mode} requires --data-dir: "
+            "the write-ahead log needs a directory to live in"
+        )
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -768,7 +811,16 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.serving import ServingConfig, ServingFrontend
 
     _validate_serve_args(args)
+    backend = None
+    if args.data_dir is not None:
+        from repro.vdms.server import VectorDBServer
+
+        durability_mode = args.durability_mode or "wal+checkpoint"
+        backend = VectorDBServer(
+            SystemConfig(durability_mode=durability_mode), data_dir=args.data_dir
+        )
     frontend = ServingFrontend(
+        backend=backend,
         config=ServingConfig(
             host=args.host,
             port=args.port,
@@ -776,7 +828,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             workers=args.serve_workers,
             default_deadline_ms=args.default_deadline_ms,
             drain_timeout_seconds=args.drain_timeout,
-        )
+            data_dir=args.data_dir,
+        ),
     )
     if args.preload is not None:
         from repro.datasets import load_dataset
@@ -805,6 +858,16 @@ def _command_serve(args: argparse.Namespace) -> int:
         signal.signal(signal.SIGINT, lambda *_: frontend.request_drain())
 
     frontend.start()
+    for name in frontend.recovered_collections:
+        collection = frontend.backend.get_collection(name)
+        report = collection.recovery_report
+        generation = "-" if report.generation is None else report.generation
+        print(
+            f"recovered collection {name!r}: {collection.num_rows} rows "
+            f"(generation {generation}, "
+            f"{report.wal_records_replayed} WAL records replayed)",
+            flush=True,
+        )
     print(
         f"serving on {frontend.url} "
         f"(queue_depth={args.queue_depth}, workers={args.serve_workers}); "
@@ -821,6 +884,89 @@ def _command_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     return 0 if drained else 1
+
+
+def _command_recover(args: argparse.Namespace) -> int:
+    from repro.vdms.collection import Collection
+    from repro.vdms.durability import DurabilityManager, OsFileSystem
+
+    if os.path.isfile(args.data_dir):
+        _fail(
+            f"--data-dir {args.data_dir!r} is a file, not a directory; "
+            "pass the directory a durable `serve --data-dir` wrote"
+        )
+    if not os.path.isdir(args.data_dir):
+        _fail(
+            f"--data-dir {args.data_dir!r} does not exist; "
+            "pass the directory a durable `serve --data-dir` wrote"
+        )
+    fs = OsFileSystem()
+    if args.collection is not None:
+        names = [args.collection]
+        if not DurabilityManager.has_state(fs, fs.join(args.data_dir, args.collection)):
+            _fail(
+                f"collection {args.collection!r} has no durable state under "
+                f"{args.data_dir!r} (no MANIFEST-* or wal-* files); "
+                "run `recover` without --collection to list what is there"
+            )
+    else:
+        names = sorted(
+            name
+            for name in fs.listdir(args.data_dir)
+            if DurabilityManager.has_state(fs, fs.join(args.data_dir, name))
+        )
+        if not names:
+            _fail(
+                f"--data-dir {args.data_dir!r} holds no durable collection state "
+                "(no subdirectory with MANIFEST-* or wal-* files); pass the "
+                "directory given to `serve --data-dir`"
+            )
+    reports = []
+    for name in names:
+        collection = Collection.recover(
+            fs.join(args.data_dir, name), auto_maintenance=False
+        )
+        report = collection.recovery_report
+        reports.append(
+            {
+                "collection": collection.name,
+                "rows": int(collection.num_rows),
+                "dimension": int(collection.dimension),
+                "index_type": collection.index_type,
+                "generation": (
+                    None if report.generation is None else int(report.generation)
+                ),
+                "segments_loaded": int(report.segments_loaded),
+                "rows_recovered": int(report.rows_recovered),
+                "wal_records_replayed": int(report.wal_records_replayed),
+                "wal_bytes_truncated": int(report.wal_bytes_truncated),
+            }
+        )
+        collection.close()
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            entry["collection"],
+            entry["rows"],
+            entry["index_type"] or "-",
+            entry["generation"] if entry["generation"] is not None else "-",
+            entry["segments_loaded"],
+            entry["wal_records_replayed"],
+            entry["wal_bytes_truncated"],
+        ]
+        for entry in reports
+    ]
+    print(
+        format_table(
+            ["collection", "rows", "index", "generation", "segments",
+             "WAL replayed", "WAL truncated (bytes)"],
+            rows,
+            title=f"recovered from {args.data_dir}",
+        )
+    )
+    return 0
 
 
 def _validate_loadgen_args(args: argparse.Namespace) -> None:
@@ -898,6 +1044,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tune-online": _command_tune_online,
         "scenario-matrix": _command_scenario_matrix,
         "serve": _command_serve,
+        "recover": _command_recover,
         "loadgen": _command_loadgen,
     }
     return handlers[args.command](args)

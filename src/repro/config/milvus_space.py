@@ -6,8 +6,9 @@ the Milvus configuration documentation.  This module builds the equivalent
 space for the simulated VDMS in :mod:`repro.vdms`, extended by the three
 serving-topology parameters of the sharded engine, the two
 background-maintenance parameters of the compaction subsystem, the two
-hybrid-search parameters of the filtered query planner and the two
-query-cache parameters of the tiered result/plan cache (25 dimensions in
+hybrid-search parameters of the filtered query planner, the two
+query-cache parameters of the tiered result/plan cache and the two
+durability parameters of the WAL/checkpoint tier (27 dimensions in
 total).
 
 Index parameters (Table I)::
@@ -59,6 +60,13 @@ from memoized results and how many entries stay resident)::
 
     cache_policy             -- none / lru result+plan caching
     cache_capacity           -- entries kept per cache tier
+
+Durability parameters (added by the WAL/checkpoint tier of
+:mod:`repro.vdms.durability`; they trade mutation throughput against what
+a crash can lose and how long recovery takes)::
+
+    durability_mode          -- off / wal / wal+checkpoint persistence
+    wal_sync_policy          -- always / batch fsync of WAL appends
 """
 
 from __future__ import annotations
@@ -120,6 +128,8 @@ SYSTEM_PARAMETERS: tuple[str, ...] = (
     "overfetch_factor",
     "cache_policy",
     "cache_capacity",
+    "durability_mode",
+    "wal_sync_policy",
 )
 
 
@@ -160,13 +170,19 @@ def _system_parameter_specs() -> list[Parameter]:
         FloatParameter("overfetch_factor", low=1.0, high=8.0, default=2.0, log_scale=True),
         CategoricalParameter("cache_policy", choices=["none", "lru"], default="none"),
         IntParameter("cache_capacity", low=16, high=65_536, default=1_024, log_scale=True),
+        CategoricalParameter(
+            "durability_mode", choices=["off", "wal", "wal+checkpoint"], default="off"
+        ),
+        CategoricalParameter(
+            "wal_sync_policy", choices=["always", "batch"], default="always"
+        ),
     ]
 
 
 def build_milvus_space(
     index_types: tuple[str, ...] = INDEX_TYPES,
     *,
-    name: str = "milvus-25d",
+    name: str = "milvus-27d",
 ) -> ConfigurationSpace:
     """Build the holistic tuning space (index type + index params + system params).
 
@@ -184,7 +200,7 @@ def build_milvus_space(
     >>> from repro import build_milvus_space
     >>> space = build_milvus_space()
     >>> space.dimension
-    25
+    27
     >>> space.default_configuration()["index_type"]
     'AUTOINDEX'
     >>> smaller = build_milvus_space(index_types=("HNSW", "IVF_FLAT"))
@@ -234,7 +250,7 @@ def default_configuration(
     ----------
     space:
         The space to build the configuration in.  ``None`` builds the full
-        25-dimensional space first.
+        27-dimensional space first.
     index_type:
         If given, the returned configuration uses this index type instead of
         the space default.

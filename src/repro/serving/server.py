@@ -43,9 +43,17 @@ POST      ``/collections/{name}/insert``         ``vectors`` (+ optional ``ids``
 POST      ``/collections/{name}/flush``          seal full segments
 POST      ``/collections/{name}/index``          ``index_type`` + ``params``
 POST      ``/collections/{name}/maintenance``    one compaction/re-index pass
+POST      ``/collections/{name}/checkpoint``     persist segments + truncate WAL
+                                                 (durable collections only)
 POST      ``/collections/{name}/search``         ``queries``, ``top_k``
                                                  (+ ``use_cache``, ``deadline_ms``)
 ========  =====================================  =====================================
+
+A durable front-end (``ServingConfig.data_dir``, or a backend constructed
+with its own ``data_dir``) recovers every collection found under the data
+directory on :meth:`ServingFrontend.start` — so a ``kill -9`` followed by a
+restart serves exactly the acknowledged state — and exposes checkpointing
+as a data-plane action.
 
 Every mutating or searching operation goes through admission; the read-only
 GET endpoints are served inline so health checks and queue-depth sampling
@@ -72,6 +80,7 @@ from repro.serving.admission import (
 )
 from repro.vdms.errors import CollectionNotFoundError, VDMSError
 from repro.vdms.server import VectorDBServer
+from repro.vdms.system_config import SystemConfig
 
 __all__ = ["ServingConfig", "ServingFrontend"]
 
@@ -98,6 +107,12 @@ class ServingConfig:
         ``deadline_ms``; ``None`` means no default deadline.
     drain_timeout_seconds:
         How long :meth:`ServingFrontend.drain` waits for admitted requests.
+    data_dir:
+        Root directory of per-collection durable state, or ``None`` for a
+        purely in-memory front-end.  When set (and no backend is injected),
+        the frontend builds a durable ``VectorDBServer`` over it and
+        :meth:`ServingFrontend.start` recovers every collection found
+        there before accepting traffic.
     """
 
     host: str = "127.0.0.1"
@@ -106,6 +121,7 @@ class ServingConfig:
     workers: int = 2
     default_deadline_ms: float | None = None
     drain_timeout_seconds: float = 30.0
+    data_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not 0 <= int(self.port) <= 65_535:
@@ -118,6 +134,8 @@ class ServingConfig:
             raise ValueError("default_deadline_ms must be positive (or None)")
         if not self.drain_timeout_seconds > 0:
             raise ValueError("drain_timeout_seconds must be positive")
+        if self.data_dir is not None and not str(self.data_dir):
+            raise ValueError("data_dir must be a non-empty path (or None)")
 
 
 class _HTTPError(Exception):
@@ -146,8 +164,24 @@ class ServingFrontend:
         backend: VectorDBServer | None = None,
         config: ServingConfig | None = None,
     ) -> None:
-        self.backend = backend or VectorDBServer()
         self.config = config or ServingConfig()
+        if backend is None:
+            if self.config.data_dir is not None:
+                backend = VectorDBServer(
+                    SystemConfig(durability_mode="wal+checkpoint"),
+                    data_dir=self.config.data_dir,
+                )
+            else:
+                backend = VectorDBServer()
+        elif self.config.data_dir is not None and backend.data_dir is None:
+            raise ValueError(
+                "ServingConfig.data_dir is set but the injected backend is "
+                "in-memory; construct the VectorDBServer with the data_dir"
+            )
+        self.backend = backend
+        #: Collection names recovered from the data directory on the last
+        #: :meth:`start` (empty for in-memory front-ends).
+        self.recovered_collections: list[str] = []
         self.admission = AdmissionController(
             queue_depth=self.config.queue_depth, workers=self.config.workers
         )
@@ -182,9 +216,16 @@ class ServingFrontend:
     # -- lifecycle ----------------------------------------------------------------
 
     def start(self) -> "ServingFrontend":
-        """Bind the socket and serve on a background thread (returns self)."""
+        """Bind the socket and serve on a background thread (returns self).
+
+        On a durable backend, every collection found under the data
+        directory is recovered *before* the socket binds, so the first
+        admitted request already sees the acknowledged pre-crash state.
+        """
         if self._httpd is not None:
             raise RuntimeError("frontend is already started")
+        if self.backend.data_dir is not None:
+            self.recovered_collections = self.backend.recover_all()
         self._httpd = _Server((self.config.host, int(self.config.port)), _Handler)
         self._httpd.frontend = self
         self._thread = threading.Thread(
@@ -404,6 +445,17 @@ class _Handler(BaseHTTPRequestHandler):
                 "segments_reindexed": report.segments_reindexed,
                 "rows_dropped": report.rows_dropped,
                 "rows_rewritten": report.rows_rewritten,
+            }
+        if action == "checkpoint":
+            report = frontend.execute(
+                lambda: frontend.backend.get_collection(name).checkpoint()
+            )
+            return 200, {
+                "generation": report.generation,
+                "segments_persisted": report.segments_persisted,
+                "segments_reused": report.segments_reused,
+                "files_written": report.files_written,
+                "wal_records_truncated": report.wal_records_truncated,
             }
         if action == "search":
             return self._search(frontend, name, body)

@@ -34,7 +34,14 @@ This package is the substrate the tuner optimizes.  It provides:
 * a :class:`VectorDBServer` facade exposing a Milvus-like client API
   (``create_collection``, ``insert``, ``flush``, ``create_index``,
   ``search``, ``concurrent_search``, ``drop_index``,
-  ``apply_system_config``).
+  ``apply_system_config``);
+* a durability tier (:mod:`repro.vdms.durability`): a CRC-framed
+  write-ahead log, atomic (write-temp → fsync → rename) persistence of
+  sealed segments as numpy files with optional ``np.memmap`` serving,
+  checkpointing during maintenance and :meth:`Collection.recover` — all
+  behind an injectable filesystem whose :class:`CrashPointFS`
+  implementation drives the crash-point fault-injection oracle suite
+  (``durability_mode``, ``wal_sync_policy``).
 """
 
 from repro.vdms.cache import (
@@ -50,11 +57,26 @@ from repro.vdms.cache import (
 from repro.vdms.collection import Collection, SearchResult
 from repro.vdms.cost_model import CostModel, PerformanceReport
 from repro.vdms.distance import normalize_rows, pairwise_distances, top_k_select
+from repro.vdms.durability import (
+    CheckpointReport,
+    CrashPointFS,
+    DurabilityManager,
+    FileSystem,
+    OsFileSystem,
+    RecoveryReport,
+    SegmentStore,
+    SimulatedCrash,
+    WALRecord,
+    WriteAheadLog,
+    recover_collection,
+)
 from repro.vdms.errors import (
     CollectionNotFoundError,
+    DurabilityError,
     IndexBuildError,
     IndexNotBuiltError,
     InvalidConfigurationError,
+    RecoveryError,
     VDMSError,
 )
 from repro.vdms.index import (
@@ -83,7 +105,13 @@ from repro.vdms.sharding import (
     shard_assignments,
     simulate_makespan,
 )
-from repro.vdms.system_config import FILTER_STRATEGIES, MAINTENANCE_MODES, SystemConfig
+from repro.vdms.system_config import (
+    DURABILITY_MODES,
+    FILTER_STRATEGIES,
+    MAINTENANCE_MODES,
+    WAL_SYNC_POLICIES,
+    SystemConfig,
+)
 
 __all__ = [
     "AttributeFilter",
@@ -95,9 +123,15 @@ __all__ = [
     "Collection",
     "FILTER_STRATEGIES",
     "FilterStats",
+    "CheckpointReport",
     "CollectionNotFoundError",
     "CompactionResult",
     "CostModel",
+    "CrashPointFS",
+    "DURABILITY_MODES",
+    "DurabilityError",
+    "DurabilityManager",
+    "FileSystem",
     "INDEX_REGISTRY",
     "IndexBuildError",
     "IndexNotBuiltError",
@@ -106,9 +140,12 @@ __all__ = [
     "MAINTENANCE_MODES",
     "MaintenanceReport",
     "MaintenanceWorker",
+    "OsFileSystem",
     "PerformanceReport",
     "QueryScheduler",
     "ROUTING_POLICIES",
+    "RecoveryError",
+    "RecoveryReport",
     "ScheduleTrace",
     "SearchPlan",
     "SearchRequest",
@@ -118,17 +155,23 @@ __all__ = [
     "SegmentPlan",
     "SegmentManager",
     "SegmentState",
+    "SegmentStore",
     "Shard",
+    "SimulatedCrash",
     "SystemConfig",
     "TieredQueryCache",
     "VDMSError",
     "VectorDBServer",
     "VectorIndex",
+    "WAL_SYNC_POLICIES",
+    "WALRecord",
+    "WriteAheadLog",
     "canonical_filter_key",
     "create_index",
     "merge_topk",
     "normalize_rows",
     "pairwise_distances",
+    "recover_collection",
     "request_cache_key",
     "shard_assignments",
     "simulate_makespan",

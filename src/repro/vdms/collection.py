@@ -24,7 +24,14 @@ import numpy as np
 from repro.vdms.cache import CachedResult, TieredQueryCache, canonical_filter_key, request_cache_key
 from repro.vdms.cost_model import CollectionProfile
 from repro.vdms.distance import METRICS, pairwise_distances, prepare_vectors
-from repro.vdms.errors import IndexBuildError, IndexNotBuiltError
+from repro.vdms.durability import (
+    CheckpointReport,
+    DurabilityManager,
+    FileSystem,
+    OsFileSystem,
+    RecoveryReport,
+)
+from repro.vdms.errors import DurabilityError, IndexBuildError, IndexNotBuiltError
 from repro.vdms.index import INDEX_REGISTRY, create_index
 from repro.vdms.index.base import BuildStats, SearchStats, VectorIndex
 from repro.vdms.maintenance import MaintenanceReport, MaintenanceWorker
@@ -110,6 +117,8 @@ class Collection:
         *,
         index_cache: MutableMapping[tuple, VectorIndex] | None = None,
         auto_maintenance: bool = True,
+        data_dir: str | None = None,
+        filesystem: FileSystem | None = None,
     ) -> None:
         if metric not in METRICS:
             raise ValueError(f"unsupported metric {metric!r}")
@@ -144,6 +153,27 @@ class Collection:
         #: deterministic pass itself, so replays stay rerun-stable.
         self.auto_maintenance = bool(auto_maintenance)
         self._maintenance_worker: MaintenanceWorker | None = None
+        #: Attached durability tier, or ``None`` for an in-memory collection.
+        self._durability: DurabilityManager | None = None
+        #: What :meth:`recover` found; ``None`` for a freshly created collection.
+        self.recovery_report: RecoveryReport | None = None
+        if data_dir is not None:
+            if self.system_config.durability_mode == "off":
+                raise DurabilityError(
+                    "a data directory requires durability_mode 'wal' or "
+                    "'wal+checkpoint'; it is 'off'"
+                )
+            self._durability = DurabilityManager.create(
+                filesystem or OsFileSystem(),
+                data_dir,
+                name=name,
+                dimension=self.dimension,
+                metric=metric,
+                system_config=self.system_config,
+                sync_policy=self.system_config.wal_sync_policy,
+            )
+        elif filesystem is not None:
+            raise ValueError("filesystem is only meaningful together with data_dir")
 
     # -- ingestion ---------------------------------------------------------------
 
@@ -163,6 +193,8 @@ class Collection:
         vectors = np.asarray(vectors, dtype=np.float32)
         if vectors.ndim == 1:
             vectors = vectors[None, :]
+        if vectors.ndim != 2 or vectors.shape[1] != self.dimension:
+            raise ValueError(f"expected vectors of dimension {self.dimension}")
         columns: dict[str, np.ndarray] = {}
         for name, column in (attributes or {}).items():
             column = np.asarray(column, dtype=np.int64)
@@ -178,6 +210,12 @@ class Collection:
             if ids.shape[0] != vectors.shape[0]:
                 raise ValueError("ids must match the number of vectors")
             self._next_auto_id = int(max(self._next_auto_id, ids.max() + 1)) if ids.size else self._next_auto_id
+            if self._durability is not None:
+                # WAL-before-apply: the fully validated batch (resolved ids,
+                # float32 vectors, normalized columns) is logged, then applied
+                # in memory — which cannot fail — then acknowledged, so a
+                # logged record and an acknowledged insert imply each other.
+                self._durability.log_insert(ids, vectors, columns)
             assignments = shard_assignments(ids, self.shard_num, self.routing_policy)
             accepted = 0
             for shard in self._shards:
@@ -199,6 +237,8 @@ class Collection:
         maintenance re-indexes them incrementally.
         """
         with self._lock:
+            if self._durability is not None:
+                self._durability.log_flush()
             sealed = sum(shard.flush() for shard in self._shards)
             # Conservative bump even when nothing sealed: a flush may
             # repartition the growing tail (rewriting segments without
@@ -224,6 +264,9 @@ class Collection:
         effect online tuning has to react to.
         """
         with self._lock:
+            ids = np.asarray(ids, dtype=np.int64)
+            if self._durability is not None:
+                self._durability.log_delete(ids)
             deleted = sum(shard.delete(ids) for shard in self._shards)
             self._version += 1
         self._maintenance_hook()
@@ -310,7 +353,99 @@ class Collection:
             # segments without changing the live multiset, and risking a
             # stale hit across any rewrite is not worth the saved misses.
             self._version += 1
+            # Compaction itself is never WAL-logged (it is content-invariant
+            # and recovery re-derives the layout), but under
+            # "wal+checkpoint" every maintenance pass also persists the
+            # rewritten segments and truncates the log.
+            if (
+                self._durability is not None
+                and self.system_config.durability_mode == "wal+checkpoint"
+            ):
+                report.checkpoint = self._checkpoint_locked()
         return report
+
+    # -- durability ---------------------------------------------------------------
+
+    @property
+    def durability(self) -> DurabilityManager | None:
+        """The attached durability tier, or ``None`` for an in-memory collection."""
+        return self._durability
+
+    def _attach_durability(self, manager: DurabilityManager) -> None:
+        """Adopt a durability manager (used by :func:`recover_collection`)."""
+        with self._lock:
+            self._durability = manager
+
+    def _checkpoint_locked(self) -> CheckpointReport:
+        """Checkpoint under the already-held collection lock.
+
+        Pending (unflushed) rows are sealed through the normal logged
+        flush first, so the persisted segment population covers every
+        acknowledged mutation before the WAL is truncated.
+        """
+        if self._durability is None:
+            raise DurabilityError(
+                f"collection {self.name!r} has no durability tier attached"
+            )
+        if any(shard.segments.pending_rows for shard in self._shards):
+            self._durability.log_flush()
+            for shard in self._shards:
+                shard.flush()
+            self._version += 1
+        return self._durability.checkpoint(self)
+
+    def checkpoint(self) -> CheckpointReport:
+        """Seal + persist every segment and truncate the WAL.
+
+        Valid in any durability mode with a data directory attached (the
+        ``"wal+checkpoint"`` mode merely runs this automatically during
+        maintenance).  Returns what the checkpoint did.
+        """
+        with self._lock:
+            return self._checkpoint_locked()
+
+    def close(self) -> None:
+        """Stop background work and release the durability tier's handles.
+
+        The data directory stays on disk and remains recoverable; a closed
+        collection must not be mutated further.
+        """
+        self.stop_maintenance()
+        with self._lock:
+            if self._durability is not None:
+                self._durability.close()
+
+    @classmethod
+    def recover(
+        cls,
+        data_dir: str,
+        *,
+        filesystem: FileSystem | None = None,
+        index_cache: MutableMapping[tuple, VectorIndex] | None = None,
+        auto_maintenance: bool = True,
+        mmap_vectors: bool = False,
+    ) -> "Collection":
+        """Recover a collection from its data directory.
+
+        Loads the newest checkpoint manifest (persisted segments are
+        served read-only, through ``np.memmap`` when ``mmap_vectors``),
+        replays the WAL tail, truncates any torn tail and rebuilds the
+        last logged index.  What was found is recorded on the returned
+        collection's ``recovery_report``.  Raises
+        :class:`~repro.vdms.errors.RecoveryError` when the directory
+        holds nothing recoverable.
+        """
+        from repro.vdms.durability import recover_collection
+
+        collection, report = recover_collection(
+            data_dir,
+            filesystem=filesystem,
+            index_cache=index_cache,
+            auto_maintenance=auto_maintenance,
+            mmap_vectors=mmap_vectors,
+        )
+        collection.recovery_report = report
+        return collection
 
     # -- indexing -----------------------------------------------------------------
 
@@ -345,6 +480,8 @@ class Collection:
         with self._lock:
             for shard in self._shards:
                 shard.indexes.clear()
+            if self._durability is not None and self._index_type is not None:
+                self._durability.log_drop_index()
             self._index_type = None
             self._index_params = {}
             self._version += 1
@@ -457,6 +594,11 @@ class Collection:
                     per_shard = list(pool.map(build_shard, self._shards))
             else:
                 per_shard = [build_shard(shard) for shard in self._shards]
+            # Logged after the build succeeds (still under the lock): the
+            # WAL must only carry index builds that can be replayed, and a
+            # failed build leaves neither state nor record behind.
+            if self._durability is not None:
+                self._durability.log_create_index(index_type, params)
             self._index_type = index_type
             self._index_params = params
             self._version += 1

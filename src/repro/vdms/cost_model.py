@@ -154,6 +154,24 @@ class CostModel:
     #: inline maintenance blocks the serving path for its full duration,
     #: background maintenance overlaps serving at this duty cycle.
     MAINTENANCE_BACKGROUND_DUTY = 0.25
+    #: Simulated seconds per WAL record appended (framing, CRC, buffered
+    #: write) — the fixed cost every logged mutation pays even when small.
+    WAL_APPEND_SECONDS = 2.0e-5
+    #: Simulated seconds per (row x dimension) serialized into a WAL record
+    #: payload (a sequential memory copy — cheaper than compaction's
+    #: rewrite, which also rebuilds tombstone bookkeeping).
+    WAL_SECONDS_PER_ROW_DIM = 4.0e-9
+    #: Simulated seconds per fsync of the WAL file.  This is the dominant
+    #: durability cost and what ``wal_sync_policy`` amortizes: "always"
+    #: pays it on every record, "batch" only on commit records.
+    WAL_FSYNC_SECONDS = 2.0e-3
+    #: Fixed simulated seconds per checkpoint (manifest write, WAL swap,
+    #: garbage collection of the previous generation).
+    CHECKPOINT_FIXED_SECONDS = 1.0
+    #: Simulated seconds per (row x dimension) persisted at checkpoint
+    #: (atomic write-temp → fsync → rename of sealed segment files, the
+    #: same sequential-rewrite rate as compaction).
+    CHECKPOINT_SECONDS_PER_ROW_DIM = 2.0e-8
     #: Simulated replayed requests per workload (the paper replays large batches).
     SIMULATED_REQUESTS = 10_000
     #: Simulated replay timeout in seconds (the paper uses 15 minutes).
@@ -408,6 +426,43 @@ class CostModel:
         )
         if self.system_config.maintenance_mode == "background":
             seconds *= self.MAINTENANCE_BACKGROUND_DUTY
+        return float(seconds)
+
+    def durability_seconds(
+        self,
+        records: int,
+        rows_logged: int,
+        fsyncs: int,
+        profile: CollectionProfile,
+        *,
+        checkpoints: int = 0,
+    ) -> float:
+        """Simulated cost of the durability tier over one replayed workload.
+
+        ``records``, ``rows_logged`` and ``fsyncs`` count the WAL traffic
+        the mutation phase generated (the replayer derives them from its
+        mutation plan; a live :class:`~repro.vdms.durability.DurabilityManager`
+        exposes the same counters on its ``stats``).  Each record pays a
+        fixed append cost plus a per-row serialization cost; each fsync
+        pays :data:`WAL_FSYNC_SECONDS` — the knob ``wal_sync_policy``
+        amortizes.  Each checkpoint additionally rewrites the sealed
+        population (``profile.total_rows``) at the sequential persist rate
+        plus a fixed manifest/GC cost.  ``durability_mode == "off"``
+        charges nothing regardless of the counters.
+        """
+        if self.system_config.durability_mode == "off":
+            return 0.0
+        dimension = profile.dimension
+        seconds = (
+            records * self.WAL_APPEND_SECONDS
+            + rows_logged * dimension * self.WAL_SECONDS_PER_ROW_DIM
+            + fsyncs * self.WAL_FSYNC_SECONDS
+        )
+        if checkpoints > 0:
+            seconds += checkpoints * (
+                self.CHECKPOINT_FIXED_SECONDS
+                + profile.total_rows * dimension * self.CHECKPOINT_SECONDS_PER_ROW_DIM
+            )
         return float(seconds)
 
     # -- the headline entry point ---------------------------------------------------

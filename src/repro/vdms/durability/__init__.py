@@ -1,0 +1,51 @@
+"""Durability tier: WAL, atomic segment persistence, crash recovery.
+
+Layered bottom-up:
+
+* :mod:`~repro.vdms.durability.fs` — the injectable filesystem surface
+  every durable byte goes through, with :class:`OsFileSystem` for real
+  disks and :class:`CrashPointFS` for deterministic crash-point fault
+  injection (the headline test machinery of the tier);
+* :mod:`~repro.vdms.durability.wal` — the CRC-framed append-only log
+  whose reader stops cleanly at the first torn or corrupt frame;
+* :mod:`~repro.vdms.durability.store` — atomic (write-temp → fsync →
+  rename) persistence of segments and checkpoint manifests;
+* :mod:`~repro.vdms.durability.manager` — the per-collection
+  orchestrator: WAL-before-apply logging, checkpoints that seal +
+  persist + truncate, and :func:`recover_collection`.
+"""
+
+from repro.vdms.durability.fs import (
+    CrashPointFS,
+    FileHandle,
+    FileSystem,
+    OsFileSystem,
+    SimulatedCrash,
+    TAIL_POLICIES,
+)
+from repro.vdms.durability.manager import (
+    CheckpointReport,
+    DurabilityManager,
+    RecoveryReport,
+    recover_collection,
+)
+from repro.vdms.durability.store import MANIFEST_FORMAT_VERSION, SegmentStore
+from repro.vdms.durability.wal import WAL_MAGIC, WALRecord, WriteAheadLog
+
+__all__ = [
+    "CrashPointFS",
+    "FileHandle",
+    "FileSystem",
+    "OsFileSystem",
+    "SimulatedCrash",
+    "TAIL_POLICIES",
+    "CheckpointReport",
+    "DurabilityManager",
+    "RecoveryReport",
+    "recover_collection",
+    "MANIFEST_FORMAT_VERSION",
+    "SegmentStore",
+    "WAL_MAGIC",
+    "WALRecord",
+    "WriteAheadLog",
+]

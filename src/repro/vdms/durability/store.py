@@ -1,0 +1,190 @@
+"""Atomic persistence of sealed segments and checkpoint manifests.
+
+``SegmentStore`` is a Resource-style facade over a :class:`FileSystem`:
+every public method names a logical resource (a segment, a manifest)
+rather than a file, so an object-store backend can replace the
+directory layout without touching callers.
+
+Directory layout under the store root::
+
+    MANIFEST-000003.json           checkpoint manifest, generation 3
+    wal-000003.log                 the WAL tail paired with that manifest
+    seg-001-000007.vectors.npy     one persisted segment (shard 1,
+    seg-001-000007.ids.npy         segment 7) = one file per array:
+    seg-001-000007.tombstones.npy  vectors, ids, optional tombstone
+    seg-001-000007.attr.label.npy  bitmap, one file per attribute column
+
+(segment ids are per shard, so the shard id is part of the name).
+
+Every file lands atomically: write to ``<name>.tmp-<nonce>``, fsync,
+rename over the final name.  A crash mid-write leaves at most a stale
+temp file (ignored and garbage-collected), never a half-written
+resource under its real name.  The manifest is written last, so a
+checkpoint either exists completely (its manifest names only files that
+were already durable) or not at all; recovery picks the highest
+generation whose manifest parses.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from ..errors import DurabilityError
+from .fs import FileSystem
+
+__all__ = ["SegmentStore", "MANIFEST_FORMAT_VERSION"]
+
+MANIFEST_FORMAT_VERSION = 1
+
+_MANIFEST_PREFIX = "MANIFEST-"
+_WAL_PREFIX = "wal-"
+_SEGMENT_PREFIX = "seg-"
+_TMP_MARKER = ".tmp-"
+
+
+class SegmentStore:
+    """Atomic, named persistence for segments, manifests and WAL paths."""
+
+    def __init__(self, fs: FileSystem, root: str) -> None:
+        self._fs = fs
+        self.root = str(root)
+        fs.makedirs(self.root)
+        self._tmp_nonce = 0
+
+    # -- naming ----------------------------------------------------------------
+
+    def _path(self, name: str) -> str:
+        return self._fs.join(self.root, name)
+
+    def wal_path(self, generation: int) -> str:
+        return self._path(f"{_WAL_PREFIX}{generation:06d}.log")
+
+    def manifest_name(self, generation: int) -> str:
+        return f"{_MANIFEST_PREFIX}{generation:06d}.json"
+
+    @staticmethod
+    def segment_stem(shard_id: int, segment_id: int) -> str:
+        """The file-name stem of one (shard, segment) pair."""
+        return f"{_SEGMENT_PREFIX}{int(shard_id):03d}-{int(segment_id):06d}"
+
+    # -- atomic file primitives ------------------------------------------------
+
+    def _write_atomic(self, name: str, data: bytes) -> None:
+        """write-temp → fsync → rename: the file appears complete or not at all."""
+        self._tmp_nonce += 1
+        tmp = self._path(f"{name}{_TMP_MARKER}{self._tmp_nonce:06d}")
+        final = self._path(name)
+        with self._fs.open_write(tmp) as handle:
+            handle.write(data)
+            handle.fsync()
+        self._fs.rename(tmp, final)
+
+    def _array_bytes(self, array: np.ndarray) -> bytes:
+        buffer = io.BytesIO()
+        np.lib.format.write_array(
+            buffer, np.ascontiguousarray(array), allow_pickle=False
+        )
+        return buffer.getvalue()
+
+    # -- segments --------------------------------------------------------------
+
+    def save_segment(
+        self,
+        shard_id: int,
+        segment_id: int,
+        vectors: np.ndarray,
+        ids: np.ndarray,
+        tombstones: np.ndarray | None,
+        attributes: dict[str, np.ndarray],
+    ) -> list[str]:
+        """Persist one segment's arrays atomically; return the file names."""
+        stem = self.segment_stem(shard_id, segment_id)
+        written = []
+        self._write_atomic(f"{stem}.vectors.npy", self._array_bytes(vectors))
+        written.append(f"{stem}.vectors.npy")
+        self._write_atomic(f"{stem}.ids.npy", self._array_bytes(ids))
+        written.append(f"{stem}.ids.npy")
+        if tombstones is not None and bool(np.any(tombstones)):
+            self._write_atomic(f"{stem}.tombstones.npy", self._array_bytes(tombstones))
+            written.append(f"{stem}.tombstones.npy")
+        for attr in sorted(attributes):
+            name = f"{stem}.attr.{attr}.npy"
+            self._write_atomic(name, self._array_bytes(attributes[attr]))
+            written.append(name)
+        return written
+
+    def load_array(self, name: str, *, mmap: bool = False) -> np.ndarray:
+        """Load one persisted array read-only; ``mmap=True`` avoids RAM."""
+        path = self._path(name)
+        if not self._fs.exists(path):
+            raise DurabilityError(f"segment store is missing {name!r}")
+        return self._fs.load_array(path, mmap=mmap)
+
+    # -- manifests -------------------------------------------------------------
+
+    def write_manifest(self, generation: int, manifest: dict) -> None:
+        """Publish a checkpoint: the manifest is the commit point."""
+        body = dict(manifest)
+        body["format_version"] = MANIFEST_FORMAT_VERSION
+        body["generation"] = int(generation)
+        data = json.dumps(body, indent=2, sort_keys=True).encode("utf-8")
+        self._write_atomic(self.manifest_name(generation), data)
+
+    def load_manifest(self, generation: int) -> dict:
+        data = self._fs.read_bytes(self._path(self.manifest_name(generation)))
+        manifest = json.loads(data.decode("utf-8"))
+        version = manifest.get("format_version")
+        if version != MANIFEST_FORMAT_VERSION:
+            raise DurabilityError(
+                f"manifest generation {generation} has format_version {version!r}; "
+                f"this build reads version {MANIFEST_FORMAT_VERSION}"
+            )
+        return manifest
+
+    def latest_manifest(self) -> tuple[int, dict] | None:
+        """The highest generation whose manifest parses, or ``None``.
+
+        A manifest that fails to parse is skipped in favour of an older
+        one — it can only arise from external corruption, since writes
+        are atomic — so a damaged checkpoint degrades to the previous
+        one instead of bricking the directory.
+        """
+        generations: list[int] = []
+        for name in self._fs.listdir(self.root):
+            if name.startswith(_MANIFEST_PREFIX) and name.endswith(".json"):
+                middle = name[len(_MANIFEST_PREFIX):-len(".json")]
+                if middle.isdigit():
+                    generations.append(int(middle))
+        for generation in sorted(generations, reverse=True):
+            try:
+                return generation, self.load_manifest(generation)
+            except (DurabilityError, ValueError, json.JSONDecodeError):
+                continue
+        return None
+
+    # -- garbage collection ----------------------------------------------------
+
+    def collect_garbage(self, keep_generation: int, keep_files: set[str]) -> list[str]:
+        """Delete temp files, stale manifests/WALs, unreferenced segments.
+
+        Only files *not* named by the surviving manifest (plus its WAL
+        and the manifest itself) are removed, so a crash mid-GC can only
+        leave extra files, never lose referenced ones.
+        """
+        keep = set(keep_files)
+        keep.add(self.manifest_name(keep_generation))
+        keep.add(f"{_WAL_PREFIX}{keep_generation:06d}.log")
+        removed = []
+        for name in self._fs.listdir(self.root):
+            if name in keep:
+                continue
+            if (
+                _TMP_MARKER in name
+                or name.startswith((_MANIFEST_PREFIX, _WAL_PREFIX, _SEGMENT_PREFIX))
+            ):
+                self._fs.remove(self._path(name))
+                removed.append(name)
+        return removed

@@ -1,0 +1,205 @@
+"""Append-only write-ahead log with CRC-framed records.
+
+On-disk format (pinned by ``tests/test_recovery_format.py`` — change it
+and the golden fixture fails loudly):
+
+* the file starts with the 8-byte magic ``b"VDMSWAL1"``;
+* each record is one *frame*::
+
+      u32 payload_len | u32 crc32(payload) | payload
+
+  (little-endian, ``struct`` format ``"<II"``);
+* the payload is ``u32 header_len | header | array bytes``, where the
+  header is UTF-8 JSON ``{"op": ..., "meta": {...}, "arrays": [[name,
+  dtype_str, shape], ...]}`` and the array bytes are the listed arrays'
+  raw C-contiguous buffers concatenated in order.  No pickle anywhere —
+  every byte is accounted for by the header, so the format is stable
+  across Python versions and safe to read from untrusted directories.
+
+Reading stops cleanly at the first frame whose length field runs past
+the end of the file (a torn append) or whose CRC does not match (a torn
+or bit-rotten payload): everything before it is returned together with
+the byte offset of the valid prefix, and recovery truncates the file
+there so a corrupt tail is never served and never re-read.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DurabilityError
+from .fs import FileHandle, FileSystem
+
+__all__ = ["WAL_MAGIC", "WALRecord", "WriteAheadLog"]
+
+WAL_MAGIC = b"VDMSWAL1"
+_FRAME = struct.Struct("<II")
+_U32 = struct.Struct("<I")
+
+#: Record types that always fsync, even under ``wal_sync_policy="batch"``:
+#: they acknowledge structural state changes, not bulk row traffic.
+COMMIT_OPS: frozenset[str] = frozenset(
+    {"create", "flush", "create_index", "drop_index", "checkpoint"}
+)
+
+
+@dataclass
+class WALRecord:
+    """One logged operation: an op tag, JSON-safe metadata, named arrays."""
+
+    op: str
+    meta: dict = field(default_factory=dict)
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        """Serialize to one frame payload (header + raw array bytes)."""
+        return b"".join(self.encode_parts())
+
+    def encode_parts(self) -> list:
+        """The payload as buffer parts, array blobs as zero-copy views.
+
+        ``b"".join(parts)`` is the payload :meth:`decode` accepts; the
+        appender streams the parts through the CRC and the file handle
+        instead, so a bulk insert's vector block is never duplicated
+        through ``tobytes`` just to be framed.
+        """
+        manifest = []
+        views = []
+        for name, array in self.arrays.items():
+            contiguous = np.ascontiguousarray(array)
+            manifest.append([name, contiguous.dtype.str, list(contiguous.shape)])
+            views.append(memoryview(contiguous).cast("B"))
+        header = json.dumps(
+            {"op": self.op, "meta": self.meta, "arrays": manifest},
+            separators=(",", ":"),
+            sort_keys=True,
+        ).encode("utf-8")
+        return [_U32.pack(len(header)) + header, *views]
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "WALRecord":
+        """Parse one frame payload back into a record."""
+        if len(payload) < _U32.size:
+            raise DurabilityError("WAL payload shorter than its header length field")
+        (header_len,) = _U32.unpack_from(payload)
+        header_end = _U32.size + header_len
+        if header_end > len(payload):
+            raise DurabilityError("WAL payload header runs past the payload")
+        header = json.loads(payload[_U32.size:header_end].decode("utf-8"))
+        arrays: dict[str, np.ndarray] = {}
+        offset = header_end
+        for name, dtype_str, shape in header["arrays"]:
+            dtype = np.dtype(dtype_str)
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            end = offset + count * dtype.itemsize
+            if end > len(payload):
+                raise DurabilityError(f"WAL array {name!r} runs past the payload")
+            array = np.frombuffer(payload[offset:end], dtype=dtype).reshape(shape)
+            array.setflags(write=False)
+            arrays[name] = array
+            offset = end
+        if offset != len(payload):
+            raise DurabilityError("WAL payload has trailing bytes not covered by header")
+        return cls(op=header["op"], meta=header["meta"], arrays=arrays)
+
+
+class WriteAheadLog:
+    """Appender over a :class:`FileSystem` path; ``fsync`` on commit.
+
+    ``sync_policy`` controls durability acknowledgment:
+
+    * ``"always"`` — every append fsyncs before returning; an
+      acknowledged mutation survives any crash;
+    * ``"batch"`` — row-traffic records stay in the page cache and only
+      :data:`COMMIT_OPS` (and explicit :meth:`sync`) fsync; a crash may
+      lose a suffix of acknowledged-but-unsynced records, never a torn
+      middle.
+    """
+
+    def __init__(self, fs: FileSystem, path: str, *, sync_policy: str = "always") -> None:
+        if sync_policy not in ("always", "batch"):
+            raise DurabilityError(f"unknown wal_sync_policy {sync_policy!r}")
+        self._fs = fs
+        self.path = str(path)
+        self.sync_policy = sync_policy
+        if fs.exists(self.path):
+            self._handle: FileHandle = fs.open_append(self.path)
+        else:
+            self._handle = fs.open_write(self.path)
+            self._handle.write(WAL_MAGIC)
+            self._handle.fsync()
+        self.appended_records = 0
+        self.synced_records = 0
+        self._closed = False
+
+    @classmethod
+    def create(cls, fs: FileSystem, path: str, *, sync_policy: str = "always") -> "WriteAheadLog":
+        """Create a fresh, empty, durable WAL (truncating any old file)."""
+        fs.remove(path)
+        return cls(fs, path, sync_policy=sync_policy)
+
+    def append(self, record: WALRecord, *, sync: bool | None = None) -> None:
+        """Write one frame; fsync per the policy (or the ``sync`` override)."""
+        if self._closed:
+            raise DurabilityError("append on a closed WAL")
+        parts = record.encode_parts()
+        payload_len, crc = 0, 0
+        for part in parts:
+            payload_len += len(part)
+            crc = zlib.crc32(part, crc)
+        self._handle.write(b"".join([_FRAME.pack(payload_len, crc), *parts]))
+        self.appended_records += 1
+        if sync is None:
+            sync = self.sync_policy == "always" or record.op in COMMIT_OPS
+        if sync:
+            self._handle.fsync()
+            self.synced_records = self.appended_records
+        return None
+
+    def sync(self) -> None:
+        """Force everything appended so far to stable storage."""
+        if not self._closed:
+            self._handle.fsync()
+            self.synced_records = self.appended_records
+
+    def close(self) -> None:
+        if not self._closed:
+            self._handle.close()
+            self._closed = True
+
+    @staticmethod
+    def read(fs: FileSystem, path: str) -> tuple[list[WALRecord], int]:
+        """Read every valid record; return ``(records, valid_bytes)``.
+
+        ``valid_bytes`` is the offset of the end of the last fully valid
+        frame — the caller truncates the file there to drop a torn tail.
+        A file without the WAL magic yields no records and
+        ``valid_bytes`` of 0 (the whole file is invalid).
+        """
+        data = fs.read_bytes(path)
+        if len(data) < len(WAL_MAGIC) or data[: len(WAL_MAGIC)] != WAL_MAGIC:
+            return [], 0
+        records: list[WALRecord] = []
+        offset = len(WAL_MAGIC)
+        while True:
+            if offset + _FRAME.size > len(data):
+                break
+            payload_len, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            end = start + payload_len
+            if end > len(data):
+                break  # torn append: the frame ran past the file
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                break  # torn or corrupt payload: stop before it
+            try:
+                records.append(WALRecord.decode(payload))
+            except DurabilityError:
+                break  # CRC-valid but malformed: treat as corruption
+            offset = end
+        return records, offset

@@ -8,6 +8,8 @@ __all__ = [
     "IndexNotBuiltError",
     "IndexBuildError",
     "InvalidConfigurationError",
+    "DurabilityError",
+    "RecoveryError",
 ]
 
 
@@ -29,3 +31,11 @@ class IndexBuildError(VDMSError):
 
 class InvalidConfigurationError(VDMSError):
     """Raised when a system or index configuration value is out of range."""
+
+
+class DurabilityError(VDMSError):
+    """Raised when the durability tier (WAL / segment store) misbehaves."""
+
+
+class RecoveryError(DurabilityError):
+    """Raised when a data directory cannot be recovered into a collection."""

@@ -71,6 +71,10 @@ class MaintenanceReport:
     build_stats:
         Work accounting of every incremental index build, for the cost
         model's maintenance charge.
+    checkpoint:
+        The :class:`~repro.vdms.durability.CheckpointReport` of the
+        checkpoint this pass ran (``durability_mode="wal+checkpoint"``
+        on a durable collection), or ``None`` when none ran.
     """
 
     segments_compacted: int = 0
@@ -79,11 +83,14 @@ class MaintenanceReport:
     rows_rewritten: int = 0
     segments_reindexed: int = 0
     build_stats: list[BuildStats] = field(default_factory=list)
+    checkpoint: object | None = None
 
     @property
     def did_work(self) -> bool:
         """Whether the pass changed anything at all."""
-        return bool(self.segments_compacted or self.segments_reindexed)
+        return bool(
+            self.segments_compacted or self.segments_reindexed or self.checkpoint
+        )
 
     def merge(self, other: "MaintenanceReport") -> "MaintenanceReport":
         """Accumulate another report (e.g. another shard's) into this one."""
@@ -93,6 +100,7 @@ class MaintenanceReport:
         self.rows_rewritten += other.rows_rewritten
         self.segments_reindexed += other.segments_reindexed
         self.build_stats.extend(other.build_stats)
+        self.checkpoint = other.checkpoint or self.checkpoint
         return self
 
 

@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.vdms.collection import Collection
 from repro.vdms.cost_model import CostModel
-from repro.vdms.errors import CollectionNotFoundError
+from repro.vdms.durability import DurabilityManager, FileSystem, OsFileSystem
+from repro.vdms.errors import CollectionNotFoundError, DurabilityError
 from repro.vdms.index.base import VectorIndex
 from repro.vdms.sharding import QueryScheduler
 from repro.vdms.system_config import SystemConfig
@@ -43,13 +44,30 @@ class VectorDBServer:
     (3, 5)
     """
 
-    def __init__(self, system_config: SystemConfig | None = None) -> None:
+    def __init__(
+        self,
+        system_config: SystemConfig | None = None,
+        *,
+        data_dir: str | None = None,
+        filesystem: FileSystem | None = None,
+    ) -> None:
         self._system_config = system_config or SystemConfig()
         self._collections: dict[str, Collection] = {}
         self._index_cache: dict[tuple, VectorIndex] = {}
         self._scheduler: QueryScheduler | None = None
         self._scheduler_lock = threading.Lock()
         self._measured_saturation_qps: float | None = None
+        #: Root of the per-collection data directories, or ``None`` for a
+        #: purely in-memory server.  Collections live at ``data_dir/<name>``.
+        self.data_dir = str(data_dir) if data_dir is not None else None
+        self._fs = filesystem or OsFileSystem()
+        if self.data_dir is not None:
+            if self._system_config.durability_mode == "off":
+                raise DurabilityError(
+                    "a data directory requires durability_mode 'wal' or "
+                    "'wal+checkpoint'; it is 'off'"
+                )
+            self._fs.makedirs(self.data_dir)
 
     # -- system configuration ---------------------------------------------------
 
@@ -72,8 +90,10 @@ class VectorDBServer:
         # worker first: the worker holds only a weak reference, but until
         # the garbage collector runs it keeps polling (and can interleave a
         # final pass with the reload) — deterministic teardown, not GC luck.
+        # Durable collections also release their WAL handles; their data
+        # directories stay on disk and remain recoverable.
         for collection in self._collections.values():
-            collection.stop_maintenance()
+            collection.close()
         self._collections.clear()
         return config
 
@@ -124,7 +144,17 @@ class VectorDBServer:
         maintenance scheduling (``maintenance_mode``); callers then invoke
         :meth:`~repro.vdms.collection.Collection.run_maintenance` themselves
         — the deterministic discipline the workload replayer uses.
+
+        On a durable server (``data_dir``), the collection persists to
+        ``data_dir/<name>``; create-or-replace semantics extend to disk, so
+        any previous durable state under that name is destroyed first (use
+        :meth:`recover_collection` to load existing state instead).
         """
+        collection_dir: str | None = None
+        if self.data_dir is not None:
+            collection_dir = self._fs.join(self.data_dir, name)
+            if DurabilityManager.has_state(self._fs, collection_dir):
+                DurabilityManager.destroy_state(self._fs, collection_dir)
         collection = Collection(
             name,
             dimension,
@@ -132,18 +162,64 @@ class VectorDBServer:
             system_config=self._system_config,
             index_cache=self._index_cache,
             auto_maintenance=auto_maintenance,
+            data_dir=collection_dir,
+            filesystem=self._fs if collection_dir is not None else None,
         )
         replaced = self._collections.get(name)
         if replaced is not None:
-            replaced.stop_maintenance()
+            replaced.close()
         self._collections[name] = collection
         return collection
 
+    def recover_collection(self, name: str) -> Collection:
+        """Recover ``data_dir/<name>`` into a served collection.
+
+        Raises :class:`~repro.vdms.errors.RecoveryError` when the directory
+        holds nothing recoverable and :class:`DurabilityError` on an
+        in-memory server.
+        """
+        if self.data_dir is None:
+            raise DurabilityError("this server has no data directory to recover from")
+        collection = Collection.recover(
+            self._fs.join(self.data_dir, name),
+            filesystem=self._fs,
+            index_cache=self._index_cache,
+        )
+        replaced = self._collections.get(name)
+        if replaced is not None:
+            replaced.close()
+        self._collections[collection.name] = collection
+        return collection
+
+    def recover_all(self) -> list[str]:
+        """Recover every collection found under the data directory.
+
+        Returns the recovered names (sorted).  Directories without durable
+        state are skipped, so a partially initialized subdirectory never
+        blocks startup.
+        """
+        if self.data_dir is None:
+            raise DurabilityError("this server has no data directory to recover from")
+        recovered = []
+        for name in self._fs.listdir(self.data_dir):
+            if DurabilityManager.has_state(self._fs, self._fs.join(self.data_dir, name)):
+                self.recover_collection(name)
+                recovered.append(name)
+        return sorted(recovered)
+
     def drop_collection(self, name: str) -> None:
-        """Drop a collection if it exists (stopping its maintenance worker)."""
+        """Drop a collection if it exists, destroying its durable state too."""
         collection = self._collections.pop(name, None)
         if collection is not None:
             collection.stop_maintenance()
+            if collection.durability is not None:
+                collection.durability.destroy()
+        elif self.data_dir is not None:
+            # Durable state without a served collection (e.g. not yet
+            # recovered) is still dropped — drop means gone.
+            DurabilityManager.destroy_state(
+                self._fs, self._fs.join(self.data_dir, name)
+            )
 
     def has_collection(self, name: str) -> bool:
         """Whether a collection with this name exists."""
@@ -230,14 +306,15 @@ class VectorDBServer:
     def shutdown(self) -> None:
         """Stop every background resource deterministically.
 
-        Stops the maintenance worker of every collection and closes the
-        shared query scheduler's thread pool.  Collections and their data
-        remain usable afterwards (the scheduler is rebuilt lazily on the
-        next :meth:`concurrent_search`); this is the hook the network
-        serving front-end's graceful drain calls last.
+        Stops the maintenance worker of every collection, releases durable
+        collections' WAL handles (their data directories stay recoverable)
+        and closes the shared query scheduler's thread pool.  In-memory
+        collections remain usable afterwards (the scheduler is rebuilt
+        lazily on the next :meth:`concurrent_search`); this is the hook the
+        network serving front-end's graceful drain calls last.
         """
         for collection in self._collections.values():
-            collection.stop_maintenance()
+            collection.close()
         with self._scheduler_lock:
             scheduler, self._scheduler = self._scheduler, None
         if scheduler is not None:

@@ -30,6 +30,8 @@ __all__ = [
     "MAINTENANCE_MODES",
     "FILTER_STRATEGIES",
     "CACHE_POLICIES",
+    "DURABILITY_MODES",
+    "WAL_SYNC_POLICIES",
 ]
 
 #: Simulated rows per (megabyte * dimension); chosen so the default segment
@@ -60,6 +62,20 @@ MAINTENANCE_MODES: tuple[str, ...] = ("off", "inline", "background")
 
 # ``CACHE_POLICIES`` (none/lru, accepted by ``cache_policy``) is re-exported
 # from :mod:`repro.vdms.cache` the same way.
+
+#: Durability modes accepted by ``durability_mode`` (see
+#: :mod:`repro.vdms.durability`): ``"off"`` keeps everything in memory (the
+#: seed behaviour), ``"wal"`` logs every mutation to the write-ahead log
+#: and recovers by full replay, ``"wal+checkpoint"`` additionally persists
+#: sealed segments during maintenance and truncates the log, bounding
+#: recovery time by the WAL tail instead of the collection's history.
+DURABILITY_MODES: tuple[str, ...] = ("off", "wal", "wal+checkpoint")
+
+#: WAL sync policies accepted by ``wal_sync_policy``: ``"always"`` fsyncs
+#: every record before acknowledging (no acknowledged write is ever lost),
+#: ``"batch"`` fsyncs only commit records (flush, index changes), trading a
+#: crash window of recent row traffic for mutation throughput.
+WAL_SYNC_POLICIES: tuple[str, ...] = ("always", "batch")
 
 
 @dataclass(frozen=True)
@@ -139,6 +155,19 @@ class SystemConfig:
         separately).  Larger capacities hold more of the hot set at a
         proportional memory cost; ignored when ``cache_policy`` is
         ``"none"``.
+    durability_mode:
+        Crash durability of mutations (see :mod:`repro.vdms.durability`):
+        ``"off"`` (in-memory only, the seed behaviour), ``"wal"``
+        (write-ahead logging, recovery replays the full log) or
+        ``"wal+checkpoint"`` (logging plus segment persistence during
+        maintenance, recovery bounded by the WAL tail).  Takes effect
+        only on collections opened with a data directory.
+    wal_sync_policy:
+        When WAL appends reach stable storage: ``"always"`` (fsync per
+        record — no acknowledged write is ever lost) or ``"batch"``
+        (fsync only on commit records — faster mutations, a crash may
+        lose the most recent acknowledged row traffic).  Ignored when
+        ``durability_mode`` is ``"off"``.
     """
 
     segment_max_size: int = 512
@@ -157,6 +186,8 @@ class SystemConfig:
     overfetch_factor: float = 2.0
     cache_policy: str = "none"
     cache_capacity: int = 1024
+    durability_mode: str = "off"
+    wal_sync_policy: str = "always"
 
     def __post_init__(self) -> None:
         if not 1 <= self.segment_max_size <= 1_000_000:
@@ -199,6 +230,14 @@ class SystemConfig:
             )
         if not 1 <= self.cache_capacity <= 1_000_000:
             raise InvalidConfigurationError("cache_capacity out of range")
+        if self.durability_mode not in DURABILITY_MODES:
+            raise InvalidConfigurationError(
+                f"durability_mode must be one of {DURABILITY_MODES}"
+            )
+        if self.wal_sync_policy not in WAL_SYNC_POLICIES:
+            raise InvalidConfigurationError(
+                f"wal_sync_policy must be one of {WAL_SYNC_POLICIES}"
+            )
 
     # -- construction ----------------------------------------------------------
 
@@ -223,6 +262,8 @@ class SystemConfig:
             "overfetch_factor",
             "cache_policy",
             "cache_capacity",
+            "durability_mode",
+            "wal_sync_policy",
         ):
             if field_name in values:
                 kwargs[field_name] = values[field_name]
@@ -238,6 +279,8 @@ class SystemConfig:
             "maintenance_mode",
             "filter_strategy",
             "cache_policy",
+            "durability_mode",
+            "wal_sync_policy",
         ):
             if string_field in kwargs:
                 kwargs[string_field] = str(kwargs[string_field])

@@ -509,6 +509,50 @@ class WorkloadReplayer:
                 breakdown["segments_compacted"] = float(maintenance_report.segments_compacted)
                 breakdown["segments_reindexed"] = float(maintenance_report.segments_reindexed)
                 breakdown["maintenance_rows_dropped"] = float(maintenance_report.rows_dropped)
+        if system_config.durability_mode != "off":
+            # Analytic WAL traffic of the mutation phase above.  The replay
+            # collection itself is in-memory (the replayer's server has no
+            # data directory), so the charge is derived from the plan the
+            # same way the maintenance charge is derived from its report:
+            # one record per logged operation, rows for insert/delete
+            # payloads, commit records (create/flush/create_index) always
+            # fsync while "always" additionally fsyncs every record.
+            if plan is not None:
+                base_rows = int(plan.base_vectors.shape[0])
+            else:
+                base_rows = int(self.dataset.vectors.shape[0])
+            wal_records = 4  # create + insert + flush + create_index
+            commit_records = 3  # create + flush + create_index
+            rows_logged = base_rows
+            if plan is not None:
+                wal_records += 1  # delete
+                rows_logged += int(plan.delete_ids.shape[0])
+                if plan.insert_vectors.shape[0]:
+                    wal_records += 2  # insert + flush
+                    commit_records += 1
+                    rows_logged += int(plan.insert_vectors.shape[0])
+            if system_config.wal_sync_policy == "always":
+                wal_fsyncs = wal_records
+            else:
+                wal_fsyncs = commit_records
+            checkpoints = int(
+                system_config.durability_mode == "wal+checkpoint"
+                and maintenance_report is not None
+            )
+            durability_seconds = cost_model.durability_seconds(
+                wal_records,
+                rows_logged,
+                wal_fsyncs,
+                profile,
+                checkpoints=checkpoints,
+            )
+            replay_seconds += durability_seconds
+            failed = failed or replay_seconds > cost_model.REPLAY_TIMEOUT_SECONDS
+            breakdown["durability_seconds"] = float(durability_seconds)
+            breakdown["wal_records"] = float(wal_records)
+            breakdown["wal_rows_logged"] = float(rows_logged)
+            breakdown["wal_fsyncs"] = float(wal_fsyncs)
+            breakdown["checkpoints"] = float(checkpoints)
         return EvaluationResult(
             qps=float(qps),
             recall=report.recall,

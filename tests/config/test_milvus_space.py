@@ -18,7 +18,7 @@ class TestSpaceStructure:
         # plus the 3 serving-topology parameters of the sharded engine, the
         # 2 maintenance parameters of the compaction subsystem and the 2
         # hybrid-search parameters of the filtered query planner.
-        assert milvus_space.dimension == 25
+        assert milvus_space.dimension == 27
 
     def test_index_type_choices_match_table1(self, milvus_space):
         assert tuple(milvus_space["index_type"].choices) == INDEX_TYPES
@@ -32,15 +32,17 @@ class TestSpaceStructure:
         for name in index_parameters:
             assert name in milvus_space
 
-    def test_sixteen_system_parameters(self, milvus_space):
+    def test_eighteen_system_parameters(self, milvus_space):
         # The paper's seven plus shard_num, routing_policy, search_threads,
         # compaction_trigger_ratio, maintenance_mode, filter_strategy,
-        # overfetch_factor, cache_policy and cache_capacity.
-        assert len(SYSTEM_PARAMETERS) == 16
+        # overfetch_factor, cache_policy, cache_capacity, durability_mode
+        # and wal_sync_policy.
+        assert len(SYSTEM_PARAMETERS) == 18
         assert {"shard_num", "routing_policy", "search_threads"} < set(SYSTEM_PARAMETERS)
         assert {"compaction_trigger_ratio", "maintenance_mode"} < set(SYSTEM_PARAMETERS)
         assert {"filter_strategy", "overfetch_factor"} < set(SYSTEM_PARAMETERS)
         assert {"cache_policy", "cache_capacity"} < set(SYSTEM_PARAMETERS)
+        assert {"durability_mode", "wal_sync_policy"} < set(SYSTEM_PARAMETERS)
         for name in SYSTEM_PARAMETERS:
             assert name in milvus_space
 
@@ -64,7 +66,7 @@ class TestSpaceConstruction:
 
     def test_restricted_space_keeps_dimension(self):
         space = build_milvus_space(index_types=("HNSW", "IVF_FLAT"))
-        assert space.dimension == 25
+        assert space.dimension == 27
         assert set(space["index_type"].choices) == {"HNSW", "IVF_FLAT"}
 
     def test_single_index_space_is_buildable(self):

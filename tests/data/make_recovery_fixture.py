@@ -1,0 +1,123 @@
+"""Generate the golden recovery fixtures checked in next to this script.
+
+Two tiny data directories pin the durability tier's on-disk format
+(``tests/test_recovery_format.py`` reads them byte by byte):
+
+* ``recovery_fixture/`` — a checkpointed collection (generation 1) with a
+  live WAL tail: one insert, one delete, one flush past the checkpoint;
+* ``recovery_fixture_torn/`` — the same directory with a deliberately torn
+  frame appended to the WAL: a length field that promises more bytes than
+  the file holds, exactly what a crash mid-append leaves behind.  Recovery
+  must truncate it and never serve it.
+
+Every byte is deterministic — fixed vector contents, JSON with sorted
+keys, ``npy`` payloads of fixed dtype/shape — so regeneration is
+idempotent until the on-disk format actually changes.  When it does,
+review the diff like any other code change, then refresh with either::
+
+    PYTHONPATH=src python tests/data/make_recovery_fixture.py
+    PYTHONPATH=src python -m pytest tests/test_recovery_format.py --update-golden
+"""
+
+from __future__ import annotations
+
+import shutil
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.vdms import Collection, SystemConfig
+
+DIMENSION = 4
+CHECKPOINTED_ROWS = 10
+TAIL_ROWS = 4
+TAIL_DELETED = (1, 3)
+
+#: The torn tail: a frame header promising 9999 payload bytes, followed by
+#: only five — the shape of an append cut short by a crash.
+TORN_TAIL = struct.pack("<II", 9999, 0) + b"\x00\x01\x02\x03\x04"
+
+
+def fixture_vectors(count: int, start: int = 0) -> np.ndarray:
+    """Deterministic, platform-independent row contents (no RNG involved)."""
+    base = np.arange(start * DIMENSION, (start + count) * DIMENSION, dtype=np.float32)
+    # Strictly increasing values: every row is unique, so nearest-neighbor
+    # checks against the fixture resolve without distance ties.
+    return base.reshape(count, DIMENSION) * 0.25 - 3.0
+
+
+def expected_live_rows() -> tuple[np.ndarray, np.ndarray]:
+    """The ``(ids, vectors)`` a correct recovery of either fixture serves."""
+    ids = np.array(
+        [i for i in range(CHECKPOINTED_ROWS + TAIL_ROWS) if i not in TAIL_DELETED],
+        dtype=np.int64,
+    )
+    vectors = np.concatenate(
+        [fixture_vectors(CHECKPOINTED_ROWS), fixture_vectors(TAIL_ROWS, start=CHECKPOINTED_ROWS)]
+    )
+    return ids, vectors[ids]
+
+
+def write_fixture(root: Path) -> None:
+    """Write the clean fixture directory at ``root`` (replacing it)."""
+    if root.exists():
+        shutil.rmtree(root)
+    config = SystemConfig(
+        durability_mode="wal+checkpoint",
+        wal_sync_policy="always",
+        shard_num=1,
+        segment_max_size=8,
+        segment_seal_proportion=0.25,
+        insert_buf_size=8,
+    )
+    collection = Collection(
+        "golden",
+        DIMENSION,
+        metric="l2",
+        system_config=config,
+        data_dir=str(root),
+        auto_maintenance=False,
+    )
+    collection.insert(
+        fixture_vectors(CHECKPOINTED_ROWS),
+        ids=np.arange(CHECKPOINTED_ROWS, dtype=np.int64),
+    )
+    collection.flush()
+    collection.create_index("FLAT", {})
+    collection.checkpoint()
+    # The WAL tail a warm shutdown leaves behind: insert, delete, flush.
+    collection.insert(
+        fixture_vectors(TAIL_ROWS, start=CHECKPOINTED_ROWS),
+        ids=np.arange(CHECKPOINTED_ROWS, CHECKPOINTED_ROWS + TAIL_ROWS, dtype=np.int64),
+    )
+    collection.delete(np.asarray(TAIL_DELETED, dtype=np.int64))
+    collection.flush()
+    collection.close()
+
+
+def write_torn_fixture(clean_root: Path, torn_root: Path) -> None:
+    """Copy the clean fixture and append the torn frame to its WAL."""
+    if torn_root.exists():
+        shutil.rmtree(torn_root)
+    shutil.copytree(clean_root, torn_root)
+    (wal_path,) = sorted(torn_root.glob("wal-*.log"))
+    with wal_path.open("ab") as handle:
+        handle.write(TORN_TAIL)
+
+
+def main() -> None:
+    data_dir = Path(__file__).parent
+    clean = data_dir / "recovery_fixture"
+    torn = data_dir / "recovery_fixture_torn"
+    write_fixture(clean)
+    write_torn_fixture(clean, torn)
+    for root in (clean, torn):
+        names = sorted(path.name for path in root.iterdir())
+        print(f"{root.name}: {len(names)} files")
+        for name in names:
+            print(f"  {name} ({(root / name).stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -529,3 +529,106 @@ class TestServingCommands:
         assert report["errors"] == 0
         assert "serving on" in output
         assert "drained (complete=True)" in output
+
+
+class TestDurableCommands:
+    """Flag surface of durable serving: `serve --data-dir` and `recover`.
+
+    Recovery behavior itself lives in tests/vdms/test_crash_recovery.py and
+    tests/test_recovery_format.py; here we pin parsing, the actionable error
+    messages, and the report the `recover` subcommand prints.
+    """
+
+    def exit_message(self, argv) -> str:
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        code = excinfo.value.code
+        assert isinstance(code, str) and code.startswith("error:")
+        return code
+
+    def fixture_data_dir(self, tmp_path):
+        """A scratch `serve --data-dir` layout holding the golden fixture."""
+        import pathlib
+        import shutil
+
+        fixture = pathlib.Path(__file__).parent / "data" / "recovery_fixture"
+        data_dir = tmp_path / "data"
+        # Recovery appends to the WAL, so it always runs on a copy.
+        shutil.copytree(fixture, data_dir / "golden")
+        return data_dir
+
+    def test_serve_durability_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.data_dir is None
+        assert args.durability_mode is None
+
+    def test_serve_rejects_unknown_durability_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--durability-mode", "fsync-everything"])
+
+    def test_recover_defaults_and_required_data_dir(self):
+        args = build_parser().parse_args(["recover", "--data-dir", "/tmp/x"])
+        assert args.collection is None and not args.json
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recover"])
+
+    def test_serve_data_dir_must_not_be_a_file(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("oops")
+        message = self.exit_message(["serve", "--data-dir", str(target)])
+        assert "--data-dir" in message and "is a file" in message
+
+    def test_serve_durability_off_contradicts_data_dir(self, tmp_path):
+        message = self.exit_message(
+            ["serve", "--durability-mode", "off", "--data-dir", str(tmp_path / "d")]
+        )
+        assert "contradicts" in message
+
+    def test_serve_wal_modes_require_data_dir(self):
+        for mode in ("wal", "wal+checkpoint"):
+            message = self.exit_message(["serve", "--durability-mode", mode])
+            assert "requires --data-dir" in message
+
+    def test_recover_data_dir_must_not_be_a_file(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("oops")
+        message = self.exit_message(["recover", "--data-dir", str(target)])
+        assert "is a file" in message
+
+    def test_recover_rejects_missing_directory(self, tmp_path):
+        message = self.exit_message(
+            ["recover", "--data-dir", str(tmp_path / "never-created")]
+        )
+        assert "does not exist" in message
+
+    def test_recover_rejects_directory_without_state(self, tmp_path):
+        (tmp_path / "stray").mkdir()
+        message = self.exit_message(["recover", "--data-dir", str(tmp_path)])
+        assert "holds no durable collection state" in message
+
+    def test_recover_rejects_unknown_collection(self, tmp_path):
+        data_dir = self.fixture_data_dir(tmp_path)
+        message = self.exit_message(
+            ["recover", "--data-dir", str(data_dir), "--collection", "missing"]
+        )
+        assert "'missing'" in message and "no durable state" in message
+
+    def test_recover_prints_a_report_table(self, tmp_path, capsys):
+        data_dir = self.fixture_data_dir(tmp_path)
+        assert main(["recover", "--data-dir", str(data_dir)]) == 0
+        output = capsys.readouterr().out
+        assert f"recovered from {data_dir}" in output
+        assert "golden" in output and "WAL replayed" in output
+
+    def test_recover_json_report_matches_the_fixture(self, tmp_path, capsys):
+        data_dir = self.fixture_data_dir(tmp_path)
+        assert main(["recover", "--data-dir", str(data_dir), "--json"]) == 0
+        (report,) = json.loads(capsys.readouterr().out)
+        assert report["collection"] == "golden"
+        assert report["rows"] == 12
+        assert report["dimension"] == 4
+        assert report["index_type"] == "FLAT"
+        assert report["generation"] == 1
+        assert report["segments_loaded"] == 1
+        assert report["wal_records_replayed"] == 3
+        assert report["wal_bytes_truncated"] == 0

@@ -1,0 +1,226 @@
+"""Golden recovery fixtures: the durability tier's on-disk format, pinned.
+
+``tests/data/recovery_fixture/`` (and its deliberately damaged sibling
+``recovery_fixture_torn/``) are tiny checked-in data directories written by
+``tests/data/make_recovery_fixture.py``.  This suite reads them three ways:
+
+* **raw bytes** — the WAL magic, frame framing (``u32 len | u32 crc32 |
+  payload``), JSON record headers and ``npy`` segment payloads are parsed
+  with ``struct``/``json``/``numpy`` directly, independent of the package's
+  own reader, so an accidental format change fails even if reader and
+  writer drift together;
+* **schema** — the checkpoint manifest's exact key set and referenced file
+  names;
+* **behavior** — recovering a copy serves exactly the expected rows, and
+  the torn fixture's damaged tail is truncated, never served.
+
+A byte-for-byte regeneration check keeps writer and fixture in lock step.
+When the format changes intentionally, refresh the fixtures and review the
+diff like any other code change::
+
+    PYTHONPATH=src python -m pytest tests/test_recovery_format.py --update-golden
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import shutil
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.vdms import Collection
+from repro.vdms.durability import WAL_MAGIC
+
+DATA_DIR = Path(__file__).parent / "data"
+CLEAN_FIXTURE = DATA_DIR / "recovery_fixture"
+TORN_FIXTURE = DATA_DIR / "recovery_fixture_torn"
+
+FIXTURE_FILES = [
+    "MANIFEST-000001.json",
+    "seg-000-000000.ids.npy",
+    "seg-000-000000.vectors.npy",
+    "wal-000001.log",
+]
+
+MANIFEST_KEYS = {
+    "collection",
+    "format_version",
+    "generation",
+    "index",
+    "next_auto_id",
+    "shards",
+    "version",
+    "wal",
+}
+
+SEGMENT_ENTRY_KEYS = {"files", "physical_rows", "segment_id", "state"}
+
+#: Logical operations the fixture's WAL tail holds, in order.
+TAIL_OPS = ["insert", "delete", "flush"]
+
+
+def load_generator():
+    """Import ``tests/data/make_recovery_fixture.py`` (not a package module)."""
+    spec = importlib.util.spec_from_file_location(
+        "make_recovery_fixture", DATA_DIR / "make_recovery_fixture.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def walk_frames(data: bytes) -> tuple[list[dict], int]:
+    """Independent WAL walk: JSON headers of every intact frame + valid bytes."""
+    assert data[: len(WAL_MAGIC)] == WAL_MAGIC
+    headers, offset = [], len(WAL_MAGIC)
+    while offset + 8 <= len(data):
+        payload_len, crc = struct.unpack_from("<II", data, offset)
+        start, end = offset + 8, offset + 8 + payload_len
+        if end > len(data) or zlib.crc32(data[start:end]) != crc:
+            break
+        (header_len,) = struct.unpack_from("<I", data, start)
+        headers.append(json.loads(data[start + 4 : start + 4 + header_len].decode("utf-8")))
+        offset = end
+    return headers, offset
+
+
+class TestFixtureBytes:
+    def test_directory_listings_are_pinned(self):
+        for fixture in (CLEAN_FIXTURE, TORN_FIXTURE):
+            assert sorted(p.name for p in fixture.iterdir()) == FIXTURE_FILES, fixture.name
+
+    def test_wal_magic_and_frame_walk(self):
+        data = (CLEAN_FIXTURE / "wal-000001.log").read_bytes()
+        headers, valid_bytes = walk_frames(data)
+        assert [h["op"] for h in headers] == TAIL_OPS
+        assert valid_bytes == len(data), "the clean fixture's WAL has trailing bytes"
+        # The insert record accounts for every payload byte via its header.
+        insert = headers[0]
+        assert insert["arrays"] == [["ids", "<i8", [4]], ["vectors", "<f4", [4, 4]]]
+        assert headers[1]["arrays"] == [["ids", "<i8", [2]]]
+        assert headers[2] == {"op": "flush", "meta": {}, "arrays": []}
+
+    def test_torn_fixture_ends_with_the_documented_torn_frame(self):
+        generator = load_generator()
+        clean = (CLEAN_FIXTURE / "wal-000001.log").read_bytes()
+        torn = (TORN_FIXTURE / "wal-000001.log").read_bytes()
+        assert torn == clean + generator.TORN_TAIL
+        headers, valid_bytes = walk_frames(torn)
+        # The independent walk refuses the torn frame exactly where the
+        # package's reader must: at the end of the last intact frame.
+        assert [h["op"] for h in headers] == TAIL_OPS
+        assert valid_bytes == len(clean)
+
+    def test_segment_payloads_are_plain_npy(self):
+        generator = load_generator()
+        vectors = np.load(CLEAN_FIXTURE / "seg-000-000000.vectors.npy", allow_pickle=False)
+        ids = np.load(CLEAN_FIXTURE / "seg-000-000000.ids.npy", allow_pickle=False)
+        assert vectors.dtype == np.float32 and vectors.shape == (10, 4)
+        assert ids.dtype == np.int64 and np.array_equal(ids, np.arange(10))
+        assert np.array_equal(vectors, generator.fixture_vectors(10))
+
+    def test_regeneration_is_byte_identical(self, tmp_path, update_golden):
+        generator = load_generator()
+        if update_golden:
+            generator.write_fixture(CLEAN_FIXTURE)
+            generator.write_torn_fixture(CLEAN_FIXTURE, TORN_FIXTURE)
+        fresh_clean = tmp_path / "recovery_fixture"
+        fresh_torn = tmp_path / "recovery_fixture_torn"
+        generator.write_fixture(fresh_clean)
+        generator.write_torn_fixture(fresh_clean, fresh_torn)
+        for fixture, fresh in ((CLEAN_FIXTURE, fresh_clean), (TORN_FIXTURE, fresh_torn)):
+            assert sorted(p.name for p in fresh.iterdir()) == sorted(
+                p.name for p in fixture.iterdir()
+            )
+            for path in sorted(fixture.iterdir()):
+                assert (fresh / path.name).read_bytes() == path.read_bytes(), (
+                    f"{fixture.name}/{path.name} drifted from the writer's output; "
+                    "if the format change is intentional, regenerate with "
+                    "--update-golden and review the diff"
+                )
+
+
+class TestManifestSchema:
+    def manifest(self) -> dict:
+        return json.loads((CLEAN_FIXTURE / "MANIFEST-000001.json").read_text())
+
+    def test_top_level_keys_and_version(self):
+        manifest = self.manifest()
+        assert set(manifest) == MANIFEST_KEYS
+        assert manifest["format_version"] == 1
+        assert manifest["generation"] == 1
+        assert manifest["wal"] == "wal-000001.log"
+        assert manifest["index"] == {"index_type": "FLAT", "params": {}}
+
+    def test_collection_identity_block(self):
+        identity = self.manifest()["collection"]
+        assert set(identity) == {"dimension", "metric", "name", "system_config"}
+        assert identity["system_config"]["durability_mode"] == "wal+checkpoint"
+        assert identity["system_config"]["wal_sync_policy"] == "always"
+
+    def test_segment_entries_reference_existing_files(self):
+        (shard,) = self.manifest()["shards"]
+        assert set(shard) == {"next_segment_id", "segments", "shard_id"}
+        for entry in shard["segments"]:
+            assert set(entry) == SEGMENT_ENTRY_KEYS
+            files = entry["files"]
+            assert set(files) == {"attributes", "ids", "tombstones", "vectors"}
+            for name in (files["vectors"], files["ids"]):
+                assert (CLEAN_FIXTURE / name).is_file(), f"manifest references missing {name}"
+
+
+class TestFixtureRecovery:
+    def recover_copy(self, fixture: Path, tmp_path: Path) -> Collection:
+        # Recovery truncates torn tails in place and appends to the WAL, so
+        # it always runs on a scratch copy, never the checked-in fixture.
+        scratch = tmp_path / fixture.name
+        shutil.copytree(fixture, scratch)
+        return Collection.recover(str(scratch), auto_maintenance=False)
+
+    def expected_rows(self) -> tuple[np.ndarray, np.ndarray]:
+        return load_generator().expected_live_rows()
+
+    def test_clean_fixture_serves_the_expected_rows(self, tmp_path):
+        recovered = self.recover_copy(CLEAN_FIXTURE, tmp_path)
+        report = recovered.recovery_report
+        assert report.generation == 1
+        assert report.segments_loaded == 1
+        assert report.wal_records_replayed == len(TAIL_OPS)
+        assert report.wal_bytes_truncated == 0
+        assert report.index_rebuilt
+        expected_ids, expected_vectors = self.expected_rows()
+        assert recovered.num_rows == expected_ids.size
+        result = recovered.search(expected_vectors, 1)
+        assert np.array_equal(result.ids[:, 0], expected_ids)
+        assert np.allclose(result.distances, 0.0)
+        recovered.close()
+
+    def test_torn_fixture_truncates_and_never_serves_the_tail(self, tmp_path):
+        generator = load_generator()
+        recovered = self.recover_copy(TORN_FIXTURE, tmp_path)
+        report = recovered.recovery_report
+        assert report.wal_bytes_truncated == len(generator.TORN_TAIL)
+        assert report.wal_records_replayed == len(TAIL_OPS)
+        expected_ids, _ = self.expected_rows()
+        assert recovered.num_rows == expected_ids.size
+        recovered.close()
+
+    def test_checked_in_fixtures_are_never_modified_by_recovery(self, tmp_path):
+        before = {
+            path.name: path.read_bytes()
+            for fixture in (CLEAN_FIXTURE, TORN_FIXTURE)
+            for path in fixture.iterdir()
+        }
+        for fixture in (CLEAN_FIXTURE, TORN_FIXTURE):
+            self.recover_copy(fixture, tmp_path).close()
+        after = {
+            path.name: path.read_bytes()
+            for fixture in (CLEAN_FIXTURE, TORN_FIXTURE)
+            for path in fixture.iterdir()
+        }
+        assert before == after

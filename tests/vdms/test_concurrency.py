@@ -13,6 +13,10 @@ Three guarantees are pinned down:
   scheduled searches never corrupts a result: every response is a coherent
   snapshot (valid ids, correct shape), and once the deletes have landed a
   fresh search no longer serves the deleted rows.
+* **Thread-safe durability** — WAL appends racing in-flight searches, and
+  checkpoints racing inserts/deletes, never lose an acknowledged mutation,
+  never tear the version counter, and never leave a batch half-applied:
+  the directory recovered afterwards holds exactly the acknowledged rows.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import pytest
 
 from repro.datasets.registry import load_dataset
 from repro.vdms import Collection, QueryScheduler, SystemConfig
+from repro.vdms.durability import CrashPointFS
 from repro.workloads.replay import WorkloadReplayer
 
 NUM_VECTORS = 900
@@ -388,3 +393,179 @@ class TestMaintenanceConcurrency:
             assert not np.isin(final.ids, np.arange(300)).any()
         finally:
             collection.stop_maintenance()
+
+
+class TestDurabilityConcurrency:
+    """The durability tier under concurrent load: WAL appends racing
+    in-flight searches and checkpoints racing mutations.
+
+    The judge is recovery itself: after the race, the data directory is
+    recovered on a *fresh* filesystem view and must hold exactly the
+    acknowledged row population — no lost acks, no half-applied batch.
+    """
+
+    def durable_collection(self, data_dir: str) -> tuple[CrashPointFS, Collection, np.ndarray]:
+        fs = CrashPointFS()
+        rng = np.random.default_rng(31)
+        vectors = rng.normal(size=(NUM_VECTORS, DIMENSION)).astype(np.float32)
+        queries = rng.normal(size=(NUM_QUERIES, DIMENSION)).astype(np.float32)
+        config = SystemConfig(
+            shard_num=2, segment_max_size=64, segment_seal_proportion=0.25,
+            insert_buf_size=64, durability_mode="wal+checkpoint",
+            wal_sync_policy="always",
+        )
+        collection = Collection(
+            "durable-race", DIMENSION, metric="l2", system_config=config,
+            data_dir=data_dir, filesystem=fs, auto_maintenance=False,
+        )
+        collection.insert(vectors)
+        collection.flush()
+        collection.create_index("FLAT")
+        return fs, collection, queries
+
+    @staticmethod
+    def recovered_live_ids(fs: CrashPointFS, data_dir: str) -> np.ndarray:
+        recovered = Collection.recover(data_dir, filesystem=fs, auto_maintenance=False)
+        recovered.flush()
+        chunks = [
+            segment.live_ids
+            for shard in recovered.shards
+            for segment in shard.segments.segments
+        ]
+        recovered.close()
+        return np.sort(np.concatenate(chunks)) if chunks else np.empty(0, dtype=np.int64)
+
+    def test_wal_appends_racing_in_flight_searches(self):
+        data_dir = "/data/race-wal"
+        fs, collection, queries = self.durable_collection(data_dir)
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            scheduler = QueryScheduler(num_threads=4)
+            try:
+                while not stop.is_set():
+                    result, trace = scheduler.run(collection.search, queries, TOP_K)
+                    assert result.ids.shape == (NUM_QUERIES, TOP_K)
+                    assert sorted(trace.served_requests) == list(range(NUM_QUERIES))
+            except Exception as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+
+        def version_reader() -> None:
+            try:
+                last = collection.version
+                while not stop.is_set():
+                    current = collection.version
+                    assert current >= last, f"version went backwards: {current} < {last}"
+                    last = current
+            except Exception as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+
+        # Two mutators over disjoint id ranges, so the acknowledged row
+        # population is order-independent; their WAL appends interleave
+        # freely under the collection lock.
+        acked_live: list[set[int]] = [set(), set()]
+        rng = np.random.default_rng(37)
+
+        def mutate(slot: int, base: int) -> None:
+            try:
+                mine = acked_live[slot]
+                for round_number in range(12):
+                    start = base + round_number * 20
+                    ids = np.arange(start, start + 20, dtype=np.int64)
+                    collection.insert(
+                        rng.normal(size=(20, DIMENSION)).astype(np.float32), ids=ids
+                    )
+                    mine.update(ids.tolist())  # acknowledged: must survive
+                    if round_number % 3 == 2:
+                        victims = np.array(sorted(mine)[:5], dtype=np.int64)
+                        collection.delete(victims)
+                        mine.difference_update(victims.tolist())
+                    if round_number % 4 == 3:
+                        collection.flush()
+            except Exception as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+
+        searchers = [threading.Thread(target=hammer) for _ in range(2)]
+        reader = threading.Thread(target=version_reader)
+        mutators = [
+            threading.Thread(target=mutate, args=(0, NUM_VECTORS)),
+            threading.Thread(target=mutate, args=(1, NUM_VECTORS + 10_000)),
+        ]
+        for thread in searchers + [reader]:
+            thread.start()
+        try:
+            for thread in mutators:
+                thread.start()
+            for thread in mutators:
+                thread.join(timeout=60)
+        finally:
+            stop.set()
+            for thread in searchers + [reader]:
+                thread.join(timeout=30)
+        assert not errors, f"durable mutation race failed: {errors[0]!r}"
+        assert all(not thread.is_alive() for thread in searchers + [reader] + mutators)
+
+        collection.close()
+        expected = set(range(NUM_VECTORS)) | acked_live[0] | acked_live[1]
+        survivors = self.recovered_live_ids(fs, data_dir)
+        assert set(survivors.tolist()) == expected, (
+            "recovery after the race lost or resurrected acknowledged rows"
+        )
+
+    def test_checkpoints_racing_inserts_and_deletes(self):
+        data_dir = "/data/race-ckpt"
+        fs, collection, queries = self.durable_collection(data_dir)
+        errors: list[Exception] = []
+        stop = threading.Event()
+        checkpoints_done = 0
+
+        def checkpointer() -> None:
+            nonlocal checkpoints_done
+            try:
+                while not stop.is_set():
+                    report = collection.checkpoint()
+                    assert report.generation > 0
+                    checkpoints_done += 1
+            except Exception as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+
+        def hammer() -> None:
+            scheduler = QueryScheduler(num_threads=2)
+            try:
+                while not stop.is_set():
+                    result, _ = scheduler.run(collection.search, queries, TOP_K)
+                    assert result.ids.shape == (NUM_QUERIES, TOP_K)
+            except Exception as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+
+        runner = threading.Thread(target=checkpointer)
+        searcher = threading.Thread(target=hammer)
+        runner.start()
+        searcher.start()
+        acked: set[int] = set(range(NUM_VECTORS))
+        rng = np.random.default_rng(41)
+        try:
+            for round_number in range(20):
+                start = NUM_VECTORS + round_number * 25
+                ids = np.arange(start, start + 25, dtype=np.int64)
+                collection.insert(
+                    rng.normal(size=(25, DIMENSION)).astype(np.float32), ids=ids
+                )
+                acked.update(ids.tolist())
+                victims = np.array(sorted(acked)[: 10], dtype=np.int64)
+                collection.delete(victims)
+                acked.difference_update(victims.tolist())
+        finally:
+            stop.set()
+            for thread in (runner, searcher):
+                thread.join(timeout=60)
+        assert not errors, f"checkpoint race failed: {errors[0]!r}"
+        assert checkpoints_done > 0
+        assert collection.durability.generation == checkpoints_done
+
+        collection.close()
+        survivors = self.recovered_live_ids(fs, data_dir)
+        assert set(survivors.tolist()) == acked, (
+            "a checkpoint racing mutations lost or resurrected acknowledged rows"
+        )

@@ -1,0 +1,417 @@
+"""Crash-point fault-injection harness: the headline suite of the durability tier.
+
+Methodology (see docs/testing.md):
+
+1. **Enumerate** — run a randomized-but-seeded mutation schedule (inserts,
+   deletes, flushes, an index build, a checkpoint) against a fresh
+   :class:`CrashPointFS` with no crash armed and read ``boundary_count``:
+   the number of write/fsync/rename/truncate boundaries the schedule
+   crosses.
+2. **Crash everywhere** — for every boundary ``k`` and every unsynced-tail
+   policy (``drop`` / ``torn`` / ``keep``), replay the schedule on a fresh
+   filesystem armed at ``k``.  The crash fires *before* the k-th operation
+   takes effect, so the sweep over all ``k`` covers every crash-after
+   point too.
+3. **Recover and judge** — recover from ``crash_view()`` (exactly the
+   surviving bytes) and require the recovered content to equal the oracle
+   at an *acknowledged-consistent* prefix of the schedule:
+
+   * under ``wal_sync_policy="always"`` every acknowledged step is
+     durable, so the recovered state must be the oracle at step ``a`` or
+     ``a+1`` where ``a`` counts acknowledged steps (the one in-flight
+     record may or may not have survived — either way it is a clean
+     prefix, never a torn middle);
+   * under ``"batch"`` a suffix of acknowledged row-traffic records may be
+     lost, but never past the last commit record (flush / create_index /
+     checkpoint — and the create record itself), and still never a torn
+     middle.
+
+   Matching states are verified three ways: live ids equal the oracle
+   prefix exactly; search ids are bit-identical to an independent NumPy
+   float64 exact scan; and search *distances* are bit-identical to a
+   reference collection rebuilt from scratch out of the oracle rows (the
+   engine's distance kernel is batch-shape independent, so bit-equality
+   must hold across arbitrary segment layouts).
+
+Beyond the enumeration, ``TestBitRotTails`` flips and cuts *durable* WAL
+bytes directly: a corrupt or torn tail must be truncated on recovery and
+never served, and the directory must recover cleanly ever after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.vdms import Collection, SystemConfig
+from repro.vdms.durability import (
+    TAIL_POLICIES,
+    CrashPointFS,
+    SimulatedCrash,
+    WriteAheadLog,
+)
+from repro.vdms.errors import RecoveryError
+
+DIMENSION = 8
+METRIC = "l2"
+TOP_K = 8
+DATA_DIR = "/data/crash"
+
+#: Small segments so checkpoints persist several files per schedule.
+SEGMENT_CONFIG = {"segment_max_size": 24, "segment_seal_proportion": 0.25, "insert_buf_size": 16}
+
+#: Steps whose WAL records fsync even under ``wal_sync_policy="batch"``.
+COMMIT_KINDS = frozenset({"flush", "create_index", "checkpoint"})
+
+#: Every vector is a pure function of its id, so any prefix of any schedule
+#: is reconstructible from its live-id set alone.
+_POOL_RNG = np.random.default_rng(20260807)
+ROW_POOL = _POOL_RNG.normal(size=(128, DIMENSION)).astype(np.float32)
+QUERIES = _POOL_RNG.normal(size=(5, DIMENSION)).astype(np.float32)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One acknowledged client operation of a mutation schedule."""
+
+    kind: str
+    ids: tuple = field(default_factory=tuple)
+
+
+def make_schedule(seed: int) -> list[Step]:
+    """A seeded schedule exercising every logged op plus a checkpoint."""
+    rng = np.random.default_rng(seed)
+    steps: list[Step] = []
+    live: list[int] = []
+    next_id = 0
+
+    def add_insert(low: int, high: int) -> None:
+        nonlocal next_id
+        count = int(rng.integers(low, high))
+        ids = tuple(range(next_id, next_id + count))
+        next_id += count
+        live.extend(ids)
+        steps.append(Step("insert", ids))
+
+    def add_delete() -> None:
+        count = max(1, int(len(live) * rng.uniform(0.1, 0.3)))
+        victims = tuple(int(v) for v in rng.choice(live, size=count, replace=False))
+        for victim in victims:
+            live.remove(victim)
+        steps.append(Step("delete", victims))
+
+    add_insert(12, 20)
+    steps.append(Step("flush"))
+    add_insert(8, 16)
+    steps.append(Step("create_index"))
+    add_delete()
+    steps.append(Step("checkpoint"))
+    add_insert(8, 14)
+    add_delete()
+    steps.append(Step("flush"))
+    assert next_id <= ROW_POOL.shape[0]
+    return steps
+
+
+def oracle_states(steps: list[Step]) -> list[frozenset[int]]:
+    """``states[j]`` = live-id set after the first ``j`` steps."""
+    states = [frozenset()]
+    live: set[int] = set()
+    for step in steps:
+        if step.kind == "insert":
+            live |= set(step.ids)
+        elif step.kind == "delete":
+            live -= set(step.ids)
+        states.append(frozenset(live))
+    return states
+
+
+def apply_step(collection: Collection, step: Step, *, durable: bool = True) -> None:
+    if step.kind == "insert":
+        ids = np.asarray(step.ids, dtype=np.int64)
+        collection.insert(ROW_POOL[ids], ids=ids)
+    elif step.kind == "delete":
+        collection.delete(np.asarray(step.ids, dtype=np.int64))
+    elif step.kind == "flush":
+        collection.flush()
+    elif step.kind == "create_index":
+        collection.create_index("FLAT", {})
+    elif step.kind == "checkpoint":
+        if durable:
+            collection.checkpoint()
+        else:
+            # Content-wise a checkpoint only seals pending rows.
+            collection.flush()
+    else:  # pragma: no cover - schedule construction bug
+        raise AssertionError(f"unknown step kind {step.kind!r}")
+
+
+def run_schedule(
+    fs: CrashPointFS, steps: list[Step], *, sync_policy: str, acked: list[Step]
+) -> None:
+    """Apply the schedule, recording each step in ``acked`` as it returns."""
+    config = SystemConfig(
+        durability_mode="wal+checkpoint",
+        wal_sync_policy=sync_policy,
+        **SEGMENT_CONFIG,
+    )
+    collection = Collection(
+        "crash",
+        DIMENSION,
+        metric=METRIC,
+        system_config=config,
+        data_dir=DATA_DIR,
+        filesystem=fs,
+        auto_maintenance=False,
+    )
+    for step in steps:
+        apply_step(collection, step)
+        acked.append(step)
+    collection.close()
+
+
+def recovered_live_ids(collection: Collection) -> np.ndarray:
+    """Every live id the recovered collection holds (buffered rows sealed first)."""
+    collection.flush()
+    ids = [
+        segment.live_ids
+        for shard in collection.shards
+        for segment in shard.segments.segments
+    ]
+    if not ids:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(ids))
+
+
+def exact_scan(vectors: np.ndarray, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Independent NumPy oracle: float64 squared-L2, full stable argsort."""
+    v = vectors.astype(np.float64)
+    q = queries.astype(np.float64)
+    distances = ((q[:, None, :] - v[None, :, :]) ** 2).sum(axis=2)
+    order = np.argsort(distances, axis=1, kind="stable")[:, :top_k]
+    return order, np.take_along_axis(distances, order, axis=1)
+
+
+def reference_collection(live: frozenset[int]) -> Collection:
+    """The same content rebuilt from scratch, in memory, one batch."""
+    collection = Collection(
+        "reference",
+        DIMENSION,
+        metric=METRIC,
+        system_config=SystemConfig(**SEGMENT_CONFIG),
+        auto_maintenance=False,
+    )
+    ids = np.asarray(sorted(live), dtype=np.int64)
+    collection.insert(ROW_POOL[ids], ids=ids)
+    collection.flush()
+    collection.create_index("FLAT", {})
+    return collection
+
+
+def assert_recovered_state(
+    recovered: Collection,
+    states: list[frozenset[int]],
+    window: range,
+    *,
+    context: str,
+) -> None:
+    """The recovered content must be the oracle at a step index in ``window``."""
+    live = frozenset(int(i) for i in recovered_live_ids(recovered))
+    matches = [j for j in window if states[j] == live]
+    assert matches, (
+        f"{context}: recovered {len(live)} live ids match no acknowledged-"
+        f"consistent prefix (allowed steps {window.start}..{window.stop - 1}; "
+        f"sizes there: {[len(states[j]) for j in window]})"
+    )
+    if not live:
+        return
+    ids_sorted = np.asarray(sorted(live), dtype=np.int64)
+    top_k = min(TOP_K, ids_sorted.size)
+
+    # Independent NumPy oracle: served ids must be exactly the float64
+    # exact scan of the prefix rows, and distances must agree to float32.
+    order, truth_distances = exact_scan(ROW_POOL[ids_sorted], QUERIES, top_k)
+    truth_ids = ids_sorted[order]
+    if not recovered.has_index:
+        recovered.create_index("FLAT", {})
+    result = recovered.search(QUERIES, top_k)
+    assert np.array_equal(result.ids, truth_ids), f"{context}: ids diverged from the oracle"
+    assert np.allclose(result.distances, truth_distances, rtol=1e-5, atol=1e-5), (
+        f"{context}: distances diverged from the float64 oracle"
+    )
+
+    # The engine's distance kernel is batch-shape independent, so the
+    # recovered layout must serve *bit-identical* results to the same
+    # content rebuilt from scratch in a completely different layout.
+    reference = reference_collection(live)
+    expected = reference.search(QUERIES, top_k)
+    assert np.array_equal(result.ids, expected.ids), context
+    assert np.array_equal(result.distances, expected.distances), (
+        f"{context}: recovered layout served different distance bits than a "
+        "from-scratch rebuild of the same content"
+    )
+
+
+def sweep_crash_points(seed: int, sync_policy: str, tail_policy: str) -> int:
+    """Crash at every boundary of one schedule; judge every recovery."""
+    steps = make_schedule(seed)
+    states = oracle_states(steps)
+
+    clean = CrashPointFS()
+    clean_acked: list[Step] = []
+    run_schedule(clean, steps, sync_policy=sync_policy, acked=clean_acked)
+    assert len(clean_acked) == len(steps)
+    boundaries = clean.boundary_count
+
+    for crash_at in range(1, boundaries + 1):
+        fs = CrashPointFS()
+        fs.arm(crash_at, tail_policy=tail_policy)
+        acked: list[Step] = []
+        with pytest.raises(SimulatedCrash):
+            run_schedule(fs, steps, sync_policy=sync_policy, acked=acked)
+        context = (
+            f"seed={seed} policy={sync_policy}/{tail_policy} "
+            f"boundary={crash_at}/{boundaries} acked={len(acked)}"
+        )
+        view = fs.crash_view()
+        try:
+            recovered = Collection.recover(DATA_DIR, filesystem=view, auto_maintenance=False)
+        except RecoveryError:
+            # Only legal before the collection's create record became
+            # durable — nothing was ever acknowledged to any client.
+            assert len(acked) == 0, f"{context}: acknowledged work was unrecoverable"
+            continue
+        if sync_policy == "always":
+            floor = len(acked)
+        else:
+            # Batch may lose a suffix of unsynced row traffic, but nothing
+            # at or before the last acknowledged commit record.
+            floor = max(
+                [i + 1 for i, s in enumerate(steps[: len(acked)]) if s.kind in COMMIT_KINDS],
+                default=0,
+            )
+        window = range(floor, len(acked) + 2)  # inclusive of the in-flight step
+        assert_recovered_state(recovered, states, window, context=context)
+        recovered.close()
+    return boundaries
+
+
+class TestBoundaryEnumeration:
+    def test_schedule_covers_every_logged_operation(self):
+        kinds = {step.kind for step in make_schedule(0)}
+        assert kinds == {"insert", "delete", "flush", "create_index", "checkpoint"}
+
+    def test_clean_run_crosses_every_boundary_kind(self):
+        fs = CrashPointFS()
+        acked: list[Step] = []
+        run_schedule(fs, make_schedule(0), sync_policy="always", acked=acked)
+        kinds = {kind for kind, _ in fs.boundary_log}
+        # WAL appends + fsyncs, atomic segment/manifest writes + renames.
+        assert {"write", "fsync", "rename"} <= kinds
+        assert fs.boundary_count >= 20
+        # The clean run is also the oracle's sanity check: the final state
+        # matches the last schedule prefix.
+        steps = make_schedule(0)
+        recovered = Collection.recover(DATA_DIR, filesystem=fs, auto_maintenance=False)
+        assert_recovered_state(
+            recovered,
+            oracle_states(steps),
+            range(len(steps), len(steps) + 1),
+            context="clean run",
+        )
+        recovered.close()
+
+
+@pytest.mark.parametrize("tail_policy", TAIL_POLICIES)
+class TestEveryCrashPointUnderAlways:
+    """``wal_sync_policy="always"``: acknowledged means durable, at every boundary."""
+
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_recovery_matches_the_acknowledged_prefix(self, seed, tail_policy):
+        boundaries = sweep_crash_points(seed, "always", tail_policy)
+        assert boundaries >= 20
+
+
+@pytest.mark.parametrize("tail_policy", TAIL_POLICIES)
+class TestEveryCrashPointUnderBatch:
+    """``wal_sync_policy="batch"``: a lost suffix is legal, a torn middle never."""
+
+    def test_recovery_is_prefix_consistent(self, tail_policy):
+        boundaries = sweep_crash_points(2, "batch", tail_policy)
+        assert boundaries >= 20
+
+
+class TestBitRotTails:
+    """Corrupt and torn *durable* WAL tails are truncated, never served."""
+
+    def finished_directory(self) -> tuple[CrashPointFS, list[Step], list[frozenset[int]]]:
+        fs = CrashPointFS()
+        steps = make_schedule(3)
+        acked: list[Step] = []
+        run_schedule(fs, steps, sync_policy="always", acked=acked)
+        return fs, steps, oracle_states(steps)
+
+    def wal_path(self, fs: CrashPointFS) -> str:
+        names = [n for n in fs.listdir(DATA_DIR) if n.startswith("wal-")]
+        assert len(names) == 1
+        return f"{DATA_DIR}/{names[0]}"
+
+    def recover_and_judge(self, fs, states, floor, context) -> None:
+        recovered = Collection.recover(DATA_DIR, filesystem=fs, auto_maintenance=False)
+        first_report = recovered.recovery_report
+        assert_recovered_state(
+            recovered, states, range(floor, len(states)), context=context
+        )
+        recovered.close()
+        # Truncation is sticky: the damaged bytes are gone, so the next
+        # recovery is clean and bit-rot is never re-read, let alone served.
+        again = Collection.recover(DATA_DIR, filesystem=fs, auto_maintenance=False)
+        assert again.recovery_report.wal_bytes_truncated == 0
+        again.close()
+        return first_report
+
+    def test_corrupting_any_tail_byte_truncates_cleanly(self):
+        fs, steps, states = self.finished_directory()
+        path = self.wal_path(fs)
+        _, valid_bytes = WriteAheadLog.read(fs, path)
+        checkpoint_at = next(i for i, s in enumerate(steps) if s.kind == "checkpoint") + 1
+        # Flip a byte at several depths of the post-checkpoint tail: early
+        # frames, a middle frame, the final byte.
+        for offset in (9, (9 + valid_bytes) // 2, valid_bytes - 1):
+            rotted = fs.crash_view()  # an identical copy to damage
+            rotted.corrupt(path, offset)
+            report = self.recover_and_judge(
+                rotted, states, checkpoint_at, context=f"bit-rot at byte {offset}"
+            )
+            assert report.wal_bytes_truncated > 0
+
+    def test_torn_final_append_is_dropped(self):
+        fs, steps, states = self.finished_directory()
+        path = self.wal_path(fs)
+        size = fs.size(path)
+        torn = fs.crash_view()
+        torn.truncate_durable(path, size - 3)  # cut the last frame mid-payload
+        checkpoint_at = next(i for i, s in enumerate(steps) if s.kind == "checkpoint") + 1
+        report = self.recover_and_judge(
+            torn, states, checkpoint_at, context="torn final frame"
+        )
+        assert report.wal_bytes_truncated > 0
+
+    def test_checkpoint_survives_total_wal_tail_loss(self):
+        fs, steps, states = self.finished_directory()
+        path = self.wal_path(fs)
+        gutted = fs.crash_view()
+        gutted.truncate_durable(path, len(b"VDMSWAL1"))
+        checkpoint_at = next(i for i, s in enumerate(steps) if s.kind == "checkpoint") + 1
+        recovered = Collection.recover(DATA_DIR, filesystem=gutted, auto_maintenance=False)
+        # Every post-checkpoint record is gone; the manifest still serves
+        # the exact checkpoint state.
+        assert_recovered_state(
+            recovered,
+            states,
+            range(checkpoint_at, checkpoint_at + 1),
+            context="gutted WAL tail",
+        )
+        recovered.close()

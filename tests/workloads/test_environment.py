@@ -53,7 +53,7 @@ class TestEvaluation:
     def test_environment_from_dataset_name(self):
         environment = VDMSTuningEnvironment("glove-small")
         assert environment.dataset.name == "glove-small"
-        assert environment.space.dimension == 25
+        assert environment.space.dimension == 27
 
     def test_noise_perturbs_qps(self, tiny_dataset, milvus_space):
         noisy = VDMSTuningEnvironment(tiny_dataset, space=milvus_space, noise=0.3, seed=5)
