@@ -1,0 +1,47 @@
+"""Persisted benchmark trajectory: repo-root ``BENCH_*.json`` summaries.
+
+The benchmark suite asserts its floors inline, but until now nothing
+*persisted* — each run's numbers vanished with the pytest session, so there
+was no trajectory to compare PRs against.  :func:`record_bench` is the
+deliberately small fix: a benchmark's reporting step hands over a JSON-able
+summary dict, and it lands at ``<repo root>/BENCH_<name>.json`` with enough
+context (host scale marker, benchmark module) to read the file in isolation.
+
+The files are committed, so the trajectory accumulates in git history:
+``git log -p BENCH_serving.json`` *is* the performance timeline.  Keep the
+payloads small (headline numbers, not raw samples) — they are diffs first,
+data files second.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["record_bench"]
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def record_bench(name: str, payload: Mapping[str, Any]) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root; returns the path.
+
+    ``payload`` must be JSON-serializable.  A metadata envelope (benchmark
+    name, UTC timestamp, python/platform) is added around it so historical
+    entries remain interpretable.
+    """
+    if not name or any(c in name for c in "/\\"):
+        raise ValueError("bench name must be a non-empty path-free identifier")
+    path = _REPO_ROOT / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "summary": dict(payload),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -39,6 +39,7 @@ import threading
 
 import numpy as np
 import pytest
+from _record import record_bench
 from conftest import register_report
 
 from repro.analysis.reporting import format_table
@@ -288,3 +289,23 @@ def test_zz_report():
             f"0 abandoned"
         )
     register_report("serving saturation under open-loop load", "\n".join(lines))
+    record_bench(
+        "serving",
+        {
+            "corpus_rows": CORPUS_ROWS,
+            "dimension": DIMENSION,
+            "workers": WORKERS,
+            "saturation_qps": round(baseline["saturation_qps"], 2),
+            "unloaded_p50_ms": round(baseline["unloaded_p50_ms"], 3),
+            "unloaded_p99_ms": round(baseline["unloaded_p99_ms"], 3),
+            "phases": [
+                {"phase": label, **{k: (round(v, 3) if isinstance(v, float) else v)
+                                    for k, v in report.to_dict().items()}}
+                for label, report in baseline["phases"]
+            ],
+            "overload_queue_depth": baseline.get("overload_queue_depth"),
+            "calibration": {
+                k: round(v, 2) for k, v in baseline.get("calibration", {}).items()
+            },
+        },
+    )

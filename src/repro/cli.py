@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the workflows a downstream user needs most often::
+Nine subcommands cover the workflows a downstream user needs most often::
 
     python -m repro.cli evaluate    --dataset glove-small --index-type HNSW
     python -m repro.cli tune        --dataset glove-small --iterations 50 --recall-floor 0.9
@@ -8,6 +8,7 @@ Eight subcommands cover the workflows a downstream user needs most often::
     python -m repro.cli tune-online --dataset glove-small --drift shift --seed 0
     python -m repro.cli scenario-matrix --output matrix.json
     python -m repro.cli serve       --preload glove-small --port 8421 --data-dir /var/lib/vdms
+    python -m repro.cli tune-tenants --tenant-config tenants.json --budget 40
     python -m repro.cli recover     --data-dir /var/lib/vdms
     python -m repro.cli loadgen     --url http://127.0.0.1:8421 --qps 50 --duration 5
 
@@ -43,6 +44,15 @@ achieved QPS, latency quantiles and the shed rate (see :mod:`repro.serving`).
 checkpoints under ``DIR``; existing collections are recovered before the
 socket binds) and ``recover`` performs the same recovery offline, reporting
 what each collection's WAL and checkpoint rebuilt.
+
+``serve --tenant-config FILE`` makes the server multi-tenant: each tenant
+(= collection) gets its own bounded queue drained by weighted-fair (stride)
+scheduling (``--scheduling fifo`` replays the old shared queue), its own
+SLO and optionally its own ``SystemConfig`` override.  ``tune-tenants``
+runs one SLO-constrained online tuner per tenant under a shared evaluation
+budget — each recall floor drives constrained acquisition, a declared cost
+budget switches that tenant to the QP$ objective — and exits non-zero if
+any tenant misses its floor.
 """
 
 from __future__ import annotations
@@ -61,7 +71,8 @@ from repro.config import build_milvus_space, default_configuration
 from repro.config.milvus_space import INDEX_TYPES
 from repro.core import ObjectiveSpec, VDTuner, VDTunerSettings
 from repro.datasets import DATASET_NAMES
-from repro.vdms.errors import InvalidConfigurationError
+from repro.serving.admission import SCHEDULING_POLICIES
+from repro.vdms.errors import DurabilityError, InvalidConfigurationError
 from repro.vdms.system_config import SystemConfig
 from repro.workloads import VDMSTuningEnvironment
 
@@ -286,7 +297,47 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["off", "wal", "wal+checkpoint"],
                        help="durability tier used with --data-dir (default: "
                        "wal+checkpoint when --data-dir is given)")
+    serve.add_argument("--scheduling", default="fair", choices=list(SCHEDULING_POLICIES),
+                       help="admission scheduling policy: 'fair' drains per-tenant "
+                       "bounded queues by weighted-fair (stride) scheduling; 'fifo' "
+                       "replays the single shared queue in arrival order")
+    serve.add_argument("--tenant-config", default=None, metavar="FILE",
+                       help="JSON tenant-config file: per-tenant fair-scheduling "
+                       "weight, queue depth, SLO (recall floor / p99 target / cost "
+                       "budget) and SystemConfig override; tenants are registered "
+                       "before the socket binds")
     serve.add_argument("--seed", type=int, default=0, help="random seed")
+
+    tune_tenants = subparsers.add_parser(
+        "tune-tenants",
+        help="run SLO-constrained online tuners for several tenants under one "
+        "shared evaluation budget",
+    )
+    tune_tenants.add_argument("--tenant-config", required=True, metavar="FILE",
+                              help="JSON tenant-config file; each tenant's SLO "
+                              "(recall floor / cost budget) becomes its constrained "
+                              "tuning objective, its weight its share of the budget")
+    tune_tenants.add_argument("--dataset", default="glove-small",
+                              choices=sorted(DATASET_NAMES),
+                              help="dataset every tenant's environment replays")
+    tune_tenants.add_argument("--steps", type=int, default=12, metavar="N",
+                              help="per-tenant online steps (tune + serve)")
+    tune_tenants.add_argument("--retune-budget", type=int, default=6, metavar="N",
+                              help="evaluations per tenant's tuning episode")
+    tune_tenants.add_argument("--budget", type=int, default=None, metavar="N",
+                              help="shared evaluation budget across all tenants "
+                              "(default: the sum of per-tenant steps, i.e. no "
+                              "contention)")
+    tune_tenants.add_argument("--tuner", default="vdtuner",
+                              help="tuner registry name used for every tenant")
+    tune_tenants.add_argument("--attained-penalty", type=float, default=4.0,
+                              metavar="F",
+                              help="how much faster an SLO-attained tenant's "
+                              "scheduling pass advances (>= 1; higher steers the "
+                              "remaining budget toward out-of-contract tenants)")
+    tune_tenants.add_argument("--seed", type=int, default=0, help="random seed")
+    tune_tenants.add_argument("--json", action="store_true",
+                              help="print the per-tenant summary as JSON")
 
     recover = subparsers.add_parser(
         "recover",
@@ -802,6 +853,21 @@ def _validate_serve_args(args: argparse.Namespace) -> None:
             f"--durability-mode {args.durability_mode} requires --data-dir: "
             "the write-ahead log needs a directory to live in"
         )
+    if args.tenant_config is not None and not os.path.isfile(args.tenant_config):
+        _fail(
+            f"--tenant-config {args.tenant_config!r} does not exist; "
+            "point it at a JSON file mapping tenant names to specs"
+        )
+
+
+def _load_tenant_specs(path: str):
+    """Parse a ``--tenant-config`` file, mapping errors onto actionable exits."""
+    from repro.serving import load_tenant_config
+
+    try:
+        return load_tenant_config(path)
+    except (OSError, ValueError) as error:
+        _fail(f"--tenant-config {path!r}: {error}")
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -819,18 +885,34 @@ def _command_serve(args: argparse.Namespace) -> int:
         backend = VectorDBServer(
             SystemConfig(durability_mode=durability_mode), data_dir=args.data_dir
         )
-    frontend = ServingFrontend(
-        backend=backend,
-        config=ServingConfig(
-            host=args.host,
-            port=args.port,
-            queue_depth=args.queue_depth,
-            workers=args.serve_workers,
-            default_deadline_ms=args.default_deadline_ms,
-            drain_timeout_seconds=args.drain_timeout,
-            data_dir=args.data_dir,
-        ),
-    )
+    tenants = ()
+    if args.tenant_config is not None:
+        tenants = tuple(_load_tenant_specs(args.tenant_config).values())
+    try:
+        frontend = ServingFrontend(
+            backend=backend,
+            config=ServingConfig(
+                host=args.host,
+                port=args.port,
+                queue_depth=args.queue_depth,
+                workers=args.serve_workers,
+                default_deadline_ms=args.default_deadline_ms,
+                drain_timeout_seconds=args.drain_timeout,
+                data_dir=args.data_dir,
+                scheduling=args.scheduling,
+                tenants=tenants,
+            ),
+        )
+    except (ValueError, DurabilityError) as error:
+        _fail(f"--tenant-config {args.tenant_config!r}: {error}")
+    for spec in tenants:
+        print(
+            f"tenant {spec.name!r}: weight={spec.weight:g} "
+            f"queue_depth={spec.queue_depth if spec.queue_depth is not None else args.queue_depth} "
+            f"slo={spec.slo.to_dict()} "
+            f"system_config={'override' if spec.system_config is not None else 'default'}",
+            flush=True,
+        )
     if args.preload is not None:
         from repro.datasets import load_dataset
 
@@ -870,7 +952,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         )
     print(
         f"serving on {frontend.url} "
-        f"(queue_depth={args.queue_depth}, workers={args.serve_workers}); "
+        f"(queue_depth={args.queue_depth}, workers={args.serve_workers}, "
+        f"scheduling={args.scheduling}); "
         "SIGTERM/SIGINT drains gracefully",
         flush=True,
     )
@@ -884,6 +967,107 @@ def _command_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     return 0 if drained else 1
+
+
+def _validate_tune_tenants_args(args: argparse.Namespace) -> None:
+    """Reject contradictory ``tune-tenants`` flags with actionable messages."""
+    if args.steps < 1:
+        _fail(f"--steps must be >= 1 (got {args.steps})")
+    if args.retune_budget < 1:
+        _fail(f"--retune-budget must be >= 1 (got {args.retune_budget})")
+    if args.retune_budget > args.steps:
+        _fail(
+            f"--retune-budget {args.retune_budget} exceeds --steps {args.steps}: "
+            "an episode cannot evaluate more configurations than the tenant "
+            "has steps"
+        )
+    if args.budget is not None and args.budget < 1:
+        _fail(
+            f"--budget must be >= 1 (got {args.budget}); drop the flag to give "
+            "every tenant its full per-tenant budget"
+        )
+    if not args.attained_penalty >= 1.0:
+        _fail(
+            f"--attained-penalty must be >= 1 (got {args.attained_penalty}); "
+            "1 treats attained and unattained tenants alike"
+        )
+    if not os.path.isfile(args.tenant_config):
+        _fail(
+            f"--tenant-config {args.tenant_config!r} does not exist; "
+            "point it at a JSON file mapping tenant names to specs"
+        )
+
+
+def _command_tune_tenants(args: argparse.Namespace) -> int:
+    from repro.core.multi_tenant import MultiTenantTuner, TenantTunerSpec
+    from repro.core.online import OnlineTunerSettings
+    from repro.datasets import load_dataset
+
+    _validate_tune_tenants_args(args)
+    tenant_specs = _load_tenant_specs(args.tenant_config)
+    dataset = load_dataset(args.dataset)
+    specs = [
+        TenantTunerSpec(
+            name=spec.name,
+            environment=VDMSTuningEnvironment(dataset, seed=args.seed + index),
+            slo=spec.slo,
+            weight=spec.weight,
+            tuner=args.tuner,
+            settings=OnlineTunerSettings(
+                total_steps=args.steps,
+                retune_budget=args.retune_budget,
+                seed=args.seed + index,
+            ),
+        )
+        for index, spec in enumerate(tenant_specs.values())
+    ]
+    tuner = MultiTenantTuner(
+        specs, budget=args.budget, attained_penalty=args.attained_penalty
+    )
+    report = tuner.run()
+    attained_all = all(report.attained.values())
+    if args.json:
+        print(json.dumps(report.summary(), indent=2, sort_keys=True))
+        return 0 if attained_all else 1
+    summary = report.summary()
+    rows = []
+    for name in sorted(summary["tenants"]):
+        entry = summary["tenants"][name]
+        slo = tenant_specs[name].slo
+        incumbent = entry["incumbent"] or {}
+        rows.append(
+            [
+                name,
+                f"{slo.recall_floor:.2f}" if slo.recall_floor > 0 else "-",
+                "QP$" if slo.cost_budget is not None else "QPS",
+                f"{tenant_specs[name].weight:g}",
+                entry["evaluations"],
+                "yes" if entry["attained"] else "NO",
+                incumbent.get("index_type", "-"),
+                f"{entry['final_recall']:.4f}" if entry["final_recall"] is not None else "-",
+                f"{entry['final_speed']:.1f}" if entry["final_speed"] is not None else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["tenant", "recall floor", "objective", "weight", "evals", "attained",
+             "incumbent index", "final recall", "final speed"],
+            rows,
+            title=(
+                f"SLO-constrained multi-tenant tuning on {args.dataset} "
+                f"(budget {summary['budget']['used']}/{summary['budget']['total']}, "
+                f"tuner {args.tuner})"
+            ),
+        )
+    )
+    if not attained_all:
+        missed = sorted(name for name, ok in report.attained.items() if not ok)
+        print(
+            f"warning: {', '.join(missed)} did not attain their SLO within the "
+            "budget; raise --budget or --steps, or relax the floor",
+            file=sys.stderr,
+        )
+    return 0 if attained_all else 1
 
 
 def _command_recover(args: argparse.Namespace) -> int:
@@ -1044,6 +1228,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tune-online": _command_tune_online,
         "scenario-matrix": _command_scenario_matrix,
         "serve": _command_serve,
+        "tune-tenants": _command_tune_tenants,
         "recover": _command_recover,
         "loadgen": _command_loadgen,
     }

@@ -25,11 +25,15 @@ from repro.core.online import (
 )
 from repro.core.preference import PreferenceStageResult, run_preference_sequence
 from repro.core.cost_aware import CostComparison, compare_cost_vs_speed, cost_effectiveness_objective
+from repro.core.multi_tenant import MultiTenantReport, MultiTenantTuner, TenantTunerSpec
 
 __all__ = [
     "ConfigurationRecommender",
     "CostComparison",
     "CusumDriftDetector",
+    "MultiTenantReport",
+    "MultiTenantTuner",
+    "TenantTunerSpec",
     "OnlineReport",
     "OnlineTuner",
     "OnlineTunerSettings",

@@ -200,6 +200,9 @@ class StepRecord:
         Whether the evaluation failed.
     replay_seconds:
         Cumulative simulated replay clock after this step.
+    latency_p99_ms:
+        The p99 per-query latency the replayer measured at this step, or
+        ``None`` when unavailable — what latency SLOs are checked against.
     """
 
     step: int
@@ -211,6 +214,7 @@ class StepRecord:
     recall: float
     failed: bool
     replay_seconds: float
+    latency_p99_ms: float | None = None
 
     @property
     def score(self) -> float:
@@ -432,6 +436,13 @@ class OnlineTuner:
         self.tuner_settings = tuner_settings
         self.evaluator = evaluator
         self._episodes = 0
+        #: The configuration most recently elected for serving (``None``
+        #: until the first tuning episode completes).
+        self.incumbent: dict[str, Any] | None = None
+        self._records: list[StepRecord] = []
+        self._knowledge = ObservationHistory()
+        self._detections: list[int] = []
+        self._retunes: list[dict[str, Any]] = []
 
     # -- episode plumbing ---------------------------------------------------------------
 
@@ -512,8 +523,17 @@ class OnlineTuner:
 
     # -- the loop -------------------------------------------------------------------------
 
-    def run(self) -> OnlineReport:
-        """Run the online loop for ``total_steps`` evaluations."""
+    def iterate(self):
+        """Generator form of the online loop, yielding after every batch.
+
+        Each ``next()`` advances the loop by one evaluation batch (one
+        serving re-measurement, or up to ``batch_size`` tuning evaluations)
+        and yields the list of fresh :class:`StepRecord` entries.  The loop
+        state lives on the instance, so :meth:`build_report` is valid at any
+        yield point — this is what lets a multi-tenant scheduler interleave
+        many tenants' loops step by step under one shared evaluation budget
+        (:class:`repro.core.multi_tenant.MultiTenantTuner`).
+        """
         settings = self.settings
         detector = CusumDriftDetector(
             threshold=settings.detector_threshold,
@@ -524,6 +544,10 @@ class OnlineTuner:
         knowledge = ObservationHistory()
         detections: list[int] = []
         retunes: list[dict[str, Any]] = [{"step": 1, "warm": False}]
+        self._records = records
+        self._knowledge = knowledge
+        self._detections = detections
+        self._retunes = retunes
 
         tuner = self._new_tuner(None)
         mode = "tune"
@@ -551,11 +575,17 @@ class OnlineTuner:
                     recall=observation.recall,
                     failed=observation.failed,
                     replay_seconds=self.environment.elapsed_replay_seconds,
+                    latency_p99_ms=(
+                        float(result.breakdown["latency_p99_ms"])
+                        if "latency_p99_ms" in getattr(result, "breakdown", {})
+                        else None
+                    ),
                 )
             )
 
         space = self.environment.space
         while step < settings.total_steps:
+            produced_from = len(records)
             if mode == "tune":
                 q = min(settings.batch_size, tune_remaining, settings.total_steps - step)
                 if revalidation:
@@ -582,6 +612,7 @@ class OnlineTuner:
                 if tune_remaining <= 0:
                     episode = ObservationHistory(knowledge.observations[episode_start:])
                     incumbent = self._incumbent(episode)
+                    self.incumbent = dict(incumbent)
                     revalidation = []
                     mode = "serve"
                     detector.reset()
@@ -596,6 +627,7 @@ class OnlineTuner:
                     if step >= settings.total_steps:
                         # The alarm is on record, but there is no budget left
                         # to act on it.
+                        yield records[produced_from:]
                         continue
                     bootstrap: ObservationHistory | None = None
                     revalidation = []
@@ -618,14 +650,23 @@ class OnlineTuner:
                     retunes.append({"step": step + 1, "warm": settings.warm_start})
                     mode = "tune"
                     tune_remaining = settings.retune_budget
+            yield records[produced_from:]
 
+    def build_report(self) -> OnlineReport:
+        """The report over everything evaluated so far (valid mid-run)."""
         return OnlineReport(
-            records=records,
+            records=list(self._records),
             phase_log=list(getattr(self.environment, "phase_log", [(0, 1)])),
-            detections=detections,
-            retunes=retunes,
-            history=knowledge,
-            settings=settings,
+            detections=list(self._detections),
+            retunes=[dict(entry) for entry in self._retunes],
+            history=self._knowledge,
+            settings=self.settings,
             objective=self.objective,
             tuner_name=self.tuner_name,
         )
+
+    def run(self) -> OnlineReport:
+        """Run the online loop for ``total_steps`` evaluations."""
+        for _ in self.iterate():
+            pass
+        return self.build_report()

@@ -1,4 +1,4 @@
-"""Admission control: a bounded queue, deadlines and load shedding.
+"""Admission control: per-tenant bounded queues, deadlines and fair scheduling.
 
 The serving front-end must degrade *predictably* under overload.  An
 unbounded queue degrades unpredictably: every queued request eventually
@@ -7,17 +7,30 @@ long ago still consume server work.  The :class:`AdmissionController`
 implements the standard counter-measures in one place, decoupled from the
 HTTP layer so they are unit-testable with plain callables:
 
-* **Bounded queue** — at most ``queue_depth`` requests wait for execution;
-  a submission against a full queue is *shed* immediately
-  (:class:`QueueFullError`, surfaced as HTTP 429).  Shedding costs
-  microseconds, so the server stays responsive precisely when it is
-  overloaded.
+* **Bounded queues** — each tenant owns a bounded queue; a submission
+  against a full queue is *shed* immediately (:class:`QueueFullError`,
+  surfaced as HTTP 429).  Shedding costs microseconds, so the server stays
+  responsive precisely when it is overloaded.  Under the ``"fifo"`` policy
+  the bound is global (the pre-multi-tenant behavior); under ``"fair"`` each
+  tenant is bounded independently, so one tenant's backlog cannot consume
+  another tenant's queue slots.
+* **Weighted-fair scheduling** — workers drain the tenant queues by stride
+  scheduling: each tenant carries a *pass* value advanced by
+  ``1 / weight`` per dequeue, and workers always pick the backlogged tenant
+  with the smallest pass.  A tenant with weight 2 receives twice the service
+  of a tenant with weight 1 while both are backlogged; an idle tenant's pass
+  is re-synchronized on re-arrival so sleeping never accumulates credit.
+  With a single tenant the dequeue order is exactly FIFO.
 * **Per-request deadlines** — a request may carry an absolute deadline
   (``time.monotonic()`` domain).  Workers check it when they *dequeue* the
   request: if the deadline passed while the request waited, executing it
   would waste service capacity on an answer the client no longer wants, so
   it is rejected (:class:`DeadlineExceededError`, surfaced as HTTP 504)
   without touching the backend.
+* **Eviction** — :meth:`AdmissionController.fail_tenant` atomically fails
+  every *queued* request of one tenant (:class:`TenantEvictedError`,
+  surfaced as HTTP 409).  This is the drop-collection path: workers must
+  never dequeue a request against a collection that no longer exists.
 * **Graceful drain** — :meth:`AdmissionController.drain` flips the
   controller into a draining state (new submissions raise
   :class:`ServerDrainingError`, surfaced as HTTP 503), waits until every
@@ -25,8 +38,10 @@ HTTP layer so they are unit-testable with plain callables:
   Admitted work is a promise: drain never abandons it.
 
 Execution happens on a fixed pool of ``workers`` threads, so the controller
-also bounds concurrency — the queue absorbs bursts, the workers bound the
-parallel load on the backend.
+also bounds concurrency — the queues absorb bursts, the workers bound the
+parallel load on the backend.  Every tenant keeps a full admission ledger
+(:class:`AdmissionSnapshot`), and the controller-wide ledger is the exact
+sum of the per-tenant ledgers.
 """
 
 from __future__ import annotations
@@ -34,18 +49,27 @@ from __future__ import annotations
 import concurrent.futures
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from queue import Empty, Full, Queue
 from typing import Any, Callable
 
 __all__ = [
     "AdmissionController",
     "AdmissionError",
     "AdmissionSnapshot",
+    "DEFAULT_TENANT",
     "DeadlineExceededError",
     "QueueFullError",
+    "SCHEDULING_POLICIES",
     "ServerDrainingError",
+    "TenantEvictedError",
 ]
+
+#: Tenant requests are attributed to when the caller does not name one.
+DEFAULT_TENANT = "__default__"
+
+#: Recognized worker-pool scheduling policies.
+SCHEDULING_POLICIES = ("fair", "fifo")
 
 
 class AdmissionError(RuntimeError):
@@ -64,9 +88,18 @@ class ServerDrainingError(AdmissionError):
     """The controller is draining or closed; no new work is admitted (HTTP 503)."""
 
 
+class TenantEvictedError(AdmissionError):
+    """The request's tenant was evicted while the request was queued (HTTP 409)."""
+
+
 @dataclass(frozen=True)
 class AdmissionSnapshot:
-    """A consistent snapshot of the controller's counters.
+    """A consistent snapshot of an admission ledger.
+
+    The controller-wide snapshot (:meth:`AdmissionController.stats`) and the
+    per-tenant snapshots (:meth:`AdmissionController.tenant_stats`) share
+    this shape; the controller-wide counters are the sums of the per-tenant
+    ones.
 
     Attributes
     ----------
@@ -91,6 +124,9 @@ class AdmissionSnapshot:
         High-water mark of ``queue_depth`` since start.
     draining:
         Whether :meth:`AdmissionController.drain` has been initiated.
+    evicted:
+        Admitted requests failed by :meth:`AdmissionController.fail_tenant`
+        while still queued (409s).
     """
 
     admitted: int
@@ -103,6 +139,7 @@ class AdmissionSnapshot:
     in_flight: int
     max_queue_depth: int
     draining: bool
+    evicted: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form for the ``/stats`` endpoint."""
@@ -113,6 +150,7 @@ class AdmissionSnapshot:
             "expired": self.expired,
             "served": self.served,
             "failed": self.failed,
+            "evicted": self.evicted,
             "queue_depth": self.queue_depth,
             "in_flight": self.in_flight,
             "max_queue_depth": self.max_queue_depth,
@@ -120,11 +158,51 @@ class AdmissionSnapshot:
         }
 
 
-_STOP = object()
+class _TenantState:
+    """One tenant's queue, stride-scheduling state and admission ledger."""
+
+    __slots__ = (
+        "name",
+        "weight",
+        "queue_depth",
+        "jobs",
+        "pass_value",
+        "admitted",
+        "shed",
+        "rejected",
+        "expired",
+        "served",
+        "failed",
+        "evicted",
+        "in_flight",
+        "max_queue_depth",
+    )
+
+    def __init__(self, name: str, weight: float, queue_depth: int) -> None:
+        self.name = name
+        self.weight = weight
+        self.queue_depth = queue_depth
+        self.jobs: deque = deque()
+        self.pass_value = 0.0
+        self.admitted = 0
+        self.shed = 0
+        self.rejected = 0
+        self.expired = 0
+        self.served = 0
+        self.failed = 0
+        self.evicted = 0
+        self.in_flight = 0
+        self.max_queue_depth = 0
 
 
 class AdmissionController:
-    """Bounded-queue executor with deadlines, shedding and graceful drain.
+    """Per-tenant bounded queues drained by a weighted-fair worker pool.
+
+    ``policy`` selects how the shared workers pick the next request:
+    ``"fair"`` (the default) is stride scheduling over the per-tenant
+    queues — with a single tenant it degenerates to exact FIFO — while
+    ``"fifo"`` replays the pre-multi-tenant behavior: one global arrival
+    order, one global queue bound, no isolation.
 
     Examples
     --------
@@ -141,27 +219,32 @@ class AdmissionController:
         *,
         queue_depth: int = 64,
         workers: int = 2,
+        policy: str = "fair",
         thread_name_prefix: str = "repro-serve",
     ) -> None:
         if int(queue_depth) < 1:
             raise ValueError("queue_depth must be >= 1")
         if int(workers) < 1:
             raise ValueError("workers must be >= 1")
+        if policy not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {policy!r}; expected one of {SCHEDULING_POLICIES}"
+            )
         self.queue_depth = int(queue_depth)
         self.workers = int(workers)
-        self._queue: Queue = Queue(maxsize=self.queue_depth)
+        self.policy = policy
+        self._tenants: dict[str, _TenantState] = {}
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
-        self._admitted = 0
-        self._shed = 0
-        self._rejected = 0
-        self._expired = 0
-        self._served = 0
-        self._failed = 0
+        self._work = threading.Condition(self._lock)
+        self._arrival_seq = 0
+        self._global_pass = 0.0
+        self._total_queued = 0
         self._in_flight = 0
         self._max_queue_depth = 0
         self._draining = False
         self._closed = False
+        self._stopped = False
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -173,6 +256,48 @@ class AdmissionController:
         for thread in self._threads:
             thread.start()
 
+    # -- tenants ------------------------------------------------------------------
+
+    def register_tenant(
+        self,
+        name: str,
+        *,
+        weight: float = 1.0,
+        queue_depth: int | None = None,
+    ) -> None:
+        """Create or update a tenant's scheduling weight and queue bound.
+
+        Unknown tenants are registered implicitly (weight 1, controller
+        queue depth) on first submission, so registration is only needed to
+        set non-default limits.  Updating an existing tenant keeps its
+        ledger and any queued work.
+        """
+        weight = float(weight)
+        if not weight > 0.0:
+            raise ValueError("tenant weight must be positive")
+        depth = self.queue_depth if queue_depth is None else int(queue_depth)
+        if depth < 1:
+            raise ValueError("tenant queue_depth must be >= 1")
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is None:
+                self._tenants[name] = _TenantState(name, weight, depth)
+            else:
+                state.weight = weight
+                state.queue_depth = depth
+
+    def tenant_names(self) -> list[str]:
+        """Names of every tenant with an admission ledger (sorted)."""
+        with self._lock:
+            return sorted(self._tenants)
+
+    def _tenant_locked(self, name: str) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = _TenantState(name, 1.0, self.queue_depth)
+            self._tenants[name] = state
+        return state
+
     # -- submission ---------------------------------------------------------------
 
     def submit(
@@ -180,35 +305,54 @@ class AdmissionController:
         fn: Callable[..., Any],
         *args: Any,
         deadline: float | None = None,
+        tenant: str | None = None,
         **kwargs: Any,
     ) -> concurrent.futures.Future:
         """Admit ``fn(*args, **kwargs)`` for execution, or reject it now.
 
         ``deadline`` is an absolute ``time.monotonic()`` instant; ``None``
-        means the request waits however long it takes.  Raises
+        means the request waits however long it takes.  ``tenant`` names the
+        admission ledger and fair-scheduling queue the request is accounted
+        to (default: the shared :data:`DEFAULT_TENANT`).  Raises
         :class:`ServerDrainingError` when draining, :class:`QueueFullError`
         when the bounded queue is full.  The returned future resolves to the
-        callable's result, its exception, or :class:`DeadlineExceededError`
-        if the deadline passed before a worker picked the request up.
+        callable's result, its exception, :class:`DeadlineExceededError` if
+        the deadline passed before a worker picked the request up, or
+        :class:`TenantEvictedError` if the tenant was evicted first.
         """
         future: concurrent.futures.Future = concurrent.futures.Future()
-        job = (fn, args, kwargs, deadline, future)
         with self._lock:
+            state = self._tenant_locked(tenant if tenant is not None else DEFAULT_TENANT)
             if self._draining:
-                self._rejected += 1
+                state.rejected += 1
                 raise ServerDrainingError("server is draining; not accepting new requests")
-            try:
-                self._queue.put_nowait(job)
-            except Full:
-                self._shed += 1
+            if self.policy == "fifo":
+                full = self._total_queued >= self.queue_depth
+                capacity = self.queue_depth
+            else:
+                full = len(state.jobs) >= state.queue_depth
+                capacity = state.queue_depth
+            if full:
+                state.shed += 1
                 raise QueueFullError(
-                    f"request queue is full ({self.queue_depth} waiting); request shed"
-                ) from None
-            self._admitted += 1
+                    f"request queue is full ({capacity} waiting); request shed"
+                )
+            if not state.jobs:
+                # A tenant returning from idle must not spend credit it
+                # accumulated while asleep: re-sync its pass to the global
+                # virtual time so fairness is measured from *now*.
+                state.pass_value = max(state.pass_value, self._global_pass)
+            self._arrival_seq += 1
+            state.jobs.append((self._arrival_seq, fn, args, kwargs, deadline, future))
+            state.admitted += 1
+            state.in_flight += 1
             self._in_flight += 1
-            depth = self._queue.qsize()
-            if depth > self._max_queue_depth:
-                self._max_queue_depth = depth
+            self._total_queued += 1
+            if len(state.jobs) > state.max_queue_depth:
+                state.max_queue_depth = len(state.jobs)
+            if self._total_queued > self._max_queue_depth:
+                self._max_queue_depth = self._total_queued
+            self._work.notify()
         return future
 
     # -- introspection ------------------------------------------------------------
@@ -216,28 +360,104 @@ class AdmissionController:
     @property
     def current_queue_depth(self) -> int:
         """Requests currently waiting for a worker (approximate under races)."""
-        return self._queue.qsize()
+        return self._total_queued
 
     @property
     def draining(self) -> bool:
         """Whether drain has been initiated."""
         return self._draining
 
+    def _snapshot_locked(self, state: _TenantState) -> AdmissionSnapshot:
+        return AdmissionSnapshot(
+            admitted=state.admitted,
+            shed=state.shed,
+            rejected=state.rejected,
+            expired=state.expired,
+            served=state.served,
+            failed=state.failed,
+            evicted=state.evicted,
+            queue_depth=len(state.jobs),
+            in_flight=state.in_flight,
+            max_queue_depth=state.max_queue_depth,
+            draining=self._draining,
+        )
+
     def stats(self) -> AdmissionSnapshot:
-        """A consistent snapshot of the counters."""
+        """A consistent controller-wide snapshot (sum of the tenant ledgers)."""
         with self._lock:
+            tenants = list(self._tenants.values())
             return AdmissionSnapshot(
-                admitted=self._admitted,
-                shed=self._shed,
-                rejected=self._rejected,
-                expired=self._expired,
-                served=self._served,
-                failed=self._failed,
-                queue_depth=self._queue.qsize(),
+                admitted=sum(s.admitted for s in tenants),
+                shed=sum(s.shed for s in tenants),
+                rejected=sum(s.rejected for s in tenants),
+                expired=sum(s.expired for s in tenants),
+                served=sum(s.served for s in tenants),
+                failed=sum(s.failed for s in tenants),
+                evicted=sum(s.evicted for s in tenants),
+                queue_depth=self._total_queued,
                 in_flight=self._in_flight,
                 max_queue_depth=self._max_queue_depth,
                 draining=self._draining,
             )
+
+    def tenant_stats(self, name: str) -> AdmissionSnapshot:
+        """One tenant's admission ledger (a zero ledger for unknown tenants)."""
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is None:
+                state = _TenantState(name, 1.0, self.queue_depth)
+            return self._snapshot_locked(state)
+
+    def tenant_payload(self, name: str) -> dict[str, Any]:
+        """One tenant's ledger plus its scheduling parameters, as a dict."""
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is None:
+                state = _TenantState(name, 1.0, self.queue_depth)
+            payload = self._snapshot_locked(state).to_dict()
+            payload["weight"] = state.weight
+            payload["queue_capacity"] = state.queue_depth
+            return payload
+
+    def all_tenant_payloads(self) -> dict[str, dict[str, Any]]:
+        """Every tenant's :meth:`tenant_payload`, keyed by tenant name."""
+        with self._lock:
+            result = {}
+            for name, state in sorted(self._tenants.items()):
+                payload = self._snapshot_locked(state).to_dict()
+                payload["weight"] = state.weight
+                payload["queue_capacity"] = state.queue_depth
+                result[name] = payload
+            return result
+
+    # -- eviction -----------------------------------------------------------------
+
+    def fail_tenant(self, name: str, reason: str | None = None) -> int:
+        """Fail every *queued* request of one tenant, atomically.
+
+        Requests already executing on a worker are allowed to finish (they
+        hold a live reference to whatever backend object they need);
+        everything still waiting resolves to :class:`TenantEvictedError`.
+        Returns the number of evicted requests.  The tenant's ledger stays
+        queryable afterwards — eviction is an outcome, not an erasure.
+        """
+        message = reason or f"tenant {name!r} was evicted while the request was queued"
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is None:
+                return 0
+            evicted = list(state.jobs)
+            state.jobs.clear()
+            count = len(evicted)
+            state.evicted += count
+            state.in_flight -= count
+            self._in_flight -= count
+            self._total_queued -= count
+            if self._in_flight == 0:
+                self._idle.notify_all()
+        for _seq, _fn, _args, _kwargs, _deadline, future in evicted:
+            future.set_exception(TenantEvictedError(message))
+        return count
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -246,10 +466,10 @@ class AdmissionController:
 
         Returns ``True`` when every admitted request completed within
         ``timeout`` seconds (``None`` waits forever).  Even on timeout the
-        workers are stopped — after their current request — so the method
-        always leaves the controller closed; it never abandons a request
-        silently (``False`` tells the caller in-flight work remained).
-        Idempotent: later calls return immediately.
+        workers are stopped — after finishing the remaining queued work —
+        so the method always leaves the controller closed; it never abandons
+        a request silently (``False`` tells the caller in-flight work
+        remained).  Idempotent: later calls return immediately.
         """
         with self._lock:
             already_closed = self._closed
@@ -263,15 +483,12 @@ class AdmissionController:
                     self._idle.wait(timeout=remaining)
                 drained = self._in_flight == 0
                 self._closed = True
+                self._stopped = True
+                self._work.notify_all()
             else:
                 drained = self._in_flight == 0
         if already_closed:
             return drained
-        for _ in self._threads:
-            # Blocking put: with in-flight work remaining (timeout path) the
-            # queue may be full, but workers keep consuming, so the sentinel
-            # lands as soon as a slot frees up.
-            self._queue.put(_STOP)
         for thread in self._threads:
             thread.join(timeout=5.0)
         return drained
@@ -282,29 +499,62 @@ class AdmissionController:
 
     # -- workers ------------------------------------------------------------------
 
-    def _finish(self, outcome: str) -> None:
+    def _pop_next_locked(self) -> tuple | None:
+        """Pick the next job per the scheduling policy (caller holds the lock)."""
+        best: _TenantState | None = None
+        if self.policy == "fifo":
+            best_seq = None
+            for state in self._tenants.values():
+                if not state.jobs:
+                    continue
+                seq = state.jobs[0][0]
+                if best_seq is None or seq < best_seq:
+                    best_seq = seq
+                    best = state
+        else:
+            best_key = None
+            for state in self._tenants.values():
+                if not state.jobs:
+                    continue
+                key = (state.pass_value, state.name)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = state
+            if best is not None:
+                self._global_pass = best.pass_value
+                best.pass_value += 1.0 / best.weight
+        if best is None:
+            return None
+        job = best.jobs.popleft()
+        self._total_queued -= 1
+        return (*job[1:], best)
+
+    def _finish(self, outcome: str, state: _TenantState) -> None:
         with self._lock:
             if outcome == "served":
-                self._served += 1
+                state.served += 1
             elif outcome == "failed":
-                self._failed += 1
+                state.failed += 1
             else:
-                self._expired += 1
+                state.expired += 1
+            state.in_flight -= 1
             self._in_flight -= 1
             if self._in_flight == 0:
                 self._idle.notify_all()
 
     def _worker_loop(self) -> None:
         while True:
-            try:
-                job = self._queue.get(timeout=1.0)
-            except Empty:
-                continue
-            if job is _STOP:
-                return
-            fn, args, kwargs, deadline, future = job
+            with self._lock:
+                while True:
+                    job = self._pop_next_locked()
+                    if job is not None:
+                        break
+                    if self._stopped:
+                        return
+                    self._work.wait(timeout=1.0)
+            fn, args, kwargs, deadline, future, state = job
             if deadline is not None and time.monotonic() > deadline:
-                self._finish("expired")
+                self._finish("expired", state)
                 future.set_exception(
                     DeadlineExceededError("deadline passed while the request was queued")
                 )
@@ -312,8 +562,8 @@ class AdmissionController:
             try:
                 result = fn(*args, **kwargs)
             except BaseException as error:  # noqa: BLE001 - relayed to the waiter
-                self._finish("failed")
+                self._finish("failed", state)
                 future.set_exception(error)
             else:
-                self._finish("served")
+                self._finish("served", state)
                 future.set_result(result)

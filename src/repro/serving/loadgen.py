@@ -35,7 +35,16 @@ from urllib.parse import urlsplit
 
 import numpy as np
 
-__all__ = ["LoadGenerator", "LoadReport", "measure_saturation", "run_load"]
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "MixedLoadReport",
+    "MultiTenantLoadGenerator",
+    "TenantLoadProfile",
+    "measure_saturation",
+    "run_load",
+    "run_mixed_load",
+]
 
 
 def _percentile(samples: list[float], q: float) -> float:
@@ -387,6 +396,325 @@ def run_load(url: str, collection: str, *, qps: float, duration_seconds: float, 
     """One-shot convenience wrapper around :class:`LoadGenerator`."""
     return LoadGenerator(
         url, collection, qps=qps, duration_seconds=duration_seconds, **kwargs
+    ).run()
+
+
+@dataclass(frozen=True)
+class TenantLoadProfile:
+    """One tenant's share of a mixed multi-tenant traffic schedule.
+
+    Attributes
+    ----------
+    collection:
+        The tenant's collection (and admission-ledger name).
+    qps:
+        The tenant's own Poisson arrival rate.
+    top_k, deadline_ms, use_cache:
+        Per-request search parameters, as in :class:`LoadGenerator`.
+    popularity_skew:
+        Zipf exponent over the tenant's query pool: ``0`` draws queries
+        uniformly, larger values concentrate traffic on a few hot queries
+        (which is what makes the tenant's result cache earn hits).
+    query_pool:
+        Number of distinct queries the tenant draws from.
+    filter:
+        Optional attribute filter forwarded in every search body, as a
+        ``{"field": ..., "op": ..., "value": ...}`` mapping — per-tenant
+        filter profiles exercise completely different execution plans.
+    dimension:
+        Vector dimension; resolved over HTTP when ``None``.
+    """
+
+    collection: str
+    qps: float
+    top_k: int = 10
+    deadline_ms: float | None = None
+    use_cache: bool = True
+    popularity_skew: float = 0.0
+    query_pool: int = 256
+    filter: dict[str, Any] | None = None
+    dimension: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.collection:
+            raise ValueError("collection must be non-empty")
+        if not self.qps > 0:
+            raise ValueError("qps must be positive")
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self.popularity_skew < 0:
+            raise ValueError("popularity_skew must be >= 0")
+        if self.query_pool < 1:
+            raise ValueError("query_pool must be >= 1")
+        if self.deadline_ms is not None and not float(self.deadline_ms) > 0:
+            raise ValueError("deadline_ms must be positive when set")
+
+
+@dataclass
+class MixedLoadReport:
+    """Per-tenant :class:`LoadReport` entries of one mixed open-loop run."""
+
+    tenants: dict[str, LoadReport]
+    duration_seconds: float
+
+    @property
+    def total_sent(self) -> int:
+        """Requests dispatched across all tenants."""
+        return sum(report.sent for report in self.tenants.values())
+
+    @property
+    def total_served(self) -> int:
+        """Requests served across all tenants."""
+        return sum(report.served for report in self.tenants.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for benchmark reports."""
+        return {
+            "duration_seconds": self.duration_seconds,
+            "total_sent": self.total_sent,
+            "total_served": self.total_served,
+            "tenants": {name: report.to_dict() for name, report in self.tenants.items()},
+        }
+
+
+class MultiTenantLoadGenerator:
+    """Mixed multi-tenant open-loop traffic against one front-end.
+
+    Each :class:`TenantLoadProfile` gets its own Poisson arrival schedule at
+    its own rate; the schedules are merged into a single time-ordered
+    dispatch plan served by one shared client worker pool — the same
+    open-loop discipline as :class:`LoadGenerator`, so a burst tenant's
+    arrivals keep coming whether or not the server keeps up, and whatever
+    isolation the server provides (or fails to provide) shows up in the
+    *per-tenant* latency tails and shed counts this generator reports.
+
+    The queue-depth sampler reads each tenant's depth from the ``tenants``
+    map of ``/stats``, so per-tenant backlog growth is auditable too.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        profiles: list[TenantLoadProfile],
+        *,
+        duration_seconds: float,
+        seed: int = 0,
+        sample_stats_every: float | None = 0.1,
+        max_client_threads: int = 64,
+    ) -> None:
+        if not profiles:
+            raise ValueError("at least one tenant profile is required")
+        names = [profile.collection for profile in profiles]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant collections must be unique")
+        if not duration_seconds > 0:
+            raise ValueError("duration_seconds must be positive")
+        if max_client_threads < 1:
+            raise ValueError("max_client_threads must be >= 1")
+        self.url = url.rstrip("/")
+        self.profiles = list(profiles)
+        self.duration_seconds = float(duration_seconds)
+        self.seed = int(seed)
+        self.sample_stats_every = sample_stats_every
+        self.max_client_threads = int(max_client_threads)
+        self._local = threading.local()
+
+    def _client(self) -> _Client:
+        client = getattr(self._local, "client", None)
+        if client is None:
+            client = _Client(self.url)
+            self._local.client = client
+        return client
+
+    def _resolve_dimension(self, profile: TenantLoadProfile) -> int:
+        if profile.dimension is not None:
+            return int(profile.dimension)
+        status, payload = self._client().request(
+            "GET", f"/collections/{profile.collection}"
+        )
+        if status != 200:
+            raise RuntimeError(
+                f"cannot resolve dimension of collection {profile.collection!r}: "
+                f"HTTP {status} {payload.get('error', '')}"
+            )
+        return int(payload["dimension"])
+
+    def run(self) -> MixedLoadReport:
+        """Execute the merged schedule and report per tenant."""
+        rng = np.random.default_rng(self.seed)
+        pools: list[np.ndarray] = []
+        schedules: list[tuple[float, int, int]] = []  # (arrival, tenant, query index)
+        for tenant_index, profile in enumerate(self.profiles):
+            dimension = self._resolve_dimension(profile)
+            pool = rng.normal(size=(profile.query_pool, dimension)).astype(np.float32)
+            pools.append(pool)
+            gaps = rng.exponential(
+                1.0 / profile.qps,
+                size=max(1, int(profile.qps * self.duration_seconds * 2)),
+            )
+            arrivals = np.cumsum(gaps)
+            arrivals = arrivals[arrivals < self.duration_seconds]
+            if profile.popularity_skew > 0.0:
+                ranks = np.arange(1, profile.query_pool + 1, dtype=np.float64)
+                weights = ranks ** (-profile.popularity_skew)
+                weights /= weights.sum()
+                picks = rng.choice(profile.query_pool, size=len(arrivals), p=weights)
+            else:
+                picks = rng.integers(0, profile.query_pool, size=len(arrivals))
+            for arrival, pick in zip(arrivals, picks):
+                schedules.append((float(arrival), tenant_index, int(pick)))
+        schedules.sort()
+
+        lock = threading.Lock()
+        latencies: list[list[float]] = [[] for _ in self.profiles]
+        lags: list[list[float]] = [[] for _ in self.profiles]
+        counts = [
+            {"sent": 0, "served": 0, "shed": 0, "expired": 0, "rejected": 0, "errors": 0}
+            for _ in self.profiles
+        ]
+        depth_samples: list[list[int]] = [[] for _ in self.profiles]
+        stop_sampling = threading.Event()
+
+        def fire(tenant_index: int, query_index: int, scheduled: float, start: float) -> None:
+            profile = self.profiles[tenant_index]
+            body: dict[str, Any] = {
+                "queries": [pools[tenant_index][query_index].tolist()],
+                "top_k": profile.top_k,
+                "use_cache": profile.use_cache,
+            }
+            if profile.deadline_ms is not None:
+                body["deadline_ms"] = float(profile.deadline_ms)
+            if profile.filter is not None:
+                body["filter"] = dict(profile.filter)
+            dispatched = time.monotonic()
+            try:
+                status, _ = self._client().request(
+                    "POST", f"/collections/{profile.collection}/search", body
+                )
+            except Exception:
+                with lock:
+                    counts[tenant_index]["errors"] += 1
+                return
+            finished = time.monotonic()
+            with lock:
+                lags[tenant_index].append((dispatched - start - scheduled) * 1000.0)
+                if status == 200:
+                    counts[tenant_index]["served"] += 1
+                    latencies[tenant_index].append((finished - dispatched) * 1000.0)
+                elif status == 429:
+                    counts[tenant_index]["shed"] += 1
+                elif status == 504:
+                    counts[tenant_index]["expired"] += 1
+                elif status == 503:
+                    counts[tenant_index]["rejected"] += 1
+                else:
+                    counts[tenant_index]["errors"] += 1
+
+        def sample_stats() -> None:
+            client = _Client(self.url)
+            name_to_index = {
+                profile.collection: i for i, profile in enumerate(self.profiles)
+            }
+            try:
+                while not stop_sampling.wait(self.sample_stats_every):
+                    try:
+                        status, payload = client.request("GET", "/stats")
+                    except Exception:
+                        continue
+                    if status != 200:
+                        continue
+                    tenants = payload.get("tenants") or {}
+                    with lock:
+                        for name, index in name_to_index.items():
+                            entry = tenants.get(name)
+                            if entry is not None:
+                                depth_samples[index].append(int(entry.get("queue_depth", 0)))
+            finally:
+                client.close()
+
+        sampler = None
+        if self.sample_stats_every is not None:
+            sampler = threading.Thread(
+                target=sample_stats, name="repro-mixed-loadgen-stats", daemon=True
+            )
+            sampler.start()
+
+        work: queue.Queue = queue.Queue()
+        start_box: list[float] = []
+        ready = threading.Event()
+
+        def worker_loop() -> None:
+            ready.wait(30.0)
+            while True:
+                item = work.get()
+                if item is None:
+                    return
+                tenant_index, query_index, scheduled = item
+                fire(tenant_index, query_index, scheduled, start_box[0])
+
+        workers = [
+            threading.Thread(
+                target=worker_loop, name=f"repro-mixed-loadgen-{slot}", daemon=True
+            )
+            for slot in range(self.max_client_threads)
+        ]
+        for thread in workers:
+            thread.start()
+
+        start = time.monotonic()
+        start_box.append(start)
+        ready.set()
+        for scheduled, tenant_index, query_index in schedules:
+            delay = start + scheduled - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            work.put((tenant_index, query_index, scheduled))
+            with lock:
+                counts[tenant_index]["sent"] += 1
+        for _ in workers:
+            work.put(None)
+        for thread in workers:
+            thread.join(timeout=120.0)
+        elapsed = time.monotonic() - start
+        stop_sampling.set()
+        if sampler is not None:
+            sampler.join(timeout=5.0)
+
+        reports: dict[str, LoadReport] = {}
+        for index, profile in enumerate(self.profiles):
+            tenant_counts = counts[index]
+            samples = depth_samples[index]
+            reports[profile.collection] = LoadReport(
+                offered_qps=profile.qps,
+                duration_seconds=elapsed,
+                sent=tenant_counts["sent"],
+                served=tenant_counts["served"],
+                shed=tenant_counts["shed"],
+                expired=tenant_counts["expired"],
+                rejected=tenant_counts["rejected"],
+                errors=tenant_counts["errors"],
+                achieved_qps=tenant_counts["sent"] / elapsed if elapsed > 0 else 0.0,
+                latency_p50_ms=_percentile(latencies[index], 50),
+                latency_p99_ms=_percentile(latencies[index], 99),
+                latency_p999_ms=_percentile(latencies[index], 99.9),
+                dispatch_lag_p99_ms=_percentile(lags[index], 99),
+                queue_depth_mean=float(np.mean(samples)) if samples else 0.0,
+                queue_depth_max=max(samples) if samples else 0,
+                queue_depth_samples=samples,
+            )
+        return MixedLoadReport(tenants=reports, duration_seconds=elapsed)
+
+
+def run_mixed_load(
+    url: str,
+    profiles: list[TenantLoadProfile],
+    *,
+    duration_seconds: float,
+    **kwargs: Any,
+) -> MixedLoadReport:
+    """One-shot convenience wrapper around :class:`MultiTenantLoadGenerator`."""
+    return MultiTenantLoadGenerator(
+        url, profiles, duration_seconds=duration_seconds, **kwargs
     ).run()
 
 

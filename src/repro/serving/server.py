@@ -35,10 +35,14 @@ method    path                                   action
 ========  =====================================  =====================================
 GET       ``/healthz``                           liveness + draining flag
 GET       ``/stats``                             admission counters + queue depth
+                                                 + per-tenant ledgers
 GET       ``/collections``                       list collection names
 GET       ``/collections/{name}``                dimension/metric/rows/index info
+GET       ``/collections/{name}/stats``          per-tenant admission ledger +
+                                                 collection + cache counters + SLO
 POST      ``/collections``                       create (``name``, ``dimension``, …)
-DELETE    ``/collections/{name}``                drop (stops its maintenance worker)
+DELETE    ``/collections/{name}``                drop (stops its maintenance worker;
+                                                 queued tenant requests get 409)
 POST      ``/collections/{name}/insert``         ``vectors`` (+ optional ``ids``)
 POST      ``/collections/{name}/flush``          seal full segments
 POST      ``/collections/{name}/index``          ``index_type`` + ``params``
@@ -46,7 +50,8 @@ POST      ``/collections/{name}/maintenance``    one compaction/re-index pass
 POST      ``/collections/{name}/checkpoint``     persist segments + truncate WAL
                                                  (durable collections only)
 POST      ``/collections/{name}/search``         ``queries``, ``top_k``
-                                                 (+ ``use_cache``, ``deadline_ms``)
+                                                 (+ ``use_cache``, ``deadline_ms``,
+                                                 ``filter`` {field, op, value})
 ========  =====================================  =====================================
 
 A durable front-end (``ServingConfig.data_dir``, or a backend constructed
@@ -73,12 +78,16 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.serving.admission import (
+    SCHEDULING_POLICIES,
     AdmissionController,
     DeadlineExceededError,
     QueueFullError,
     ServerDrainingError,
+    TenantEvictedError,
 )
+from repro.serving.tenancy import TenantSpec
 from repro.vdms.errors import CollectionNotFoundError, VDMSError
+from repro.vdms.request import AttributeFilter, SearchRequest
 from repro.vdms.server import VectorDBServer
 from repro.vdms.system_config import SystemConfig
 
@@ -113,6 +122,18 @@ class ServingConfig:
         the frontend builds a durable ``VectorDBServer`` over it and
         :meth:`ServingFrontend.start` recovers every collection found
         there before accepting traffic.
+    scheduling:
+        Worker-pool scheduling policy over the per-tenant queues:
+        ``"fair"`` (weighted stride scheduling — the default; identical to
+        FIFO while only one tenant is active) or ``"fifo"`` (one global
+        arrival order and one global queue bound, no isolation).
+    tenants:
+        Declared :class:`~repro.serving.tenancy.TenantSpec` entries, e.g.
+        from ``serve --tenant-config``.  Each registers its weight and
+        queue bound with the admission controller and, when the spec
+        carries a ``system_config``, a per-tenant configuration override on
+        the backend.  Tenants not declared here are admitted with weight 1
+        and the default queue bound on first use.
     """
 
     host: str = "127.0.0.1"
@@ -122,8 +143,20 @@ class ServingConfig:
     default_deadline_ms: float | None = None
     drain_timeout_seconds: float = 30.0
     data_dir: str | None = None
+    scheduling: str = "fair"
+    tenants: tuple[TenantSpec, ...] = ()
 
     def __post_init__(self) -> None:
+        if self.scheduling not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"scheduling must be one of {SCHEDULING_POLICIES}, "
+                f"not {self.scheduling!r}"
+            )
+        if not isinstance(self.tenants, tuple):
+            object.__setattr__(self, "tenants", tuple(self.tenants))
+        for spec in self.tenants:
+            if not isinstance(spec, TenantSpec):
+                raise ValueError("tenants must be TenantSpec instances")
         if not 0 <= int(self.port) <= 65_535:
             raise ValueError("port must lie in [0, 65535]")
         if int(self.queue_depth) < 1:
@@ -183,8 +216,19 @@ class ServingFrontend:
         #: :meth:`start` (empty for in-memory front-ends).
         self.recovered_collections: list[str] = []
         self.admission = AdmissionController(
-            queue_depth=self.config.queue_depth, workers=self.config.workers
+            queue_depth=self.config.queue_depth,
+            workers=self.config.workers,
+            policy=self.config.scheduling,
         )
+        #: Declared tenant specs by name (implicit tenants are not listed).
+        self.tenants: dict[str, TenantSpec] = {}
+        for spec in self.config.tenants:
+            self.tenants[spec.name] = spec
+            self.admission.register_tenant(
+                spec.name, weight=spec.weight, queue_depth=spec.queue_depth
+            )
+            if spec.system_config is not None:
+                self.backend.apply_system_config(spec.system_config, tenant=spec.name)
         self._httpd: _Server | None = None
         self._thread: threading.Thread | None = None
         self._drain_lock = threading.Lock()
@@ -285,14 +329,25 @@ class ServingFrontend:
             return None
         return time.monotonic() + float(budget) / 1000.0
 
-    def execute(self, fn: Callable[[], Any], *, deadline_ms: float | None = None) -> Any:
+    def execute(
+        self,
+        fn: Callable[[], Any],
+        *,
+        deadline_ms: float | None = None,
+        tenant: str | None = None,
+    ) -> Any:
         """Run one data-plane operation through admission control.
 
-        Translates admission rejections into :class:`_HTTPError` so the
-        handler maps them onto status codes; backend errors propagate.
+        ``tenant`` names the per-tenant queue and admission ledger the
+        request is accounted to — the handler passes the collection name,
+        so fairness and stats are per collection.  Translates admission
+        rejections into :class:`_HTTPError` so the handler maps them onto
+        status codes; backend errors propagate.
         """
         try:
-            future = self.admission.submit(fn, deadline=self.resolve_deadline(deadline_ms))
+            future = self.admission.submit(
+                fn, deadline=self.resolve_deadline(deadline_ms), tenant=tenant
+            )
         except QueueFullError as error:
             raise _HTTPError(429, str(error)) from None
         except ServerDrainingError as error:
@@ -301,6 +356,29 @@ class ServingFrontend:
             return future.result()
         except DeadlineExceededError as error:
             raise _HTTPError(504, str(error)) from None
+        except TenantEvictedError as error:
+            raise _HTTPError(409, str(error)) from None
+
+    def drop_collection(self, name: str) -> int:
+        """Drop a collection, first evicting its queued requests.
+
+        Runs through admission like every mutation.  When the drop reaches
+        a worker it atomically fails everything still queued for that
+        tenant (those clients get 409) *before* removing the collection, so
+        no worker ever dequeues a request against a missing collection.
+        Requests admitted after the eviction instant fail with a clean 404.
+        Returns the number of evicted requests.
+        """
+
+        def _drop() -> int:
+            evicted = self.admission.fail_tenant(
+                name,
+                reason=f"collection {name!r} was dropped while the request was queued",
+            )
+            self.backend.drop_collection(name)
+            return evicted
+
+        return int(self.execute(_drop, tenant=name))
 
     # -- endpoint payloads ---------------------------------------------------------
 
@@ -310,6 +388,38 @@ class ServingFrontend:
         payload["collections"] = self.backend.list_collections()
         payload["queue_capacity"] = self.config.queue_depth
         payload["workers"] = self.config.workers
+        payload["scheduling"] = self.config.scheduling
+        payload["tenants"] = self.admission.all_tenant_payloads()
+        return payload
+
+    def collection_stats_payload(self, name: str) -> dict[str, Any]:
+        """The ``/collections/{name}/stats`` response body.
+
+        One tenant's full serving picture: its admission ledger and
+        scheduling parameters, its collection counters, its cache tier, and
+        its declared SLO (if any).  404s when the collection does not
+        exist, even if an admission ledger lingers from before a drop.
+        """
+        collection = self.backend.get_collection(name)
+        payload: dict[str, Any] = {
+            "name": name,
+            "collection": self.collection_payload(name),
+            "admission": self.admission.tenant_payload(name),
+        }
+        cache = collection.query_cache
+        if cache is not None:
+            payload["cache"] = {
+                "result_hits": cache.stats.result_hits,
+                "result_misses": cache.stats.result_misses,
+                "plan_hits": cache.stats.plan_hits,
+                "plan_misses": cache.stats.plan_misses,
+                "result_hit_ratio": cache.stats.result_hit_ratio,
+            }
+        else:
+            payload["cache"] = None
+        spec = self.tenants.get(name)
+        payload["slo"] = spec.slo.to_dict() if spec is not None else None
+        payload["system_config_override"] = name in self.backend.tenant_config_overrides()
         return payload
 
     def collection_payload(self, name: str) -> dict[str, Any]:
@@ -410,13 +520,16 @@ class _Handler(BaseHTTPRequestHandler):
             name = _match_collection(path)
             if name is not None:
                 return 200, frontend.collection_payload(name)
+            name, action = _match_action(path)
+            if name is not None and action == "stats":
+                return 200, frontend.collection_stats_payload(name)
             raise _HTTPError(404, f"no such route: GET {path}")
 
         if method == "DELETE":
             name = _match_collection(path)
             if name is not None:
-                frontend.execute(lambda: backend.drop_collection(name))
-                return 200, {"dropped": name}
+                evicted = frontend.drop_collection(name)
+                return 200, {"dropped": name, "evicted_requests": evicted}
             raise _HTTPError(404, f"no such route: DELETE {path}")
 
         if method != "POST":
@@ -431,13 +544,14 @@ class _Handler(BaseHTTPRequestHandler):
         if action == "insert":
             return self._insert(frontend, name, body)
         if action == "flush":
-            sealed = frontend.execute(lambda: frontend.backend.flush(name))
+            sealed = frontend.execute(lambda: frontend.backend.flush(name), tenant=name)
             return 200, {"sealed_segments": int(sealed)}
         if action == "index":
             return self._index(frontend, name, body)
         if action == "maintenance":
             report = frontend.execute(
-                lambda: frontend.backend.get_collection(name).run_maintenance()
+                lambda: frontend.backend.get_collection(name).run_maintenance(),
+                tenant=name,
             )
             return 200, {
                 "segments_compacted": report.segments_compacted,
@@ -448,7 +562,8 @@ class _Handler(BaseHTTPRequestHandler):
             }
         if action == "checkpoint":
             report = frontend.execute(
-                lambda: frontend.backend.get_collection(name).checkpoint()
+                lambda: frontend.backend.get_collection(name).checkpoint(),
+                tenant=name,
             )
             return 200, {
                 "generation": report.generation,
@@ -477,7 +592,8 @@ class _Handler(BaseHTTPRequestHandler):
         frontend.execute(
             lambda: frontend.backend.create_collection(
                 name, dimension, metric=metric, auto_maintenance=auto_maintenance
-            )
+            ),
+            tenant=name,
         )
         return 200, {"name": name, "dimension": dimension, "metric": metric}
 
@@ -490,7 +606,9 @@ class _Handler(BaseHTTPRequestHandler):
         ids = None
         if body.get("ids") is not None:
             ids = np.asarray(body["ids"], dtype=np.int64)
-        inserted = frontend.execute(lambda: frontend.backend.insert(name, vectors, ids))
+        inserted = frontend.execute(
+            lambda: frontend.backend.insert(name, vectors, ids), tenant=name
+        )
         return 200, {"inserted": int(inserted)}
 
     def _index(
@@ -503,7 +621,8 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(params, dict):
             raise _HTTPError(400, "'params' must be a JSON object")
         stats = frontend.execute(
-            lambda: frontend.backend.create_index(name, index_type, params)
+            lambda: frontend.backend.create_index(name, index_type, params),
+            tenant=name,
         )
         return 200, {"index_type": index_type, "segments_indexed": len(stats)}
 
@@ -524,9 +643,30 @@ class _Handler(BaseHTTPRequestHandler):
         deadline_ms = body.get("deadline_ms")
         if deadline_ms is not None and not float(deadline_ms) > 0:
             raise _HTTPError(400, "'deadline_ms' must be positive")
+        filter_body = body.get("filter")
+        if filter_body is not None:
+            if not isinstance(filter_body, dict) or not {"field", "op", "value"} <= set(
+                filter_body
+            ):
+                raise _HTTPError(400, "'filter' must be an object with field/op/value")
+            try:
+                attribute_filter = AttributeFilter(
+                    field=str(filter_body["field"]),
+                    op=str(filter_body["op"]),
+                    value=filter_body["value"],
+                )
+            except (ValueError, TypeError) as error:
+                raise _HTTPError(400, f"invalid 'filter': {error}") from None
+            request = SearchRequest(queries, top_k, filter=attribute_filter)
+            call = lambda: frontend.backend.search(name, request, use_cache=use_cache)  # noqa: E731
+        else:
+            call = lambda: frontend.backend.search(  # noqa: E731
+                name, queries, top_k, use_cache=use_cache
+            )
         result = frontend.execute(
-            lambda: frontend.backend.search(name, queries, top_k, use_cache=use_cache),
+            call,
             deadline_ms=None if deadline_ms is None else float(deadline_ms),
+            tenant=name,
         )
         return 200, {
             "ids": result.ids.tolist(),

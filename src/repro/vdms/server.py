@@ -52,6 +52,9 @@ class VectorDBServer:
         filesystem: FileSystem | None = None,
     ) -> None:
         self._system_config = system_config or SystemConfig()
+        #: Per-tenant configuration overrides; tenants absent here inherit
+        #: the server-wide default.  Keyed by collection (tenant) name.
+        self._tenant_configs: dict[str, SystemConfig] = {}
         self._collections: dict[str, Collection] = {}
         self._index_cache: dict[tuple, VectorIndex] = {}
         self._scheduler: QueryScheduler | None = None
@@ -73,18 +76,51 @@ class VectorDBServer:
 
     @property
     def system_config(self) -> SystemConfig:
-        """The currently applied system configuration."""
+        """The server-wide default system configuration."""
         return self._system_config
 
-    def apply_system_config(self, config: SystemConfig | Mapping[str, Any]) -> SystemConfig:
-        """Apply a new system configuration.
+    def system_config_for(self, tenant: str) -> SystemConfig:
+        """The configuration a tenant's collection is (re)built with.
 
-        Existing collections are dropped (their segment layout depends on the
-        system parameters); callers re-create and re-load them, which is what
-        the workload replayer does for every evaluated configuration.
+        A tenant with a per-tenant override (``apply_system_config(config,
+        tenant=name)``) gets that override; everyone else inherits the
+        server-wide default.
+        """
+        return self._tenant_configs.get(tenant, self._system_config)
+
+    def tenant_config_overrides(self) -> dict[str, SystemConfig]:
+        """The per-tenant configuration overrides currently registered."""
+        return dict(self._tenant_configs)
+
+    def apply_system_config(
+        self,
+        config: SystemConfig | Mapping[str, Any],
+        *,
+        tenant: str | None = None,
+    ) -> SystemConfig:
+        """Apply a new system configuration, server-wide or for one tenant.
+
+        With ``tenant=None`` the server-wide default changes and *every*
+        existing collection is dropped (segment layout depends on the system
+        parameters); callers re-create and re-load them, which is what the
+        workload replayer does for every evaluated configuration.  Naming a
+        tenant registers a per-tenant override and drops only that tenant's
+        collection — the other tenants keep serving untouched, which is the
+        point of per-tenant configuration.
         """
         if not isinstance(config, SystemConfig):
             config = SystemConfig.from_mapping(config)
+        if tenant is not None:
+            if self.data_dir is not None and config.durability_mode == "off":
+                raise DurabilityError(
+                    f"tenant {tenant!r} on a durable server requires durability_mode "
+                    "'wal' or 'wal+checkpoint'; it is 'off'"
+                )
+            self._tenant_configs[tenant] = config
+            collection = self._collections.pop(tenant, None)
+            if collection is not None:
+                collection.close()
+            return config
         self._system_config = config
         # Discarding a collection must stop its background maintenance
         # worker first: the worker holds only a weak reference, but until
@@ -97,16 +133,28 @@ class VectorDBServer:
         self._collections.clear()
         return config
 
-    def cost_model(self) -> CostModel:
-        """A cost model bound to the current system configuration.
+    def clear_tenant_config(self, tenant: str) -> None:
+        """Drop a tenant's configuration override (it reverts to the default).
+
+        The tenant's collection, if any, is closed so the caller rebuilds it
+        under the default configuration.
+        """
+        if self._tenant_configs.pop(tenant, None) is not None:
+            collection = self._collections.pop(tenant, None)
+            if collection is not None:
+                collection.close()
+
+    def cost_model(self, tenant: str | None = None) -> CostModel:
+        """A cost model bound to a tenant's (or the default) configuration.
 
         A measured serving saturation registered via
         :meth:`calibrate_saturation` is carried into every model built here,
         so the event-driven ``concurrent_qps`` simulation stays capped by
         what the real request path demonstrated.
         """
+        config = self._system_config if tenant is None else self.system_config_for(tenant)
         return CostModel(
-            self._system_config,
+            config,
             measured_saturation_qps=self._measured_saturation_qps,
         )
 
@@ -159,7 +207,7 @@ class VectorDBServer:
             name,
             dimension,
             metric=metric,
-            system_config=self._system_config,
+            system_config=self.system_config_for(name),
             index_cache=self._index_cache,
             auto_maintenance=auto_maintenance,
             data_dir=collection_dir,
@@ -208,7 +256,13 @@ class VectorDBServer:
         return sorted(recovered)
 
     def drop_collection(self, name: str) -> None:
-        """Drop a collection if it exists, destroying its durable state too."""
+        """Drop a collection if it exists, destroying its durable state too.
+
+        The tenant's configuration override (if any) goes with it: drop
+        means gone, and a future collection under the same name starts from
+        the server-wide default.
+        """
+        self._tenant_configs.pop(name, None)
         collection = self._collections.pop(name, None)
         if collection is not None:
             collection.stop_maintenance()

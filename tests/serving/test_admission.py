@@ -153,3 +153,238 @@ def test_stats_counters_are_consistent(controller):
     assert stats.in_flight == 0
     assert stats.max_queue_depth >= 0
     assert stats.to_dict()["served"] == 3
+
+
+# -- multi-tenancy ------------------------------------------------------------------
+
+
+def _record_order(controller, tenant, label, order, lock):
+    def job():
+        with lock:
+            order.append(label)
+    return controller.submit(job, tenant=tenant)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(policy="priority")
+
+
+def test_register_tenant_validation(controller):
+    with pytest.raises(ValueError):
+        controller.register_tenant("a", weight=0.0)
+    with pytest.raises(ValueError):
+        controller.register_tenant("a", weight=-1.0)
+    with pytest.raises(ValueError):
+        controller.register_tenant("a", queue_depth=0)
+
+
+def test_register_tenant_update_keeps_ledger(controller):
+    controller.register_tenant("a", weight=1.0)
+    controller.submit(lambda: None, tenant="a").result(timeout=5.0)
+    controller.register_tenant("a", weight=3.0, queue_depth=7)
+    payload = controller.tenant_payload("a")
+    assert payload["served"] == 1  # the ledger survived the update
+    assert payload["weight"] == 3.0
+    assert payload["queue_capacity"] == 7
+
+
+def test_stride_scheduling_serves_tenants_by_weight():
+    """Weight 2 : 1 backlogs drain in the exact stride order (a b a a b a ...)."""
+    controller = AdmissionController(queue_depth=16, workers=1)
+    controller.register_tenant("a", weight=2.0)
+    controller.register_tenant("b", weight=1.0)
+    order: list[str] = []
+    lock = threading.Lock()
+    try:
+        gate = threading.Event()
+        blocker = _block_worker(controller, gate)
+        futures = [_record_order(controller, "a", "a", order, lock) for _ in range(6)]
+        futures += [_record_order(controller, "b", "b", order, lock) for _ in range(3)]
+        gate.set()
+        blocker.result(timeout=5.0)
+        for future in futures:
+            future.result(timeout=5.0)
+    finally:
+        controller.drain(timeout=5.0)
+    assert order == ["a", "b", "a", "a", "b", "a", "a", "b", "a"]
+
+
+def test_fair_policy_is_fifo_for_a_single_tenant():
+    controller = AdmissionController(queue_depth=16, workers=1)
+    order: list[int] = []
+    lock = threading.Lock()
+    try:
+        gate = threading.Event()
+        blocker = _block_worker(controller, gate)
+        futures = [_record_order(controller, "a", i, order, lock) for i in range(8)]
+        gate.set()
+        blocker.result(timeout=5.0)
+        for future in futures:
+            future.result(timeout=5.0)
+    finally:
+        controller.drain(timeout=5.0)
+    assert order == list(range(8))
+
+
+def test_idle_tenant_accrues_no_credit_while_asleep():
+    """A tenant waking from idle joins at the current virtual time, not at 0."""
+    controller = AdmissionController(queue_depth=32, workers=1)
+    controller.register_tenant("busy", weight=1.0)
+    controller.register_tenant("sleeper", weight=1.0)
+    order: list[str] = []
+    lock = threading.Lock()
+    try:
+        # The sleeper stays idle while busy burns through a long backlog...
+        for _ in range(10):
+            controller.submit(lambda: None, tenant="busy").result(timeout=5.0)
+        gate = threading.Event()
+        blocker = _block_worker(controller, gate)
+        futures = [_record_order(controller, "busy", "busy", order, lock) for _ in range(4)]
+        # ...then wakes with one request.  Re-synced to the global pass, it is
+        # served after at most one backlogged busy request — it cannot cash in
+        # the 10 turns it slept through and starve busy, nor be starved itself.
+        futures.append(_record_order(controller, "sleeper", "sleeper", order, lock))
+        gate.set()
+        blocker.result(timeout=5.0)
+        for future in futures:
+            future.result(timeout=5.0)
+    finally:
+        controller.drain(timeout=5.0)
+    assert "sleeper" in order[:2]
+    assert order.count("busy") == 4
+
+
+def test_fair_policy_bounds_queues_per_tenant():
+    controller = AdmissionController(queue_depth=2, workers=1)
+    controller.register_tenant("small", queue_depth=1)
+    try:
+        gate = threading.Event()
+        blocker = _block_worker(controller, gate)
+        held = [controller.submit(lambda: None, tenant="small")]
+        with pytest.raises(QueueFullError):
+            controller.submit(lambda: None, tenant="small")
+        # Another tenant's queue is unaffected by small's full queue.
+        held.append(controller.submit(lambda: None, tenant="roomy"))
+        held.append(controller.submit(lambda: None, tenant="roomy"))
+        assert controller.tenant_stats("small").shed == 1
+        assert controller.tenant_stats("roomy").shed == 0
+        gate.set()
+        blocker.result(timeout=5.0)
+        for future in held:
+            future.result(timeout=5.0)
+    finally:
+        controller.drain(timeout=5.0)
+
+
+def test_fifo_policy_bounds_the_queue_globally():
+    controller = AdmissionController(queue_depth=2, workers=1, policy="fifo")
+    try:
+        gate = threading.Event()
+        blocker = _block_worker(controller, gate)
+        held = [
+            controller.submit(lambda: None, tenant="a"),
+            controller.submit(lambda: None, tenant="b"),
+        ]
+        # Global bound reached: tenant "c" is shed by a and b's backlog —
+        # exactly the cross-tenant interference the fair policy removes.
+        with pytest.raises(QueueFullError):
+            controller.submit(lambda: None, tenant="c")
+        assert controller.tenant_stats("c").shed == 1
+        gate.set()
+        blocker.result(timeout=5.0)
+        for future in held:
+            future.result(timeout=5.0)
+    finally:
+        controller.drain(timeout=5.0)
+
+
+def test_fifo_policy_serves_in_arrival_order_across_tenants():
+    controller = AdmissionController(queue_depth=16, workers=1, policy="fifo")
+    order: list[str] = []
+    lock = threading.Lock()
+    try:
+        gate = threading.Event()
+        blocker = _block_worker(controller, gate)
+        labels = ["a", "b", "a", "c", "b", "a"]
+        futures = [
+            _record_order(controller, label, f"{label}{i}", order, lock)
+            for i, label in enumerate(labels)
+        ]
+        gate.set()
+        blocker.result(timeout=5.0)
+        for future in futures:
+            future.result(timeout=5.0)
+    finally:
+        controller.drain(timeout=5.0)
+    assert order == ["a0", "b1", "a2", "c3", "b4", "a5"]
+
+
+def test_fail_tenant_evicts_queued_requests_only():
+    from repro.serving.admission import TenantEvictedError
+
+    controller = AdmissionController(queue_depth=16, workers=1)
+    try:
+        gate = threading.Event()
+        blocker = _block_worker(controller, gate)
+        doomed = [controller.submit(lambda: None, tenant="doomed") for _ in range(3)]
+        other = controller.submit(lambda: "ok", tenant="other")
+        assert controller.fail_tenant("doomed", reason="collection dropped") == 3
+        for future in doomed:
+            with pytest.raises(TenantEvictedError, match="collection dropped"):
+                future.result(timeout=5.0)
+        gate.set()
+        blocker.result(timeout=5.0)
+        assert other.result(timeout=5.0) == "ok"
+        payload = controller.tenant_payload("doomed")
+        assert payload["evicted"] == 3
+        assert payload["admitted"] == 3
+        assert payload["queue_depth"] == 0
+        assert controller.tenant_stats("other").evicted == 0
+        # Eviction is an outcome, not an erasure: the controller-wide ledger
+        # still accounts for the evicted requests.
+        assert controller.stats().evicted == 3
+    finally:
+        controller.drain(timeout=5.0)
+
+
+def test_fail_tenant_unknown_tenant_is_a_noop(controller):
+    assert controller.fail_tenant("never-seen") == 0
+
+
+def test_controller_stats_are_the_sum_of_tenant_ledgers():
+    controller = AdmissionController(queue_depth=2, workers=1)
+    controller.register_tenant("small", queue_depth=1)
+    try:
+        gate = threading.Event()
+        blocker = _block_worker(controller, gate)
+        held = [controller.submit(lambda: None, tenant="small")]
+        with pytest.raises(QueueFullError):
+            controller.submit(lambda: None, tenant="small")
+        held.append(controller.submit(lambda: 1 / 0, tenant="flaky"))
+        held.append(
+            controller.submit(lambda: None, tenant="late", deadline=time.monotonic() - 1.0)
+        )
+        queued = [controller.submit(lambda: None, tenant="doomed")]
+        controller.fail_tenant("doomed")
+        gate.set()
+        blocker.result(timeout=5.0)
+        for future in held[:1]:
+            future.result(timeout=5.0)
+        with pytest.raises(ZeroDivisionError):
+            held[1].result(timeout=5.0)
+        with pytest.raises(DeadlineExceededError):
+            held[2].result(timeout=5.0)
+        stats = controller.stats()
+        payloads = controller.all_tenant_payloads()
+        for counter in ("admitted", "shed", "rejected", "expired", "served",
+                        "failed", "evicted", "in_flight"):
+            assert getattr(stats, counter) == sum(
+                payload[counter] for payload in payloads.values()
+            ), counter
+        # Every admitted request reached exactly one terminal outcome.
+        assert stats.admitted == (
+            stats.served + stats.failed + stats.expired + stats.evicted + stats.in_flight
+        )
+    finally:
+        controller.drain(timeout=5.0)

@@ -185,7 +185,9 @@ def test_full_queue_sheds_with_429():
 
         blocker = frontend.admission.submit(occupy_worker)
         assert started.wait(5.0)  # the worker is busy, not just the queue
-        filler = frontend.admission.submit(lambda: None)  # queue is now full
+        # Queues are bounded per tenant: filling collection "c"'s queue is
+        # what makes the next search against "c" shed.
+        filler = frontend.admission.submit(lambda: None, tenant="c")
         status, payload = request(
             frontend, "POST", "/collections/c/search", {"queries": [[0.0] * 4]}
         )
@@ -265,3 +267,200 @@ def test_config_validation():
         ServingConfig(default_deadline_ms=0)
     with pytest.raises(ValueError):
         ServingConfig(drain_timeout_seconds=0)
+
+
+# -- multi-tenancy ------------------------------------------------------------------
+
+
+def test_config_validates_scheduling_and_tenants():
+    from repro.serving import TenantSpec
+
+    with pytest.raises(ValueError):
+        ServingConfig(scheduling="priority")
+    with pytest.raises(ValueError):
+        ServingConfig(tenants=("not-a-spec",))
+    config = ServingConfig(tenants=[TenantSpec("a")])  # lists are coerced
+    assert isinstance(config.tenants, tuple)
+
+
+def test_tenant_specs_register_weights_and_overrides():
+    from repro.serving import TenantSLO, TenantSpec
+
+    config = ServingConfig(
+        queue_depth=16,
+        workers=1,
+        tenants=(
+            TenantSpec("fast", weight=4.0, queue_depth=2,
+                       slo=TenantSLO(recall_floor=0.9)),
+            TenantSpec("slow", system_config={"cache_policy": "lru", "cache_capacity": 37}),
+        ),
+    )
+    with ServingFrontend(config=config) as frontend:
+        status, payload = request(frontend, "GET", "/stats")
+        assert status == 200
+        assert payload["scheduling"] == "fair"
+        tenants = payload["tenants"]
+        assert tenants["fast"]["weight"] == 4.0
+        assert tenants["fast"]["queue_capacity"] == 2
+        assert tenants["slow"]["weight"] == 1.0
+        assert tenants["slow"]["queue_capacity"] == 16
+        # The per-tenant SystemConfig override reached the backend.
+        assert frontend.backend.system_config_for("slow").cache_capacity == 37
+        assert frontend.backend.system_config_for("fast").cache_capacity == (
+            frontend.backend.system_config.cache_capacity
+        )
+
+
+def test_per_collection_stats_endpoint(frontend):
+    # The tenant override must precede collection creation (applying one
+    # drops the tenant's collection so it rebuilds under the new config).
+    frontend.backend.apply_system_config(
+        {"cache_policy": "lru", "cache_capacity": 8}, tenant="demo"
+    )
+    rng = np.random.default_rng(7)
+    vectors = rng.normal(size=(300, 12)).astype(np.float32)
+    request(frontend, "POST", "/collections", {"name": "demo", "dimension": 12})
+    request(frontend, "POST", "/collections/demo/insert", {"vectors": vectors.tolist()})
+    request(frontend, "POST", "/collections/demo/flush", {})
+    body = {"queries": [vectors[0].tolist()], "top_k": 2}
+    request(frontend, "POST", "/collections/demo/search", body)
+    request(frontend, "POST", "/collections/demo/search", body)
+
+    status, payload = request(frontend, "GET", "/collections/demo/stats")
+    assert status == 200
+    assert payload["name"] == "demo"
+    assert payload["collection"]["num_rows"] == 300
+    admission = payload["admission"]
+    assert admission["served"] >= 2
+    assert admission["admitted"] == (
+        admission["served"] + admission["failed"] + admission["expired"]
+        + admission["evicted"] + admission["in_flight"]
+    )
+    assert payload["system_config_override"] is True
+    assert payload["cache"]["result_hits"] == 1
+    # Unknown collections 404 like every other per-collection route.
+    assert request(frontend, "GET", "/collections/ghost/stats")[0] == 404
+
+
+def test_drop_collection_fails_queued_tenant_requests_cleanly():
+    """Regression: dropping a collection with queued requests must never
+    execute them against a missing collection and never leave them hanging.
+    The drop joins the tenant's own queue, so requests admitted *before* it
+    are served (admitted work is a promise), requests queued *behind* it are
+    evicted with 409, and later arrivals get a clean 404."""
+    gate = threading.Event()
+    frontend = ServingFrontend(config=ServingConfig(queue_depth=16, workers=1)).start()
+    try:
+        rng = np.random.default_rng(2)
+        vectors = rng.normal(size=(60, 6)).astype(np.float32)
+        request(frontend, "POST", "/collections", {"name": "doomed", "dimension": 6})
+        request(frontend, "POST", "/collections/doomed/insert", {"vectors": vectors.tolist()})
+        request(frontend, "POST", "/collections/doomed/flush", {})
+
+        started = threading.Event()
+
+        def occupy_worker():
+            started.set()
+            gate.wait(10.0)
+
+        blocker = frontend.admission.submit(occupy_worker)
+        assert started.wait(5.0)
+
+        before, after = [], []
+        lock = threading.Lock()
+
+        def search(bucket):
+            status, payload = request(
+                frontend,
+                "POST",
+                "/collections/doomed/search",
+                {"queries": [vectors[0].tolist()], "top_k": 3},
+            )
+            with lock:
+                bucket.append((status, payload))
+
+        def queued(n):
+            deadline = time.monotonic() + 5.0
+            while frontend.admission.tenant_stats("doomed").queue_depth < n:
+                assert time.monotonic() < deadline, "requests never queued"
+                time.sleep(0.01)
+
+        # One search admitted before the drop...
+        early = threading.Thread(target=search, args=(before,))
+        early.start()
+        queued(1)
+
+        dropper = {}
+
+        def drop():
+            dropper["response"] = request(frontend, "DELETE", "/collections/doomed")
+
+        drop_thread = threading.Thread(target=drop)
+        drop_thread.start()
+        queued(2)
+        # ...and two queued behind it.
+        late = [threading.Thread(target=search, args=(after,)) for _ in range(2)]
+        for thread in late:
+            thread.start()
+        queued(4)
+
+        gate.set()
+        blocker.result(timeout=5.0)
+        for thread in [early, drop_thread, *late]:
+            thread.join(timeout=10.0)
+
+        status, payload = dropper["response"]
+        assert status == 200
+        assert payload["dropped"] == "doomed"
+        assert payload["evicted_requests"] == 2
+        # Admitted before the drop: served against the live collection.
+        assert [s for s, _ in before] == [200]
+        # Queued behind the drop: evicted, never executed against a missing
+        # collection — 409, not a 500 or a hang.
+        assert len(after) == 2
+        for status, payload in after:
+            assert status == 409, after
+            assert "dropped" in payload["error"]
+        assert frontend.admission.tenant_stats("doomed").evicted == 2
+        # Later arrivals get a clean 404.
+        assert request(
+            frontend, "POST", "/collections/doomed/search",
+            {"queries": [vectors[0].tolist()]},
+        )[0] == 404
+    finally:
+        gate.set()
+        frontend.drain()
+
+
+def test_search_accepts_attribute_filter(frontend):
+    rng = np.random.default_rng(9)
+    vectors = rng.normal(size=(200, 8)).astype(np.float32)
+    request(frontend, "POST", "/collections", {"name": "f", "dimension": 8})
+    # Attribute columns ride along with insert; the HTTP insert body carries
+    # plain vectors, so seed the attributed rows through the backend.
+    collection = frontend.backend.get_collection("f")
+    collection.insert(vectors, attributes={"parity": (np.arange(200) % 2).astype(np.int64)})
+    collection.flush()
+
+    status, payload = request(
+        frontend,
+        "POST",
+        "/collections/f/search",
+        {
+            "queries": [vectors[3].tolist()],
+            "top_k": 5,
+            "filter": {"field": "parity", "op": "eq", "value": 1},
+        },
+    )
+    assert status == 200
+    assert all(i % 2 == 1 for i in payload["ids"][0] if i >= 0)
+    # Malformed filters are a 400, not a 500.
+    assert request(
+        frontend, "POST", "/collections/f/search",
+        {"queries": [vectors[3].tolist()], "filter": {"op": "eq", "value": 1}},
+    )[0] == 400
+    assert request(
+        frontend, "POST", "/collections/f/search",
+        {"queries": [vectors[3].tolist()],
+         "filter": {"field": "parity", "op": "between", "value": 1}},
+    )[0] == 400

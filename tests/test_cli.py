@@ -632,3 +632,130 @@ class TestDurableCommands:
         assert report["segments_loaded"] == 1
         assert report["wal_records_replayed"] == 3
         assert report["wal_bytes_truncated"] == 0
+
+
+class TestMultiTenantCommands:
+    """Flag surface of `serve --tenant-config` and `tune-tenants`.
+
+    Scheduler behavior lives in tests/serving/test_admission.py and the
+    budget scheduler in tests/core/test_multi_tenant.py; here we pin
+    parsing, tenant-config file validation, and the tune-tenants report.
+    """
+
+    def exit_message(self, argv) -> str:
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        code = excinfo.value.code
+        assert isinstance(code, str) and code.startswith("error:")
+        return code
+
+    def tenant_config(self, tmp_path, payload) -> str:
+        path = tmp_path / "tenants.json"
+        path.write_text(
+            payload if isinstance(payload, str) else json.dumps(payload),
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_serve_tenant_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.scheduling == "fair"
+        assert args.tenant_config is None
+
+    def test_serve_rejects_unknown_scheduling_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scheduling", "lifo"])
+
+    def test_tune_tenants_parser_defaults(self, tmp_path):
+        config = self.tenant_config(tmp_path, {"a": {}})
+        args = build_parser().parse_args(["tune-tenants", "--tenant-config", config])
+        assert args.steps == 12 and args.retune_budget == 6
+        assert args.budget is None
+        assert args.tuner == "vdtuner"
+        assert args.attained_penalty == 4.0
+
+    def test_tune_tenants_requires_tenant_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune-tenants"])
+
+    def test_serve_rejects_missing_tenant_config(self, tmp_path):
+        message = self.exit_message(
+            ["serve", "--tenant-config", str(tmp_path / "never.json")]
+        )
+        assert "--tenant-config" in message and "does not exist" in message
+
+    def test_serve_rejects_malformed_tenant_config(self, tmp_path):
+        config = self.tenant_config(tmp_path, "{not json")
+        message = self.exit_message(["serve", "--tenant-config", config])
+        assert "--tenant-config" in message
+
+    def test_serve_rejects_unknown_tenant_spec_field(self, tmp_path):
+        config = self.tenant_config(
+            tmp_path, {"tenants": {"a": {"wieght": 2.0}}}
+        )
+        message = self.exit_message(["serve", "--tenant-config", config])
+        assert "'a'" in message and "wieght" in message
+
+    def test_serve_rejects_bad_slo_in_tenant_config(self, tmp_path):
+        config = self.tenant_config(
+            tmp_path, {"a": {"slo": {"recall_floor": 1.5}}}
+        )
+        message = self.exit_message(["serve", "--tenant-config", config])
+        assert "recall_floor" in message
+
+    def test_tune_tenants_rejects_bad_flags(self, tmp_path):
+        config = self.tenant_config(tmp_path, {"a": {}})
+        base = ["tune-tenants", "--tenant-config", config]
+        assert "--steps" in self.exit_message(base + ["--steps", "0"])
+        assert "--retune-budget" in self.exit_message(
+            base + ["--steps", "4", "--retune-budget", "9"]
+        )
+        assert "--budget" in self.exit_message(base + ["--budget", "0"])
+        assert "--attained-penalty" in self.exit_message(
+            base + ["--attained-penalty", "0.5"]
+        )
+        missing = self.exit_message(
+            ["tune-tenants", "--tenant-config", str(tmp_path / "never.json")]
+        )
+        assert "--tenant-config" in missing and "does not exist" in missing
+
+    def test_tune_tenants_json_round_trip(self, tmp_path, capsys):
+        config = self.tenant_config(
+            tmp_path,
+            {
+                "tenants": {
+                    "floored": {"slo": {"recall_floor": 0.5}, "weight": 2.0},
+                    "open": {},
+                }
+            },
+        )
+        exit_code = main(
+            ["tune-tenants", "--tenant-config", config, "--dataset", "glove-small",
+             "--steps", "6", "--retune-budget", "3", "--seed", "0", "--json"]
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert exit_code == 0, "a 0.5 floor on glove-small should be attainable"
+        assert set(summary["tenants"]) == {"floored", "open"}
+        assert summary["budget"]["total"] == 12
+        assert summary["budget"]["used"] == sum(
+            entry["evaluations"] for entry in summary["tenants"].values()
+        )
+        for entry in summary["tenants"].values():
+            assert entry["attained"] is True
+            assert entry["incumbent"] is not None
+
+    def test_tune_tenants_table_flags_missed_slo(self, tmp_path, capsys):
+        # An impossible latency target can never be attained, so the command
+        # must exit non-zero and say which tenant is out of contract.
+        config = self.tenant_config(
+            tmp_path,
+            {"doomed": {"slo": {"recall_floor": 0.1, "p99_latency_ms": 1e-9}}},
+        )
+        exit_code = main(
+            ["tune-tenants", "--tenant-config", config, "--dataset", "glove-small",
+             "--steps", "5", "--retune-budget", "3", "--seed", "0"]
+        )
+        output = capsys.readouterr()
+        assert exit_code == 1
+        assert "doomed" in output.out and "NO" in output.out
+        assert "warning" in output.err and "doomed" in output.err

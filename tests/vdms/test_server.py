@@ -245,3 +245,159 @@ class TestMaintenanceWorkerLifecycle:
         self._spawn_worker(server, vectors)
         server.shutdown()
         assert _live_maintenance_threads() == []
+
+
+class TestTenantConfigs:
+    def test_tenant_override_applies_to_that_tenant_only(self):
+        server = VectorDBServer()
+        server.apply_system_config({"cache_policy": "lru", "cache_capacity": 16}, tenant="a")
+        assert server.system_config_for("a").cache_policy == "lru"
+        assert server.system_config_for("b").cache_policy == "none"
+        assert server.system_config_for("a").cache_capacity == 16
+        # The override is what new collections under that name are built with.
+        collection = server.create_collection("a", 8)
+        assert collection.query_cache is not None
+        other = server.create_collection("b", 8)
+        assert other.query_cache is None
+
+    def test_apply_tenant_config_closes_only_that_tenants_collection(self, vectors):
+        server = VectorDBServer()
+        server.create_collection("a", 8)
+        b = server.create_collection("b", 8)
+        b.insert(vectors)
+        b.flush()
+        server.apply_system_config({"segment_max_size": 128}, tenant="a")
+        assert not server.has_collection("a")
+        # The other tenant keeps serving, data intact.
+        assert server.has_collection("b")
+        assert server.get_collection("b").num_rows == 300
+
+    def test_tenant_config_overrides_snapshot(self):
+        server = VectorDBServer()
+        assert server.tenant_config_overrides() == {}
+        server.apply_system_config({"graceful_time": 50}, tenant="a")
+        overrides = server.tenant_config_overrides()
+        assert set(overrides) == {"a"}
+        assert overrides["a"].graceful_time == 50
+
+    def test_clear_tenant_config_reverts_to_default(self):
+        server = VectorDBServer()
+        server.apply_system_config({"graceful_time": 50}, tenant="a")
+        server.create_collection("a", 8)
+        server.clear_tenant_config("a")
+        assert server.system_config_for("a").graceful_time == (
+            server.system_config.graceful_time
+        )
+        # The tenant's collection was closed so it rebuilds under the default.
+        assert not server.has_collection("a")
+
+    def test_drop_collection_clears_the_override(self):
+        server = VectorDBServer()
+        server.apply_system_config({"graceful_time": 50}, tenant="a")
+        server.create_collection("a", 8)
+        server.drop_collection("a")
+        assert server.tenant_config_overrides() == {}
+        assert server.system_config_for("a").graceful_time == (
+            server.system_config.graceful_time
+        )
+
+    def test_cost_model_reflects_tenant_config(self):
+        server = VectorDBServer()
+        server.apply_system_config({"query_node_threads": 8}, tenant="a")
+        assert server.cost_model(tenant="a").system_config.query_node_threads == 8
+        assert server.cost_model().system_config.query_node_threads != 8 or (
+            server.system_config.query_node_threads == 8
+        )
+
+    def test_durable_server_rejects_durability_off_override(self, tmp_path):
+        server = VectorDBServer(
+            SystemConfig(durability_mode="wal"), data_dir=str(tmp_path)
+        )
+        from repro.vdms.errors import DurabilityError
+
+        with pytest.raises(DurabilityError):
+            server.apply_system_config({"durability_mode": "off"}, tenant="a")
+        server.shutdown()
+
+
+class TestRecoverAll:
+    """`recover_all` across several durable collections with mixed modes."""
+
+    DIMENSION = 6
+
+    def _durable_server(self, tmp_path):
+        return VectorDBServer(
+            SystemConfig(durability_mode="wal+checkpoint"), data_dir=str(tmp_path)
+        )
+
+    def _populate(self, server, rng):
+        # Three tenants with different durability tiers and lifecycles:
+        # alpha checkpoints, beta runs WAL-only via a tenant override, gamma
+        # stays WAL-resident (its WAL tail gets torn below).
+        server.apply_system_config({"durability_mode": "wal"}, tenant="beta")
+        rows = {}
+        for name, count in (("alpha", 50), ("beta", 35), ("gamma", 30)):
+            collection = server.create_collection(name, self.DIMENSION, auto_maintenance=False)
+            vectors = rng.normal(size=(count, self.DIMENSION)).astype(np.float32)
+            collection.insert(vectors)
+            collection.flush()
+            rows[name] = count
+        server.get_collection("alpha").checkpoint()
+        # One more row lands in gamma's WAL only — the record the torn tail
+        # will destroy.
+        extra = rng.normal(size=(1, self.DIMENSION)).astype(np.float32)
+        server.get_collection("gamma").insert(extra)
+        return rows
+
+    def test_recover_all_restores_every_collection(self, tmp_path):
+        rng = np.random.default_rng(5)
+        server = self._durable_server(tmp_path)
+        rows = self._populate(server, rng)
+        server.shutdown()
+
+        # Tear gamma's WAL tail mid-frame, as a crash would.
+        import os
+
+        wal_dir = tmp_path / "gamma"
+        wal_files = sorted(p for p in wal_dir.iterdir() if p.name.startswith("wal-"))
+        assert wal_files, "gamma wrote no WAL"
+        torn = wal_files[-1]
+        size = torn.stat().st_size
+        os.truncate(torn, size - 3)
+
+        # A stray non-durable directory must not block startup.
+        junk = tmp_path / "scratch"
+        junk.mkdir()
+        (junk / "notes.txt").write_text("not a collection")
+
+        fresh = self._durable_server(tmp_path)
+        assert fresh.recover_all() == ["alpha", "beta", "gamma"]
+
+        alpha = fresh.get_collection("alpha")
+        assert alpha.num_rows == rows["alpha"]
+        assert alpha.recovery_report.segments_loaded > 0  # from the checkpoint
+
+        beta = fresh.get_collection("beta")
+        assert beta.num_rows == rows["beta"]
+        assert beta.recovery_report.wal_records_replayed > 0
+
+        gamma = fresh.get_collection("gamma")
+        report = gamma.recovery_report
+        assert report.wal_bytes_truncated > 0  # the torn frame was discarded
+        # The unacked final row is gone; every acked (flushed) row survived.
+        assert gamma.num_rows == rows["gamma"]
+
+        # The recovered collections serve searches immediately.
+        queries = rng.normal(size=(2, self.DIMENSION)).astype(np.float32)
+        for name in ("alpha", "beta", "gamma"):
+            collection = fresh.get_collection(name)
+            collection.create_index("FLAT", {})
+            result = collection.search(queries, 3)
+            assert result.ids.shape == (2, 3)
+        fresh.shutdown()
+
+    def test_recover_all_requires_a_data_dir(self):
+        from repro.vdms.errors import DurabilityError
+
+        with pytest.raises(DurabilityError):
+            VectorDBServer().recover_all()
