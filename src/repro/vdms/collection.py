@@ -23,7 +23,14 @@ import numpy as np
 
 from repro.vdms.cache import CachedResult, TieredQueryCache, canonical_filter_key, request_cache_key
 from repro.vdms.cost_model import CollectionProfile
-from repro.vdms.distance import METRICS, pairwise_distances, prepare_vectors
+from repro.vdms.distance import (
+    MASK_DENSE_SCAN_SELECTIVITY,
+    METRICS,
+    ScanOperand,
+    masked_topk,
+    pairwise_distances_blocked,
+    prepare_vectors,
+)
 from repro.vdms.durability import (
     CheckpointReport,
     DurabilityManager,
@@ -651,6 +658,13 @@ class Collection:
         pre-filter: a masked scan strictly dominates scanning every row and
         dropping.  ``"auto"`` resolves per segment via
         :data:`~repro.vdms.request.AUTO_PRE_FILTER_SELECTIVITY`.
+
+        Pre-filter masked exact scans additionally resolve a ``scan_mode``:
+        below :data:`~repro.vdms.distance.MASK_DENSE_SCAN_SELECTIVITY` the
+        allowed rows are gathered before the GEMM (``"select"``), above it
+        the segment's cached operand is scanned densely and disallowed
+        columns masked to ``+inf`` (``"dense"``).  Both modes are
+        bit-identical; the crossover is purely a throughput decision.
         """
         mask = self._allow_mask(request_filter, attributes, rows)
         allowed = int(mask.sum())
@@ -661,6 +675,7 @@ class Collection:
             resolved = "pre" if selectivity <= AUTO_PRE_FILTER_SELECTIVITY else "post"
         else:
             resolved = strategy
+        scan_mode = "dense" if selectivity >= MASK_DENSE_SCAN_SELECTIVITY else "select"
         return mask, SegmentPlan(
             shard_id=shard_id,
             segment_id=segment_id,
@@ -669,6 +684,7 @@ class Collection:
             allowed_rows=allowed,
             live_rows=rows,
             indexed=indexed,
+            scan_mode=scan_mode,
         )
 
     def _plan_snapshots(
@@ -677,8 +693,9 @@ class Collection:
         """Build the :class:`SearchPlan` of a filtered request.
 
         Returns the plan plus, per shard, the pair of per-segment
-        ``(mask, resolved_strategy)`` lists aligned with the snapshot's
-        ``indexed`` and brute lists, which the scatter phase executes.
+        ``(mask, resolved_strategy, scan_mode)`` / ``(mask, scan_mode)``
+        lists aligned with the snapshot's ``indexed`` and brute lists,
+        which the scatter phase executes.
         """
         strategy = request.filter_strategy or self.system_config.filter_strategy
         overfetch = (
@@ -689,8 +706,8 @@ class Collection:
         segment_plans: list[SegmentPlan] = []
         shard_masks: list[tuple[list, list]] = []
         for snapshot in snapshots:
-            indexed_masks: list[tuple[np.ndarray, str]] = []
-            brute_masks: list[np.ndarray] = []
+            indexed_masks: list[tuple[np.ndarray, str, str]] = []
+            brute_masks: list[tuple[np.ndarray, str]] = []
             for index, attributes, segment_id in zip(
                 snapshot.indexed, snapshot.indexed_attributes, snapshot.indexed_segment_ids
             ):
@@ -699,7 +716,7 @@ class Collection:
                     indexed=True, shard_id=snapshot.shard_id, segment_id=segment_id,
                 )
                 segment_plans.append(plan)
-                indexed_masks.append((mask, plan.strategy))
+                indexed_masks.append((mask, plan.strategy, plan.scan_mode))
             for rows, attributes, segment_id in zip(
                 snapshot.brute_vectors, snapshot.brute_attributes, snapshot.brute_segment_ids
             ):
@@ -708,7 +725,7 @@ class Collection:
                     indexed=False, shard_id=snapshot.shard_id, segment_id=segment_id,
                 )
                 segment_plans.append(plan)
-                brute_masks.append(mask)
+                brute_masks.append((mask, plan.scan_mode))
             shard_masks.append((indexed_masks, brute_masks))
         plan = SearchPlan(
             strategy=strategy,
@@ -746,7 +763,7 @@ class Collection:
             )
         with self._lock:
             version = self._version
-            snapshots = [shard.snapshot() for shard in self._shards]
+            snapshots = [shard.snapshot(self.metric) for shard in self._shards]
         cache = self._query_cache
         plan_key = self._plan_cache_key(request) if cache is not None else None
         if cache is not None:
@@ -777,11 +794,15 @@ class Collection:
         queries = request.queries
         top_k = request.top_k
         stats = SearchStats(num_queries=queries.shape[0])
-        indexed_masks = masks[0] if masks is not None else [(None, "pre")] * len(snapshot.indexed)
-        brute_masks = masks[1] if masks is not None else [None] * len(snapshot.brute_vectors)
+        indexed_masks = (
+            masks[0] if masks is not None else [(None, "pre", None)] * len(snapshot.indexed)
+        )
+        brute_masks = (
+            masks[1] if masks is not None else [(None, None)] * len(snapshot.brute_vectors)
+        )
         candidate_ids: list[np.ndarray] = []
         candidate_distances: list[np.ndarray] = []
-        for index, (mask, strategy) in zip(snapshot.indexed, indexed_masks):
+        for index, (mask, strategy, scan_mode) in zip(snapshot.indexed, indexed_masks):
             if mask is None:
                 ids, distances, segment_stats = index.search(queries, top_k)
             else:
@@ -793,30 +814,54 @@ class Collection:
                     allow_mask=mask,
                     strategy=strategy,
                     overfetch_factor=overfetch_factor,
+                    scan_mode=scan_mode,
                 )
             stats.merge(segment_stats)
             candidate_ids.append(ids)
             candidate_distances.append(distances)
-        for (rows, row_ids), mask in zip(
-            zip(snapshot.brute_vectors, snapshot.brute_ids), brute_masks
+        for position, ((rows, row_ids), (mask, scan_mode)) in enumerate(
+            zip(zip(snapshot.brute_vectors, snapshot.brute_ids), brute_masks)
         ):
-            if mask is not None:
-                # Brute-forced segments always pre-filter: scan the allowed
-                # rows only (the mask evaluation itself is the charged scan).
-                if charge_filter_scan:
-                    stats.filter_rows_scanned += int(rows.shape[0])
-                rows = rows[mask]
-                row_ids = row_ids[mask]
+            # The snapshot carries each brute segment's cached scan operand
+            # (float64 cast + row norms computed once per sealed array); a
+            # metric-less snapshot falls back to a transient operand, which
+            # is bit-identical — the cache only changes who pays the cast.
+            operand = (
+                snapshot.brute_operands[position] if snapshot.brute_operands else None
+            )
+            if operand is None:
+                operand = ScanOperand.prepare(
+                    prepare_vectors(rows, self.metric), self.metric
+                )
             num_rows = int(rows.shape[0])
+            if mask is not None:
+                # Brute-forced segments always pre-filter: only the allowed
+                # rows are scored (the mask evaluation itself is the charged
+                # scan).  ``scan_mode`` picks gather-then-GEMM vs dense
+                # scan + inf-mask; both are bit-identical and both charge
+                # the logical q x allowed work.
+                if charge_filter_scan:
+                    stats.filter_rows_scanned += num_rows
+                allowed = int(np.count_nonzero(mask))
+                stats.segments_searched += int(queries.shape[0])
+                if allowed == 0:
+                    continue
+                positions_, ordered, _ = masked_topk(
+                    prepared_queries, operand, mask, top_k, self.metric,
+                    scan_mode=scan_mode,
+                )
+                stats.distance_evaluations += int(queries.shape[0]) * allowed
+                candidate_ids.append(row_ids[positions_])
+                candidate_distances.append(ordered)
+                continue
             stats.segments_searched += int(queries.shape[0])
             if num_rows == 0:
                 continue
-            prepared_rows = prepare_vectors(rows, self.metric)
-            distances = pairwise_distances(prepared_queries, prepared_rows, self.metric)
+            distances = pairwise_distances_blocked(prepared_queries, operand, self.metric)
             stats.distance_evaluations += int(queries.shape[0]) * num_rows
             keep = min(top_k, num_rows)
-            positions, ordered = VectorIndex._top_k_from_distances(distances, keep)
-            candidate_ids.append(row_ids[positions])
+            positions_, ordered = VectorIndex._top_k_from_distances(distances, keep)
+            candidate_ids.append(row_ids[positions_])
             candidate_distances.append(ordered)
         if not candidate_ids:
             empty_shape = (queries.shape[0], 0)
@@ -870,7 +915,7 @@ class Collection:
                 hit = cache.get_result(version, result_key)
                 if hit is not None:
                     return self._result_from_cache(request, hit)
-            snapshots = [shard.snapshot() for shard in self._shards]
+            snapshots = [shard.snapshot(self.metric) for shard in self._shards]
             has_index = self.has_index
         if all(snapshot.is_empty for snapshot in snapshots):
             raise IndexNotBuiltError("collection is empty; insert and flush before searching")

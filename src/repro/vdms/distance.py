@@ -20,16 +20,43 @@ defeating the id tie-breaking the scatter-gather merge
 results.  The fix: accumulate in float64 (shape-dependent rounding shrinks to
 ~1e-16 relative), round the result to float32 (collapsing that noise), and
 snap the sub-epsilon cancellation residue of identical vectors to exact zero.
+
+Steady-state scan cost: the stored side of every scan is immutable between
+mutations, so the float64 operand view and the per-row squared norms it
+needs are computed once and cached on a :class:`ScanOperand` (built at
+segment seal / index build).  A steady-state scan is then a single GEMM plus
+a broadcast add instead of two casts and an einsum per call.  The query side
+(``O(q*d)``) stays per-call; it is noise next to the ``O(q*n*d)`` GEMM.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["normalize_rows", "pairwise_distances", "prepare_vectors", "top_k_select", "METRICS"]
+__all__ = [
+    "MASK_DENSE_SCAN_SELECTIVITY",
+    "METRICS",
+    "ScanOperand",
+    "masked_topk",
+    "normalize_rows",
+    "pairwise_distances",
+    "pairwise_distances_blocked",
+    "prepare_vectors",
+    "top_k_select",
+]
 
 #: Supported metric names.
 METRICS: tuple[str, ...] = ("l2", "ip", "angular")
+
+#: Mask selectivity at or above which a masked scan switches from
+#: index-select (gather the allowed rows, GEMM over the subset) to a dense
+#: full-matrix GEMM over the cached operand with disallowed columns masked
+#: to ``+inf`` afterwards.  Gathering rows costs a copy per scan and forfeits
+#: the cached float64 view; once most rows pass the filter the dense scan is
+#: cheaper despite scoring rows the mask will discard.  Planners thread this
+#: through :class:`repro.vdms.request.SearchPlan` so the decision is visible
+#: in plan explanations.
+MASK_DENSE_SCAN_SELECTIVITY = 0.5
 
 
 def normalize_rows(matrix: np.ndarray) -> np.ndarray:
@@ -64,37 +91,251 @@ def prepare_vectors(matrix: np.ndarray, metric: str) -> np.ndarray:
 _ZERO_SNAP_RELATIVE = 1e-14
 
 
-def pairwise_distances(queries: np.ndarray, vectors: np.ndarray, metric: str) -> np.ndarray:
+class ScanOperand:
+    """Cached stored-side state for the scan kernels.
+
+    Wraps the float32 matrix a metric actually scans (for ``angular`` that is
+    the *normalized* matrix, exactly as :func:`pairwise_distances` would
+    normalize it internally) and lazily caches the float64 cast and the
+    per-row squared norms.  Build one per sealed segment / built index and
+    reuse it across scans; the cached members are computed on first use and
+    are bitwise equal to what the un-cached kernel recomputed per call, so
+    results are bit-identical with or without the cache.
+
+    Lazy materialization is idempotent (both racers compute the same arrays
+    from the same immutable input), so the benign first-use race under the
+    concurrent query scheduler needs no lock.
+    """
+
+    __slots__ = ("vectors", "_vectors64", "_norms64")
+
+    def __init__(self, vectors: np.ndarray) -> None:
+        self.vectors = np.asarray(vectors, dtype=np.float32)
+        if self.vectors.ndim != 2:
+            raise ValueError("ScanOperand expects a 2-d (rows, dims) matrix")
+        self._vectors64: np.ndarray | None = None
+        self._norms64: np.ndarray | None = None
+
+    @classmethod
+    def prepare(cls, vectors: np.ndarray, metric: str) -> "ScanOperand":
+        """Build an operand applying the same per-metric pre-processing
+        :func:`pairwise_distances` applies to a raw stored-side matrix."""
+        if metric not in METRICS:
+            raise ValueError(f"unsupported metric {metric!r}")
+        matrix = np.asarray(vectors, dtype=np.float32)
+        if metric == "angular":
+            matrix = normalize_rows(matrix)
+        return cls(matrix)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.vectors.shape  # type: ignore[return-value]
+
+    @property
+    def vectors64(self) -> np.ndarray:
+        """Float64 operand view (cached; computed once per lifetime)."""
+        if self._vectors64 is None:
+            self._vectors64 = self.vectors.astype(np.float64)
+        return self._vectors64
+
+    @property
+    def norms64(self) -> np.ndarray:
+        """Per-row squared L2 norms in float64 (cached)."""
+        if self._norms64 is None:
+            operand = self.vectors64
+            self._norms64 = np.einsum("ij,ij->i", operand, operand)
+        return self._norms64
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the cached cast/norms have been computed yet."""
+        return self._vectors64 is not None and self._norms64 is not None
+
+    def materialize(self) -> "ScanOperand":
+        """Eagerly compute the cached members; returns ``self``."""
+        self.norms64  # noqa: B018 - property access materializes both caches
+        return self
+
+    def take(self, positions: np.ndarray) -> "ScanOperand":
+        """Sub-operand of the selected rows.
+
+        Cached casts/norms are index-selected rather than recomputed (the
+        float32→float64 cast is exact, so a gathered cached cast is bitwise
+        equal to casting the gathered float32 rows).  Members that were never
+        materialized stay lazy in the sub-operand — a small candidate scan
+        must not force the full-matrix cast.
+        """
+        sub = ScanOperand(self.vectors[positions])
+        if self._vectors64 is not None:
+            sub._vectors64 = self._vectors64[positions]
+        if self._norms64 is not None:
+            sub._norms64 = self._norms64[positions]
+        return sub
+
+
+def _as_operand(vectors: np.ndarray | ScanOperand, metric: str) -> ScanOperand:
+    if isinstance(vectors, ScanOperand):
+        return vectors
+    return ScanOperand.prepare(vectors, metric)
+
+
+def _prepare_queries(queries: np.ndarray, metric: str) -> np.ndarray:
+    queries = np.asarray(queries, dtype=np.float32)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    if metric == "angular":
+        queries = normalize_rows(queries)
+    return queries
+
+
+def _distance_tile(
+    queries64: np.ndarray,
+    query_norms: np.ndarray,
+    operand64: np.ndarray,
+    operand_norms: np.ndarray,
+    metric: str,
+) -> np.ndarray:
+    """One float32 distance tile; per-pair arithmetic of the module contract."""
+    if metric == "ip":
+        return (-(queries64 @ operand64.T)).astype(np.float32)
+    vector_norms = operand_norms[None, :]
+    distances = query_norms - 2.0 * (queries64 @ operand64.T) + vector_norms
+    np.maximum(distances, 0.0, out=distances)
+    rounded = distances.astype(np.float32)
+    rounded[distances < _ZERO_SNAP_RELATIVE * (query_norms + vector_norms)] = 0.0
+    return rounded
+
+
+def pairwise_distances(
+    queries: np.ndarray, vectors: np.ndarray | ScanOperand, metric: str
+) -> np.ndarray:
     """Compute the full ``(q, n)`` distance matrix between queries and vectors.
 
     Smaller values always mean "more similar", regardless of metric.  Each
     pair's value is independent of the batch shape (see the module
     docstring), so identical rows receive bitwise-equal float32 distances in
     any segment/shard layout.
+
+    ``vectors`` may be a raw matrix (casts/norms computed transiently, the
+    pre-kernel-push behaviour) or a :class:`ScanOperand` carrying the cached
+    float64 view and norms — the hot path for sealed segments and built
+    indexes.  Results are bitwise identical either way.
     """
     if metric not in METRICS:
         raise ValueError(f"unsupported metric {metric!r}")
-    queries = np.asarray(queries, dtype=np.float32)
-    vectors = np.asarray(vectors, dtype=np.float32)
-    if queries.ndim == 1:
-        queries = queries[None, :]
-    if metric == "ip":
-        scores = -(queries.astype(np.float64) @ vectors.astype(np.float64).T)
-        return scores.astype(np.float32)
-    if metric == "angular":
-        queries = normalize_rows(queries)
-        vectors = normalize_rows(vectors)
-    # Squared Euclidean distance via the expansion ||a-b||^2 = ||a||^2 - 2ab + ||b||^2,
-    # accumulated in float64 and rounded to float32.
+    operand = _as_operand(vectors, metric)
+    queries = _prepare_queries(queries, metric)
     queries64 = queries.astype(np.float64)
-    vectors64 = vectors.astype(np.float64)
+    if metric == "ip":
+        return _distance_tile(queries64, None, operand.vectors64, None, metric)
     query_norms = np.einsum("ij,ij->i", queries64, queries64)[:, None]
-    vector_norms = np.einsum("ij,ij->i", vectors64, vectors64)[None, :]
-    distances = query_norms - 2.0 * (queries64 @ vectors64.T) + vector_norms
-    np.maximum(distances, 0.0, out=distances)
-    rounded = distances.astype(np.float32)
-    rounded[distances < _ZERO_SNAP_RELATIVE * (query_norms + vector_norms)] = 0.0
-    return rounded
+    return _distance_tile(queries64, query_norms, operand.vectors64, operand.norms64, metric)
+
+
+#: Default tile shape for :func:`pairwise_distances_blocked`.  Row tiles
+#: bound the float64 scratch of a scan to ``query_block * row_block`` doubles
+#: regardless of segment size; both defaults were picked by sweeping
+#: ``benchmarks/bench_kernels.py`` on the development box.
+DEFAULT_QUERY_BLOCK = 64
+DEFAULT_ROW_BLOCK = 8192
+
+
+def pairwise_distances_blocked(
+    queries: np.ndarray,
+    vectors: np.ndarray | ScanOperand,
+    metric: str,
+    *,
+    query_block: int = DEFAULT_QUERY_BLOCK,
+    row_block: int = DEFAULT_ROW_BLOCK,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Blocked multi-query scan: tile over queries × rows.
+
+    Computes exactly :func:`pairwise_distances` (bit-identical, per the
+    module determinism contract — each pair's float32 value is independent of
+    the tile it was scored in) while keeping the float64 intermediates to one
+    ``(query_block, row_block)`` tile, so large multi-query scans stay in
+    cache instead of materializing a ``(q, n)`` float64 scratch matrix.
+
+    ``out`` may supply a preallocated float32 ``(q, n)`` destination.
+    """
+    if metric not in METRICS:
+        raise ValueError(f"unsupported metric {metric!r}")
+    if query_block < 1 or row_block < 1:
+        raise ValueError("block sizes must be positive")
+    operand = _as_operand(vectors, metric)
+    queries = _prepare_queries(queries, metric)
+    total_queries = queries.shape[0]
+    total_rows = operand.shape[0]
+    if out is None:
+        out = np.empty((total_queries, total_rows), dtype=np.float32)
+    elif out.shape != (total_queries, total_rows) or out.dtype != np.float32:
+        raise ValueError("out must be a float32 (queries, rows) matrix")
+    operand64 = operand.vectors64
+    operand_norms = None if metric == "ip" else operand.norms64
+    for query_start in range(0, total_queries, query_block):
+        query_stop = min(query_start + query_block, total_queries)
+        queries64 = queries[query_start:query_stop].astype(np.float64)
+        if metric == "ip":
+            query_norms = None
+        else:
+            query_norms = np.einsum("ij,ij->i", queries64, queries64)[:, None]
+        for row_start in range(0, total_rows, row_block):
+            row_stop = min(row_start + row_block, total_rows)
+            out[query_start:query_stop, row_start:row_stop] = _distance_tile(
+                queries64,
+                query_norms,
+                operand64[row_start:row_stop],
+                None if operand_norms is None else operand_norms[row_start:row_stop],
+                metric,
+            )
+    return out
+
+
+def masked_topk(
+    queries: np.ndarray,
+    operand: np.ndarray | ScanOperand,
+    allow_mask: np.ndarray,
+    top_k: int,
+    metric: str,
+    *,
+    scan_mode: str | None = None,
+    dense_crossover: float = MASK_DENSE_SCAN_SELECTIVITY,
+) -> tuple[np.ndarray, np.ndarray, str]:
+    """Masked exact scan: top-k among the rows ``allow_mask`` permits.
+
+    Below the selectivity crossover the allowed rows are gathered with
+    ``np.flatnonzero`` + index-select *before* the GEMM; at or above it the
+    scan goes dense over the cached operand and disallowed columns are masked
+    to ``+inf`` after the fact.  Both modes produce bit-identical
+    ``(positions, ordered_distances)`` — per-pair values are shape-independent
+    and ``allowed_positions`` ascend, so position tie-breaks coincide —
+    and the chosen mode is returned for stats/plan explanation.
+
+    ``scan_mode`` forces ``"select"``/``"dense"`` (planners thread the
+    decision through ``SearchPlan``); ``None`` decides from the mask.
+    """
+    operand = _as_operand(operand, metric)
+    allow_mask = np.asarray(allow_mask, dtype=bool)
+    queries = _prepare_queries(queries, metric)
+    allowed_positions = np.flatnonzero(allow_mask)
+    if allowed_positions.size == 0:
+        empty = np.empty((queries.shape[0], 0))
+        return empty.astype(np.int64), empty.astype(np.float32), "select"
+    if scan_mode is None:
+        selectivity = allowed_positions.size / max(1, allow_mask.size)
+        scan_mode = "dense" if selectivity >= dense_crossover else "select"
+    if scan_mode == "select":
+        distances = pairwise_distances(queries, operand.take(allowed_positions), metric)
+        local_positions, ordered = top_k_select(distances, top_k)
+        return allowed_positions[local_positions], ordered, "select"
+    if scan_mode != "dense":
+        raise ValueError(f"unknown scan_mode {scan_mode!r}")
+    distances = pairwise_distances_blocked(queries, operand, metric)
+    distances[:, ~allow_mask] = np.inf
+    keep = min(int(top_k), int(allowed_positions.size))
+    positions, ordered = top_k_select(distances, keep)
+    return positions, ordered, "dense"
 
 
 def top_k_select(distances: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -120,14 +361,22 @@ def top_k_select(distances: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndar
         positions = np.take_along_axis(part, order, axis=1)
         ordered = np.take_along_axis(part_distances, order, axis=1)
         # argpartition keeps an *arbitrary* one of several equal-distance
-        # rows straddling the selection boundary; re-select those rows with
-        # a full stable sort so boundary ties also resolve by position.
+        # rows straddling the selection boundary.  Everything strictly below
+        # the boundary value is provably inside the partition and already in
+        # final (distance, position) order; only the slots holding the
+        # boundary value itself are ambiguous.  Re-fill just those slots from
+        # the row's tied boundary band (``flatnonzero`` yields ascending
+        # positions, i.e. the tie-break order) instead of re-sorting all n
+        # columns of every ambiguous row.
         boundary = ordered[:, -1:]
         ambiguous = np.flatnonzero((distances <= boundary).sum(axis=1) > top_k)
-        if ambiguous.size:
-            full = np.argsort(distances[ambiguous], axis=1, kind="stable")[:, :top_k]
-            positions[ambiguous] = full
-            ordered[ambiguous] = np.take_along_axis(distances[ambiguous], full, axis=1)
+        for row in ambiguous:
+            row_distances = distances[row]
+            boundary_value = ordered[row, -1]
+            below = int(np.searchsorted(ordered[row], boundary_value, side="left"))
+            band = np.flatnonzero(row_distances == boundary_value)[: top_k - below]
+            positions[row, below:] = band
+            ordered[row, below:] = boundary_value
     else:
         positions = np.argsort(distances, axis=1, kind="stable")
         ordered = np.take_along_axis(distances, positions, axis=1)

@@ -409,6 +409,7 @@ def _load_segment(
         tombstones=tombstones,
         attributes=attributes,
     )
+    segment.freeze_arrays()
     if entry.get("physical_rows") is not None and segment.physical_rows != int(
         entry["physical_rows"]
     ):

@@ -15,7 +15,13 @@ from typing import Any
 
 import numpy as np
 
-from repro.vdms.distance import METRICS, pairwise_distances, prepare_vectors, top_k_select
+from repro.vdms.distance import (
+    METRICS,
+    ScanOperand,
+    masked_topk,
+    prepare_vectors,
+    top_k_select,
+)
 from repro.vdms.errors import IndexNotBuiltError
 
 __all__ = ["SearchStats", "BuildStats", "VectorIndex"]
@@ -132,6 +138,7 @@ class VectorIndex(ABC):
         self.params = dict(params)
         self._ids: np.ndarray | None = None
         self._vectors: np.ndarray | None = None
+        self._operand: ScanOperand | None = None
         self._build_stats: BuildStats | None = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -180,6 +187,12 @@ class VectorIndex(ABC):
             raise ValueError("ids must have one entry per vector")
         self._vectors = vectors
         self._ids = ids
+        # Scan-side cast/norm cache, shared by every exact scan over the
+        # stored matrix (brute/masked scans, IVF candidate scoring, graph
+        # hops, quantized re-ranking).  Built eagerly: index build already
+        # walks the whole matrix, so the one-off cast is amortized here
+        # rather than on the first query's latency.
+        self._operand = ScanOperand.prepare(vectors, self.metric).materialize()
         self._build_stats = self._build(vectors)
         self._build_stats.num_vectors = vectors.shape[0]
         return self._build_stats
@@ -192,6 +205,7 @@ class VectorIndex(ABC):
         allow_mask: np.ndarray | None = None,
         strategy: str = "pre",
         overfetch_factor: float = 2.0,
+        scan_mode: str | None = None,
     ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
         """Search the index, optionally restricted to an allowed-row mask.
 
@@ -216,6 +230,14 @@ class VectorIndex(ABC):
             the index is exhausted.
         overfetch_factor:
             Initial over-fetch multiplier of the ``"post"`` strategy.
+        scan_mode:
+            Masked-exact-scan mode for ``"pre"`` execution: ``"select"``
+            gathers the allowed rows before the GEMM, ``"dense"`` scans the
+            cached operand and masks afterwards.  ``None`` (default) decides
+            from the mask's selectivity; planners thread the resolved mode
+            through :class:`repro.vdms.request.SegmentPlan`.  Ignored by
+            index types whose filtered candidate generation does not use the
+            masked exact scan (the IVF family).
 
         Returns ``(ids, distances, stats)`` where ``ids`` has shape
         ``(q, top_k)``.
@@ -246,7 +268,9 @@ class VectorIndex(ABC):
                 distances = np.full((queries.shape[0], top_k), np.inf)
                 stats = SearchStats(segments_searched=int(queries.shape[0]))
             elif strategy == "pre":
-                positions, distances, stats = self._search_filtered(queries, top_k, allow_mask)
+                positions, distances, stats = self._search_filtered(
+                    queries, top_k, allow_mask, scan_mode=scan_mode
+                )
             else:
                 positions, distances, stats = self._search_postfiltered(
                     queries, top_k, allow_mask, overfetch_factor
@@ -262,27 +286,33 @@ class VectorIndex(ABC):
     # -- filtered execution ------------------------------------------------------
 
     def _search_filtered(
-        self, queries: np.ndarray, top_k: int, allow_mask: np.ndarray
+        self,
+        queries: np.ndarray,
+        top_k: int,
+        allow_mask: np.ndarray,
+        scan_mode: str | None = None,
     ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
         """Pre-filter execution: a masked exact scan over the allowed rows.
 
-        The default charges one full-precision distance per (query, allowed
-        row) — linear in selectivity, independent of the index structure —
-        and is exact by construction.  Index types whose candidate
-        generation can be filtered directly (the IVF family) override this
-        with a cheaper filtered candidate scan.
+        Delegates to :func:`repro.vdms.distance.masked_topk`: below the
+        selectivity crossover the allowed rows are gathered before the GEMM,
+        above it the scan goes dense over the cached operand (bit-identical
+        either way).  Charged work is one full-precision distance per
+        (query, allowed row) in both modes — the dense mode's extra scored
+        rows are an implementation detail of the same logical masked scan,
+        not extra logical work, so counted-work accounting stays independent
+        of the crossover.  Index types whose candidate generation can be
+        filtered directly (the IVF family) override this with a cheaper
+        filtered candidate scan.
         """
-        allowed_positions = np.flatnonzero(allow_mask)
-        distances = pairwise_distances(queries, self._vectors[allowed_positions], self.metric)
-        keep = min(top_k, int(allowed_positions.size))
-        local_positions, ordered = self._top_k_from_distances(distances, keep)
+        positions, ordered, _ = masked_topk(
+            queries, self._operand, allow_mask, top_k, self.metric, scan_mode=scan_mode
+        )
         stats = SearchStats(
-            distance_evaluations=int(queries.shape[0]) * int(allowed_positions.size),
+            distance_evaluations=int(queries.shape[0]) * int(np.count_nonzero(allow_mask)),
             segments_searched=int(queries.shape[0]),
         )
-        # ``allowed_positions`` ascends, so the in-subset position tie-break
-        # coincides with the stored-position tie-break of the full scan.
-        return allowed_positions[local_positions], ordered, stats
+        return positions, ordered, stats
 
     def _search_postfiltered(
         self, queries: np.ndarray, top_k: int, allow_mask: np.ndarray, overfetch_factor: float

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.vdms.distance import pairwise_distances
+from repro.vdms.distance import pairwise_distances_blocked
 from repro.vdms.index.base import BuildStats, SearchStats, VectorIndex
 
 __all__ = ["FlatIndex"]
@@ -24,7 +24,9 @@ class FlatIndex(VectorIndex):
         return BuildStats(distance_evaluations=0, training_iterations=0)
 
     def _search(self, queries: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray, SearchStats]:
-        distances = pairwise_distances(queries, self._vectors, self.metric)
+        # Blocked GEMM over the cached operand: bit-identical to the naive
+        # scan (module determinism contract) with tile-bounded scratch.
+        distances = pairwise_distances_blocked(queries, self._operand, self.metric)
         positions, ordered = self._top_k_from_distances(distances, top_k)
         stats = SearchStats(
             distance_evaluations=int(queries.shape[0]) * self.size,

@@ -162,7 +162,9 @@ class HNSWIndex(VectorIndex):
     # -- search -----------------------------------------------------------------
 
     def _distance_to(self, query: np.ndarray, positions: np.ndarray) -> np.ndarray:
-        return pairwise_distances(query[None, :], self._vectors[positions], self.metric)[0]
+        # Per-hop gathers hit the cached operand: the float64 rows/norms are
+        # index-selected instead of re-cast/re-reduced on every expansion.
+        return pairwise_distances(query[None, :], self._operand.take(positions), self.metric)[0]
 
     def _greedy_descent(self, query: np.ndarray, start: int, layer: dict[int, np.ndarray], stats: SearchStats) -> int:
         """Greedy walk to a local minimum within one upper layer."""

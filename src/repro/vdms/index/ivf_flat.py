@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.vdms.distance import pairwise_distances
+from repro.vdms.distance import ScanOperand, pairwise_distances, pairwise_distances_blocked
 from repro.vdms.index.base import BuildStats, SearchStats, VectorIndex
 from repro.vdms.index.kmeans import kmeans
 
@@ -31,6 +31,7 @@ class IVFFlatIndex(VectorIndex):
         if self.nprobe < 1:
             raise ValueError("nprobe must be >= 1")
         self._centroids: np.ndarray | None = None
+        self._centroid_operand: ScanOperand | None = None
         self._lists: list[np.ndarray] = []
 
     # -- build ----------------------------------------------------------------
@@ -39,6 +40,7 @@ class IVFFlatIndex(VectorIndex):
         effective_nlist = max(1, min(self.nlist, vectors.shape[0]))
         clustering = kmeans(vectors, effective_nlist, seed=self.seed)
         self._centroids = clustering.centroids
+        self._centroid_operand = ScanOperand.prepare(self._centroids, self.metric).materialize()
         self._lists = [
             np.flatnonzero(clustering.assignments == list_id).astype(np.int64)
             for list_id in range(clustering.centroids.shape[0])
@@ -53,7 +55,7 @@ class IVFFlatIndex(VectorIndex):
 
     def _probed_candidates(self, queries: np.ndarray, nprobe: int) -> tuple[list[np.ndarray], SearchStats]:
         """Return, per query, the candidate positions from the probed lists."""
-        coarse = pairwise_distances(queries, self._centroids, self.metric)
+        coarse = pairwise_distances(queries, self._centroid_operand, self.metric)
         nprobe = max(1, min(nprobe, self._centroids.shape[0]))
         probed = np.argpartition(coarse, nprobe - 1, axis=1)[:, :nprobe]
         stats = SearchStats(coarse_evaluations=int(queries.shape[0]) * self._centroids.shape[0])
@@ -81,7 +83,14 @@ class IVFFlatIndex(VectorIndex):
             if candidate_positions.size == 0:
                 continue
             query = queries[query_index : query_index + 1]
-            scores = pairwise_distances(query, self._vectors[candidate_positions], self.metric)[0]
+            # Index-select into the cached operand: the gathered float64
+            # rows/norms are bitwise what a fresh cast of the gathered
+            # float32 rows would produce, so scores match the seed kernel.
+            # The blocked kernel bounds the float64 scratch when a probe
+            # gathers very large lists.
+            scores = pairwise_distances_blocked(
+                query, self._operand.take(candidate_positions), self.metric
+            )[0]
             stats.distance_evaluations += int(candidate_positions.size)
             keep = min(top_k, candidate_positions.size)
             # Lexicographic (score, stored position) select: candidates are
@@ -99,7 +108,11 @@ class IVFFlatIndex(VectorIndex):
         return self._score_candidates(queries, candidates, top_k, stats)
 
     def _search_filtered(
-        self, queries: np.ndarray, top_k: int, allow_mask: np.ndarray
+        self,
+        queries: np.ndarray,
+        top_k: int,
+        allow_mask: np.ndarray,
+        scan_mode: str | None = None,
     ) -> tuple[np.ndarray, np.ndarray, SearchStats]:
         """Pre-filter via filtered candidate generation.
 

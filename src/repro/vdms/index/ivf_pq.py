@@ -86,12 +86,22 @@ class IVFPQIndex(IVFFlatIndex):
 
     def _adc_tables(self, query: np.ndarray) -> np.ndarray:
         """Build the per-sub-space lookup tables for one query."""
+        return self._adc_tables_batch(query[None, :])[0]
+
+    def _adc_tables_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Build ADC tables for a whole query batch in one pass.
+
+        One vectorized ``(q, codewords, sub_dim)`` reduction per sub-space
+        instead of ``q * m`` small einsums; the per-element reduction order
+        over the sub-dimension is unchanged, so the tables are bitwise equal
+        to the per-query build.
+        """
         m, codewords, sub_dimension = self._codebooks.shape
-        tables = np.empty((m, codewords), dtype=np.float32)
+        tables = np.empty((queries.shape[0], m, codewords), dtype=np.float32)
         for sub in range(m):
-            block = query[sub * sub_dimension : (sub + 1) * sub_dimension]
-            diff = self._codebooks[sub] - block[None, :]
-            tables[sub] = np.einsum("ij,ij->i", diff, diff)
+            block = queries[:, sub * sub_dimension : (sub + 1) * sub_dimension]
+            diff = self._codebooks[sub][None, :, :] - block[:, None, :]
+            tables[:, sub] = np.einsum("qij,qij->qi", diff, diff)
         return tables
 
     def _score_candidates(
@@ -107,10 +117,11 @@ class IVFPQIndex(IVFFlatIndex):
         distances = np.full((num_queries, top_k), np.inf, dtype=np.float32)
         m, codewords, _ = self._codebooks.shape
         subspace_index = np.arange(m)
+        batch_tables = self._adc_tables_batch(queries)
         for query_index, candidate_positions in enumerate(candidates):
             if candidate_positions.size == 0:
                 continue
-            tables = self._adc_tables(queries[query_index])
+            tables = batch_tables[query_index]
             stats.coarse_evaluations += m * codewords
             candidate_codes = self._codes[candidate_positions]
             scores = tables[subspace_index[None, :], candidate_codes].sum(axis=1)

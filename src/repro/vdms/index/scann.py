@@ -64,8 +64,7 @@ class ScannIndex(IVFSQ8Index):
             if candidate_positions.size == 0:
                 continue
             query = queries[query_index : query_index + 1]
-            decoded = self._decode(candidate_positions)
-            approximate = pairwise_distances(query, decoded, self.metric)[0]
+            approximate = self._approximate_scores(queries[query_index], candidate_positions)
             stats.code_evaluations += int(candidate_positions.size)
 
             shortlist_size = min(self.reorder_k, candidate_positions.size)
@@ -74,7 +73,11 @@ class ScannIndex(IVFSQ8Index):
             else:
                 shortlist = np.arange(approximate.size)
             shortlist_positions = candidate_positions[shortlist]
-            exact = pairwise_distances(query, self._vectors[shortlist_positions], self.metric)[0]
+            # Exact re-rank stays on the bit-exact float64 kernel, served
+            # from the cached operand (gathered casts/norms, same values).
+            exact = pairwise_distances(
+                query, self._operand.take(shortlist_positions), self.metric
+            )[0]
             stats.reorder_evaluations += int(shortlist_positions.size)
 
             keep = min(top_k, shortlist_positions.size)

@@ -47,6 +47,7 @@ import numpy as np
 __all__ = [
     "ATTRIBUTE_MISSING",
     "AUTO_PRE_FILTER_SELECTIVITY",
+    "MASK_DENSE_SCAN_SELECTIVITY",
     "FILTER_STRATEGIES",
     "AttributeFilter",
     "SearchRequest",
@@ -70,6 +71,13 @@ FILTER_STRATEGIES: tuple[str, ...] = ("auto", "pre", "post")
 #: through most of the segment anyway.  Above it the index's sub-linear
 #: candidate generation wins and dropping a few candidates is cheap.
 AUTO_PRE_FILTER_SELECTIVITY = 0.2
+
+# Crossover above which a pre-filter masked exact scan goes dense (scan the
+# cached operand, mask to +inf) instead of gathering the allowed rows first.
+# Defined by the kernel layer; re-exported here because the planner resolves
+# it per segment into SegmentPlan.scan_mode and threads the threshold
+# through SearchPlan for explanation.
+from repro.vdms.distance import MASK_DENSE_SCAN_SELECTIVITY  # noqa: E402
 
 #: Comparison operators accepted by :class:`AttributeFilter`.
 _FILTER_OPS: tuple[str, ...] = ("eq", "ne", "lt", "le", "gt", "ge", "in", "range")
@@ -236,6 +244,13 @@ class SegmentPlan:
         Whether the segment is served by its per-segment index (``False``
         means a brute-force scan, where pre-filtering is always used — a
         masked scan strictly dominates scanning everything and dropping).
+    scan_mode:
+        How a ``"pre"`` masked exact scan applies the mask: ``"select"``
+        gathers the allowed rows (``np.flatnonzero`` + index-select) before
+        the GEMM, ``"dense"`` scans the segment's cached operand and masks
+        the disallowed columns to ``+inf`` afterwards.  Resolved from the
+        selectivity against :data:`MASK_DENSE_SCAN_SELECTIVITY`; both modes
+        are bit-identical, this is purely a throughput decision.
     """
 
     shard_id: int
@@ -245,6 +260,7 @@ class SegmentPlan:
     allowed_rows: int
     live_rows: int
     indexed: bool
+    scan_mode: str = "select"
 
 
 @dataclass(frozen=True)
@@ -261,11 +277,25 @@ class SearchPlan:
     segments:
         One :class:`SegmentPlan` per live segment, in (shard, segment)
         order.
+    dense_crossover:
+        The mask-selectivity threshold at which pre-filter masked scans
+        switch from index-select to a dense scan over the cached operand
+        (see :class:`SegmentPlan`'s ``scan_mode``).
     """
 
     strategy: str
     overfetch_factor: float
     segments: tuple[SegmentPlan, ...] = ()
+    dense_crossover: float = MASK_DENSE_SCAN_SELECTIVITY
+
+    @property
+    def dense_scan_segments(self) -> int:
+        """Pre-filter segments planned for a dense masked scan."""
+        return sum(
+            1
+            for segment in self.segments
+            if segment.strategy == "pre" and segment.scan_mode == "dense"
+        )
 
     @property
     def pre_segments(self) -> int:

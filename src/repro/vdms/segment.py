@@ -32,6 +32,7 @@ from enum import Enum
 
 import numpy as np
 
+from repro.vdms.distance import ScanOperand, prepare_vectors
 from repro.vdms.request import ATTRIBUTE_MISSING
 from repro.vdms.system_config import SystemConfig
 
@@ -143,6 +144,13 @@ class Segment:
     _live_cache: tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]] | None = field(
         default=None, repr=False, compare=False
     )
+    #: Per-metric scan operand over the live vectors (cached float64 cast +
+    #: per-row norms, see :class:`repro.vdms.distance.ScanOperand`), keyed by
+    #: metric and tagged with the live-vector array it was built from so a
+    #: tombstone rewrite (which replaces the live view) invalidates it.
+    _operand_cache: dict[str, tuple[np.ndarray, ScanOperand]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def physical_rows(self) -> int:
@@ -181,11 +189,17 @@ class Segment:
             return self.vectors, self.ids, self.attributes
         if self._live_cache is None:
             keep = ~self.tombstones
-            self._live_cache = (
-                np.ascontiguousarray(self.vectors[keep]),
-                np.ascontiguousarray(self.ids[keep]),
-                _slice_attribute_columns(self.attributes, keep),
-            )
+            vectors = np.ascontiguousarray(self.vectors[keep])
+            ids = np.ascontiguousarray(self.ids[keep])
+            attributes = _slice_attribute_columns(self.attributes, keep)
+            # The filtered copies are served zero-copy by snapshots exactly
+            # like the physical arrays of tombstone-free segments; freeze
+            # them under the same read-only contract.
+            vectors.flags.writeable = False
+            ids.flags.writeable = False
+            for column in attributes.values():
+                column.flags.writeable = False
+            self._live_cache = (vectors, ids, attributes)
         return self._live_cache
 
     @property
@@ -203,6 +217,41 @@ class Segment:
         """Attribute columns of the live rows (aligned with ``live_ids``)."""
         return self.live_view()[2]
 
+    def scan_operand(self, metric: str) -> ScanOperand:
+        """Cached :class:`~repro.vdms.distance.ScanOperand` over the live rows.
+
+        Built lazily per metric and reused across every brute-force scan of
+        the segment, so steady-state scans skip the per-call float64 cast
+        and norm reduction.  The cache entry is keyed on the identity of the
+        live-vector array: tombstone applications and growing-segment
+        rewrites *replace* that array (never mutate it), so a stale operand
+        can never be served.  The heavy cast/norm members materialize on
+        first scan; concurrent first scans race benignly (idempotent).
+        """
+        vectors = self.live_view()[0]
+        entry = self._operand_cache.get(metric)
+        if entry is None or entry[0] is not vectors:
+            operand = ScanOperand.prepare(prepare_vectors(vectors, metric), metric)
+            self._operand_cache[metric] = (vectors, operand)
+            return operand
+        return entry[1]
+
+    def freeze_arrays(self) -> None:
+        """Mark the physical arrays read-only (sealed segments only).
+
+        Sealed-segment arrays are replaced, never mutated, so snapshots hand
+        out zero-copy views; flipping ``writeable`` off turns any future
+        violation of that contract into a hard error instead of silent
+        snapshot corruption.  Setting the flag to ``False`` is always
+        permitted, including on read-only mmap-backed recovery arrays.
+        """
+        if self.state is SegmentState.GROWING:
+            return
+        self.vectors.flags.writeable = False
+        self.ids.flags.writeable = False
+        for column in self.attributes.values():
+            column.flags.writeable = False
+
     def apply_tombstones(self, hits: np.ndarray) -> int:
         """Tombstone the physical rows flagged by ``hits`` (a boolean mask).
 
@@ -219,6 +268,7 @@ class Segment:
         combined = hits if self.tombstones is None else (self.tombstones | hits)
         self.tombstones = combined
         self._live_cache = None
+        self._operand_cache.clear()
         self.live_arrays()  # rebuild the cache eagerly, under the caller's lock
         return newly
 
@@ -522,6 +572,7 @@ class SegmentManager:
             state=state,
             attributes=attributes or {},
         )
+        segment.freeze_arrays()
         self._next_segment_id += 1
         return segment
 

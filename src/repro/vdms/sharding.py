@@ -38,8 +38,9 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.vdms.distance import ScanOperand
 from repro.vdms.index.base import SearchStats, VectorIndex
-from repro.vdms.segment import SegmentManager
+from repro.vdms.segment import SegmentManager, SegmentState
 from repro.vdms.system_config import ROUTING_POLICIES, SystemConfig
 
 __all__ = [
@@ -131,10 +132,20 @@ def merge_topk(
             np.full((num_queries, top_k), np.inf),
         )
     merged_ids = np.concatenate(non_empty_ids, axis=1)
-    merged_distances = np.concatenate(non_empty_distances, axis=1).astype(np.float64, copy=False)
+    # Merge in the input dtype (float32 on the serving path): per-pair
+    # distances are already shape-independent by the kernel's determinism
+    # contract, so the old widen-to-float64 pass bought nothing except a
+    # second full copy of the candidate matrix per merge.
+    merged_distances = np.concatenate(non_empty_distances, axis=1)
+    if not np.issubdtype(merged_distances.dtype, np.floating):
+        merged_distances = merged_distances.astype(np.float64)
     # Invalid (-1 padded) entries carry infinite distance, so a plain top-k
-    # select pushes them to the tail automatically.
-    merged_distances = np.where(merged_ids < 0, np.inf, merged_distances)
+    # select pushes them to the tail automatically.  The inf literal is cast
+    # to the merge dtype up front: a raw python-float ``np.inf`` would
+    # promote the whole matrix back to float64 under value-based casting.
+    merged_distances = np.where(
+        merged_ids < 0, merged_distances.dtype.type(np.inf), merged_distances
+    )
     # Lexicographic (distance, id) select: distance is the primary key (the
     # last lexsort key is the most significant), ties break by ascending id.
     order = np.lexsort((merged_ids, merged_distances), axis=1)
@@ -168,11 +179,22 @@ class ShardSnapshot:
     them, so capturing the array references under the lock gives every
     search a coherent state to compute on, however many mutations land
     while it runs.
+
+    The snapshot is zero-copy: every array here is a direct view of the
+    segment's storage (sealed arrays are frozen read-only at seal time —
+    see :meth:`repro.vdms.segment.Segment.freeze_arrays` — and a debug
+    assert in :meth:`Shard.snapshot` enforces it).  ``brute_operands``
+    carries each brute segment's cached
+    :class:`~repro.vdms.distance.ScanOperand` (parallel to
+    ``brute_vectors``; ``None`` entries when the snapshot was taken without
+    a metric), so steady-state brute scans reuse the float64 cast + norms
+    across queries.
     """
 
     shard_id: int = 0
     indexed: list[VectorIndex] = field(default_factory=list)
     brute_vectors: list[np.ndarray] = field(default_factory=list)
+    brute_operands: list[ScanOperand | None] = field(default_factory=list)
     brute_ids: list[np.ndarray] = field(default_factory=list)
     indexed_attributes: list[dict[str, np.ndarray]] = field(default_factory=list)
     brute_attributes: list[dict[str, np.ndarray]] = field(default_factory=list)
@@ -240,14 +262,29 @@ class Shard:
 
     # -- reading ----------------------------------------------------------------
 
-    def snapshot(self) -> ShardSnapshot:
-        """Capture the current (segment, index) layout for a lock-free search."""
+    def snapshot(self, metric: str | None = None) -> ShardSnapshot:
+        """Capture the current (segment, index) layout for a lock-free search.
+
+        With ``metric`` given, each brute segment's cached scan operand is
+        captured alongside its arrays (a cheap wrapper reference — the heavy
+        cast/norm members materialize lazily on first scan, outside the
+        lock).  The snapshot hands out the segment arrays themselves, never
+        copies; sealed arrays must already be frozen read-only, which the
+        debug assert below enforces.
+        """
         snapshot = ShardSnapshot(shard_id=self.shard_id)
         for segment in self.segments.sealed_segments:
             index = self.indexes.get(segment.segment_id)
             vectors, ids, attributes = segment.live_view()
+            assert segment.state is SegmentState.GROWING or not vectors.flags.writeable, (
+                f"sealed segment {segment.segment_id} serves a writable array; "
+                "zero-copy snapshots require frozen sealed storage"
+            )
             if index is None:
                 snapshot.brute_vectors.append(vectors)
+                snapshot.brute_operands.append(
+                    segment.scan_operand(metric) if metric is not None else None
+                )
                 snapshot.brute_ids.append(ids)
                 snapshot.brute_attributes.append(attributes)
                 snapshot.brute_segment_ids.append(segment.segment_id)
@@ -261,6 +298,9 @@ class Shard:
                 snapshot.indexed_segment_ids.append(segment.segment_id)
         for segment in self.segments.growing_segments:
             snapshot.brute_vectors.append(segment.vectors)
+            snapshot.brute_operands.append(
+                segment.scan_operand(metric) if metric is not None else None
+            )
             snapshot.brute_ids.append(segment.ids)
             snapshot.brute_attributes.append(segment.attributes)
             snapshot.brute_segment_ids.append(segment.segment_id)

@@ -1,0 +1,355 @@
+"""Kernel-rework properties: blocked scans, cached operands, masked modes.
+
+The distance-kernel rework trades per-call casts for cached state and tiled
+GEMMs, which is only admissible because every variant is *bit-identical* to
+the reference kernel (the determinism contract in
+:mod:`repro.vdms.distance`).  These tests pin that contract:
+
+- blocked scans equal the unblocked kernel for every metric across tile
+  shapes (including degenerate 1-row tiles);
+- :class:`ScanOperand` caching and gathering (``take``) never change a bit;
+- cached norms survive the segment lifecycle (seal -> tombstone ->
+  compaction) with searches bit-identical to a freshly built collection;
+- masked scans agree between gather-then-GEMM and dense-scan-then-mask;
+- ``top_k_select``'s ambiguous-boundary band re-fill matches a full stable
+  sort on duplicate-heavy inputs;
+- ``merge_topk`` preserves float32 through the merge;
+- zero-copy snapshots serve frozen sealed arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vdms.collection import Collection
+from repro.vdms.distance import (
+    MASK_DENSE_SCAN_SELECTIVITY,
+    METRICS,
+    ScanOperand,
+    masked_topk,
+    pairwise_distances,
+    pairwise_distances_blocked,
+    prepare_vectors,
+    top_k_select,
+)
+from repro.vdms.index.ivf_sq8 import IVFSQ8Index
+from repro.vdms.request import AttributeFilter, SearchRequest
+from repro.vdms.sharding import merge_topk
+from repro.vdms.system_config import SystemConfig
+
+
+def _corpus(metric: str, rows: int = 400, dim: int = 24, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((rows, dim)).astype(np.float32)
+    queries = rng.standard_normal((7, dim)).astype(np.float32)
+    return prepare_vectors(vectors, metric), prepare_vectors(queries, metric)
+
+
+class TestBlockedScan:
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_blocked_bit_identical_across_tile_shapes(self, metric):
+        stored, queries = _corpus(metric)
+        reference = pairwise_distances(queries, stored, metric)
+        n = stored.shape[0]
+        for query_block in (1, 7, 64, queries.shape[0]):
+            for row_block in (1, 7, 64, n):
+                tiled = pairwise_distances_blocked(
+                    queries, stored, metric,
+                    query_block=query_block, row_block=row_block,
+                )
+                assert tiled.dtype == reference.dtype
+                assert np.array_equal(tiled, reference), (metric, query_block, row_block)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_blocked_accepts_operand_and_out(self, metric):
+        stored, queries = _corpus(metric)
+        reference = pairwise_distances(queries, stored, metric)
+        operand = ScanOperand.prepare(stored, metric)
+        out = np.empty_like(reference)
+        result = pairwise_distances_blocked(queries, operand, metric, out=out)
+        assert result is out
+        assert np.array_equal(out, reference)
+
+
+class TestScanOperand:
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_operand_matches_raw_kernel(self, metric):
+        stored, queries = _corpus(metric)
+        operand = ScanOperand.prepare(stored, metric)
+        assert np.array_equal(
+            pairwise_distances(queries, operand, metric),
+            pairwise_distances(queries, stored, metric),
+        )
+        # Materialization is idempotent and does not change results.
+        operand.materialize()
+        assert operand.is_materialized
+        assert np.array_equal(
+            pairwise_distances(queries, operand, metric),
+            pairwise_distances(queries, stored, metric),
+        )
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("materialize_first", [False, True])
+    def test_take_matches_fresh_gather(self, metric, materialize_first):
+        stored, queries = _corpus(metric)
+        operand = ScanOperand.prepare(stored, metric)
+        if materialize_first:
+            operand.materialize()
+        positions = np.array([3, 3, 0, 399, 17], dtype=np.int64)
+        gathered = operand.take(positions)
+        assert np.array_equal(
+            pairwise_distances(queries, gathered, metric),
+            pairwise_distances(queries, stored[positions], metric),
+        )
+
+
+class TestMaskedScanModes:
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_select_and_dense_modes_bit_identical(self, metric):
+        stored, queries = _corpus(metric)
+        rng = np.random.default_rng(1)
+        operand = ScanOperand.prepare(stored, metric)
+        for selectivity in (0.02, 0.3, 0.8, 1.0):
+            mask = rng.random(stored.shape[0]) < selectivity
+            if not mask.any():
+                mask[0] = True
+            select_pos, select_ord, mode_a = masked_topk(
+                queries, operand, mask, 10, metric, scan_mode="select"
+            )
+            dense_pos, dense_ord, mode_b = masked_topk(
+                queries, operand, mask, 10, metric, scan_mode="dense"
+            )
+            assert (mode_a, mode_b) == ("select", "dense")
+            assert np.array_equal(select_pos, dense_pos)
+            assert np.array_equal(select_ord, dense_ord)
+            # Both agree with the seed approach: full scan, then drop.
+            full = pairwise_distances(queries, stored, metric)
+            full[:, ~mask] = np.inf
+            keep = min(10, int(np.count_nonzero(mask)))
+            ref_pos, ref_ord = top_k_select(full, keep)
+            assert np.array_equal(select_pos, ref_pos)
+            assert np.array_equal(select_ord, ref_ord)
+
+    def test_auto_mode_follows_crossover(self):
+        stored, queries = _corpus("l2")
+        operand = ScanOperand.prepare(stored, "l2")
+        sparse = np.zeros(stored.shape[0], dtype=bool)
+        sparse[:5] = True
+        _, _, mode = masked_topk(queries, operand, sparse, 3, "l2")
+        assert mode == "select"
+        dense = np.ones(stored.shape[0], dtype=bool)
+        _, _, mode = masked_topk(queries, operand, dense, 3, "l2")
+        assert mode == "dense"
+        assert 0.0 < MASK_DENSE_SCAN_SELECTIVITY <= 1.0
+
+    def test_empty_mask_returns_empty(self):
+        stored, queries = _corpus("l2")
+        operand = ScanOperand.prepare(stored, "l2")
+        positions, ordered, mode = masked_topk(
+            queries, operand, np.zeros(stored.shape[0], dtype=bool), 5, "l2"
+        )
+        assert positions.shape == (queries.shape[0], 0)
+        assert ordered.shape == (queries.shape[0], 0)
+        assert mode == "select"
+
+
+class TestTopKSelectBoundary:
+    def test_duplicate_heavy_matches_full_stable_sort(self):
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            rows = int(rng.integers(1, 6))
+            n = int(rng.integers(1, 40))
+            top_k = int(rng.integers(1, n + 4))
+            # Few distinct values => boundary ties are the common case.
+            distances = rng.integers(0, 4, size=(rows, n)).astype(np.float32)
+            positions, ordered = top_k_select(distances, top_k)
+            reference = np.argsort(distances, axis=1, kind="stable")[:, : min(top_k, n)]
+            assert np.array_equal(positions, reference)
+            assert np.array_equal(
+                ordered, np.take_along_axis(distances, reference, axis=1)
+            )
+
+    def test_all_equal_resolves_by_position(self):
+        distances = np.full((3, 9), 2.5, dtype=np.float32)
+        positions, ordered = top_k_select(distances, 4)
+        assert np.array_equal(positions, np.tile(np.arange(4), (3, 1)))
+        assert np.all(ordered == 2.5)
+
+
+class TestMergeTopkDtype:
+    def test_float32_preserved_through_merge(self):
+        ids = [np.array([[1, 3]], dtype=np.int64), np.array([[2, -1]], dtype=np.int64)]
+        distances = [
+            np.array([[0.25, 0.5]], dtype=np.float32),
+            np.array([[0.125, np.inf]], dtype=np.float32),
+        ]
+        merged_ids, merged = merge_topk(ids, distances, 3)
+        assert merged.dtype == np.float32
+        assert np.array_equal(merged_ids, [[2, 1, 3]])
+        assert np.array_equal(merged, np.array([[0.125, 0.25, 0.5]], dtype=np.float32))
+
+    def test_float64_inputs_still_merge(self):
+        ids = [np.array([[1]], dtype=np.int64)]
+        distances = [np.array([[0.5]], dtype=np.float64)]
+        merged_ids, merged = merge_topk(ids, distances, 2)
+        assert merged.dtype == np.float64
+        assert merged_ids[0, 1] == -1
+        assert np.isinf(merged[0, 1])
+
+
+def _build_collection(metric: str, vectors: np.ndarray, ids: np.ndarray, colors: np.ndarray) -> Collection:
+    collection = Collection(
+        "kernels",
+        dimension=vectors.shape[1],
+        metric=metric,
+        system_config=SystemConfig(shard_num=2, segment_max_size=64),
+        auto_maintenance=False,
+    )
+    collection.insert(vectors, ids, attributes={"color": colors})
+    collection.flush()
+    collection.create_index("IVF_FLAT", {"nlist": 8})
+    return collection
+
+
+class TestOperandLifecycle:
+    @pytest.mark.parametrize("metric", ["l2", "angular"])
+    def test_cached_norms_survive_seal_tombstone_compaction(self, metric):
+        rng = np.random.default_rng(11)
+        vectors = rng.standard_normal((300, 16)).astype(np.float32)
+        ids = np.arange(300, dtype=np.int64)
+        colors = rng.integers(0, 3, 300)
+        queries = rng.standard_normal((6, 16)).astype(np.float32)
+
+        collection = _build_collection(metric, vectors, ids, colors)
+        before = collection.search(queries, top_k=12, use_cache=False)
+
+        # Tombstone a third of the rows: the per-segment operand caches keyed
+        # on array identity must invalidate (tombstones replace the arrays).
+        deleted = ids[::3]
+        collection.delete(deleted)
+        after_delete = collection.search(queries, top_k=12, use_cache=False)
+        assert not np.intersect1d(after_delete.ids.ravel(), deleted).size
+
+        # Compaction rewrites segments; cached operands follow the new arrays.
+        collection.run_maintenance()
+        after_compact = collection.search(queries, top_k=12, use_cache=False)
+
+        # A collection built directly from the surviving rows must agree
+        # bit for bit: the lifecycle never leaks a stale norm cache.
+        keep = ~np.isin(ids, deleted)
+        fresh = _build_collection(metric, vectors[keep], ids[keep], colors[keep])
+        reference = fresh.search(queries, top_k=12, use_cache=False)
+        for result in (after_delete, after_compact):
+            assert np.array_equal(result.ids, reference.ids)
+            assert np.array_equal(result.distances, reference.distances)
+
+    def test_filtered_search_modes_agree_through_lifecycle(self):
+        rng = np.random.default_rng(13)
+        vectors = rng.standard_normal((300, 16)).astype(np.float32)
+        ids = np.arange(300, dtype=np.int64)
+        colors = rng.integers(0, 3, 300)
+        queries = rng.standard_normal((4, 16)).astype(np.float32)
+        collection = _build_collection("l2", vectors, ids, colors)
+        # One low-selectivity filter (select mode) and one high (dense mode).
+        for op, value in (("eq", 1), ("ge", 0)):
+            request = SearchRequest(
+                queries=queries, top_k=8, filter=AttributeFilter("color", op, value)
+            )
+            plan = collection.plan_search(request)
+            modes = {segment.scan_mode for segment in plan.segments}
+            if op == "ge":
+                assert modes == {"dense"}
+            result = collection.search(request, use_cache=False)
+            matching = ids[
+                colors >= value if op == "ge" else colors == value
+            ]
+            returned = result.ids[result.ids >= 0]
+            assert np.isin(returned, matching).all()
+
+
+class TestZeroCopySnapshots:
+    def test_sealed_snapshot_arrays_are_frozen_views(self):
+        rng = np.random.default_rng(17)
+        vectors = rng.standard_normal((150, 8)).astype(np.float32)
+        collection = Collection(
+            "frozen",
+            dimension=8,
+            metric="l2",
+            system_config=SystemConfig(shard_num=1, segment_max_size=8),
+            auto_maintenance=False,
+        )
+        collection.insert(vectors, np.arange(150, dtype=np.int64))
+        collection.flush()
+        shard = collection._shards[0]
+        snapshot = shard.snapshot(collection.metric)
+        assert len(snapshot.brute_operands) == len(snapshot.brute_vectors)
+        sealed = [segment for segment in shard.segments.sealed_segments]
+        assert sealed
+        for segment in sealed:
+            assert not segment.vectors.flags.writeable
+            assert not segment.ids.flags.writeable
+            with pytest.raises(ValueError):
+                segment.vectors[0, 0] = 0.0
+
+    def test_growing_segments_stay_writable(self):
+        collection = Collection(
+            "growing",
+            dimension=4,
+            metric="l2",
+            system_config=SystemConfig(shard_num=1, segment_max_size=1000),
+            auto_maintenance=False,
+        )
+        collection.insert(np.ones((5, 4), dtype=np.float32), np.arange(5, dtype=np.int64))
+        collection.flush()
+        growing = collection._shards[0].segments.growing_segments
+        assert growing
+        assert all(segment.vectors.flags.writeable for segment in growing)
+
+
+class TestSQ8FastScan:
+    def test_off_mode_matches_decode_path_bitwise(self):
+        rng = np.random.default_rng(19)
+        vectors = rng.standard_normal((600, 16)).astype(np.float32)
+        queries = rng.standard_normal((8, 16)).astype(np.float32)
+        off = IVFSQ8Index(metric="l2", nlist=8, nprobe=4, fast_scan="off")
+        off.build(vectors)
+        int8 = IVFSQ8Index(metric="l2", nlist=8, nprobe=4, fast_scan="int8")
+        int8.build(vectors)
+        ids_off, dist_off, _ = off.search(queries, 10)
+        ids_int8, dist_int8, _ = int8.search(queries, 10)
+        # Recall-identical, not bit-identical: the candidate *sets* must
+        # overlap within the masked-oracle gate on this easy corpus.
+        overlap = np.mean([
+            len(set(a.tolist()) & set(b.tolist())) / len(a)
+            for a, b in zip(ids_off, ids_int8)
+        ])
+        assert overlap >= 0.9
+
+    def test_boolean_and_invalid_fast_scan_values(self):
+        assert IVFSQ8Index(fast_scan=True).fast_scan == "int8"
+        assert IVFSQ8Index(fast_scan=False).fast_scan == "off"
+        with pytest.raises(ValueError):
+            IVFSQ8Index(fast_scan="int4")
+
+    @pytest.mark.parametrize("mode", ["int8", "float16"])
+    def test_fast_scan_recall_close_to_decode_path(self, mode):
+        rng = np.random.default_rng(23)
+        vectors = rng.standard_normal((1200, 24)).astype(np.float32)
+        queries = rng.standard_normal((32, 24)).astype(np.float32)
+        stored = prepare_vectors(vectors, "l2")
+        truth, _ = top_k_select(
+            pairwise_distances(prepare_vectors(queries, "l2"), stored, "l2"), 10
+        )
+
+        def recall(index: IVFSQ8Index) -> float:
+            index.build(vectors)
+            ids, _, _ = index.search(queries, 10)
+            hits = sum(
+                len(set(a.tolist()) & set(b.tolist())) for a, b in zip(ids, truth)
+            )
+            return hits / truth.size
+
+        base = recall(IVFSQ8Index(metric="l2", nlist=16, nprobe=8, fast_scan="off"))
+        fast = recall(IVFSQ8Index(metric="l2", nlist=16, nprobe=8, fast_scan=mode))
+        assert base - fast <= 0.005
